@@ -1,0 +1,98 @@
+"""Fig. 3: time-retrieval and world-transition latencies.
+
+These are the paper's architectural latencies, so they live on the
+simulated clock; the paper's numbers were used to *calibrate the cost
+primitives* and this bench verifies that the end-to-end figures emerge
+from composition (see repro/hw/costs.py).
+
+Paper values: native-TA time fetch ~10 us, Wasm time fetch ~13 us
+(Fig. 3a, 1000 runs each); world enter 86 us, return 20 us (Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from repro.bench import paper_comparison, save_report
+from repro.hw import StopWatch
+from repro.walc import compile_source
+
+_RUNS = 1000  # as in the paper
+
+_CLOCK_APP = """
+memory 1;
+import fn wasi_snapshot_preview1.clock_time_get(a: i32, b: i64, c: i32) -> i32;
+export fn now() -> i64 {
+  clock_time_get(1, 1L, 64);
+  return load_i64(64);
+}
+"""
+
+
+def _native_ta_fetch_ns(device) -> float:
+    samples = []
+    with device.soc.enter_secure_world():
+        for _ in range(_RUNS):
+            with StopWatch(device.soc.clock) as watch:
+                device.soc.read_monotonic_ns()
+            samples.append(watch.elapsed_ns)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _wasm_fetch_ns(device) -> float:
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    loaded = device.load_wasm(session, compile_source(_CLOCK_APP))
+    app = session.ta._apps[loaded["app"]]
+    samples = []
+    with device.soc.enter_secure_world():
+        for _ in range(_RUNS):
+            with StopWatch(device.soc.clock) as watch:
+                app.instance.invoke("now")
+            samples.append(watch.elapsed_ns)
+    session.close()
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _transition_ns(device):
+    costs = device.soc.costs
+    clock = device.soc.clock
+    before = clock.now_ns()
+    with device.soc.enter_secure_world():
+        inside = clock.now_ns()
+    after = clock.now_ns()
+    return inside - before, after - inside
+
+
+def test_fig3a_time_retrieval(benchmark, device):
+    native_ns = _native_ta_fetch_ns(device)
+    wasm_ns = benchmark.pedantic(lambda: _wasm_fetch_ns(device),
+                                 rounds=1, iterations=1)
+    rows = [
+        ("native TA time fetch", "10 us", f"{native_ns / 1000:.1f} us",
+         "kernel RPC + clock read"),
+        ("Wasm time fetch", "13 us", f"{wasm_ns / 1000:.1f} us",
+         "adds the WASI dispatch"),
+        ("Wasm - native delta", "~3 us",
+         f"{(wasm_ns - native_ns) / 1000:.1f} us", "= wasi_dispatch_ns"),
+    ]
+    save_report("fig3a_time_retrieval",
+                paper_comparison("Fig. 3a — time retrieval (median of "
+                                 f"{_RUNS})", rows))
+    assert abs(native_ns - 10_000) < 2_000
+    assert abs(wasm_ns - 13_000) < 2_000
+    assert wasm_ns > native_ns
+
+
+def test_fig3b_world_transitions(benchmark, device):
+    enter_ns, return_ns = benchmark.pedantic(
+        lambda: _transition_ns(device), rounds=5, iterations=1)
+    rows = [
+        ("normal -> secure call", "86 us", f"{enter_ns / 1000:.1f} us",
+         "smc + driver + dispatch"),
+        ("secure -> normal return", "20 us", f"{return_ns / 1000:.1f} us",
+         "smc + return path"),
+    ]
+    save_report("fig3b_world_transitions",
+                paper_comparison("Fig. 3b — world transition latency", rows))
+    assert enter_ns == device.soc.costs.world_enter_ns == 86_000
+    assert return_ns == device.soc.costs.world_return_ns == 20_000

@@ -1,0 +1,125 @@
+"""Fig. 6: Speedtest1 normalised against native normal-world execution.
+
+Four configurations per test, as in the paper:
+
+* native NW — the Python SQL engine in the normal world (baseline, 1.0);
+* native TA — the same engine built as a TA. The paper measures 1.31x and
+  attributes it to toolchain differences (the normal-world binary is
+  optimised for the hardware, the TA devkit build is not); Python cannot
+  reproduce a C-toolchain delta, so this configuration applies the
+  paper's own measured factor as a documented model (DESIGN.md
+  substitution table);
+* WAMR — the walc storage-engine core in the normal world;
+* WaTZ — the same Wasm binary hosted by the runtime TA.
+
+Paper shape: native TA ~1.31x, Wasm ~2.1x (WAMR) and ~2.12x (WaTZ);
+write-heavy tests slower than read-heavy (2.23x vs 2.04x); WAMR and WaTZ
+indistinguishable.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench import format_table, save_report
+from repro.core.runtime import NormalWorldRuntime
+from repro.workloads.minidb.engine import connect
+from repro.workloads.minidb.speedtest import (
+    ALL_TESTS,
+    READ_TESTS,
+    WRITE_TESTS,
+)
+from repro.workloads.minidb.wasmcore import compile_dbcore
+
+#: The paper runs Speedtest1 at --size 60%; our base scale is 1000 rows.
+SCALE = 600
+
+#: The paper's measured native-TA slowdown, applied as a model (see above).
+NATIVE_TA_TOOLCHAIN_FACTOR = 1.31
+
+_RUNS = 3
+
+
+def _median(operation):
+    samples = []
+    for _ in range(_RUNS):
+        samples.append(operation())
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _sql_seconds(test):
+    def run():
+        db = connect()
+        test.sql_setup(db, SCALE)
+        started = time.perf_counter()
+        test.sql_run(db, SCALE)
+        return time.perf_counter() - started
+
+    return _median(run)
+
+
+def _wasm_seconds(test, instance):
+    def run():
+        for fn, args in test.wasm_setup(SCALE):
+            instance.invoke(fn, *args)
+        started = time.perf_counter()
+        for fn, args in test.wasm_run(SCALE):
+            instance.invoke(fn, *args)
+        return time.perf_counter() - started
+
+    return _median(run)
+
+
+def _measure_all(device):
+    binary = compile_dbcore()
+    wamr = NormalWorldRuntime().load(binary)
+    session = device.open_watz(heap_size=25 * 1024 * 1024)
+    loaded = device.load_wasm(session, binary)
+    watz_app = session.ta._apps[loaded["app"]]
+
+    results = []
+    for test in ALL_TESTS:
+        native_s = _sql_seconds(test)
+        wamr_s = _wasm_seconds(test, wamr.instance)
+        watz_s = _wasm_seconds(test, watz_app.instance)
+        results.append((test, native_s, wamr_s, watz_s))
+    session.close()
+    return results
+
+
+def test_fig6_speedtest(benchmark, device):
+    results = benchmark.pedantic(lambda: _measure_all(device),
+                                 rounds=1, iterations=1)
+    rows = []
+    ratios = {}
+    pair_deltas = []
+    for test, native_s, wamr_s, watz_s in results:
+        ratios[test.number] = (wamr_s / native_s, watz_s / native_s)
+        pair_deltas.append(abs(watz_s - wamr_s) / max(wamr_s, 1e-9))
+        rows.append((test.number, test.name, test.kind,
+                     f"{native_s * 1000:.1f} ms",
+                     f"{NATIVE_TA_TOOLCHAIN_FACTOR:.2f}x (modelled)",
+                     f"{wamr_s / native_s:.2f}x",
+                     f"{watz_s / native_s:.2f}x"))
+    read_avg = statistics.mean(ratios[n][1] for n in READ_TESTS)
+    write_avg = statistics.mean(ratios[n][1] for n in WRITE_TESTS)
+    rows.append(("", "read-test average (paper 2.04x)", "read", "-", "-", "-",
+                 f"{read_avg:.2f}x"))
+    rows.append(("", "write-test average (paper 2.23x)", "write", "-", "-",
+                 "-", f"{write_avg:.2f}x"))
+    save_report("fig6_speedtest", format_table(
+        f"Fig. 6 — Speedtest1 (scale {SCALE}) normalised to native NW, "
+        f"median of {_RUNS}",
+        ["test", "name", "kind", "native NW", "native TA", "WAMR", "WaTZ"],
+        rows,
+    ))
+
+    # Shape 1: WaTZ tracks WAMR (the TEE adds no compute cost).
+    median_delta = sorted(pair_deltas)[len(pair_deltas) // 2]
+    assert median_delta < 0.20, median_delta
+    # Shape 2: write-heavy tests suffer more than read-heavy ones.
+    assert write_avg > read_avg
+    # Shape 3: the Wasm build is slower than native overall.
+    assert statistics.mean(r[1] for r in ratios.values()) > 1.0

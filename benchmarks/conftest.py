@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures: a booted device and a deployed verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.testbed import Testbed
+
+
+@pytest.fixture(scope="session")
+def testbed() -> Testbed:
+    return Testbed()
+
+
+@pytest.fixture(scope="session")
+def device(testbed):
+    return testbed.create_device()
+
+
+@pytest.fixture(scope="session")
+def verifier_identity() -> ecdsa.KeyPair:
+    return ecdsa.keypair_from_private(0xC0FFEE + 7)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Formal audit of the remote-attestation protocol (paper §VII).
+
+Verifies the shipped protocol against the paper's claim set under a
+Dolev–Yao intruder, then demonstrates the checker's sensitivity by
+disabling each verifier/attester check and printing the attack each
+mutation enables — including the WaTZ-specific one, where a malicious
+Wasm application co-hosted on the same device holds *genuine*
+device-signed evidence for its own code measurement.
+"""
+
+from repro.formal import (
+    MUTATION_EXPECTATIONS,
+    ProtocolVariant,
+    verify_protocol,
+)
+
+
+def main() -> None:
+    print("verifying the shipped protocol (bounded Dolev-Yao search)…")
+    report = verify_protocol()
+    for claim in report.claims:
+        print(f"  {claim.describe()}")
+    assert report.all_hold
+    print("all claims hold, as the paper's Scyther analysis found.\n")
+
+    for mutation in sorted(MUTATION_EXPECTATIONS):
+        variant = ProtocolVariant().mutate(**{mutation: False})
+        broken = verify_protocol(variant)
+        failed = broken.failed_claims()
+        print(f"without {mutation}:")
+        print(f"  violated: {', '.join(sorted(failed))}")
+        for claim in broken.claims:
+            if not claim.holds and claim.attack is not None:
+                print("  attack trace:")
+                for event in claim.attack.events:
+                    kind, role, message, _payload = event
+                    print(f"    {role:3} {kind:4} {message}")
+                break
+        print()
+
+
+if __name__ == "__main__":
+    main()

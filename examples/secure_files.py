@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The §VII extensions working together: files, rollback, measured boot.
+
+A Wasm application inside WaTZ persists a counter file through the
+WASI-FS extension (backed by GP Trusted Storage). The demo then plays the
+§VII storage-rollback attack — restoring an old snapshot of the storage
+medium — and shows the hardware monotonic counters catching it. Finally
+it shows a verifier pinning the device's *measured-boot* claim.
+"""
+
+from repro.core import VerifierPolicy, measure_bytes, start_verifier
+from repro.crypto import ecdsa
+from repro.errors import TeeSecurityViolation
+from repro.testbed import Testbed
+from repro.walc import compile_source
+from repro.workloads.attested import build_attested_app
+
+COUNTER_APP = """
+memory 1;
+data 512 (99, 111, 117, 110, 116);  // "count"
+import fn wasi_snapshot_preview1.path_open(a: i32, b: i32, c: i32, d: i32,
+                                           e: i32, f: i64, g: i64, h: i32,
+                                           i: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_read(a: i32, b: i32, c: i32, d: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_write(a: i32, b: i32, c: i32, d: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_seek(a: i32, b: i64, c: i32, d: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_close(a: i32) -> i32;
+
+// Reads the persisted counter, increments it, writes it back.
+export fn bump() -> i32 {
+  path_open(3, 0, 512, 5, 1, 0L, 0L, 0, 64);  // O_CREAT
+  var fd: i32 = load_i32(64);
+  store_i32(0, 128);
+  store_i32(4, 4);
+  fd_read(fd, 0, 1, 16);
+  var value: i32 = 0;
+  if (load_i32(16) == 4) { value = load_i32(128); }
+  value = value + 1;
+  store_i32(128, value);
+  fd_seek(fd, 0L, 0, 32);
+  fd_write(fd, 0, 1, 16);
+  fd_close(fd);
+  return value;
+}
+"""
+
+
+def main() -> None:
+    testbed = Testbed()
+    device = testbed.create_device()
+    binary = compile_source(COUNTER_APP)
+
+    # --- persistence across sessions -------------------------------------
+    for expected in (1, 2):
+        session = device.open_watz(heap_size=4 * 1024 * 1024)
+        loaded = device.load_wasm(session, binary, filesystem=True)
+        value = device.run_wasm(session, loaded["app"], "bump")
+        print(f"session {expected}: counter file now holds {value}")
+        assert value == expected
+        session.close()
+
+    # --- the rollback attack ----------------------------------------------
+    storage = device.kernel.trusted_storage
+    with device.soc.enter_secure_world():
+        stolen_snapshot = storage.snapshot()
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    loaded = device.load_wasm(session, binary, filesystem=True)
+    device.run_wasm(session, loaded["app"], "bump")  # counter -> 3
+    session.close()
+    storage.restore_snapshot(stolen_snapshot)        # attacker restores
+    print("attacker restored an old image of the storage medium…")
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    try:
+        device.load_wasm(session, binary, filesystem=True)
+        print("UNDETECTED — this should not happen")
+    except TeeSecurityViolation as violation:
+        print(f"hardware monotonic counter caught it: {violation}")
+    session.close()
+
+    # --- measured-boot pinning ----------------------------------------------
+    identity = ecdsa.keypair_from_private(0xB007)
+    app = build_attested_app(identity.public_bytes(), "files.verifier",
+                             7600, secret_capacity=4096)
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    policy.trust_boot_measurement(device.kernel.boot_measurement)
+    start_verifier(testbed.network, "files.verifier", 7600, device.client,
+                   testbed.vendor_key, identity, policy, lambda: b"pinned")
+    session = device.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = device.load_wasm(session, app)
+    received = device.run_wasm(session, loaded["app"], "attest")
+    print(f"verifier pinned to this firmware's measured boot: "
+          f"{'accepted' if received > 0 else 'rejected'} "
+          f"({device.kernel.boot_measurement.hex()[:16]}…)")
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

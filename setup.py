@@ -1,0 +1,4 @@
+# Packaging shim for environments without PEP 517 wheel support.
+from setuptools import setup
+
+setup()

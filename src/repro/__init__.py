@@ -1,0 +1,13 @@
+"""WaTZ reproduction: a trusted Wasm runtime with remote attestation.
+
+Reproduces *WaTZ: A Trusted WebAssembly Runtime Environment with Remote
+Attestation for TrustZone* (ICDCS 2022) as a full-stack simulation; see
+DESIGN.md for the substitution table and the per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+WATZ_PAPER = (
+    "WaTZ: A Trusted WebAssembly Runtime Environment with "
+    "Remote Attestation for TrustZone, ICDCS 2022"
+)

@@ -1,0 +1,29 @@
+"""Benchmark harness: paper-style medians and report formatting."""
+
+from repro.bench.harness import (
+    Summary,
+    geometric_mean,
+    measure_real,
+    measure_simulated,
+    ratio,
+)
+from repro.bench.reporting import (
+    format_duration,
+    format_table,
+    paper_comparison,
+    print_block,
+    save_report,
+)
+
+__all__ = [
+    "Summary",
+    "measure_real",
+    "measure_simulated",
+    "ratio",
+    "geometric_mean",
+    "format_table",
+    "format_duration",
+    "paper_comparison",
+    "print_block",
+    "save_report",
+]

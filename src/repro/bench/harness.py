@@ -1,0 +1,78 @@
+"""Measurement harness shared by the benchmark suite.
+
+The paper reports medians and standard deviations over multiple runs
+(§VI); this module provides the same summary over both time sources —
+real ``perf_counter`` seconds for genuine computation, and virtual
+nanoseconds from the :class:`~repro.hw.clock.SimClock` for architectural
+latencies (see DESIGN.md, "Clock discipline").
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median and spread of a series of measurements."""
+
+    median: float
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    runs: int
+
+    @classmethod
+    def of(cls, samples: List[float]) -> "Summary":
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            median=statistics.median(samples),
+            mean=statistics.fmean(samples),
+            stdev=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+            minimum=min(samples),
+            maximum=max(samples),
+            runs=len(samples),
+        )
+
+
+def measure_real(operation: Callable[[], object], runs: int = 5,
+                 warmup: int = 1) -> Summary:
+    """Median wall-clock seconds of ``operation`` over ``runs`` runs."""
+    for _ in range(warmup):
+        operation()
+    samples = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        operation()
+        samples.append(time.perf_counter() - started)
+    return Summary.of(samples)
+
+
+def measure_simulated(clock, operation: Callable[[], object],
+                      runs: int = 5) -> Summary:
+    """Median simulated nanoseconds of ``operation``."""
+    samples = []
+    for _ in range(runs):
+        started = clock.now_ns()
+        operation()
+        samples.append(float(clock.now_ns() - started))
+    return Summary.of(samples)
+
+
+def ratio(numerator: Summary, denominator: Summary) -> float:
+    """Median-over-median slowdown factor."""
+    if denominator.median == 0:
+        return math.inf
+    return numerator.median / denominator.median
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        raise ValueError("no values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,180 @@
+"""The attester side of the WaTZ remote-attestation protocol.
+
+Runs inside the WaTZ runtime TA on behalf of a hosted Wasm application
+(reached through WASI-RA). Implements the client half of Table II,
+including every check the paper specifies in §IV:
+
+* the verifier's identity key ``V`` must equal the key hard-coded in the
+  (measured) Wasm application;
+* the signature over both public session keys must verify — mismatched
+  session keys reveal masquerading or replay;
+* the MAC of msg1 must verify under the freshly derived ``K_m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto import ec, ecdh, ecdsa
+from repro.crypto.cmac import AesCmac
+from repro.crypto.gcm import AesGcm
+from repro.crypto.hashing import constant_time_equal
+from repro.crypto.kdf import SessionKeys, derive_session_keys
+from repro.core import protocol
+from repro.core.evidence import Evidence, SignedEvidence
+from repro.errors import AuthenticationError, ProtocolError
+
+EvidenceSigner = Callable[[bytes], bytes]
+
+
+@dataclass
+class AttesterSession:
+    """Mutable state of one attestation attempt."""
+
+    session_keypair: ecdh.SessionKeyPair
+    expected_verifier_key: bytes
+    g_v: Optional[bytes] = None
+    keys: Optional[SessionKeys] = None
+    anchor: Optional[bytes] = None
+
+    @property
+    def g_a(self) -> bytes:
+        return self.session_keypair.public_bytes()
+
+
+class Attester:
+    """Protocol engine; stateless apart from per-session objects."""
+
+    def __init__(self, random_source: Callable[[int], bytes],
+                 recorder: Optional[protocol.CostRecorder] = None) -> None:
+        self._random = random_source
+        self.recorder = recorder or protocol.NullRecorder()
+
+    # -- msg0 ------------------------------------------------------------------
+
+    def start_session(self, expected_verifier_key: bytes) -> AttesterSession:
+        """Generate the ephemeral session key pair (freshness, §IV)."""
+        with self.recorder.phase("msg0", protocol.KEYGEN):
+            keypair = ecdh.generate(self._random)
+        return AttesterSession(keypair, expected_verifier_key)
+
+    def make_msg0(self, session: AttesterSession) -> bytes:
+        with self.recorder.phase("msg0", protocol.MEMORY):
+            message = protocol.encode_msg0(session.g_a)
+        return message
+
+    # -- msg1 ------------------------------------------------------------------
+
+    def handle_msg1(self, session: AttesterSession, data: bytes) -> None:
+        """All attester-side checks of paper §IV(c)."""
+        with self.recorder.phase("msg1", protocol.MEMORY):
+            message = protocol.decode_msg1(data)
+
+        # The verifier identity must match the key hard-coded in the Wasm
+        # application; because that key is part of the code measurement, an
+        # attacker cannot redirect the application to a rogue service.
+        if message.verifier_key != session.expected_verifier_key:
+            raise AuthenticationError(
+                "verifier identity does not match the hard-coded key"
+            )
+
+        with self.recorder.phase("msg1", protocol.KEYGEN):
+            shared = ecdh.shared_secret(
+                session.session_keypair.private,
+                ec.decode_point(message.g_v),
+            )
+            session.keys = derive_session_keys(shared)
+
+        with self.recorder.phase("msg1", protocol.SYMMETRIC):
+            AesCmac(session.keys.mac_key).verify(message.content, message.mac)
+
+        with self.recorder.phase("msg1", protocol.ASYMMETRIC):
+            verifier_public = ec.decode_point(message.verifier_key)
+            # Different session keys in the signature reveal masquerading
+            # or replay.
+            ecdsa.verify(verifier_public, message.g_v + session.g_a,
+                         message.signature)
+
+        session.g_v = message.g_v
+        session.anchor = protocol.compute_anchor(session.g_a, message.g_v)
+
+    # -- msg2 ------------------------------------------------------------------
+
+    def collect_evidence(self, anchor: bytes, claim: bytes,
+                         attestation_public_key: bytes,
+                         sign_evidence: EvidenceSigner,
+                         version: tuple = None,
+                         boot_claim: bytes = None) -> SignedEvidence:
+        """Issue signed evidence for an anchor (WASI-RA ``collect_quote``).
+
+        Deliberately decoupled from the network protocol so applications
+        can carry the evidence over other transports (paper §V).
+        ``sign_evidence`` is the kernel attestation service entry point;
+        the private key never appears here.
+        """
+        with self.recorder.phase("msg2", protocol.MEMORY):
+            kwargs = {}
+            if version:
+                kwargs["version"] = version
+            if boot_claim is not None:
+                kwargs["boot_claim"] = boot_claim
+            evidence = Evidence(
+                anchor=anchor,
+                claim=claim,
+                attestation_public_key=attestation_public_key,
+                **kwargs,
+            )
+            body = evidence.encode()
+        with self.recorder.phase("msg2", protocol.ASYMMETRIC):
+            signature = sign_evidence(body)
+        return SignedEvidence(evidence, signature)
+
+    def make_msg2(self, session: AttesterSession,
+                  signed_evidence: SignedEvidence,
+                  encrypt_evidence: bool = False) -> bytes:
+        """Wrap evidence into msg2, MACed under the session key.
+
+        ``encrypt_evidence`` enables the §IV extension: the evidence is
+        sealed under K_e so a passive observer learns neither the code
+        measurement nor the device identity.
+        """
+        if session.anchor is None or session.keys is None:
+            raise ProtocolError("msg1 has not been processed yet")
+        if signed_evidence.evidence.anchor != session.anchor:
+            raise ProtocolError("evidence anchor does not match this session")
+        if encrypt_evidence:
+            with self.recorder.phase("msg2", protocol.SYMMETRIC):
+                iv = self._random(12)
+                sealed = AesGcm(session.keys.enc_key).seal(
+                    iv, signed_evidence.encode())
+                content = session.g_a + iv + sealed
+                mac = AesCmac(session.keys.mac_key).mac(content)
+            return protocol.encode_msg2_encrypted(session.g_a, iv, sealed,
+                                                  mac)
+        with self.recorder.phase("msg2", protocol.SYMMETRIC):
+            content = session.g_a + signed_evidence.encode()
+            mac = AesCmac(session.keys.mac_key).mac(content)
+        return protocol.encode_msg2(session.g_a, signed_evidence, mac)
+
+    def attest(self, session: AttesterSession, claim: bytes,
+               attestation_public_key: bytes,
+               sign_evidence: EvidenceSigner) -> bytes:
+        """Convenience: collect evidence for the session and build msg2."""
+        if session.anchor is None:
+            raise ProtocolError("msg1 has not been processed yet")
+        signed = self.collect_evidence(
+            session.anchor, claim, attestation_public_key, sign_evidence
+        )
+        return self.make_msg2(session, signed)
+
+    # -- msg3 ------------------------------------------------------------------
+
+    def handle_msg3(self, session: AttesterSession, data: bytes) -> bytes:
+        """Decrypt the secret blob with the session encryption key."""
+        if session.keys is None:
+            raise ProtocolError("session keys are not established")
+        iv, sealed = protocol.decode_msg3(data)
+        with self.recorder.phase("msg3", protocol.SYMMETRIC):
+            plaintext = AesGcm(session.keys.enc_key).open(iv, sealed)
+        return plaintext

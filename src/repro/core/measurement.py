@@ -1,0 +1,55 @@
+"""Code measurement of Wasm applications.
+
+When WaTZ copies AOT bytecode from the shared buffer into secure memory it
+folds every chunk into a SHA-256 measurement (paper §III/§VI-B); the
+resulting *fingerprint* is the claim carried by attestation evidence, and
+what verifiers compare against their reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import IncrementalHash, sha256
+
+#: Chunk size of the shared-buffer copy loop.
+COPY_CHUNK = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A finished code measurement."""
+
+    digest: bytes
+    size: int
+
+    @property
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+def measure_bytes(bytecode: bytes) -> Measurement:
+    """One-shot measurement (reference values, tests)."""
+    return Measurement(sha256(bytecode), len(bytecode))
+
+
+class MeasuringCopier:
+    """Copies bytecode out of a shared buffer while measuring it.
+
+    Returns both the secure-memory copy and the measurement so the
+    runtime cannot accidentally execute bytes it did not measure.
+    """
+
+    def __init__(self) -> None:
+        self._hash = IncrementalHash()
+        self._chunks = []
+
+    def copy(self, source: bytes) -> bytes:
+        for offset in range(0, len(source), COPY_CHUNK):
+            chunk = bytes(source[offset : offset + COPY_CHUNK])
+            self._hash.update(chunk)
+            self._chunks.append(chunk)
+        return b"".join(self._chunks)
+
+    def finish(self) -> Measurement:
+        return Measurement(self._hash.digest(), self._hash.length)

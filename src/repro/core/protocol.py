@@ -1,0 +1,213 @@
+"""Wire formats of the WaTZ remote-attestation protocol (paper Table II).
+
+::
+
+    msg0 := G_a
+    msg1 := content1 || MAC_Km(content1)
+            content1 := G_v || V || SIGN_V(G_v || G_a)
+    msg2 := content2 || MAC_Km(content2)
+            content2 := G_a || evidence || SIGN_A(evidence)
+            evidence := (anchor || A || ...),  anchor := HASH(G_a || G_v)
+    msg3 := iv || AES-GCM_Ke(data)
+
+Each message carries a one-byte type tag so misordered messages are
+detected explicitly rather than by parse failure. The instrumentation
+hooks (:class:`CostRecorder`) reproduce Table III's per-message cost
+breakdown into memory management / key generation / symmetric / asymmetric
+categories.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.crypto import ecdsa
+from repro.crypto.cmac import MAC_SIZE
+from repro.crypto.gcm import IV_SIZE
+from repro.crypto.hashing import sha256
+from repro.core.evidence import EVIDENCE_SIZE, SignedEvidence
+from repro.errors import ProtocolError
+
+POINT_SIZE = 65
+
+MSG0 = 0x00
+MSG1 = 0x01
+MSG2 = 0x02
+MSG3 = 0x03
+#: §IV extension: msg2 with the evidence protected by AES-GCM under K_e
+#: ("if the secrecy of this structure is a concern").
+MSG2_ENC = 0x12
+
+_MSG0_SIZE = 1 + POINT_SIZE
+_CONTENT1_SIZE = POINT_SIZE + POINT_SIZE + ecdsa.SIGNATURE_SIZE
+_MSG1_SIZE = 1 + _CONTENT1_SIZE + MAC_SIZE
+# EVIDENCE_SIZE already includes SIGN_A(evidence).
+_CONTENT2_SIZE = POINT_SIZE + EVIDENCE_SIZE
+_MSG2_SIZE = 1 + _CONTENT2_SIZE + MAC_SIZE
+
+
+def compute_anchor(g_a: bytes, g_v: bytes) -> bytes:
+    """The session anchor: HASH(G_a || G_v) (paper §IV, msg2)."""
+    return sha256(g_a + g_v)
+
+
+# --- encodings ---------------------------------------------------------------
+
+
+def encode_msg0(g_a: bytes) -> bytes:
+    return bytes([MSG0]) + g_a
+
+
+def decode_msg0(data: bytes) -> bytes:
+    if len(data) != _MSG0_SIZE or data[0] != MSG0:
+        raise ProtocolError("malformed msg0")
+    return data[1:]
+
+
+def encode_msg1(g_v: bytes, verifier_key: bytes, signature: bytes,
+                mac: bytes) -> bytes:
+    return bytes([MSG1]) + g_v + verifier_key + signature + mac
+
+
+@dataclass(frozen=True)
+class Msg1:
+    g_v: bytes
+    verifier_key: bytes
+    signature: bytes
+    mac: bytes
+
+    @property
+    def content(self) -> bytes:
+        return self.g_v + self.verifier_key + self.signature
+
+
+def decode_msg1(data: bytes) -> Msg1:
+    if len(data) != _MSG1_SIZE or data[0] != MSG1:
+        raise ProtocolError("malformed msg1")
+    offset = 1
+    g_v = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    verifier_key = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    signature = data[offset : offset + ecdsa.SIGNATURE_SIZE]
+    offset += ecdsa.SIGNATURE_SIZE
+    return Msg1(g_v, verifier_key, signature, data[offset:])
+
+
+def encode_msg2(g_a: bytes, signed_evidence: SignedEvidence,
+                mac: bytes) -> bytes:
+    return bytes([MSG2]) + g_a + signed_evidence.encode() + mac
+
+
+_SEALED_EVIDENCE_SIZE = EVIDENCE_SIZE + 16  # GCM tag
+_MSG2_ENC_SIZE = 1 + POINT_SIZE + IV_SIZE + _SEALED_EVIDENCE_SIZE + MAC_SIZE
+
+
+def encode_msg2_encrypted(g_a: bytes, iv: bytes, sealed_evidence: bytes,
+                          mac: bytes) -> bytes:
+    return bytes([MSG2_ENC]) + g_a + iv + sealed_evidence + mac
+
+
+@dataclass(frozen=True)
+class Msg2Encrypted:
+    g_a: bytes
+    iv: bytes
+    sealed_evidence: bytes
+    mac: bytes
+
+    @property
+    def content(self) -> bytes:
+        return self.g_a + self.iv + self.sealed_evidence
+
+
+def decode_msg2_encrypted(data: bytes) -> "Msg2Encrypted":
+    if len(data) != _MSG2_ENC_SIZE or data[0] != MSG2_ENC:
+        raise ProtocolError("malformed encrypted msg2")
+    offset = 1
+    g_a = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    iv = data[offset : offset + IV_SIZE]
+    offset += IV_SIZE
+    sealed = data[offset : offset + _SEALED_EVIDENCE_SIZE]
+    offset += _SEALED_EVIDENCE_SIZE
+    return Msg2Encrypted(g_a, iv, sealed, data[offset:])
+
+
+@dataclass(frozen=True)
+class Msg2:
+    g_a: bytes
+    signed_evidence: SignedEvidence
+    mac: bytes
+
+    @property
+    def content(self) -> bytes:
+        return self.g_a + self.signed_evidence.encode()
+
+
+def decode_msg2(data: bytes) -> Msg2:
+    if len(data) != _MSG2_SIZE or data[0] != MSG2:
+        raise ProtocolError("malformed msg2")
+    offset = 1
+    g_a = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    evidence = SignedEvidence.decode(data[offset : offset + EVIDENCE_SIZE])
+    offset += EVIDENCE_SIZE
+    mac = data[offset:]
+    return Msg2(g_a, evidence, mac)
+
+
+def encode_msg3(iv: bytes, sealed: bytes) -> bytes:
+    return bytes([MSG3]) + iv + sealed
+
+
+def decode_msg3(data: bytes) -> Tuple[bytes, bytes]:
+    if len(data) < 1 + IV_SIZE or data[0] != MSG3:
+        raise ProtocolError("malformed msg3")
+    return data[1 : 1 + IV_SIZE], data[1 + IV_SIZE :]
+
+
+# --- instrumentation -------------------------------------------------------------
+
+MEMORY = "memory"
+KEYGEN = "keygen"
+SYMMETRIC = "symmetric"
+ASYMMETRIC = "asymmetric"
+
+CATEGORIES = (MEMORY, KEYGEN, SYMMETRIC, ASYMMETRIC)
+
+
+class CostRecorder:
+    """Accumulates real execution time per (message, category).
+
+    Reproduces Table III: attester/verifier both carry one recorder and
+    wrap each cryptographic phase, so the bench can print the same rows.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    @contextmanager
+    def phase(self, message: str, category: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[(message, category)] += time.perf_counter() - start
+
+    def get(self, message: str, category: str) -> float:
+        return self.seconds.get((message, category), 0.0)
+
+    def reset(self) -> None:
+        self.seconds.clear()
+
+
+class NullRecorder(CostRecorder):
+    """A recorder that skips the clock reads (production path)."""
+
+    @contextmanager
+    def phase(self, message: str, category: str) -> Iterator[None]:
+        yield

@@ -1,0 +1,101 @@
+"""The verifier server: a listener in the normal world + a verifier TA.
+
+Paper §V, "The server (verifier)": the GP socket API cannot *listen* for
+inbound connections, so the verifier needs a dedicated normal-world
+listener application that receives protocol messages and forwards them to
+the verifier TA in the secure world; replies travel the same path back.
+Every forwarded message therefore pays the world-transition costs of
+Fig. 3b — which the end-to-end benchmarks (Table IV, Fig. 8) include.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import protocol
+from repro.core.transport import Network, Service
+from repro.core.verifier import Verifier, VerifierPolicy, VerifierSession
+from repro.crypto import ecdsa
+from repro.errors import ProtocolError, TeeBadParameters
+from repro.optee.gp_api import OpTeeClient
+from repro.optee.ta import TaManifest, TrustedApplication, sign_ta
+
+CMD_HANDLE_MESSAGE = 1
+
+VERIFIER_UUID = "watz-verifier"
+
+SecretProvider = Callable[[], bytes]
+
+
+def make_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
+                     secret_provider: SecretProvider,
+                     recorder: Optional[protocol.CostRecorder] = None) -> type:
+    """Build a verifier TA class closed over its configuration.
+
+    The identity key and policy are baked into the TA the way the paper's
+    verifier TA carries its key material in secure storage.
+    """
+
+    class VerifierTa(TrustedApplication):
+        def open_session(self, api) -> None:
+            super().open_session(api)
+            self.verifier = Verifier(
+                identity, policy, api.generate_random, recorder
+            )
+            self._session: Optional[VerifierSession] = None
+            self._done = False
+
+        def invoke(self, command: int, params: dict) -> dict:
+            if command != CMD_HANDLE_MESSAGE:
+                raise TeeBadParameters(f"unknown verifier command {command}")
+            data = params["data"]
+            if not data:
+                raise ProtocolError("empty protocol message")
+            kind = data[0]
+            if kind == protocol.MSG0:
+                if self._session is not None:
+                    raise ProtocolError("msg0 after the handshake started")
+                self._session, reply = self.verifier.handle_msg0(data)
+                return {"reply": reply}
+            if kind in (protocol.MSG2, protocol.MSG2_ENC):
+                if self._session is None or self._done:
+                    raise ProtocolError("msg2 without a handshake")
+                reply = self.verifier.handle_msg2(
+                    self._session, data, secret_provider()
+                )
+                self._done = True
+                return {"reply": reply}
+            raise ProtocolError(f"unexpected message type {kind}")
+
+    return VerifierTa
+
+
+class VerifierListener(Service):
+    """Normal-world listener: one TA session per inbound connection."""
+
+    def __init__(self, client: OpTeeClient) -> None:
+        self._ta_session = client.open_session(VERIFIER_UUID)
+
+    def on_message(self, data: bytes) -> Optional[bytes]:
+        # Forward to the secure world (paying the Fig. 3b transition) and
+        # relay the TA's reply back over the socket.
+        result = self._ta_session.invoke(CMD_HANDLE_MESSAGE, {"data": data})
+        return result.get("reply")
+
+    def on_close(self) -> None:
+        self._ta_session.close()
+
+
+def start_verifier(network: Network, host: str, port: int,
+                   client: OpTeeClient, vendor_key: ecdsa.KeyPair,
+                   identity: ecdsa.KeyPair, policy: VerifierPolicy,
+                   secret_provider: SecretProvider,
+                   heap_size: int = 10 * 1024 * 1024,
+                   recorder: Optional[protocol.CostRecorder] = None) -> None:
+    """Install the verifier TA and start listening on ``host:port``."""
+    manifest = TaManifest(uuid=VERIFIER_UUID, name="watz-verifier",
+                          heap_size=heap_size)
+    ta_class = make_verifier_ta(identity, policy, secret_provider, recorder)
+    image = sign_ta(manifest, b"watz verifier ta", ta_class, vendor_key)
+    client.kernel.install_ta(image)
+    network.listen(host, port, lambda: VerifierListener(client))

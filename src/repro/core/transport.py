@@ -1,0 +1,93 @@
+"""In-process network fabric.
+
+Replaces the TCP/IP path between attester and verifier (which, in the
+paper's evaluation, run on the same board anyway). The model is
+synchronous request/response: ``send`` on a client connection delivers the
+message to the server-side service immediately, and any reply is queued
+for ``receive``. The supplicant (normal world) is the only component that
+touches this fabric, mirroring OP-TEE's socket redirection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import TeeCommunicationError
+
+
+class Service:
+    """Server-side per-connection protocol handler."""
+
+    def on_message(self, data: bytes) -> Optional[bytes]:
+        """Handle one inbound message; return a reply or None."""
+        raise NotImplementedError
+
+    def on_close(self) -> None:
+        """Connection teardown hook."""
+
+
+class ClientConnection:
+    """The client end of a connection.
+
+    ``send`` is fire-and-forget (like a TCP write): the server processes
+    queued messages lazily when the client blocks in ``receive``. This
+    reproduces the paper's observation (§VI-F) that *sending* the evidence
+    is marginal while *receiving* the reply absorbs the server's
+    verification time.
+    """
+
+    def __init__(self, service: Service) -> None:
+        self._service = service
+        self._outbox: deque = deque()
+        self._inbox: deque = deque()
+        self._closed = False
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise TeeCommunicationError("connection is closed")
+        self._outbox.append(bytes(data))
+
+    def _flush(self) -> None:
+        while self._outbox:
+            reply = self._service.on_message(self._outbox.popleft())
+            if reply is not None:
+                self._inbox.append(reply)
+
+    def receive(self) -> bytes:
+        if self._closed:
+            raise TeeCommunicationError("connection is closed")
+        self._flush()
+        if not self._inbox:
+            raise TeeCommunicationError("no pending data on the connection")
+        return self._inbox.popleft()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._service.on_close()
+
+
+ServiceFactory = Callable[[], Service]
+
+
+class Network:
+    """A registry of listening services addressable by (host, port)."""
+
+    def __init__(self) -> None:
+        self._listeners: Dict[Tuple[str, int], ServiceFactory] = {}
+
+    def listen(self, host: str, port: int, factory: ServiceFactory) -> None:
+        key = (host, port)
+        if key in self._listeners:
+            raise TeeCommunicationError(f"address {host}:{port} already in use")
+        self._listeners[key] = factory
+
+    def shutdown(self, host: str, port: int) -> None:
+        self._listeners.pop((host, port), None)
+
+    def connect(self, host: str, port: int) -> ClientConnection:
+        factory = self._listeners.get((host, port))
+        if factory is None:
+            raise TeeCommunicationError(f"connection refused: {host}:{port}")
+        return ClientConnection(factory())

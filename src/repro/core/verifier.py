@@ -1,0 +1,179 @@
+"""The verifier side of the WaTZ remote-attestation protocol.
+
+The verifier holds a long-lived ECDSA identity ``V``, a set of
+*endorsements* (public attestation keys of known devices) and a set of
+*reference values* (trusted Wasm code measurements). It performs all the
+checks of paper §IV(d): MAC, session-key consistency, anchor binding,
+endorsement lookup, evidence signature, claim comparison — and only then
+releases the secret blob, encrypted under the session key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Set, Tuple
+
+from repro.crypto import ec, ecdh, ecdsa
+from repro.crypto.cmac import AesCmac
+from repro.crypto.gcm import AesGcm
+from repro.crypto.hashing import constant_time_equal
+from repro.crypto.kdf import SessionKeys, derive_session_keys
+from repro.core import protocol
+from repro.core.evidence import WATZ_VERSION
+from repro.errors import (
+    EndorsementError,
+    MeasurementMismatch,
+    ProtocolError,
+)
+
+
+@dataclass
+class VerifierPolicy:
+    """What the verifier accepts."""
+
+    endorsements: Set[bytes] = field(default_factory=set)
+    reference_values: Set[bytes] = field(default_factory=set)
+    # Runtimes older than this are rejected (rollback discussion, §VII).
+    minimum_version: Tuple[int, int] = WATZ_VERSION
+    # Measured-boot appraisal (§VII extension): when non-empty, the
+    # evidence's boot claim must match one of these accumulated values.
+    trusted_boot_measurements: Set[bytes] = field(default_factory=set)
+
+    def endorse(self, attestation_public_key: bytes) -> None:
+        self.endorsements.add(bytes(attestation_public_key))
+
+    def trust_measurement(self, claim: bytes) -> None:
+        self.reference_values.add(bytes(claim))
+
+    def trust_boot_measurement(self, accumulated: bytes) -> None:
+        self.trusted_boot_measurements.add(bytes(accumulated))
+
+
+@dataclass
+class VerifierSession:
+    """Mutable state of one verification."""
+
+    session_keypair: ecdh.SessionKeyPair
+    g_a: bytes
+    keys: SessionKeys
+
+    @property
+    def g_v(self) -> bytes:
+        return self.session_keypair.public_bytes()
+
+
+class Verifier:
+    """Protocol engine for the relying party."""
+
+    def __init__(self, identity: ecdsa.KeyPair, policy: VerifierPolicy,
+                 random_source: Callable[[int], bytes],
+                 recorder: Optional[protocol.CostRecorder] = None) -> None:
+        self.identity = identity
+        self.policy = policy
+        self._random = random_source
+        self.recorder = recorder or protocol.NullRecorder()
+
+    @property
+    def identity_bytes(self) -> bytes:
+        return self.identity.public_bytes()
+
+    # -- msg0 -> msg1 --------------------------------------------------------------
+
+    def handle_msg0(self, data: bytes) -> Tuple[VerifierSession, bytes]:
+        """Process msg0 and produce msg1 (paper §IV(b))."""
+        with self.recorder.phase("msg0", protocol.MEMORY):
+            g_a = protocol.decode_msg0(data)
+        with self.recorder.phase("msg0", protocol.KEYGEN):
+            keypair = ecdh.generate(self._random)
+            shared = ecdh.shared_secret(keypair.private, ec.decode_point(g_a))
+            keys = derive_session_keys(shared)
+        session = VerifierSession(keypair, g_a, keys)
+
+        with self.recorder.phase("msg1", protocol.ASYMMETRIC):
+            signature = ecdsa.sign(self.identity.private,
+                                   session.g_v + g_a)
+        with self.recorder.phase("msg1", protocol.SYMMETRIC):
+            content = session.g_v + self.identity_bytes + signature
+            mac = AesCmac(keys.mac_key).mac(content)
+        with self.recorder.phase("msg1", protocol.MEMORY):
+            message = protocol.encode_msg1(session.g_v, self.identity_bytes,
+                                           signature, mac)
+        return session, message
+
+    # -- msg2 -> msg3 --------------------------------------------------------------
+
+    def handle_msg2(self, session: VerifierSession, data: bytes,
+                    secret_blob: bytes) -> bytes:
+        """Appraise the evidence; on success, seal the secret blob (msg3).
+
+        Accepts both the clear-evidence msg2 of Table II and the
+        encrypted-evidence variant (§IV extension).
+        """
+        if data and data[0] == protocol.MSG2_ENC:
+            with self.recorder.phase("msg2", protocol.MEMORY):
+                sealed_message = protocol.decode_msg2_encrypted(data)
+            with self.recorder.phase("msg2", protocol.SYMMETRIC):
+                AesCmac(session.keys.mac_key).verify(
+                    sealed_message.content, sealed_message.mac)
+                body = AesGcm(session.keys.enc_key).open(
+                    sealed_message.iv, sealed_message.sealed_evidence)
+            from repro.core.evidence import SignedEvidence
+
+            message = protocol.Msg2(
+                sealed_message.g_a, SignedEvidence.decode(body), b"")
+        else:
+            with self.recorder.phase("msg2", protocol.MEMORY):
+                message = protocol.decode_msg2(data)
+            with self.recorder.phase("msg2", protocol.SYMMETRIC):
+                AesCmac(session.keys.mac_key).verify(message.content,
+                                                     message.mac)
+
+        # G_a must match msg0's: otherwise someone spliced sessions.
+        if not constant_time_equal(message.g_a, session.g_a):
+            raise ProtocolError("msg2 session key differs from msg0")
+
+        evidence = message.signed_evidence.evidence
+        expected_anchor = protocol.compute_anchor(session.g_a, session.g_v)
+        if not constant_time_equal(evidence.anchor, expected_anchor):
+            raise ProtocolError(
+                "evidence anchor is not bound to this session "
+                "(masquerading or replay)"
+            )
+
+        if evidence.version < self.policy.minimum_version:
+            raise EndorsementError(
+                f"runtime version {evidence.version} is below the accepted "
+                f"minimum {self.policy.minimum_version}"
+            )
+
+        # Endorsement: is this a known device?
+        if evidence.attestation_public_key not in self.policy.endorsements:
+            raise EndorsementError("device attestation key is not endorsed")
+
+        # Hardware genuineness: the kernel-held key signed the evidence.
+        with self.recorder.phase("msg2", protocol.ASYMMETRIC):
+            message.signed_evidence.verify_signature()
+
+        # Software trustworthiness: the measured bytecode must be known.
+        if evidence.claim not in self.policy.reference_values:
+            raise MeasurementMismatch(
+                f"code measurement {evidence.claim.hex()[:16]}... matches "
+                "no reference value"
+            )
+
+        # Measured boot (§VII extension): appraise the startup components
+        # when the policy demands it.
+        if self.policy.trusted_boot_measurements and \
+                evidence.boot_claim not in \
+                self.policy.trusted_boot_measurements:
+            raise MeasurementMismatch(
+                "boot-chain measurement matches no trusted value "
+                "(possibly hijacked secure boot)"
+            )
+
+        # All checks passed: provision the secret blob (paper §IV(d)).
+        with self.recorder.phase("msg3", protocol.MEMORY):
+            iv = self._random(12)
+        with self.recorder.phase("msg3", protocol.SYMMETRIC):
+            sealed = AesGcm(session.keys.enc_key).seal(iv, secret_blob)
+        return protocol.encode_msg3(iv, sealed)

@@ -1,0 +1,64 @@
+"""AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+The WaTZ protocol appends an AES-CMAC to msg1 and msg2 under the derived
+key K_m, and the SGX-style key-derivation chain in :mod:`repro.crypto.kdf`
+is built from CMAC invocations.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import BLOCK_SIZE, Aes128
+from repro.crypto.hashing import constant_time_equal
+from repro.errors import AuthenticationError
+
+MAC_SIZE = 16
+_RB = 0x87
+
+
+def _double(block: int) -> int:
+    """Doubling in GF(2^128) with the CMAC polynomial (left-shift variant)."""
+    shifted = (block << 1) & ((1 << 128) - 1)
+    if block >> 127:
+        shifted ^= _RB
+    return shifted
+
+
+class AesCmac:
+    """A keyed AES-CMAC instance with precomputed subkeys."""
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = Aes128(key)
+        l = int.from_bytes(self._cipher.encrypt_block(b"\x00" * BLOCK_SIZE), "big")
+        self._k1 = _double(l)
+        self._k2 = _double(self._k1)
+
+    def mac(self, message: bytes) -> bytes:
+        """Compute the 16-byte CMAC of ``message``."""
+        n = (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE
+        if n == 0:
+            n = 1
+            complete = False
+        else:
+            complete = len(message) % BLOCK_SIZE == 0
+        if complete:
+            last = int.from_bytes(message[(n - 1) * BLOCK_SIZE :], "big") ^ self._k1
+        else:
+            tail = message[(n - 1) * BLOCK_SIZE :]
+            padded = tail + b"\x80" + b"\x00" * (BLOCK_SIZE - len(tail) - 1)
+            last = int.from_bytes(padded, "big") ^ self._k2
+        state = b"\x00" * BLOCK_SIZE
+        for i in range(n - 1):
+            block = message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]
+            state = self._cipher.encrypt_block(bytes(a ^ b for a, b in zip(state, block)))
+        final = last ^ int.from_bytes(state, "big")
+        return self._cipher.encrypt_block(final.to_bytes(BLOCK_SIZE, "big"))
+
+    def verify(self, message: bytes, tag: bytes) -> None:
+        """Check ``tag`` against ``message``; raise on mismatch."""
+        if not constant_time_equal(self.mac(message), tag):
+            raise AuthenticationError("CMAC verification failed")
+
+
+def aes_cmac(key: bytes, message: bytes) -> bytes:
+    """One-shot AES-CMAC."""
+    return AesCmac(key).mac(message)

@@ -1,0 +1,176 @@
+"""Elliptic-curve arithmetic over secp256r1 (NIST P-256).
+
+WaTZ selects the *secp256r1* curve (paper §V) for both the long-lived
+attestation keys (ECDSA) and the per-session keys (ECDHE). This module
+implements group arithmetic with Jacobian coordinates; :mod:`repro.crypto.ecdsa`
+and :mod:`repro.crypto.ecdh` build the schemes on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CryptoError
+
+# Domain parameters of secp256r1 (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+COORD_SIZE = 32
+SCALAR_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on P-256; ``None`` coordinates encode infinity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def encode(self) -> bytes:
+        """Serialise as an uncompressed SEC1 point (65 bytes)."""
+        if self.is_infinity:
+            raise CryptoError("cannot encode the point at infinity")
+        return (
+            b"\x04"
+            + self.x.to_bytes(COORD_SIZE, "big")
+            + self.y.to_bytes(COORD_SIZE, "big")
+        )
+
+
+INFINITY = Point(None, None)
+GENERATOR = Point(GX, GY)
+
+
+def decode_point(data: bytes) -> Point:
+    """Parse an uncompressed SEC1 point and check it lies on the curve."""
+    if len(data) != 1 + 2 * COORD_SIZE or data[0] != 0x04:
+        raise CryptoError("malformed uncompressed point encoding")
+    x = int.from_bytes(data[1 : 1 + COORD_SIZE], "big")
+    y = int.from_bytes(data[1 + COORD_SIZE :], "big")
+    point = Point(x, y)
+    if not is_on_curve(point):
+        raise CryptoError("point is not on secp256r1")
+    return point
+
+
+def is_on_curve(point: Point) -> bool:
+    """Return True for infinity or any (x, y) satisfying the curve equation."""
+    if point.is_infinity:
+        return True
+    if not (0 <= point.x < P and 0 <= point.y < P):
+        return False
+    return (point.y * point.y - (point.x**3 + A * point.x + B)) % P == 0
+
+
+# Jacobian coordinates: (X, Y, Z) represents the affine point (X/Z^2, Y/Z^3).
+_Jacobian = Tuple[int, int, int]
+_J_INFINITY: _Jacobian = (1, 1, 0)
+
+
+def _to_jacobian(point: Point) -> _Jacobian:
+    if point.is_infinity:
+        return _J_INFINITY
+    return (point.x, point.y, 1)
+
+
+def _from_jacobian(point: _Jacobian) -> Point:
+    x, y, z = point
+    if z == 0:
+        return INFINITY
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = z_inv * z_inv % P
+    return Point(x * z_inv2 % P, y * z_inv2 * z_inv % P)
+
+
+def _jacobian_double(point: _Jacobian) -> _Jacobian:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _J_INFINITY
+    ysq = y * y % P
+    s = 4 * x * ysq % P
+    z2 = z * z % P
+    # a = -3 allows the classic (x - z^2)(x + z^2) factorisation of M.
+    m = 3 * (x - z2) * (x + z2) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * y * z % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p: _Jacobian, q: _Jacobian) -> _Jacobian:
+    if p[2] == 0:
+        return q
+    if q[2] == 0:
+        return p
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    z1z1 = z1 * z1 % P
+    z2z2 = z2 * z2 % P
+    u1 = x1 * z2z2 % P
+    u2 = x2 * z1z1 % P
+    s1 = y1 * z2z2 * z2 % P
+    s2 = y2 * z1z1 * z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return _J_INFINITY
+        return _jacobian_double(p)
+    h = (u2 - u1) % P
+    i = 4 * h * h % P
+    j = h * i % P
+    r = 2 * (s2 - s1) % P
+    v = u1 * i % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * s1 * j) % P
+    nz = 2 * h * z1 * z2 % P
+    return (nx, ny, nz)
+
+
+def add(p: Point, q: Point) -> Point:
+    """Group addition of two affine points."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p), _to_jacobian(q)))
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Compute ``k * point`` with left-to-right double-and-add."""
+    k %= N
+    if k == 0 or point.is_infinity:
+        return INFINITY
+    result = _J_INFINITY
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        k >>= 1
+    return _from_jacobian(result)
+
+
+def scalar_base_mult(k: int) -> Point:
+    """Compute ``k * G`` for the standard generator."""
+    return scalar_mult(k, GENERATOR)
+
+
+def validate_private_key(d: int) -> None:
+    """Ensure a scalar is a valid private key for this curve."""
+    if not 1 <= d < N:
+        raise CryptoError("private key out of range [1, n-1]")
+
+
+def validate_public_key(point: Point) -> None:
+    """Full public-key validation (SP 800-56A §5.6.2.3.3)."""
+    if point.is_infinity:
+        raise CryptoError("public key is the point at infinity")
+    if not is_on_curve(point):
+        raise CryptoError("public key is not on secp256r1")
+    if not scalar_mult(N, point).is_infinity:
+        raise CryptoError("public key has wrong order")

@@ -1,0 +1,47 @@
+"""Ephemeral elliptic-curve Diffie–Hellman on P-256.
+
+Each remote-attestation session creates fresh ECDHE key pairs on both sides
+(paper §IV, *freshness* and *forward secrecy* requirements). The shared
+secret is the x-coordinate of ``a * G_v == v * G_a``, fed into the SGX-style
+key-derivation chain of :mod:`repro.crypto.kdf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import ec
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class SessionKeyPair:
+    """An ephemeral ECDHE key pair for one attestation session."""
+
+    private: int
+    public: ec.Point
+
+    def public_bytes(self) -> bytes:
+        return self.public.encode()
+
+
+def generate(read: "callable") -> SessionKeyPair:
+    """Generate a session key pair from a byte stream ``read(n)``."""
+    while True:
+        candidate = int.from_bytes(read(ec.SCALAR_SIZE), "big")
+        if 1 <= candidate < ec.N:
+            return SessionKeyPair(candidate, ec.scalar_base_mult(candidate))
+
+
+def shared_secret(private: int, peer_public: ec.Point) -> bytes:
+    """Compute the 32-byte shared secret (big-endian x-coordinate).
+
+    The peer's public key is fully validated first: accepting an invalid
+    point would expose the private scalar to small-subgroup attacks.
+    """
+    ec.validate_private_key(private)
+    ec.validate_public_key(peer_public)
+    point = ec.scalar_mult(private, peer_public)
+    if point.is_infinity:
+        raise CryptoError("ECDH produced the point at infinity")
+    return point.x.to_bytes(ec.COORD_SIZE, "big")

@@ -1,0 +1,139 @@
+"""AES-128-GCM authenticated encryption (NIST SP 800-38D).
+
+The verifier delivers the *secret blob* of msg3 under AES-GCM (paper §IV,
+Table II: ``iv || AES-GCM_Ke(data)``). GHASH is implemented with a
+byte-indexed multiplication table so megabyte payloads stay tractable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.aes import BLOCK_SIZE, Aes128
+from repro.crypto.hashing import constant_time_equal
+from repro.errors import AuthenticationError, CryptoError
+
+IV_SIZE = 12
+TAG_SIZE = 16
+
+_R = 0xE1 << 120
+_MASK128 = (1 << 128) - 1
+
+
+def _mult_by_x(value: int) -> int:
+    """Multiply a field element by x in GCM's bit-reflected representation."""
+    if value & 1:
+        return (value >> 1) ^ _R
+    return value >> 1
+
+
+def _gf_mult(x: int, y: int) -> int:
+    """Reference GF(2^128) multiplication (slow path, used to build tables)."""
+    z = 0
+    v = x
+    for i in range(128):
+        if (y >> (127 - i)) & 1:
+            z ^= v
+        v = _mult_by_x(v)
+    return z
+
+
+def _build_ghash_tables(h: int) -> List[List[int]]:
+    """Per-byte-position multiplication tables for the hash subkey ``h``.
+
+    ``tables[i][b]`` equals ``(b placed at byte position i) * h``, so a full
+    product is 16 table lookups XORed together. Position 0 is the most
+    significant byte; moving one byte toward the least significant end
+    multiplies by x^8 in the field.
+    """
+    first = [_gf_mult(b << 120, h) for b in range(256)]
+    tables = [first]
+    for _ in range(15):
+        previous = tables[-1]
+        shifted = []
+        for value in previous:
+            for _ in range(8):
+                value = _mult_by_x(value)
+            shifted.append(value)
+        tables.append(shifted)
+    return tables
+
+
+class _Ghash:
+    """Streaming GHASH accumulator over prebuilt subkey tables."""
+
+    def __init__(self, tables: List[List[int]]) -> None:
+        self._tables = tables
+        self._state = 0
+
+    def update_blocks(self, data: bytes) -> None:
+        """Fold zero-padded 16-byte blocks of ``data`` into the state."""
+        tables = self._tables
+        state = self._state
+        full_end = len(data) - len(data) % BLOCK_SIZE
+        for offset in range(0, full_end, BLOCK_SIZE):
+            block = int.from_bytes(data[offset : offset + BLOCK_SIZE], "big")
+            x = state ^ block
+            acc = 0
+            for i in range(16):
+                acc ^= tables[i][(x >> (8 * (15 - i))) & 0xFF]
+            state = acc
+        if full_end != len(data):
+            tail = data[full_end:] + b"\x00" * (BLOCK_SIZE - (len(data) - full_end))
+            block = int.from_bytes(tail, "big")
+            x = state ^ block
+            acc = 0
+            for i in range(16):
+                acc ^= tables[i][(x >> (8 * (15 - i))) & 0xFF]
+            state = acc
+        self._state = state
+
+    def digest(self) -> int:
+        return self._state
+
+
+class AesGcm:
+    """AES-128-GCM with 96-bit IVs and 128-bit tags."""
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = Aes128(key)
+        h = int.from_bytes(self._cipher.encrypt_block(b"\x00" * BLOCK_SIZE), "big")
+        self._tables = _build_ghash_tables(h)
+
+    def _process(self, iv: bytes, data: bytes) -> bytes:
+        """CTR-transform ``data``; encryption and decryption share this body."""
+        nblocks = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+        keystream = self._cipher.ctr_keystream(iv, 2, nblocks)
+        return bytes(a ^ b for a, b in zip(data, keystream))
+
+    def _tag(self, iv: bytes, ciphertext: bytes, aad: bytes) -> bytes:
+        ghash = _Ghash(self._tables)
+        if aad:
+            ghash.update_blocks(aad)
+        if ciphertext:
+            ghash.update_blocks(ciphertext)
+        lengths = (len(aad) * 8).to_bytes(8, "big") + (len(ciphertext) * 8).to_bytes(8, "big")
+        ghash.update_blocks(lengths)
+        s = ghash.digest().to_bytes(BLOCK_SIZE, "big")
+        j0 = iv + b"\x00\x00\x00\x01"
+        mask = self._cipher.encrypt_block(j0)
+        return bytes(a ^ b for a, b in zip(s, mask))
+
+    def seal(self, iv: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``ciphertext || tag``."""
+        if len(iv) != IV_SIZE:
+            raise CryptoError("GCM IV must be 96 bits")
+        ciphertext = self._process(iv, plaintext)
+        return ciphertext + self._tag(iv, ciphertext, aad)
+
+    def open(self, iv: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag, then decrypt; raises on any tampering."""
+        if len(iv) != IV_SIZE:
+            raise CryptoError("GCM IV must be 96 bits")
+        if len(sealed) < TAG_SIZE:
+            raise AuthenticationError("sealed message shorter than the tag")
+        ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+        expected = self._tag(iv, ciphertext, aad)
+        if not constant_time_equal(tag, expected):
+            raise AuthenticationError("GCM tag verification failed")
+        return self._process(iv, ciphertext)

@@ -1,0 +1,65 @@
+"""Hash primitives used across the attestation stack.
+
+The paper selects SHA-256 for code measurements and protocol anchors; we
+wrap :mod:`hashlib` so every call site shares one spelling and so tests can
+assert on digest sizes in a single place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+SHA256_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of ``data`` as lowercase hex."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """Return the HMAC-SHA-256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+class IncrementalHash:
+    """Streaming SHA-256, used to measure Wasm bytecode chunk by chunk.
+
+    The WaTZ runtime copies AOT bytecode from the shared buffer into secure
+    memory in chunks and folds every chunk into the measurement as it goes,
+    so the module never needs to be contiguous twice.
+    """
+
+    def __init__(self) -> None:
+        self._ctx = hashlib.sha256()
+        self._length = 0
+
+    def update(self, chunk: bytes) -> None:
+        self._ctx.update(chunk)
+        self._length += len(chunk)
+
+    @property
+    def length(self) -> int:
+        """Number of bytes folded in so far."""
+        return self._length
+
+    def digest(self) -> bytes:
+        return self._ctx.digest()
+
+    def hexdigest(self) -> str:
+        return self._ctx.hexdigest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit.
+
+    On the real hardware this prevents remote timing probes on MAC checks;
+    in the simulation we keep the same discipline so that code paths match.
+    """
+    return _hmac.compare_digest(a, b)

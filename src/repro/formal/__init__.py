@@ -1,0 +1,39 @@
+"""Dolev-Yao symbolic verification of the WaTZ RA protocol (Scyther stand-in)."""
+
+from repro.formal.checker import (
+    MUTATION_EXPECTATIONS,
+    ClaimResult,
+    VerificationReport,
+    run_mutation_suite,
+    verify_protocol,
+)
+from repro.formal.protocol_model import ProtocolModel, ProtocolVariant, Trace
+from repro.formal.terms import (
+    Atom,
+    DhPub,
+    DhShared,
+    Hash,
+    Kdf,
+    Knowledge,
+    Mac,
+    Pair,
+    PrivKey,
+    PubKey,
+    Sign,
+    SymEnc,
+    pair,
+    subterms,
+)
+
+__all__ = [
+    "verify_protocol",
+    "run_mutation_suite",
+    "VerificationReport",
+    "ClaimResult",
+    "MUTATION_EXPECTATIONS",
+    "ProtocolModel",
+    "ProtocolVariant",
+    "Trace",
+    "Atom", "Pair", "Hash", "PubKey", "PrivKey", "Sign", "Mac", "SymEnc",
+    "DhPub", "DhShared", "Kdf", "Knowledge", "pair", "subterms",
+]

@@ -1,0 +1,385 @@
+"""Symbolic model of the WaTZ remote-attestation protocol (Table II).
+
+The model mirrors the implementation check-for-check; every check can be
+disabled through :class:`ProtocolVariant` to demonstrate the checker finds
+the corresponding attack (checker self-test, DESIGN.md ablation 3).
+
+Scenario explored: one honest attester session (device D, application with
+the trusted measurement), two honest verifier listener sessions, and a
+Dolev–Yao intruder E that fully controls the network, owns its own DH
+scalars and signature key, and — specific to WaTZ — can host a *malicious
+Wasm application* inside the same device, obtaining genuine device-signed
+evidence for the attacker's own code measurement with any anchor it
+chooses. The verifier's claim check is what defeats that capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.formal.terms import (
+    Atom,
+    DhPub,
+    DhShared,
+    Hash,
+    Kdf,
+    Knowledge,
+    Mac,
+    Pair,
+    PrivKey,
+    PubKey,
+    Sign,
+    SymEnc,
+    pair,
+)
+
+# Agents.
+DEVICE = Atom("D")       # the attesting device (kernel attestation key)
+VERIFIER = Atom("V")     # the relying party
+INTRUDER = Atom("E")
+
+# Values.
+GOOD_CLAIM = Atom("claim_good")   # measurement of the honest application
+EVIL_CLAIM = Atom("claim_evil")   # measurement of the intruder's application
+SECRET_BLOB = Atom("blob")
+INTRUDER_BLOB = Atom("blob_E")
+
+# Session scalars.
+A_SCALAR = Atom("a")      # honest attester's ephemeral scalar
+V1_SCALAR = Atom("v1")
+V2_SCALAR = Atom("v2")
+E_SCALAR = Atom("e")      # the intruder's own scalar
+
+MAC_LABEL = "Km"
+ENC_LABEL = "Ke"
+
+
+def session_keys(scalar_x, scalar_y) -> Tuple[Kdf, Kdf]:
+    shared = DhShared(scalar_x, scalar_y)
+    return Kdf(shared, MAC_LABEL), Kdf(shared, ENC_LABEL)
+
+
+def anchor_of(g_a, g_v) -> Hash:
+    return Hash(Pair(g_a, g_v))
+
+
+def evidence_term(anchor, claim, device) -> Pair:
+    return pair(anchor, claim, PubKey(device))
+
+
+@dataclass(frozen=True)
+class ProtocolVariant:
+    """Togglable checks; all on = the protocol as shipped."""
+
+    attester_checks_identity: bool = True
+    attester_checks_signature: bool = True
+    attester_checks_mac: bool = True
+    verifier_checks_mac: bool = True
+    verifier_checks_ga: bool = True
+    verifier_checks_anchor: bool = True
+    verifier_checks_endorsement: bool = True
+    verifier_checks_evidence_signature: bool = True
+    verifier_checks_claim: bool = True
+
+    def mutate(self, **kwargs) -> "ProtocolVariant":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class AttesterState:
+    pc: int = 0  # 0=start 1=sent msg0 2=accepted msg1+sent msg2 3=complete
+    g_v: Optional[object] = None
+    verifier_key: Optional[object] = None
+    received_blob: Optional[object] = None
+
+
+@dataclass
+class VerifierState:
+    scalar: object = V1_SCALAR
+    pc: int = 0  # 0=start 1=replied msg1 2=complete (sent msg3)
+    g_a: Optional[object] = None
+    accepted_claim: Optional[object] = None
+    accepted_device: Optional[object] = None
+
+
+@dataclass
+class Trace:
+    """One explored interleaving."""
+
+    events: List[Tuple] = field(default_factory=list)
+    attester: AttesterState = field(default_factory=AttesterState)
+    verifiers: List[VerifierState] = field(default_factory=list)
+
+    def clone(self) -> "Trace":
+        return Trace(
+            events=list(self.events),
+            attester=replace(self.attester),
+            verifiers=[replace(v) for v in self.verifiers],
+        )
+
+
+class ProtocolModel:
+    """Bounded exploration of the protocol under a Dolev–Yao intruder."""
+
+    MAX_STEPS = 10
+
+    def __init__(self, variant: Optional[ProtocolVariant] = None) -> None:
+        self.variant = variant or ProtocolVariant()
+        # Completion snapshots for the authentication claims.
+        self.attester_completions: List[Trace] = []
+        self.verifier_completions: List[Trace] = []
+        self.both_complete = False  # reachability witness
+        # First branch leaking each secret, if any.
+        self.leaks: Dict[str, Trace] = {}
+
+    # -- intruder initial knowledge -------------------------------------------------
+
+    def initial_knowledge(self) -> Knowledge:
+        knowledge = Knowledge([
+            Atom("g"),
+            E_SCALAR,
+            PrivKey(INTRUDER),
+            PubKey(INTRUDER),
+            PubKey(VERIFIER),
+            PubKey(DEVICE),   # the endorsement value is public
+            GOOD_CLAIM,       # measurements are not secret
+            EVIL_CLAIM,
+            INTRUDER_BLOB,
+        ])
+        # WaTZ-specific oracle: the intruder can run its *own* Wasm
+        # application inside the device; WaTZ will happily measure it and
+        # the kernel will sign evidence for the attacker's claim with any
+        # anchor the application supplies. The anchors the intruder can
+        # reach in this bounded scenario are those of its own sessions
+        # with the verifier.
+        for scalar in (V1_SCALAR, V2_SCALAR):
+            anchor = anchor_of(DhPub(E_SCALAR), DhPub(scalar))
+            evil_evidence = evidence_term(anchor, EVIL_CLAIM, DEVICE)
+            knowledge.add(Sign(PrivKey(DEVICE), evil_evidence))
+        return knowledge
+
+    # -- exploration --------------------------------------------------------------------
+
+    SECRETS = (
+        ("secret_blob", SECRET_BLOB),
+        ("honest_mac_key", Kdf(DhShared(A_SCALAR, V1_SCALAR), MAC_LABEL)),
+        ("honest_enc_key", Kdf(DhShared(A_SCALAR, V1_SCALAR), ENC_LABEL)),
+        ("attestation_key", PrivKey(DEVICE)),
+        ("attester_scalar", A_SCALAR),
+        ("verifier_scalar", V1_SCALAR),
+    )
+
+    def explore(self) -> "ProtocolModel":
+        """Depth-first search over intruder delivery choices."""
+        trace = Trace(verifiers=[VerifierState(scalar=V1_SCALAR),
+                                 VerifierState(scalar=V2_SCALAR)])
+        knowledge = self.initial_knowledge()
+        self._dfs(trace, knowledge, 0)
+        return self
+
+    def _record(self, trace: Trace, knowledge: Knowledge) -> None:
+        if trace.attester.pc == 3 and trace.events \
+                and trace.events[-1][0:2] == ("recv", "A"):
+            self.attester_completions.append(trace.clone())
+        if trace.events and trace.events[-1][2] == "msg3" \
+                and trace.events[-1][0] == "send":
+            self.verifier_completions.append(trace.clone())
+        if trace.attester.pc == 3 and any(v.pc == 2 for v in trace.verifiers):
+            self.both_complete = True
+        for name, secret in self.SECRETS:
+            if name not in self.leaks and knowledge.derives(secret):
+                self.leaks[name] = trace.clone()
+
+    def _dfs(self, trace: Trace, knowledge: Knowledge, depth: int) -> None:
+        self._record(trace, knowledge)
+        if depth >= self.MAX_STEPS:
+            return
+        moves = list(self._enabled_moves(trace, knowledge))
+        for move in moves:
+            snapshot = knowledge.snapshot()
+            branch = trace.clone()
+            move(branch, knowledge)
+            self._dfs(branch, knowledge, depth + 1)
+            knowledge.restore(snapshot)
+
+    # -- enabled transitions -----------------------------------------------------------------
+
+    def _enabled_moves(self, trace: Trace, knowledge: Knowledge):
+        attester = trace.attester
+        if attester.pc == 0:
+            yield self._attester_send_msg0
+        elif attester.pc == 1:
+            yield from self._attester_recv_msg1_moves(trace, knowledge)
+        elif attester.pc == 2:
+            yield from self._attester_recv_msg3_moves(trace, knowledge)
+        for index, verifier in enumerate(trace.verifiers):
+            if verifier.pc == 0:
+                yield from self._verifier_recv_msg0_moves(index, knowledge)
+            elif verifier.pc == 1:
+                yield from self._verifier_recv_msg2_moves(index, trace,
+                                                          knowledge)
+
+    # -- attester ---------------------------------------------------------------------------
+
+    def _attester_send_msg0(self, trace: Trace, knowledge: Knowledge) -> None:
+        trace.attester.pc = 1
+        message = DhPub(A_SCALAR)
+        trace.events.append(("send", "A", "msg0", message))
+        knowledge.add(message)
+
+    def _attester_recv_msg1_moves(self, trace: Trace, knowledge: Knowledge):
+        g_a = DhPub(A_SCALAR)
+        for g_v in (DhPub(V1_SCALAR), DhPub(V2_SCALAR), DhPub(E_SCALAR)):
+            for verifier_key in (PubKey(VERIFIER), PubKey(INTRUDER)):
+                if not knowledge.derives(g_v):
+                    continue
+                if self.variant.attester_checks_identity \
+                        and verifier_key != PubKey(VERIFIER):
+                    continue
+                signature = Sign(PrivKey(verifier_key.agent),
+                                 Pair(g_v, g_a))
+                if self.variant.attester_checks_signature \
+                        and not knowledge.derives(signature):
+                    continue
+                mac_key = Kdf(DhShared(A_SCALAR, g_v.scalar), MAC_LABEL)
+                content = pair(g_v, verifier_key, signature)
+                if self.variant.attester_checks_mac \
+                        and not knowledge.derives(Mac(mac_key, content)):
+                    continue
+                yield self._make_attester_accept_msg1(g_v, verifier_key)
+
+    def _make_attester_accept_msg1(self, g_v, verifier_key):
+        def move(trace: Trace, knowledge: Knowledge) -> None:
+            attester = trace.attester
+            attester.pc = 2
+            attester.g_v = g_v
+            attester.verifier_key = verifier_key
+            g_a = DhPub(A_SCALAR)
+            trace.events.append(("recv", "A", "msg1", (g_v, verifier_key)))
+            anchor = anchor_of(g_a, g_v)
+            evidence = evidence_term(anchor, GOOD_CLAIM, DEVICE)
+            signed = Sign(PrivKey(DEVICE), evidence)
+            mac_key = Kdf(DhShared(A_SCALAR, g_v.scalar), MAC_LABEL)
+            content = pair(g_a, evidence, signed)
+            message = pair(content, Mac(mac_key, content))
+            trace.events.append(("send", "A", "msg2", message))
+            knowledge.add(message)
+
+        return move
+
+    def _attester_recv_msg3_moves(self, trace: Trace, knowledge: Knowledge):
+        attester = trace.attester
+        enc_key = Kdf(DhShared(A_SCALAR, attester.g_v.scalar), ENC_LABEL)
+        for blob in (SECRET_BLOB, INTRUDER_BLOB):
+            ciphertext = SymEnc(enc_key, blob)
+            if not knowledge.derives(ciphertext):
+                continue
+            yield self._make_attester_accept_msg3(blob)
+
+    def _make_attester_accept_msg3(self, blob):
+        def move(trace: Trace, knowledge: Knowledge) -> None:
+            trace.attester.pc = 3
+            trace.attester.received_blob = blob
+            trace.events.append(("recv", "A", "msg3", blob))
+            self.any_attester_complete = True
+
+        return move
+
+    # -- verifier ----------------------------------------------------------------------------
+
+    def _verifier_recv_msg0_moves(self, index: int, knowledge: Knowledge):
+        for g_a in (DhPub(A_SCALAR), DhPub(E_SCALAR)):
+            if not knowledge.derives(g_a):
+                continue
+            yield self._make_verifier_reply_msg1(index, g_a)
+
+    def _make_verifier_reply_msg1(self, index: int, g_a):
+        def move(trace: Trace, knowledge: Knowledge) -> None:
+            verifier = trace.verifiers[index]
+            verifier.pc = 1
+            verifier.g_a = g_a
+            g_v = DhPub(verifier.scalar)
+            trace.events.append(("recv", f"V{index}", "msg0", g_a))
+            signature = Sign(PrivKey(VERIFIER), Pair(g_v, g_a))
+            mac_key = Kdf(DhShared(verifier.scalar, g_a.scalar), MAC_LABEL)
+            content = pair(g_v, PubKey(VERIFIER), signature)
+            message = pair(content, Mac(mac_key, content))
+            trace.events.append(("send", f"V{index}", "msg1", message))
+            knowledge.add(message)
+
+        return move
+
+    def _verifier_recv_msg2_moves(self, index: int, trace: Trace,
+                                  knowledge: Knowledge):
+        verifier = trace.verifiers[index]
+        g_v = DhPub(verifier.scalar)
+        candidate_gas = (DhPub(A_SCALAR), DhPub(E_SCALAR))
+        anchor_halves = (DhPub(A_SCALAR), DhPub(E_SCALAR))
+        anchor_others = (DhPub(V1_SCALAR), DhPub(V2_SCALAR), DhPub(E_SCALAR))
+        for g_a2 in candidate_gas:
+            if self.variant.verifier_checks_ga and g_a2 != verifier.g_a:
+                continue
+            for claim in (GOOD_CLAIM, EVIL_CLAIM):
+                if self.variant.verifier_checks_claim \
+                        and claim != GOOD_CLAIM:
+                    continue
+                for device in (DEVICE, INTRUDER):
+                    if self.variant.verifier_checks_endorsement \
+                            and device != DEVICE:
+                        continue
+                    for anchor_ga in anchor_halves:
+                        for anchor_gv in anchor_others:
+                            if self.variant.verifier_checks_anchor and (
+                                    anchor_ga != verifier.g_a
+                                    or anchor_gv != g_v):
+                                continue
+                            anchor = anchor_of(anchor_ga, anchor_gv)
+                            evidence = evidence_term(anchor, claim, device)
+                            genuine = Sign(PrivKey(device), evidence)
+                            if self.variant.verifier_checks_evidence_signature:
+                                if not knowledge.derives(genuine):
+                                    continue
+                                signed_candidates = [genuine]
+                            else:
+                                # Check disabled: the field may hold the
+                                # genuine signature (honest run) or any
+                                # junk the intruder can produce.
+                                signed_candidates = [
+                                    Sign(PrivKey(INTRUDER), evidence)
+                                ]
+                                if knowledge.derives(genuine):
+                                    signed_candidates.append(genuine)
+                            mac_key = Kdf(
+                                DhShared(verifier.scalar,
+                                         verifier.g_a.scalar),
+                                MAC_LABEL,
+                            )
+                            for signed in signed_candidates:
+                                content = pair(g_a2, evidence, signed)
+                                if self.variant.verifier_checks_mac \
+                                        and not knowledge.derives(
+                                            Mac(mac_key, content)):
+                                    continue
+                                if not knowledge.derives(content):
+                                    continue
+                                yield self._make_verifier_accept_msg2(
+                                    index, claim, device
+                                )
+
+    def _make_verifier_accept_msg2(self, index: int, claim, device):
+        def move(trace: Trace, knowledge: Knowledge) -> None:
+            verifier = trace.verifiers[index]
+            verifier.pc = 2
+            verifier.accepted_claim = claim
+            verifier.accepted_device = device
+            trace.events.append(("recv", f"V{index}", "msg2",
+                                 (claim, device)))
+            enc_key = Kdf(DhShared(verifier.scalar, verifier.g_a.scalar),
+                          ENC_LABEL)
+            message = SymEnc(enc_key, SECRET_BLOB)
+            trace.events.append(("send", f"V{index}", "msg3", message))
+            knowledge.add(message)
+            self.any_verifier_complete = True
+
+        return move

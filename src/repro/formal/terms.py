@@ -1,0 +1,288 @@
+"""Symbolic term algebra for the Dolev–Yao protocol model.
+
+Terms are immutable trees. The equational theory covers what the WaTZ
+protocol needs: pairing, hashing, MACs, signatures, symmetric encryption,
+Diffie–Hellman (with the g^ab = g^ba identification), and key derivation.
+
+The intruder model follows Dolev–Yao (paper §VII): the attacker sees every
+message, can decompose what it knows and construct anything derivable —
+but cannot break cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set
+
+
+class Term:
+    """Base class; all terms are hashable and compared structurally."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Atom(Term):
+    """An atomic value: an agent name, nonce, scalar, or constant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pair(Term):
+    """Concatenation of two terms (n-ary via nesting)."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"<{self.left!r}, {self.right!r}>"
+
+
+@dataclass(frozen=True)
+class Hash(Term):
+    """A one-way hash; reveals nothing about its body."""
+
+    body: Term
+
+    def __repr__(self) -> str:
+        return f"h({self.body!r})"
+
+
+@dataclass(frozen=True)
+class PubKey(Term):
+    """The public half of an agent's signature key pair."""
+
+    agent: Term
+
+    def __repr__(self) -> str:
+        return f"pk({self.agent!r})"
+
+
+@dataclass(frozen=True)
+class PrivKey(Term):
+    """The private half; secret unless the agent is compromised."""
+
+    agent: Term
+
+    def __repr__(self) -> str:
+        return f"sk({self.agent!r})"
+
+
+@dataclass(frozen=True)
+class Sign(Term):
+    """A signature by ``key`` (a PrivKey) over ``body``.
+
+    Conservatively, a signature *reveals* its body to the attacker
+    (signatures are not confidentiality primitives), which only gives the
+    intruder more power.
+    """
+
+    key: Term
+    body: Term
+
+    def __repr__(self) -> str:
+        return f"sign({self.key!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Mac(Term):
+    """A MAC keyed by ``key`` over ``body``; reveals nothing."""
+
+    key: Term
+    body: Term
+
+    def __repr__(self) -> str:
+        return f"mac({self.key!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class SymEnc(Term):
+    """Authenticated symmetric encryption of ``body`` under ``key``."""
+
+    key: Term
+    body: Term
+
+    def __repr__(self) -> str:
+        return f"enc({self.key!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class DhPub(Term):
+    """g^x for a scalar term x."""
+
+    scalar: Term
+
+    def __repr__(self) -> str:
+        return f"g^{self.scalar!r}"
+
+
+class DhShared(Term):
+    """g^(x*y): order-insensitive Diffie–Hellman shared secret."""
+
+    __slots__ = ("scalars",)
+
+    def __init__(self, scalar_a: Term, scalar_b: Term) -> None:
+        ordered = sorted((scalar_a, scalar_b), key=repr)
+        object.__setattr__(self, "scalars", tuple(ordered))
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("terms are immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DhShared) and self.scalars == other.scalars
+
+    def __hash__(self) -> int:
+        return hash(("DhShared", self.scalars))
+
+    def __repr__(self) -> str:
+        return f"g^({self.scalars[0]!r}*{self.scalars[1]!r})"
+
+
+@dataclass(frozen=True)
+class Kdf(Term):
+    """A derived key: KDF(secret, label)."""
+
+    secret: Term
+    label: str
+
+    def __repr__(self) -> str:
+        return f"kdf({self.secret!r}, {self.label})"
+
+
+def pair(*terms: Term) -> Term:
+    """Right-nested n-ary concatenation."""
+    if not terms:
+        raise ValueError("pair of nothing")
+    result = terms[-1]
+    for term in reversed(terms[:-1]):
+        result = Pair(term, result)
+    return result
+
+
+def subterms(term: Term) -> Iterable[Term]:
+    """All subterms, including the term itself."""
+    yield term
+    if isinstance(term, Pair):
+        yield from subterms(term.left)
+        yield from subterms(term.right)
+    elif isinstance(term, (Hash, Sign, Mac, SymEnc)):
+        if isinstance(term, Hash):
+            yield from subterms(term.body)
+        else:
+            yield from subterms(term.key)
+            yield from subterms(term.body)
+    elif isinstance(term, DhPub):
+        yield from subterms(term.scalar)
+    elif isinstance(term, DhShared):
+        yield from subterms(term.scalars[0])
+        yield from subterms(term.scalars[1])
+    elif isinstance(term, Kdf):
+        yield from subterms(term.secret)
+    elif isinstance(term, (PubKey, PrivKey)):
+        yield from subterms(term.agent)
+
+
+class Knowledge:
+    """An intruder knowledge set closed under decomposition.
+
+    Decomposition (applied eagerly to a fixpoint):
+
+    * pairs split;
+    * signatures reveal their bodies;
+    * symmetric ciphertexts open when the key is derivable.
+
+    Construction is checked lazily by :meth:`derives` so the set stays
+    finite.
+    """
+
+    def __init__(self, initial: Iterable[Term] = ()) -> None:
+        self._terms: Set[Term] = set()
+        for term in initial:
+            self.add(term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._terms
+
+    def __iter__(self):
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def snapshot(self) -> FrozenSet[Term]:
+        return frozenset(self._terms)
+
+    def restore(self, snapshot: FrozenSet[Term]) -> None:
+        self._terms = set(snapshot)
+
+    def add(self, term: Term) -> None:
+        """Add a term and re-close under decomposition."""
+        if term in self._terms:
+            return
+        queue = [term]
+        while queue:
+            current = queue.pop()
+            if current in self._terms:
+                continue
+            self._terms.add(current)
+            if isinstance(current, Pair):
+                queue.append(current.left)
+                queue.append(current.right)
+            elif isinstance(current, Sign):
+                queue.append(current.body)
+            # Ciphertexts whose keys later become derivable are reopened
+            # below.
+        self._reclose()
+
+    def _reclose(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for current in list(self._terms):
+                if isinstance(current, SymEnc) \
+                        and current.body not in self._terms \
+                        and self.derives(current.key):
+                    self._terms.add(current.body)
+                    if isinstance(current.body, Pair):
+                        self.add(current.body)
+                    changed = True
+
+    def derives(self, goal: Term, _pending: Optional[frozenset] = None) -> bool:
+        """Can the intruder construct ``goal`` from its knowledge?"""
+        if goal in self._terms:
+            return True
+        pending = _pending or frozenset()
+        if goal in pending:
+            return False
+        pending = pending | {goal}
+        if isinstance(goal, Pair):
+            return (self.derives(goal.left, pending)
+                    and self.derives(goal.right, pending))
+        if isinstance(goal, Hash):
+            return self.derives(goal.body, pending)
+        if isinstance(goal, (Sign, Mac, SymEnc)):
+            return (self.derives(goal.key, pending)
+                    and self.derives(goal.body, pending))
+        if isinstance(goal, DhPub):
+            return self.derives(goal.scalar, pending)
+        if isinstance(goal, DhShared):
+            first, second = goal.scalars
+            # Knowing one scalar and the other half's public value (or
+            # both scalars) yields the shared secret.
+            if self.derives(first, pending) and (
+                    self.derives(DhPub(second), pending)
+                    or self.derives(second, pending)):
+                return True
+            if self.derives(second, pending) and self.derives(
+                    DhPub(first), pending):
+                return True
+            return False
+        if isinstance(goal, Kdf):
+            return self.derives(goal.secret, pending)
+        if isinstance(goal, PubKey):
+            return True  # public keys are public
+        return False

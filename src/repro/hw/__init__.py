@@ -1,0 +1,32 @@
+"""Simulated hardware substrate: SoC, TrustZone worlds, root of trust.
+
+Replaces the NXP MCIMX8M evaluation board of the paper. Architectural
+latencies live on a virtual clock (see :mod:`repro.hw.costs` for the
+calibration discipline); security state is enforced so that tests can
+exercise the paper's threat scenarios.
+"""
+
+from repro.hw.bootrom import BootReport, BootRom, StageImage, sign_stage
+from repro.hw.caam import Caam, World
+from repro.hw.clock import SimClock, StopWatch
+from repro.hw.costs import DEFAULT_COSTS, CostModel
+from repro.hw.counters import MonotonicCounters
+from repro.hw.fuses import EFuses, FuseBank
+from repro.hw.soc import SoC
+
+__all__ = [
+    "SoC",
+    "World",
+    "Caam",
+    "EFuses",
+    "FuseBank",
+    "BootRom",
+    "BootReport",
+    "StageImage",
+    "sign_stage",
+    "SimClock",
+    "MonotonicCounters",
+    "StopWatch",
+    "CostModel",
+    "DEFAULT_COSTS",
+]

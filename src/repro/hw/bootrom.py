@@ -1,0 +1,92 @@
+"""Secure boot: the chain of trust from ROM to the trusted OS.
+
+The paper (§IV, "Secure boot") requires: the first-stage ROM verifies the
+second-stage bootloader against the public key whose hash is fused in the
+eFuses, and every stage recursively verifies the next, so only genuine
+software reaches the root of trust. §VII analyses the consequence: a
+tampered trusted-OS image aborts the boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import SecureBootError
+
+
+@dataclass(frozen=True)
+class StageImage:
+    """A signed boot-stage image (SPL, ATF, trusted OS...)."""
+
+    name: str
+    payload: bytes
+    signature: bytes
+
+    @property
+    def measurement(self) -> bytes:
+        """SHA-256 of the payload; used by the measured-boot extension."""
+        return sha256(self.payload)
+
+
+def sign_stage(name: str, payload: bytes, vendor_key: ecdsa.KeyPair) -> StageImage:
+    """Produce a stage image signed by the platform vendor."""
+    return StageImage(name, payload, ecdsa.sign(vendor_key.private, payload))
+
+
+@dataclass
+class BootReport:
+    """Outcome of a successful secure boot."""
+
+    stages: List[str] = field(default_factory=list)
+    # Per-stage code measurements, in boot order. With a TPM these would be
+    # accumulated into PCRs (measured boot, discussed in §VII).
+    measurements: List[bytes] = field(default_factory=list)
+
+    def accumulated_measurement(self) -> bytes:
+        """PCR-extend accumulation of the boot chain (measured boot).
+
+        TPM semantics: ``pcr = H(pcr || stage_measurement)`` starting from
+        zero — the system-wide claim §VII proposes to embed in evidence.
+        """
+        register = b"\x00" * 32
+        for measurement in self.measurements:
+            register = sha256(register + measurement)
+        return register
+
+
+class BootRom:
+    """The immutable first-stage boot loader."""
+
+    def __init__(self, fuses) -> None:
+        self._fuses = fuses
+
+    def boot(self, vendor_public_key_bytes: bytes,
+             stages: List[StageImage]) -> BootReport:
+        """Verify and "execute" the boot chain.
+
+        ``vendor_public_key_bytes`` ships alongside the images (it is
+        public); the ROM only trusts it after checking its hash against
+        the fused value, exactly like the i.MX SRK scheme.
+        """
+        if not stages:
+            raise SecureBootError("empty boot chain")
+        fused_hash = self._fuses.boot_key_hash.read()
+        if sha256(vendor_public_key_bytes) != fused_hash:
+            raise SecureBootError("vendor key does not match the fused hash")
+        from repro.crypto import ec
+
+        vendor_public = ec.decode_point(vendor_public_key_bytes)
+        report = BootReport()
+        for stage in stages:
+            try:
+                ecdsa.verify(vendor_public, stage.payload, stage.signature)
+            except Exception as exc:
+                raise SecureBootError(
+                    f"stage {stage.name!r} failed signature verification"
+                ) from exc
+            report.stages.append(stage.name)
+            report.measurements.append(stage.measurement)
+        return report

@@ -1,0 +1,49 @@
+"""Cryptographic accelerator and assurance module (CAAM).
+
+On the i.MX 8MQ, the CAAM derives the *master key verification blob*
+(MKVB) from the fused OTPMK, returning a **different** hash depending on
+whether the requesting thread runs in the normal or the secure world
+(paper §V). The secure-world MKVB seeds OP-TEE's hardware unique key; the
+normal world can never observe it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crypto.hashing import hmac_sha256
+from repro.errors import WorldError
+
+
+class World(enum.Enum):
+    """The two TrustZone security states."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+_WORLD_TAGS = {
+    World.NORMAL: b"mkvb/non-secure",
+    World.SECURE: b"mkvb/secure",
+}
+
+
+class Caam:
+    """The master-key derivation front end of the simulated SoC."""
+
+    MKVB_SIZE = 32
+
+    def __init__(self, fuses) -> None:
+        self._fuses = fuses
+
+    def master_key_verification_blob(self, world: World) -> bytes:
+        """Return the world-specific MKVB.
+
+        Both worlds can call this, but they observe unrelated values — a
+        PRF of the OTPMK keyed by the security state — so nothing learned
+        in the normal world helps predict secure-world key material.
+        """
+        if world not in _WORLD_TAGS:
+            raise WorldError(f"unknown security state {world!r}")
+        otpmk = self._fuses.read_otpmk_from_caam(self)
+        return hmac_sha256(otpmk, _WORLD_TAGS[world])

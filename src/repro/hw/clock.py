@@ -1,0 +1,41 @@
+"""Virtual time for the simulated platform.
+
+The paper extends OP-TEE so the secure world can read the *same* monotonic
+clock as the normal world with nanosecond resolution (§VI-A). In the
+simulation there is one :class:`SimClock` per SoC; software charges
+latencies onto it, and both worlds read it — the secure world paying the
+cross-world fetch costs from the :class:`~repro.hw.costs.CostModel`.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing virtual nanosecond counter."""
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+
+    def now_ns(self) -> int:
+        return self._now_ns
+
+    def advance(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            raise ValueError("the simulated clock cannot go backwards")
+        self._now_ns += delta_ns
+
+
+class StopWatch:
+    """Measures elapsed virtual time across a region of simulated work."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start_ns = 0
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "StopWatch":
+        self._start_ns = self._clock.now_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_ns = self._clock.now_ns() - self._start_ns

@@ -1,0 +1,74 @@
+"""Architectural latency model of the simulated i.MX 8MQ platform.
+
+The platform latencies of the paper (Fig. 3) cannot be measured on a
+laptop, so they are *simulated*: every cross-world interaction charges a
+composition of the primitive costs below onto the virtual clock.
+
+The primitives are calibrated so the paper's measured end-to-end numbers
+emerge from composition — they are never reported directly:
+
+* normal->secure invocation = ``smc + optee_driver + session_dispatch``
+  = 86 us (paper Fig. 3b);
+* secure->normal return = ``smc + return_path`` = 20 us (Fig. 3b);
+* secure-world time fetch, native TA = ``kernel_rpc + clock_read``
+  ~= 10 us (Fig. 3a);
+* secure-world time fetch from Wasm adds ``wasi_dispatch`` ~= 13 us
+  (Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Primitive latencies, in nanoseconds."""
+
+    # One direction of a secure monitor call (EL3 transit).
+    smc_ns: int = 4_000
+    # Linux OP-TEE driver path: ioctl, parameter marshalling, scheduling.
+    optee_driver_ns: int = 60_000
+    # Trusted-OS side of an invocation: session lookup, TA entry thunk.
+    session_dispatch_ns: int = 22_000
+    # Secure->normal return handling in driver + trusted OS.
+    return_path_ns: int = 16_000
+    # Lightweight OP-TEE kernel RPC to the normal world (no session).
+    kernel_rpc_ns: int = 9_200
+    # Reading the REE monotonic clock.
+    clock_read_ns: int = 800
+    # WASI shim: argument translation between Wasm and the GP API.
+    wasi_dispatch_ns: int = 3_000
+    # Copying through a world-shared buffer, per KiB.
+    shared_copy_ns_per_kib: int = 400
+    # Normal-world loopback socket round trip (supplicant path).
+    socket_roundtrip_ns: int = 120_000
+
+    # -- composed quantities ---------------------------------------------------
+
+    @property
+    def world_enter_ns(self) -> int:
+        """Normal world -> secure world function invocation."""
+        return self.smc_ns + self.optee_driver_ns + self.session_dispatch_ns
+
+    @property
+    def world_return_ns(self) -> int:
+        """Secure world -> normal world return."""
+        return self.smc_ns + self.return_path_ns
+
+    @property
+    def secure_time_fetch_ns(self) -> int:
+        """Monotonic clock read from a native TA (via kernel RPC)."""
+        return self.kernel_rpc_ns + self.clock_read_ns
+
+    @property
+    def wasm_time_fetch_ns(self) -> int:
+        """Monotonic clock read from a hosted Wasm application."""
+        return self.secure_time_fetch_ns + self.wasi_dispatch_ns
+
+    def shared_copy_ns(self, size_bytes: int) -> int:
+        """Cost of copying ``size_bytes`` through a shared buffer."""
+        return (size_bytes * self.shared_copy_ns_per_kib) // 1024
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,71 @@
+"""One-time-programmable eFuses.
+
+Two banks matter to WaTZ (paper §IV): the *secure-boot bank*, holding the
+hash of the vendor's public key that the boot ROM uses to verify the
+second-stage bootloader; and the *OTPMK bank*, the 256-bit one-time
+programmable master key fused at manufacturing time, readable only by the
+CAAM (never by software).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FuseError
+
+
+class FuseBank:
+    """A write-once fuse bank."""
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = size
+        self._value: Optional[bytes] = None
+
+    @property
+    def programmed(self) -> bool:
+        return self._value is not None
+
+    def program(self, value: bytes) -> None:
+        """Blow the fuses; a second attempt is a hardware fault."""
+        if self._value is not None:
+            raise FuseError(f"fuse bank {self.name!r} is already programmed")
+        if len(value) != self.size:
+            raise FuseError(
+                f"fuse bank {self.name!r} takes {self.size} bytes, "
+                f"got {len(value)}"
+            )
+        self._value = bytes(value)
+
+    def read(self) -> bytes:
+        if self._value is None:
+            raise FuseError(f"fuse bank {self.name!r} is not programmed")
+        return self._value
+
+
+class EFuses:
+    """The fuse map of the simulated SoC."""
+
+    OTPMK_SIZE = 32
+    BOOT_KEY_HASH_SIZE = 32
+
+    def __init__(self) -> None:
+        # Readable only by the CAAM; software access raises.
+        self._otpmk = FuseBank("OTPMK", self.OTPMK_SIZE)
+        self.boot_key_hash = FuseBank("SRK_HASH", self.BOOT_KEY_HASH_SIZE)
+
+    def program_otpmk(self, value: bytes) -> None:
+        """Fuse the master key (manufacturing step)."""
+        self._otpmk.program(value)
+
+    def read_otpmk_from_caam(self, caam_token: object) -> bytes:
+        """Hardware-internal OTPMK read path, reserved for the CAAM.
+
+        The token handshake models the i.MX design where the OTPMK bus is
+        wired to the CAAM only; any software caller lacks the token.
+        """
+        from repro.hw.caam import Caam  # local import to avoid a cycle
+
+        if not isinstance(caam_token, Caam):
+            raise FuseError("OTPMK is hardware-readable by the CAAM only")
+        return self._otpmk.read()

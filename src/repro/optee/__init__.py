@@ -1,0 +1,45 @@
+"""Simulated OP-TEE: trusted kernel, GP APIs, TAs, shared memory.
+
+Replaces OP-TEE 3.13 in the paper's stack, including the paper's own
+extensions: nanosecond secure-world time, the executable-page syscall for
+AOT Wasm, the 256-bit HUK plumbing, and the attestation-service kernel
+module.
+"""
+
+from repro.optee.attestation_service import AttestationService
+from repro.optee.gp_api import GpInternalApi, OpTeeClient, TaSession
+from repro.optee.kernel import OPTEE_VERSION, SECURE_HEAP_CAP, OpTeeKernel
+from repro.optee.rng import KernelRng
+from repro.optee.sharedmem import SHARED_MEMORY_CAP, SharedBuffer, SharedMemoryPool
+from repro.optee.storage import TrustedStorage
+from repro.optee.supplicant import Supplicant
+from repro.optee.ta import (
+    TaImage,
+    TaManifest,
+    TrustedApplication,
+    fresh_uuid,
+    sign_ta,
+    verify_ta,
+)
+
+__all__ = [
+    "OpTeeKernel",
+    "OpTeeClient",
+    "TaSession",
+    "GpInternalApi",
+    "AttestationService",
+    "KernelRng",
+    "Supplicant",
+    "TrustedStorage",
+    "SharedMemoryPool",
+    "SharedBuffer",
+    "SHARED_MEMORY_CAP",
+    "SECURE_HEAP_CAP",
+    "OPTEE_VERSION",
+    "TaManifest",
+    "TaImage",
+    "TrustedApplication",
+    "sign_ta",
+    "verify_ta",
+    "fresh_uuid",
+]

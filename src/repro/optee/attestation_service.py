@@ -1,0 +1,46 @@
+"""The WaTZ attestation service, an OP-TEE kernel module.
+
+Paper §V: evidence signing is offloaded to a dedicated trusted-kernel
+module so the private attestation key is never exposed to user-space TAs.
+The key pair is derived *deterministically at every boot* from the
+hardware root of trust: the secure-world MKVB is folded through
+``huk_subkey_derive`` and used to seed a Fortuna PRNG that feeds the ECDSA
+key generation — so OS updates keep the device identity stable while the
+private scalar never leaves the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import ecdsa
+from repro.crypto.fortuna import seeded_fortuna
+from repro.errors import TeeAccessDenied
+from repro.hw.caam import World
+
+ATTESTATION_KEY_USAGE = b"watz/attestation-key/v1"
+
+
+class AttestationService:
+    """Kernel-resident signer for WaTZ evidence."""
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+        seed = kernel.huk_subkey_derive(ATTESTATION_KEY_USAGE, 32)
+        generator = seeded_fortuna(seed)
+        self.__key_pair = ecdsa.keypair_from_seed_stream(generator.random_bytes)
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        """The endorsement value exported to verifiers (paper §IV)."""
+        return self.__key_pair.public_bytes()
+
+    def sign_evidence(self, evidence_bytes: bytes) -> bytes:
+        """Sign serialised evidence on behalf of the runtime TA.
+
+        Callable only while the CPU is in the secure world: the service is
+        kernel code, unreachable through any normal-world interface.
+        """
+        if self._kernel.soc.current_world != World.SECURE:
+            raise TeeAccessDenied(
+                "attestation service is only reachable from the secure world"
+            )
+        return ecdsa.sign(self.__key_pair.private, evidence_bytes)

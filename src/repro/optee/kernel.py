@@ -1,0 +1,147 @@
+"""The OP-TEE trusted kernel.
+
+Boots on a securely-booted SoC, owns the secure heap (with the paper's
+27 MB cap) and the shared-memory pool (9 MB cap), loads signed TAs, and
+hosts the kernel modules — notably the WaTZ attestation service and the
+executable-page syscall the paper adds for AOT Wasm execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto import ec, ecdsa
+from repro.crypto.hashing import hmac_sha256
+from repro.errors import (
+    SecureBootError,
+    TeeAccessDenied,
+    TeeBadParameters,
+    TeeItemNotFound,
+    TeeOutOfMemory,
+)
+from repro.hw.caam import World
+from repro.optee.attestation_service import AttestationService
+from repro.optee.rng import KernelRng
+from repro.optee.sharedmem import SharedMemoryPool
+from repro.optee.storage import TrustedStorage
+from repro.optee.supplicant import Supplicant
+from repro.optee.ta import TaImage, verify_ta
+
+#: The paper's raised secure-heap limit ("up to 27 MB").
+SECURE_HEAP_CAP = 27 * 1024 * 1024
+
+OPTEE_VERSION = "3.13-watz"
+
+
+class ExecutableRegion:
+    """Pages allocated through the paper's mprotect-like extension."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.executable = True
+
+
+class OpTeeKernel:
+    """The trusted OS. Instantiate only after a successful secure boot."""
+
+    def __init__(self, soc, vendor_public: ec.Point,
+                 rng: Optional[KernelRng] = None,
+                 allow_executable_pages: bool = True) -> None:
+        if not soc.securely_booted:
+            raise SecureBootError("OP-TEE requires a securely booted SoC")
+        soc.require_world(World.SECURE)
+        self.soc = soc
+        self.vendor_public = vendor_public
+        self.version = OPTEE_VERSION
+        # Whether the executable-page syscall extension is present; stock
+        # OP-TEE lacks it (paper §III, "Execution modes") — used by the
+        # AOT ablation.
+        self.allow_executable_pages = allow_executable_pages
+
+        # The hardware unique key: derived from the secure-world MKVB. The
+        # paper widened OP-TEE's HUK plumbing to the full 256-bit blob.
+        self.__huk = soc.master_key_blob()
+
+        self.shared_memory = SharedMemoryPool()
+        self.secure_heap_capacity = SECURE_HEAP_CAP
+        self.secure_heap_allocated = 0
+
+        self.rng = rng or KernelRng()
+        self.attestation_service = AttestationService(self)
+        self.trusted_storage = TrustedStorage(soc.monotonic)
+        # Measured-boot claim (§VII): the PCR-style accumulation of every
+        # boot-stage measurement, for inclusion in attestation evidence.
+        self.boot_measurement = soc.boot_report.accumulated_measurement()
+
+        self._ta_images: Dict[str, TaImage] = {}
+        self.supplicant: Optional[Supplicant] = None
+
+        # Boot complete: hand the CPU back to the normal world so clients
+        # can start opening sessions.
+        soc.current_world = World.NORMAL
+
+    # -- key derivation ----------------------------------------------------------
+
+    def huk_subkey_derive(self, usage: bytes, size: int) -> bytes:
+        """OP-TEE's HUK-based subkey derivation (kernel-internal)."""
+        if size > 32:
+            raise TeeBadParameters("huk subkeys are at most 32 bytes")
+        return hmac_sha256(self.__huk, usage)[:size]
+
+    # -- secure heap ----------------------------------------------------------------
+
+    def secure_alloc(self, size: int) -> None:
+        """Account a secure-heap allocation against the 27 MB cap."""
+        if size < 0:
+            raise TeeBadParameters("negative allocation")
+        if self.secure_heap_allocated + size > self.secure_heap_capacity:
+            raise TeeOutOfMemory(
+                f"secure heap cap exceeded: "
+                f"{self.secure_heap_allocated + size} > "
+                f"{self.secure_heap_capacity} bytes"
+            )
+        self.secure_heap_allocated += size
+
+    def secure_free(self, size: int) -> None:
+        self.secure_heap_allocated = max(0, self.secure_heap_allocated - size)
+
+    def map_executable_pages(self, size: int) -> ExecutableRegion:
+        """The WaTZ kernel extension: executable memory for AOT bytecode.
+
+        Stock OP-TEE cannot change page protections from a TA, which is
+        what previously blocked AOT Wasm execution in the secure world.
+        The pages themselves come out of the calling TA's reserved heap;
+        this syscall only flips the protection bits.
+        """
+        if not self.allow_executable_pages:
+            raise TeeAccessDenied(
+                "this OP-TEE build cannot map executable pages "
+                "(stock kernel; see paper §III)"
+            )
+        return ExecutableRegion(size)
+
+    def unmap_executable_pages(self, region: ExecutableRegion) -> None:
+        region.executable = False
+
+    # -- TA management ----------------------------------------------------------------
+
+    def install_ta(self, image: TaImage) -> None:
+        """Register a signed TA image; verification happens at load."""
+        verify_ta(image, self.vendor_public)
+        self._ta_images[image.manifest.uuid] = image
+
+    def ta_image(self, uuid: str) -> TaImage:
+        image = self._ta_images.get(uuid)
+        if image is None:
+            raise TeeItemNotFound(f"no TA with UUID {uuid}")
+        return image
+
+    # -- normal-world services ------------------------------------------------------------
+
+    def attach_supplicant(self, supplicant: Supplicant) -> None:
+        self.supplicant = supplicant
+
+    def require_supplicant(self) -> Supplicant:
+        if self.supplicant is None:
+            raise TeeAccessDenied("no tee-supplicant is running")
+        return self.supplicant

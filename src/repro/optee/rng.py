@@ -1,0 +1,39 @@
+"""Kernel random number generation.
+
+OP-TEE's stock PRNG cannot be seeded (paper §V), which is why the paper
+adds Fortuna for the deterministic attestation-key derivation. The kernel
+RNG here serves ordinary randomness requests (session keys, IVs); it is a
+Fortuna generator continuously reseeded from a hardware entropy source —
+in the simulation, the host's ``os.urandom``, or a deterministic stand-in
+for reproducible tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.crypto.fortuna import Fortuna
+
+
+class KernelRng:
+    """The trusted kernel's randomness service."""
+
+    def __init__(self, entropy_source: Optional[Callable[[int], bytes]] = None) -> None:
+        self._entropy = entropy_source or os.urandom
+        self._generator = Fortuna()
+        self._generator.reseed(self._entropy(32))
+        self._bytes_since_reseed = 0
+
+    def random_bytes(self, size: int) -> bytes:
+        """Return ``size`` random bytes, reseeding periodically."""
+        self._bytes_since_reseed += size
+        if self._bytes_since_reseed > 1 << 16:
+            self._generator.reseed(self._entropy(32))
+            self._bytes_since_reseed = 0
+        out = bytearray()
+        while size > 0:
+            chunk = self._generator.random_bytes(min(size, 1 << 20))
+            out.extend(chunk)
+            size -= len(chunk)
+        return bytes(out)

@@ -1,0 +1,80 @@
+"""World-shared memory buffers.
+
+OP-TEE TAs cannot touch normal-world memory directly; the two worlds
+exchange data through registered shared buffers. The paper raised the
+shared-memory cap to 9 MB — "the largest value that would not break
+OP-TEE" — and that cap is what forces Fig. 6's dataset scaling, so the
+pool enforces it faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TeeBadParameters, TeeOutOfMemory
+
+#: The paper's raised limit for world-shared buffers.
+SHARED_MEMORY_CAP = 9 * 1024 * 1024
+
+
+class SharedBuffer:
+    """One registered buffer, visible to both worlds."""
+
+    def __init__(self, pool: "SharedMemoryPool", handle: int, size: int) -> None:
+        self._pool = pool
+        self.handle = handle
+        self.data = bytearray(size)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def write(self, offset: int, payload: bytes) -> None:
+        if offset < 0 or offset + len(payload) > len(self.data):
+            raise TeeBadParameters("shared buffer write out of range")
+        self.data[offset : offset + len(payload)] = payload
+
+    def read(self, offset: int, size: int) -> bytes:
+        if offset < 0 or offset + size > len(self.data):
+            raise TeeBadParameters("shared buffer read out of range")
+        return bytes(self.data[offset : offset + size])
+
+    def free(self) -> None:
+        self._pool.free(self.handle)
+
+
+class SharedMemoryPool:
+    """Allocator for shared buffers with the OP-TEE size cap."""
+
+    def __init__(self, capacity: int = SHARED_MEMORY_CAP) -> None:
+        self.capacity = capacity
+        self.allocated = 0
+        self._buffers: Dict[int, SharedBuffer] = {}
+        self._next_handle = 1
+
+    def allocate(self, size: int) -> SharedBuffer:
+        if size <= 0:
+            raise TeeBadParameters("shared buffer size must be positive")
+        if self.allocated + size > self.capacity:
+            raise TeeOutOfMemory(
+                f"shared memory cap exceeded: {self.allocated + size} > "
+                f"{self.capacity} bytes"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        buffer = SharedBuffer(self, handle, size)
+        self._buffers[handle] = buffer
+        self.allocated += size
+        return buffer
+
+    def free(self, handle: int) -> None:
+        buffer = self._buffers.pop(handle, None)
+        if buffer is None:
+            raise TeeBadParameters(f"unknown shared buffer handle {handle}")
+        self.allocated -= buffer.size
+
+    def get(self, handle: int) -> SharedBuffer:
+        buffer = self._buffers.get(handle)
+        if buffer is None:
+            raise TeeBadParameters(f"unknown shared buffer handle {handle}")
+        return buffer

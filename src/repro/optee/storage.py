@@ -1,0 +1,83 @@
+"""GP Trusted Storage (TEE secure object store).
+
+The paper leaves WASI file-system support as future work, noting it can
+be built "via the Trusted Storage API" (§III/§V). This module provides
+that substrate: persistent objects, namespaced *per TA UUID* — the
+isolation property §VII discusses (a TA reusing another's UUID would
+reach its storage, which is why OP-TEE gates TA identity on the vendor
+signature; our kernel enforces the same at install time).
+
+Rollback protection (§VII): every write bumps a hardware monotonic
+counter and records the value alongside the object. An attacker who
+restores an old snapshot of the storage medium cannot wind back the
+counter, so the stale version is detected on the next read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TeeAccessDenied, TeeItemNotFound, TeeSecurityViolation
+
+
+class TrustedStorage:
+    """Kernel-side secure object store, persistent across TA sessions."""
+
+    def __init__(self, counters=None) -> None:
+        # (ta_uuid, object_id) -> (payload, version)
+        self._objects: Dict[Tuple[str, str], Tuple[bytes, int]] = {}
+        self._counters = counters
+
+    @staticmethod
+    def _counter_label(ta_uuid: str, object_id: str) -> str:
+        return f"ts/{ta_uuid}/{object_id}"
+
+    def put(self, ta_uuid: str, object_id: str, payload: bytes) -> None:
+        if not object_id:
+            raise TeeAccessDenied("empty object identifier")
+        version = 0
+        if self._counters is not None:
+            version = self._counters.increment(
+                self._counter_label(ta_uuid, object_id))
+        self._objects[(ta_uuid, object_id)] = (bytes(payload), version)
+
+    def get(self, ta_uuid: str, object_id: str) -> bytes:
+        try:
+            payload, version = self._objects[(ta_uuid, object_id)]
+        except KeyError:
+            raise TeeItemNotFound(
+                f"no trusted object {object_id!r} for this TA"
+            ) from None
+        if self._counters is not None:
+            expected = self._counters.read(
+                self._counter_label(ta_uuid, object_id))
+            if version != expected:
+                raise TeeSecurityViolation(
+                    f"rollback detected on {object_id!r}: stored version "
+                    f"{version}, hardware counter {expected}"
+                )
+        return payload
+
+    def delete(self, ta_uuid: str, object_id: str) -> None:
+        if self._objects.pop((ta_uuid, object_id), None) is None:
+            raise TeeItemNotFound(f"no trusted object {object_id!r}")
+        # The counter deliberately keeps advancing: a re-created object
+        # gets a fresh, higher version, so restoring the deleted one is
+        # still detectable.
+        if self._counters is not None:
+            self._counters.increment(self._counter_label(ta_uuid, object_id))
+
+    def exists(self, ta_uuid: str, object_id: str) -> bool:
+        return (ta_uuid, object_id) in self._objects
+
+    def list_ids(self, ta_uuid: str) -> List[str]:
+        return sorted(object_id for uuid, object_id in self._objects
+                      if uuid == ta_uuid)
+
+    def snapshot(self) -> Dict:
+        """What an attacker with medium access could copy (tests only)."""
+        return dict(self._objects)
+
+    def restore_snapshot(self, snapshot: Dict) -> None:
+        """Simulate an attacker restoring an old medium image."""
+        self._objects = dict(snapshot)

@@ -1,0 +1,64 @@
+"""The tee-supplicant: OP-TEE's normal-world helper daemon.
+
+The GP socket API is implemented by OP-TEE by *redirecting* communication
+to the normal world through shared memory (paper §V); the supplicant is
+the user-space daemon that performs the actual I/O. In the simulation it
+bridges kernel RPCs to an in-process network fabric
+(:mod:`repro.core.transport`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TeeCommunicationError
+
+
+class Supplicant:
+    """Normal-world RPC endpoint for the trusted kernel."""
+
+    def __init__(self, soc, network) -> None:
+        self._soc = soc
+        self._network = network
+        self._connections: Dict[int, object] = {}
+        self._next_handle = 1
+
+    # Every entry point asserts it runs in the normal world: the kernel
+    # performs an RPC world switch before calling in.
+
+    def connect(self, host: str, port: int):
+        """Open a TCP-like connection; returns a handle."""
+        from repro.hw.caam import World
+
+        self._soc.require_world(World.NORMAL)
+        connection = self._network.connect(host, port)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._connections[handle] = connection
+        return handle
+
+    def _connection(self, handle: int):
+        connection = self._connections.get(handle)
+        if connection is None:
+            raise TeeCommunicationError(f"unknown connection handle {handle}")
+        return connection
+
+    def send(self, handle: int, data: bytes) -> None:
+        from repro.hw.caam import World
+
+        self._soc.require_world(World.NORMAL)
+        self._connection(handle).send(data)
+
+    def receive(self, handle: int) -> bytes:
+        from repro.hw.caam import World
+
+        self._soc.require_world(World.NORMAL)
+        return self._connection(handle).receive()
+
+    def close(self, handle: int) -> None:
+        from repro.hw.caam import World
+
+        self._soc.require_world(World.NORMAL)
+        connection = self._connections.pop(handle, None)
+        if connection is not None:
+            connection.close()

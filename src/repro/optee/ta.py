@@ -1,0 +1,98 @@
+"""Trusted applications: manifest, signing and life cycle.
+
+OP-TEE only loads TAs signed with the vendor key (paper §II/§VII) — the
+very restriction WaTZ lifts for *Wasm* applications, which run inside the
+signed WaTZ runtime TA and are isolated by the Wasm sandbox instead.
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import TeeSecurityViolation
+
+
+@dataclass(frozen=True)
+class TaManifest:
+    """Compile-time properties of a trusted application."""
+
+    uuid: str
+    name: str
+    # TAs declare heap and stack sizes at compile time (paper §VI-A).
+    heap_size: int
+    stack_size: int = 3 * 1024
+
+    def encode(self) -> bytes:
+        return (
+            f"{self.uuid}|{self.name}|{self.heap_size}|{self.stack_size}"
+        ).encode()
+
+
+class TrustedApplication:
+    """Base class for secure-world applications.
+
+    Subclasses implement :meth:`invoke`; sessions receive a
+    :class:`~repro.optee.gp_api.GpInternalApi` at open time, their only
+    window onto system services.
+    """
+
+    manifest: TaManifest
+
+    def open_session(self, api) -> None:
+        """Called when a client opens a session; ``api`` is the GP API."""
+        self.api = api
+
+    def invoke(self, command: int, params: dict) -> dict:
+        raise NotImplementedError
+
+    def close_session(self) -> None:
+        """Called when the client closes the session."""
+
+
+@dataclass(frozen=True)
+class TaImage:
+    """A deployable, signed TA image."""
+
+    manifest: TaManifest
+    payload: bytes  # the (symbolic) ELF payload; signed and measured
+    signature: bytes
+    factory: type = None  # the TrustedApplication subclass to instantiate
+
+    @property
+    def signed_blob(self) -> bytes:
+        return self.manifest.encode() + b"\x00" + self.payload
+
+    @property
+    def measurement(self) -> bytes:
+        return sha256(self.signed_blob)
+
+
+def sign_ta(manifest: TaManifest, payload: bytes, factory: type,
+            vendor_key: ecdsa.KeyPair) -> TaImage:
+    """Sign a TA for deployment, as the OP-TEE build system would."""
+    blob = manifest.encode() + b"\x00" + payload
+    return TaImage(
+        manifest=manifest,
+        payload=payload,
+        signature=ecdsa.sign(vendor_key.private, blob),
+        factory=factory,
+    )
+
+
+def verify_ta(image: TaImage, vendor_public) -> None:
+    """Check a TA image signature; raise on tampering or wrong key."""
+    try:
+        ecdsa.verify(vendor_public, image.signed_blob, image.signature)
+    except Exception as exc:
+        raise TeeSecurityViolation(
+            f"TA {image.manifest.name!r} signature verification failed"
+        ) from exc
+
+
+def fresh_uuid() -> str:
+    """Generate a TA UUID (host-side convenience)."""
+    return str(uuid_module.uuid4())

@@ -1,0 +1,13 @@
+"""walc: a small C-like language compiled to WebAssembly.
+
+Stands in for the WASI-SDK/Clang toolchain the paper uses to compile its
+workloads; all benchmark kernels in this repo (PolyBench, the database
+engine core, the neural network) are authored in walc and executed as
+genuine Wasm modules.
+"""
+
+from repro.walc.codegen import compile_source
+from repro.walc.parser import parse
+from repro.walc.typecheck import check_program
+
+__all__ = ["compile_source", "parse", "check_program"]

@@ -1,0 +1,169 @@
+"""Abstract syntax tree of the walc language.
+
+walc ("WaTZ ahead-of-time language compiler") is the small C-like language
+this repo uses to author the paper's workloads as genuine Wasm modules,
+standing in for WASI-SDK/Clang which are unavailable offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.wasm.types import ValType
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclass
+class IntLiteral(Node):
+    value: int = 0
+    forced_type: Optional[ValType] = None  # via l/L suffix
+
+
+@dataclass
+class FloatLiteral(Node):
+    value: float = 0.0
+    forced_type: Optional[ValType] = None  # via f/F suffix
+
+
+@dataclass
+class NameRef(Node):
+    name: str = ""
+
+
+@dataclass
+class Unary(Node):
+    operator: str = ""
+    operand: Node = None
+
+
+@dataclass
+class Binary(Node):
+    operator: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class Cast(Node):
+    operand: Node = None
+    target: ValType = ValType.I32
+
+
+@dataclass
+class Call(Node):
+    callee: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+# --- statements --------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    valtype: ValType = ValType.I32
+    init: Optional[Node] = None
+
+
+@dataclass
+class Assign(Node):
+    name: str = ""
+    value: Node = None
+
+
+@dataclass
+class If(Node):
+    condition: Node = None
+    then_body: List[Node] = field(default_factory=list)
+    else_body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    condition: Node = None
+    body: List[Node] = field(default_factory=list)
+    # ``for``-loop step statement, run before every back edge (also after
+    # ``continue``); None for plain while loops.
+    step: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node = None
+
+
+# --- top level ----------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    valtype: ValType = ValType.I32
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    result: Optional[ValType] = None
+    body: List[Node] = field(default_factory=list)
+    exported: bool = False
+
+
+@dataclass
+class ImportDecl(Node):
+    module: str = ""
+    name: str = ""
+    params: List[ValType] = field(default_factory=list)
+    result: Optional[ValType] = None
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    valtype: ValType = ValType.I32
+    init: Union[int, float] = 0
+
+
+@dataclass
+class DataDecl(Node):
+    offset: int = 0
+    payload: bytes = b""
+
+
+@dataclass
+class MemoryDecl(Node):
+    min_pages: int = 1
+    max_pages: Optional[int] = None
+
+
+@dataclass
+class Program(Node):
+    imports: List[ImportDecl] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+    data: List[DataDecl] = field(default_factory=list)
+    memory: Optional[MemoryDecl] = None

@@ -1,0 +1,431 @@
+"""Code generation: typed walc AST -> Wasm binary via the ModuleBuilder."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.walc import ast_nodes as ast
+from repro.walc.parser import parse
+from repro.walc.typecheck import check_program
+from repro.wasm import opcodes as op
+from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.types import ValType
+
+# Arithmetic opcode tables keyed by value type.
+_ARITH: Dict[Tuple[str, ValType], int] = {
+    ("+", ValType.I32): op.I32_ADD, ("-", ValType.I32): op.I32_SUB,
+    ("*", ValType.I32): op.I32_MUL, ("/", ValType.I32): op.I32_DIV_S,
+    ("%", ValType.I32): op.I32_REM_S,
+    ("&", ValType.I32): op.I32_AND, ("|", ValType.I32): op.I32_OR,
+    ("^", ValType.I32): op.I32_XOR,
+    ("<<", ValType.I32): op.I32_SHL, (">>", ValType.I32): op.I32_SHR_S,
+    ("+", ValType.I64): op.I64_ADD, ("-", ValType.I64): op.I64_SUB,
+    ("*", ValType.I64): op.I64_MUL, ("/", ValType.I64): op.I64_DIV_S,
+    ("%", ValType.I64): op.I64_REM_S,
+    ("&", ValType.I64): op.I64_AND, ("|", ValType.I64): op.I64_OR,
+    ("^", ValType.I64): op.I64_XOR,
+    ("<<", ValType.I64): op.I64_SHL, (">>", ValType.I64): op.I64_SHR_S,
+    ("+", ValType.F32): op.F32_ADD, ("-", ValType.F32): op.F32_SUB,
+    ("*", ValType.F32): op.F32_MUL, ("/", ValType.F32): op.F32_DIV,
+    ("+", ValType.F64): op.F64_ADD, ("-", ValType.F64): op.F64_SUB,
+    ("*", ValType.F64): op.F64_MUL, ("/", ValType.F64): op.F64_DIV,
+}
+
+_COMPARE: Dict[Tuple[str, ValType], int] = {
+    ("==", ValType.I32): op.I32_EQ, ("!=", ValType.I32): op.I32_NE,
+    ("<", ValType.I32): op.I32_LT_S, (">", ValType.I32): op.I32_GT_S,
+    ("<=", ValType.I32): op.I32_LE_S, (">=", ValType.I32): op.I32_GE_S,
+    ("==", ValType.I64): op.I64_EQ, ("!=", ValType.I64): op.I64_NE,
+    ("<", ValType.I64): op.I64_LT_S, (">", ValType.I64): op.I64_GT_S,
+    ("<=", ValType.I64): op.I64_LE_S, (">=", ValType.I64): op.I64_GE_S,
+    ("==", ValType.F32): op.F32_EQ, ("!=", ValType.F32): op.F32_NE,
+    ("<", ValType.F32): op.F32_LT, (">", ValType.F32): op.F32_GT,
+    ("<=", ValType.F32): op.F32_LE, (">=", ValType.F32): op.F32_GE,
+    ("==", ValType.F64): op.F64_EQ, ("!=", ValType.F64): op.F64_NE,
+    ("<", ValType.F64): op.F64_LT, (">", ValType.F64): op.F64_GT,
+    ("<=", ValType.F64): op.F64_LE, (">=", ValType.F64): op.F64_GE,
+}
+
+_CASTS: Dict[Tuple[ValType, ValType], Optional[int]] = {
+    (ValType.I32, ValType.I64): op.I64_EXTEND_I32_S,
+    (ValType.I32, ValType.F32): op.F32_CONVERT_I32_S,
+    (ValType.I32, ValType.F64): op.F64_CONVERT_I32_S,
+    (ValType.I64, ValType.I32): op.I32_WRAP_I64,
+    (ValType.I64, ValType.F32): op.F32_CONVERT_I64_S,
+    (ValType.I64, ValType.F64): op.F64_CONVERT_I64_S,
+    (ValType.F32, ValType.I32): op.I32_TRUNC_F32_S,
+    (ValType.F32, ValType.I64): op.I64_TRUNC_F32_S,
+    (ValType.F32, ValType.F64): op.F64_PROMOTE_F32,
+    (ValType.F64, ValType.I32): op.I32_TRUNC_F64_S,
+    (ValType.F64, ValType.I64): op.I64_TRUNC_F64_S,
+    (ValType.F64, ValType.F32): op.F32_DEMOTE_F64,
+}
+
+# Intrinsic name -> sequence of (opcode, needs_offset_immediate).
+_SIMPLE_INTRINSICS: Dict[str, int] = {
+    "sqrt": op.F64_SQRT, "fabs": op.F64_ABS, "ffloor": op.F64_FLOOR,
+    "fceil": op.F64_CEIL, "ftrunc": op.F64_TRUNC,
+    "fnearest": op.F64_NEAREST, "fmin": op.F64_MIN, "fmax": op.F64_MAX,
+    "copysign": op.F64_COPYSIGN,
+    "clz": op.I32_CLZ, "ctz": op.I32_CTZ, "popcnt": op.I32_POPCNT,
+    "rotl": op.I32_ROTL, "rotr": op.I32_ROTR,
+    "divu": op.I32_DIV_U, "remu": op.I32_REM_U, "shru": op.I32_SHR_U,
+    "ltu": op.I32_LT_U, "gtu": op.I32_GT_U,
+    "leu": op.I32_LE_U, "geu": op.I32_GE_U,
+    "memory_grow": op.MEMORY_GROW,
+    "unreachable": op.UNREACHABLE,
+}
+
+_LOAD_INTRINSICS: Dict[str, int] = {
+    "load_i32": op.I32_LOAD, "load_i64": op.I64_LOAD,
+    "load_f32": op.F32_LOAD, "load_f64": op.F64_LOAD,
+    "load_u8": op.I32_LOAD8_U, "load_s8": op.I32_LOAD8_S,
+    "load_u16": op.I32_LOAD16_U, "load_s16": op.I32_LOAD16_S,
+}
+
+_STORE_INTRINSICS: Dict[str, int] = {
+    "store_i32": op.I32_STORE, "store_i64": op.I64_STORE,
+    "store_f32": op.F32_STORE, "store_f64": op.F64_STORE,
+    "store_u8": op.I32_STORE8, "store_u16": op.I32_STORE16,
+}
+
+
+class _LoopContext:
+    """Label depths of the enclosing loop for break/continue."""
+
+    __slots__ = ("block_depth", "loop_depth", "step")
+
+    def __init__(self, block_depth: int, loop_depth: int,
+                 step: Optional[ast.Node]) -> None:
+        self.block_depth = block_depth
+        self.loop_depth = loop_depth
+        self.step = step
+
+
+class _FunctionCodegen:
+    def __init__(self, generator: "CodeGenerator",
+                 function: ast.FuncDef, builder: FunctionBuilder) -> None:
+        self.generator = generator
+        self.function = function
+        self.builder = builder
+        self.scopes: List[Dict[str, int]] = [{}]
+        self.local_types: List[ValType] = [p.valtype for p in function.params]
+        for index, param in enumerate(function.params):
+            self.scopes[0][param.name] = index
+        # Current number of open Wasm labels (blocks/loops/ifs).
+        self.depth = 0
+        self.loops: List[_LoopContext] = []
+
+    def _fail(self, node: ast.Node, message: str) -> None:
+        raise CompileError(message, node.line)
+
+    def _lookup_local(self, name: str) -> Optional[int]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- statements ----------------------------------------------------------------
+
+    def generate(self) -> None:
+        for statement in self.function.body:
+            self._statement(statement)
+        # If the body falls off the end of a value-returning function the
+        # type checker guarantees the tail is unreachable; emit an
+        # `unreachable` so the stack discipline validates.
+        if self.function.result is not None and not _ends_with_return(
+                self.function.body):
+            self.builder.emit(op.UNREACHABLE)
+
+    def _block(self, body: List[ast.Node]) -> None:
+        self.scopes.append({})
+        for statement in body:
+            self._statement(statement)
+        self.scopes.pop()
+
+    def _statement(self, statement: ast.Node) -> None:
+        builder = self.builder
+        if isinstance(statement, ast.VarDecl):
+            index = builder.add_local(statement.valtype)
+            self.scopes[-1][statement.name] = index
+            self.local_types.append(statement.valtype)
+            if statement.init is not None:
+                self._expr(statement.init)
+                builder.local_set(index)
+        elif isinstance(statement, ast.Assign):
+            local = self._lookup_local(statement.name)
+            self._expr(statement.value)
+            if local is not None:
+                builder.local_set(local)
+            else:
+                builder.global_set(self.generator.global_indices[statement.name])
+        elif isinstance(statement, ast.If):
+            self._expr(statement.condition)
+            builder.if_()
+            self.depth += 1
+            self._block(statement.then_body)
+            if statement.else_body:
+                builder.else_()
+                self._block(statement.else_body)
+            builder.end()
+            self.depth -= 1
+        elif isinstance(statement, ast.While):
+            self._while(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.loops:
+                self._fail(statement, "break outside a loop")
+            context = self.loops[-1]
+            builder.br(self.depth - context.block_depth)
+        elif isinstance(statement, ast.Continue):
+            if not self.loops:
+                self._fail(statement, "continue outside a loop")
+            context = self.loops[-1]
+            if context.step is not None:
+                self._statement(context.step)
+            builder.br(self.depth - context.loop_depth)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._expr(statement.value)
+            builder.ret()
+        elif isinstance(statement, ast.ExprStmt):
+            self._expr(statement.expr)
+            valtype = getattr(statement.expr, "valtype", None)
+            if isinstance(valtype, ValType):
+                builder.emit(op.DROP)
+        else:
+            self._fail(statement,
+                       f"unsupported statement {type(statement).__name__}")
+
+    def _while(self, statement: ast.While) -> None:
+        builder = self.builder
+        builder.block()
+        self.depth += 1
+        block_depth = self.depth
+        builder.loop()
+        self.depth += 1
+        loop_depth = self.depth
+        # while(cond): exit the block when the condition is false.
+        self._expr(statement.condition)
+        builder.emit(op.I32_EQZ)
+        builder.br_if(self.depth - block_depth)
+        self.loops.append(_LoopContext(block_depth, loop_depth,
+                                       statement.step))
+        self._block(statement.body)
+        if statement.step is not None:
+            self._statement(statement.step)
+        self.loops.pop()
+        builder.br(self.depth - loop_depth)  # back edge
+        builder.end()
+        self.depth -= 1
+        builder.end()
+        self.depth -= 1
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Node) -> None:
+        builder = self.builder
+        if isinstance(expr, ast.IntLiteral):
+            valtype = expr.valtype  # type: ignore[attr-defined]
+            if valtype == ValType.I32:
+                builder.i32_const(expr.value)
+            elif valtype == ValType.I64:
+                builder.i64_const(expr.value)
+            elif valtype == ValType.F32:
+                builder.f32_const(float(expr.value))
+            else:
+                builder.f64_const(float(expr.value))
+        elif isinstance(expr, ast.FloatLiteral):
+            valtype = expr.valtype  # type: ignore[attr-defined]
+            if valtype == ValType.F32:
+                builder.f32_const(expr.value)
+            else:
+                builder.f64_const(expr.value)
+        elif isinstance(expr, ast.NameRef):
+            local = self._lookup_local(expr.name)
+            if local is not None:
+                builder.local_get(local)
+            else:
+                builder.global_get(self.generator.global_indices[expr.name])
+        elif isinstance(expr, ast.Unary):
+            self._unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._binary(expr)
+        elif isinstance(expr, ast.Cast):
+            self._expr(expr.operand)
+            source = expr.operand.valtype  # type: ignore[attr-defined]
+            if source != expr.target:
+                builder.emit(_CASTS[(source, expr.target)])
+        elif isinstance(expr, ast.Call):
+            self._call(expr)
+        else:
+            self._fail(expr, f"unsupported expression {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> None:
+        builder = self.builder
+        valtype = expr.valtype  # type: ignore[attr-defined]
+        if expr.operator == "-":
+            if valtype == ValType.F64:
+                self._expr(expr.operand)
+                builder.emit(op.F64_NEG)
+            elif valtype == ValType.F32:
+                self._expr(expr.operand)
+                builder.emit(op.F32_NEG)
+            elif valtype == ValType.I32:
+                builder.i32_const(0)
+                self._expr(expr.operand)
+                builder.emit(op.I32_SUB)
+            else:
+                builder.i64_const(0)
+                self._expr(expr.operand)
+                builder.emit(op.I64_SUB)
+        elif expr.operator == "!":
+            self._expr(expr.operand)
+            builder.emit(op.I32_EQZ)
+        else:  # "~"
+            self._expr(expr.operand)
+            if valtype == ValType.I32:
+                builder.i32_const(-1)
+                builder.emit(op.I32_XOR)
+            else:
+                builder.i64_const(-1)
+                builder.emit(op.I64_XOR)
+
+    def _binary(self, expr: ast.Binary) -> None:
+        builder = self.builder
+        operator = expr.operator
+        if operator == "&&":
+            # lhs && rhs  ==>  if (lhs) { rhs != 0 } else { 0 }
+            self._expr(expr.left)
+            builder.if_(ValType.I32)
+            self.depth += 1
+            self._expr(expr.right)
+            builder.emit(op.I32_EQZ)
+            builder.emit(op.I32_EQZ)
+            builder.else_()
+            builder.i32_const(0)
+            builder.end()
+            self.depth -= 1
+            return
+        if operator == "||":
+            self._expr(expr.left)
+            builder.if_(ValType.I32)
+            self.depth += 1
+            builder.i32_const(1)
+            builder.else_()
+            self._expr(expr.right)
+            builder.emit(op.I32_EQZ)
+            builder.emit(op.I32_EQZ)
+            builder.end()
+            self.depth -= 1
+            return
+        operand_type = expr.left.valtype  # type: ignore[attr-defined]
+        self._expr(expr.left)
+        self._expr(expr.right)
+        opcode = _COMPARE.get((operator, operand_type))
+        if opcode is None:
+            opcode = _ARITH.get((operator, operand_type))
+        if opcode is None:
+            self._fail(expr, f"no opcode for {operator} on "
+                             f"{operand_type.mnemonic}")
+        builder.emit(opcode)
+
+    def _call(self, expr: ast.Call) -> None:
+        builder = self.builder
+        kind, name = expr.resolved  # type: ignore[attr-defined]
+        if kind == "function":
+            for argument in expr.args:
+                self._expr(argument)
+            builder.call(self.generator.func_indices[name])
+            return
+        # Intrinsics.
+        if name in _LOAD_INTRINSICS:
+            self._expr(expr.args[0])
+            builder.emit(_LOAD_INTRINSICS[name], 0)
+            return
+        if name in _STORE_INTRINSICS:
+            self._expr(expr.args[0])
+            self._expr(expr.args[1])
+            builder.emit(_STORE_INTRINSICS[name], 0)
+            return
+        if name == "memory_size":
+            builder.emit(op.MEMORY_SIZE)
+            return
+        for argument in expr.args:
+            self._expr(argument)
+        builder.emit(_SIMPLE_INTRINSICS[name])
+
+
+def _ends_with_return(body: List[ast.Node]) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, ast.Return):
+        return True
+    if isinstance(last, ast.If) and last.else_body:
+        return (_ends_with_return(last.then_body)
+                and _ends_with_return(last.else_body))
+    return False
+
+
+class CodeGenerator:
+    """Drives module-level code generation."""
+
+    DEFAULT_MIN_PAGES = 2
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.builder = ModuleBuilder()
+        self.func_indices: Dict[str, int] = {}
+        self.global_indices: Dict[str, int] = {}
+
+    def generate(self) -> bytes:
+        builder = self.builder
+        for imported in self.program.imports:
+            type_index = builder.add_type(
+                imported.params,
+                [imported.result] if imported.result else [],
+            )
+            index = builder.import_function(
+                imported.module, imported.name, type_index
+            )
+            self.func_indices[imported.name] = index
+
+        memory = self.program.memory
+        if memory is not None:
+            builder.add_memory(memory.min_pages, memory.max_pages)
+        else:
+            builder.add_memory(self.DEFAULT_MIN_PAGES)
+        builder.export_memory("memory")
+
+        for segment in self.program.data:
+            builder.add_data(segment.offset, segment.payload)
+
+        for position, global_decl in enumerate(self.program.globals):
+            builder.add_global(global_decl.valtype, True, global_decl.init)
+            self.global_indices[global_decl.name] = position
+
+        function_builders = []
+        for function in self.program.functions:
+            type_index = builder.add_type(
+                [p.valtype for p in function.params],
+                [function.result] if function.result else [],
+            )
+            fn_builder = builder.add_function(type_index)
+            self.func_indices[function.name] = fn_builder.index
+            function_builders.append(fn_builder)
+            if function.exported:
+                builder.export_function(function.name, fn_builder.index)
+
+        for function, fn_builder in zip(self.program.functions,
+                                        function_builders):
+            _FunctionCodegen(self, function, fn_builder).generate()
+
+        return builder.build()
+
+
+def compile_source(source: str) -> bytes:
+    """Compile walc source text to a Wasm binary."""
+    program = parse(source)
+    check_program(program)
+    return CodeGenerator(program).generate()

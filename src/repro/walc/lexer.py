@@ -1,0 +1,136 @@
+"""Tokeniser for the walc language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "fn", "var", "if", "else", "while", "for", "break", "continue", "data",
+    "return", "export", "import", "memory", "as",
+    "i32", "i64", "f32", "f64",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", ",", ";", ":", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "float" | "name" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise walc source; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    size = len(source)
+
+    while position < size:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            column = 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = size if end == -1 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column)
+            skipped = source[position : end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            continue
+
+        if char.isdigit() or (char == "." and position + 1 < size
+                              and source[position + 1].isdigit()):
+            token, position = _lex_number(source, position, line, column)
+            column += len(token.text)
+            tokens.append(token)
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            while position < size and (source[position].isalnum()
+                                       or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+
+        for operator in _OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token("op", operator, line, column))
+                position += len(operator)
+                column += len(operator)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def _lex_number(source: str, position: int, line: int, column: int):
+    start = position
+    size = len(source)
+    if source.startswith("0x", position) or source.startswith("0X", position):
+        position += 2
+        while position < size and (source[position] in "0123456789abcdefABCDEF_"):
+            position += 1
+        text = source[start:position]
+        return Token("int", text, line, column), position
+
+    is_float = False
+    while position < size and source[position].isdigit():
+        position += 1
+    if position < size and source[position] == "." and (
+            position + 1 >= size or source[position + 1] != "."):
+        is_float = True
+        position += 1
+        while position < size and source[position].isdigit():
+            position += 1
+    if position < size and source[position] in "eE":
+        lookahead = position + 1
+        if lookahead < size and source[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < size and source[lookahead].isdigit():
+            is_float = True
+            position = lookahead
+            while position < size and source[position].isdigit():
+                position += 1
+    # Suffixes: l/L forces i64, f/F forces f32.
+    if position < size and source[position] in "lL":
+        if is_float:
+            raise LexError("l suffix on a float literal", line, column)
+        position += 1
+    elif position < size and source[position] in "fF":
+        is_float = True
+        position += 1
+
+    text = source[start:position]
+    return Token("float" if is_float else "int", text, line, column), position

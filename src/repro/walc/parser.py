@@ -1,0 +1,406 @@
+"""Recursive-descent parser for walc.
+
+Grammar sketch (statements end with ``;``, blocks use braces)::
+
+    program   := (import | global | memory | function)*
+    import    := "import" "fn" name "." name "(" params? ")" ("->" type)? ";"
+    memory    := "memory" INT ("max" INT)? ";"        -- max via plain name
+    global    := "var" name ":" type "=" literal ";"
+    function  := "export"? "fn" name "(" params? ")" ("->" type)? block
+    stmt      := var | assign | if | while | for | break | continue
+               | return | exprstmt
+    for       := "for" "(" simple? ";" expr? ";" simple? ")" block
+
+Expressions use precedence climbing with C-like precedence; ``expr as
+type`` casts explicitly; ``&&``/``||`` short-circuit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.walc import ast_nodes as ast
+from repro.walc.lexer import Token, tokenize
+from repro.wasm.types import ValType
+
+_TYPES = {
+    "i32": ValType.I32,
+    "i64": ValType.I64,
+    "f32": ValType.F32,
+    "f64": ValType.F64,
+}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_CAST_PRECEDENCE = 11
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _fail(self, message: str) -> None:
+        token = self.current
+        raise ParseError(f"{message}, found {token.text!r}",
+                         token.line, token.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            self._fail(f"expected {text or kind}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _type(self) -> ValType:
+        token = self.current
+        if token.kind == "keyword" and token.text in _TYPES:
+            self._advance()
+            return _TYPES[token.text]
+        self._fail("expected a type")
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.current.kind != "eof":
+            if self._accept("keyword", "import"):
+                program.imports.append(self._import_decl())
+            elif self._accept("keyword", "memory"):
+                program.memory = self._memory_decl()
+            elif self._accept("keyword", "data"):
+                program.data.append(self._data_decl())
+            elif self.current.kind == "keyword" and self.current.text == "var":
+                program.globals.append(self._global_decl())
+            elif self.current.kind == "keyword" and self.current.text in (
+                    "fn", "export"):
+                program.functions.append(self._function())
+            else:
+                self._fail("expected a top-level declaration")
+        return program
+
+    def _import_decl(self) -> ast.ImportDecl:
+        line = self.current.line
+        self._expect("keyword", "fn")
+        module = self._expect("name").text
+        self._expect("op", ".")
+        name = self._expect("name").text
+        self._expect("op", "(")
+        params: List[ValType] = []
+        if not self._accept("op", ")"):
+            while True:
+                # Parameter names are optional in imports.
+                if self.current.kind == "name":
+                    self._advance()
+                    self._expect("op", ":")
+                params.append(self._type())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        result = None
+        if self._accept("op", "->"):
+            result = self._type()
+        self._expect("op", ";")
+        return ast.ImportDecl(line=line, module=module, name=name,
+                              params=params, result=result)
+
+    def _memory_decl(self) -> ast.MemoryDecl:
+        line = self.current.line
+        min_pages = int(self._expect("int").text, 0)
+        max_pages = None
+        if self.current.kind == "name" and self.current.text == "max":
+            self._advance()
+            max_pages = int(self._expect("int").text, 0)
+        self._expect("op", ";")
+        return ast.MemoryDecl(line=line, min_pages=min_pages,
+                              max_pages=max_pages)
+
+    def _data_decl(self) -> ast.DataDecl:
+        """``data OFFSET [byte, byte, ...];`` — an initialised data segment."""
+        line = self.current.line
+        offset = int(self._expect("int").text, 0)
+        payload = bytearray()
+        # A bracketed list of byte literals; brackets are spelled with
+        # the generic operator tokens '[' ']'... the lexer has no brackets,
+        # so the list uses parentheses instead: data 64 (1, 2, 0xff);
+        self._expect("op", "(")
+        if not self._accept("op", ")"):
+            while True:
+                value = int(self._expect("int").text, 0)
+                if not 0 <= value <= 255:
+                    self._fail("data bytes must be in [0, 255]")
+                payload.append(value)
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        self._expect("op", ";")
+        return ast.DataDecl(line=line, offset=offset, payload=bytes(payload))
+
+    def _global_decl(self) -> ast.GlobalDecl:
+        line = self.current.line
+        self._expect("keyword", "var")
+        name = self._expect("name").text
+        self._expect("op", ":")
+        valtype = self._type()
+        self._expect("op", "=")
+        negative = bool(self._accept("op", "-"))
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            value = int(token.text.rstrip("lL"), 0)
+        elif token.kind == "float":
+            self._advance()
+            value = float(token.text.rstrip("fF"))
+        else:
+            self._fail("global initialiser must be a literal")
+        if negative:
+            value = -value
+        self._expect("op", ";")
+        if valtype.is_integer:
+            value = int(value)
+        else:
+            value = float(value)
+        return ast.GlobalDecl(line=line, name=name, valtype=valtype,
+                              init=value)
+
+    def _function(self) -> ast.FuncDef:
+        line = self.current.line
+        exported = bool(self._accept("keyword", "export"))
+        self._expect("keyword", "fn")
+        name = self._expect("name").text
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._accept("op", ")"):
+            while True:
+                param_name = self._expect("name").text
+                self._expect("op", ":")
+                params.append(ast.Param(name=param_name, valtype=self._type()))
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        result = None
+        if self._accept("op", "->"):
+            result = self._type()
+        body = self._block()
+        return ast.FuncDef(line=line, name=name, params=params,
+                           result=result, body=body, exported=exported)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _block(self) -> List[ast.Node]:
+        self._expect("op", "{")
+        statements: List[ast.Node] = []
+        while not self._accept("op", "}"):
+            statements.append(self._statement())
+        return statements
+
+    def _statement(self) -> ast.Node:
+        token = self.current
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self._var_decl()
+            if token.text == "if":
+                return self._if()
+            if token.text == "while":
+                return self._while()
+            if token.text == "for":
+                return self._for()
+            if token.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+            if token.text == "return":
+                self._advance()
+                value = None
+                if not self._accept("op", ";"):
+                    value = self._expression()
+                    self._expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+        statement = self._simple_statement()
+        self._expect("op", ";")
+        return statement
+
+    def _simple_statement(self) -> ast.Node:
+        """An assignment or expression statement (no trailing ``;``)."""
+        token = self.current
+        if token.kind == "name" and self.tokens[self.position + 1].text == "=" \
+                and self.tokens[self.position + 1].kind == "op":
+            name = self._advance().text
+            self._expect("op", "=")
+            value = self._expression()
+            return ast.Assign(line=token.line, name=name, value=value)
+        expr = self._expression()
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _var_decl(self) -> ast.VarDecl:
+        line = self.current.line
+        self._expect("keyword", "var")
+        name = self._expect("name").text
+        self._expect("op", ":")
+        valtype = self._type()
+        init = None
+        if self._accept("op", "="):
+            init = self._expression()
+        self._expect("op", ";")
+        return ast.VarDecl(line=line, name=name, valtype=valtype, init=init)
+
+    def _if(self) -> ast.If:
+        line = self.current.line
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: List[ast.Node] = []
+        if self._accept("keyword", "else"):
+            if self.current.kind == "keyword" and self.current.text == "if":
+                else_body = [self._if()]
+            else:
+                else_body = self._block()
+        return ast.If(line=line, condition=condition,
+                      then_body=then_body, else_body=else_body)
+
+    def _while(self) -> ast.While:
+        line = self.current.line
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        body = self._block()
+        return ast.While(line=line, condition=condition, body=body)
+
+    def _for(self) -> ast.Node:
+        """Desugar ``for (init; cond; step) { body }`` into while."""
+        line = self.current.line
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Node] = None
+        if not self._accept("op", ";"):
+            if self.current.kind == "keyword" and self.current.text == "var":
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self._simple_statement()
+                self._expect("op", ";")
+        condition: ast.Node = ast.IntLiteral(line=line, value=1)
+        if not self._accept("op", ";"):
+            condition = self._expression()
+            self._expect("op", ";")
+        step: Optional[ast.Node] = None
+        if not self._accept("op", ")"):
+            step = self._simple_statement()
+            self._expect("op", ")")
+        body = self._block()
+        loop = ast.While(line=line, condition=condition, body=body, step=step)
+        if init is None:
+            return loop
+        wrapper = ast.If(line=line, condition=ast.IntLiteral(line=line, value=1),
+                         then_body=[init, loop], else_body=[])
+        return wrapper
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self, min_precedence: int = 1) -> ast.Node:
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind == "keyword" and token.text == "as" \
+                    and _CAST_PRECEDENCE >= min_precedence:
+                self._advance()
+                left = ast.Cast(line=token.line, operand=left,
+                                target=self._type())
+                continue
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._expression(precedence + 1)
+            left = ast.Binary(line=token.line, operator=token.text,
+                              left=left, right=right)
+
+    def _unary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(line=token.line, operator=token.text,
+                             operand=operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            text = token.text
+            forced = None
+            if text[-1] in "lL":
+                forced = ValType.I64
+                text = text[:-1]
+            return ast.IntLiteral(line=token.line, value=int(text, 0),
+                                  forced_type=forced)
+        if token.kind == "float":
+            self._advance()
+            text = token.text
+            forced = None
+            if text[-1] in "fF":
+                forced = ValType.F32
+                text = text[:-1]
+            return ast.FloatLiteral(line=token.line, value=float(text),
+                                    forced_type=forced)
+        if token.kind == "name":
+            self._advance()
+            if self._accept("op", "("):
+                args: List[ast.Node] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if self._accept("op", ")"):
+                            break
+                        self._expect("op", ",")
+                return ast.Call(line=token.line, callee=token.text, args=args)
+            return ast.NameRef(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        self._fail("expected an expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse walc source text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,337 @@
+"""Type checker for walc.
+
+Annotates every expression node with ``.valtype`` and every call with its
+resolved target, enforcing the explicit-cast discipline of the language.
+Integer and float literals are *flexible*: they adapt to the type of the
+other operand or the assignment/parameter context, so loop counters of
+type i64 do not force ``L`` suffixes everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TypeCheckError
+from repro.walc import ast_nodes as ast
+from repro.wasm.types import ValType
+
+# Intrinsics: name -> (param types, result type).
+INTRINSICS: Dict[str, Tuple[Tuple[ValType, ...], Optional[ValType]]] = {
+    "load_i32": ((ValType.I32,), ValType.I32),
+    "load_i64": ((ValType.I32,), ValType.I64),
+    "load_f32": ((ValType.I32,), ValType.F32),
+    "load_f64": ((ValType.I32,), ValType.F64),
+    "load_u8": ((ValType.I32,), ValType.I32),
+    "load_s8": ((ValType.I32,), ValType.I32),
+    "load_u16": ((ValType.I32,), ValType.I32),
+    "load_s16": ((ValType.I32,), ValType.I32),
+    "store_i32": ((ValType.I32, ValType.I32), None),
+    "store_i64": ((ValType.I32, ValType.I64), None),
+    "store_f32": ((ValType.I32, ValType.F32), None),
+    "store_f64": ((ValType.I32, ValType.F64), None),
+    "store_u8": ((ValType.I32, ValType.I32), None),
+    "store_u16": ((ValType.I32, ValType.I32), None),
+    "memory_size": ((), ValType.I32),
+    "memory_grow": ((ValType.I32,), ValType.I32),
+    "sqrt": ((ValType.F64,), ValType.F64),
+    "fabs": ((ValType.F64,), ValType.F64),
+    "ffloor": ((ValType.F64,), ValType.F64),
+    "fceil": ((ValType.F64,), ValType.F64),
+    "ftrunc": ((ValType.F64,), ValType.F64),
+    "fnearest": ((ValType.F64,), ValType.F64),
+    "fmin": ((ValType.F64, ValType.F64), ValType.F64),
+    "fmax": ((ValType.F64, ValType.F64), ValType.F64),
+    "copysign": ((ValType.F64, ValType.F64), ValType.F64),
+    "clz": ((ValType.I32,), ValType.I32),
+    "ctz": ((ValType.I32,), ValType.I32),
+    "popcnt": ((ValType.I32,), ValType.I32),
+    "rotl": ((ValType.I32, ValType.I32), ValType.I32),
+    "rotr": ((ValType.I32, ValType.I32), ValType.I32),
+    "divu": ((ValType.I32, ValType.I32), ValType.I32),
+    "remu": ((ValType.I32, ValType.I32), ValType.I32),
+    "shru": ((ValType.I32, ValType.I32), ValType.I32),
+    "ltu": ((ValType.I32, ValType.I32), ValType.I32),
+    "gtu": ((ValType.I32, ValType.I32), ValType.I32),
+    "leu": ((ValType.I32, ValType.I32), ValType.I32),
+    "geu": ((ValType.I32, ValType.I32), ValType.I32),
+    "unreachable": ((), None),
+}
+
+_ARITH_OPS = {"+", "-", "*", "/"}
+_INT_OPS = {"%", "&", "|", "^", "<<", ">>"}
+_CMP_OPS = {"==", "!=", "<", ">", "<=", ">="}
+_LOGIC_OPS = {"&&", "||"}
+
+
+@dataclass
+class FuncSignature:
+    params: Tuple[ValType, ...]
+    result: Optional[ValType]
+    is_import: bool
+
+
+class TypeChecker:
+    """Checks one program and annotates its AST in place."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.functions: Dict[str, FuncSignature] = {}
+        self.globals: Dict[str, ValType] = {}
+        self.scopes: List[Dict[str, ValType]] = []
+        self.current_result: Optional[ValType] = None
+
+    def _fail(self, node: ast.Node, message: str) -> None:
+        raise TypeCheckError(message, node.line)
+
+    # -- program --------------------------------------------------------------
+
+    def check(self) -> None:
+        for imported in self.program.imports:
+            self._declare_function(
+                imported, imported.name,
+                FuncSignature(tuple(imported.params), imported.result, True),
+            )
+        for function in self.program.functions:
+            self._declare_function(
+                function, function.name,
+                FuncSignature(
+                    tuple(p.valtype for p in function.params),
+                    function.result, False,
+                ),
+            )
+        for global_decl in self.program.globals:
+            if global_decl.name in self.globals:
+                self._fail(global_decl,
+                           f"duplicate global {global_decl.name!r}")
+            self.globals[global_decl.name] = global_decl.valtype
+        for function in self.program.functions:
+            self._check_function(function)
+
+    def _declare_function(self, node: ast.Node, name: str,
+                          signature: FuncSignature) -> None:
+        if name in self.functions or name in INTRINSICS:
+            self._fail(node, f"duplicate function {name!r}")
+        self.functions[name] = signature
+
+    # -- functions --------------------------------------------------------------
+
+    def _check_function(self, function: ast.FuncDef) -> None:
+        self.current_result = function.result
+        self.scopes = [{}]
+        for param in function.params:
+            if param.name in self.scopes[0]:
+                self._fail(param, f"duplicate parameter {param.name!r}")
+            self.scopes[0][param.name] = param.valtype
+        self._check_block(function.body)
+        if function.result is not None and not _terminates(function.body):
+            self._fail(function,
+                       f"function {function.name!r} must end with a return "
+                       "on every path")
+        self.scopes = []
+
+    def _lookup(self, node: ast.Node, name: str) -> ValType:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        self._fail(node, f"unknown variable {name!r}")
+
+    # -- statements ----------------------------------------------------------------
+
+    def _check_block(self, body: List[ast.Node]) -> None:
+        self.scopes.append({})
+        for statement in body:
+            self._check_statement(statement)
+        self.scopes.pop()
+
+    def _check_statement(self, statement: ast.Node) -> None:
+        if isinstance(statement, ast.VarDecl):
+            if statement.name in self.scopes[-1]:
+                self._fail(statement,
+                           f"duplicate variable {statement.name!r}")
+            if statement.init is not None:
+                self._check_expr(statement.init, statement.valtype)
+            self.scopes[-1][statement.name] = statement.valtype
+        elif isinstance(statement, ast.Assign):
+            target = self._lookup(statement, statement.name)
+            self._check_expr(statement.value, target)
+        elif isinstance(statement, ast.If):
+            self._require_i32(statement.condition)
+            self._check_block(statement.then_body)
+            self._check_block(statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._require_i32(statement.condition)
+            # The step shares the loop body's enclosing scope so it can see
+            # variables from the `for` initialiser.
+            self.scopes.append({})
+            for inner in statement.body:
+                self._check_statement(inner)
+            if statement.step is not None:
+                self._check_statement(statement.step)
+            self.scopes.pop()
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            pass  # loop nesting is validated by codegen
+        elif isinstance(statement, ast.Return):
+            if self.current_result is None:
+                if statement.value is not None:
+                    self._fail(statement, "void function returns a value")
+            else:
+                if statement.value is None:
+                    self._fail(statement, "missing return value")
+                self._check_expr(statement.value, self.current_result)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(statement.expr, None)
+        else:
+            self._fail(statement,
+                       f"unsupported statement {type(statement).__name__}")
+
+    def _require_i32(self, expr: ast.Node) -> None:
+        valtype = self._check_expr(expr, ValType.I32)
+        if valtype != ValType.I32:
+            self._fail(expr, "condition must be i32")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Node,
+                    expected: Optional[ValType]) -> ValType:
+        valtype = self._infer(expr, expected)
+        expr.valtype = valtype  # type: ignore[attr-defined]
+        if expected is not None and valtype != expected:
+            self._fail(expr,
+                       f"expected {expected.mnemonic}, found {valtype.mnemonic}"
+                       " (use an explicit `as` cast)")
+        return valtype
+
+    def _infer(self, expr: ast.Node,
+               expected: Optional[ValType]) -> ValType:
+        if isinstance(expr, ast.IntLiteral):
+            if expr.forced_type is not None:
+                return expr.forced_type
+            if expected is not None:
+                return expected
+            return ValType.I32
+        if isinstance(expr, ast.FloatLiteral):
+            if expr.forced_type is not None:
+                return expr.forced_type
+            if expected in (ValType.F32, ValType.F64):
+                return expected
+            return ValType.F64
+        if isinstance(expr, ast.NameRef):
+            return self._lookup(expr, expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._infer_unary(expr, expected)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr, expected)
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, None)
+            return expr.target
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        self._fail(expr, f"unsupported expression {type(expr).__name__}")
+
+    def _infer_unary(self, expr: ast.Unary,
+                     expected: Optional[ValType]) -> ValType:
+        if expr.operator == "-":
+            return self._check_expr(expr.operand, expected)
+        if expr.operator == "!":
+            return self._check_expr(expr.operand, ValType.I32)
+        # "~" bitwise not
+        valtype = self._check_expr(
+            expr.operand,
+            expected if expected in (ValType.I32, ValType.I64) else None,
+        )
+        if not valtype.is_integer:
+            self._fail(expr, "~ requires an integer operand")
+        return valtype
+
+    def _infer_binary(self, expr: ast.Binary,
+                      expected: Optional[ValType]) -> ValType:
+        operator = expr.operator
+        if operator in _LOGIC_OPS:
+            self._require_i32(expr.left)
+            self._require_i32(expr.right)
+            return ValType.I32
+
+        operand_expected = expected if operator in _ARITH_OPS | _INT_OPS else None
+        # Flexible literals adapt to the concrete operand: check the
+        # non-literal side first.
+        if _is_flexible(expr.left) and not _is_flexible(expr.right):
+            right = self._check_expr(expr.right, operand_expected)
+            left = self._check_expr(expr.left, right)
+        else:
+            left = self._check_expr(expr.left, operand_expected)
+            right = self._check_expr(expr.right, left)
+        if left != right:
+            self._fail(expr,
+                       f"operand types differ: {left.mnemonic} vs "
+                       f"{right.mnemonic}")
+
+        if operator in _CMP_OPS:
+            return ValType.I32
+        if operator in _INT_OPS and not left.is_integer:
+            self._fail(expr, f"{operator} requires integer operands")
+        return left
+
+    def _infer_call(self, expr: ast.Call) -> ValType:
+        if expr.callee in INTRINSICS:
+            params, result = INTRINSICS[expr.callee]
+            expr.resolved = ("intrinsic", expr.callee)  # type: ignore
+        elif expr.callee in self.functions:
+            signature = self.functions[expr.callee]
+            params, result = signature.params, signature.result
+            expr.resolved = ("function", expr.callee)  # type: ignore
+        else:
+            self._fail(expr, f"unknown function {expr.callee!r}")
+        if len(expr.args) != len(params):
+            self._fail(expr,
+                       f"{expr.callee} expects {len(params)} arguments, "
+                       f"got {len(expr.args)}")
+        for argument, param_type in zip(expr.args, params):
+            self._check_expr(argument, param_type)
+        if result is None:
+            # Void calls are only legal as expression statements; using one
+            # as a value fails the caller's expected-type comparison.
+            return _VOID
+        return result
+
+
+class _VoidType:
+    mnemonic = "void"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_VOID = _VoidType()
+
+
+def _is_flexible(expr: ast.Node) -> bool:
+    if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral)):
+        return expr.forced_type is None
+    if isinstance(expr, ast.Unary) and expr.operator == "-":
+        return _is_flexible(expr.operand)
+    return False
+
+
+def _terminates(body: List[ast.Node]) -> bool:
+    """Conservative: does every path through ``body`` return?"""
+    for statement in body:
+        if isinstance(statement, ast.Return):
+            return True
+        if isinstance(statement, ast.If):
+            if (statement.else_body
+                    and _terminates(statement.then_body)
+                    and _terminates(statement.else_body)):
+                return True
+        if isinstance(statement, ast.ExprStmt) \
+                and isinstance(statement.expr, ast.Call) \
+                and statement.expr.callee == "unreachable":
+            return True
+    return False
+
+
+def check_program(program: ast.Program) -> None:
+    """Type-check and annotate ``program`` in place."""
+    TypeChecker(program).check()

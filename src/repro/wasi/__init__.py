@@ -1,0 +1,30 @@
+"""WASI preview1 subset, the paper's TEE adaptation layer."""
+
+from repro.wasi.api import (
+    IMPLEMENTED,
+    UNIMPLEMENTED,
+    ProcExit,
+    WasiApi,
+    WasiEnvironment,
+    wasi_function_count,
+)
+from repro.wasi.filesystem import (
+    StorageBacking,
+    TrustedStorageBacking,
+    WasiFilesystem,
+)
+from repro.wasi.host import WASI_MODULE, build_wasi_imports
+
+__all__ = [
+    "WasiEnvironment",
+    "WasiApi",
+    "ProcExit",
+    "build_wasi_imports",
+    "WASI_MODULE",
+    "WasiFilesystem",
+    "StorageBacking",
+    "TrustedStorageBacking",
+    "IMPLEMENTED",
+    "UNIMPLEMENTED",
+    "wasi_function_count",
+]

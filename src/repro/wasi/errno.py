@@ -1,0 +1,31 @@
+"""WASI preview1 errno values (the subset WaTZ returns)."""
+
+from __future__ import annotations
+
+SUCCESS = 0
+E2BIG = 1
+EACCES = 2
+EBADF = 8
+EFAULT = 21
+EINVAL = 28
+EIO = 29
+ENOENT = 44
+ENOMEM = 48
+ENOSYS = 52
+ENOTSUP = 58
+EPROTO = 67
+
+NAMES = {
+    SUCCESS: "success",
+    E2BIG: "e2big",
+    EACCES: "eacces",
+    EBADF: "ebadf",
+    EFAULT: "efault",
+    EINVAL: "einval",
+    EIO: "eio",
+    ENOENT: "enoent",
+    ENOMEM: "enomem",
+    ENOSYS: "enosys",
+    ENOTSUP: "enotsup",
+    EPROTO: "eproto",
+}

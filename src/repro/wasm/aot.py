@@ -1,0 +1,943 @@
+"""The ahead-of-time execution engine: Wasm -> Python source.
+
+WaTZ executes AOT-compiled Wasm (paper §III, "Execution modes"): WAMR's
+LLVM back end lowers bytecode to ARM64 before loading, and the runtime only
+needs executable pages. Our analog lowers each Wasm function to Python
+source once at instantiation time, removing the per-instruction dispatch of
+the interpreter; the measured speed-up is the subject of the A1 ablation
+(the paper reports ~28x).
+
+Compilation strategy:
+
+* the operand stack is resolved statically; the value at stack height
+  ``h`` canonically lives in the Python local ``s{h}``;
+* **expression fusion**: pure, non-trapping operations (constants, local
+  and global reads, integer/float arithmetic, comparisons, conversions)
+  are deferred as expression strings and fused into the statement that
+  consumes them — a store, a local write, a call argument, a branch
+  condition — so a Wasm address computation or FP chain becomes one
+  Python expression instead of a statement per instruction. Deferred
+  expressions are *spilled* into their canonical ``s{h}`` variables at
+  every point where their value could change (writes to the locals,
+  globals or memory they read) and at all control-flow boundaries.
+  Trapping operations (loads, stores, integer division, float-to-int
+  truncation, indirect calls) are never deferred, preserving the spec's
+  trap ordering;
+* structured control lowers to ``while True:`` capsules; a branch sets the
+  target label id in ``_br`` and breaks, and every construct's epilogue
+  either consumes the branch or keeps unwinding;
+* branches to the function frame compile to direct ``return`` statements;
+* dead code after an unconditional transfer is skipped entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.errors import TrapError, WasmError
+from repro.wasm import numerics as num
+from repro.wasm import opcodes as op
+from repro.wasm.interpreter import _fdiv
+from repro.wasm.module import Function, Module
+from repro.wasm.runtime import Engine, Instance, S_F32, S_F64, S_I16, S_I32, S_I64
+from repro.wasm.types import ValType
+
+_MASK32 = "0xFFFFFFFF"
+_MASK64 = "0xFFFFFFFFFFFFFFFF"
+
+#: Expressions larger than this many fused operations are spilled to a
+#: variable; keeps generated lines (and CPython's expression stack) sane.
+_MAX_FUSED_OPS = 16
+
+
+def _trap(message: str):
+    raise TrapError(message)
+
+
+# Pure (non-trapping) binary operators: opcode -> template over {a}, {b}.
+_BINOPS: Dict[int, str] = {
+    op.I32_ADD: "({a} + {b}) & " + _MASK32,
+    op.I32_SUB: "({a} - {b}) & " + _MASK32,
+    op.I32_MUL: "({a} * {b}) & " + _MASK32,
+    op.I32_AND: "{a} & {b}",
+    op.I32_OR: "{a} | {b}",
+    op.I32_XOR: "{a} ^ {b}",
+    op.I32_SHL: "({a} << ({b} % 32)) & " + _MASK32,
+    op.I32_SHR_U: "{a} >> ({b} % 32)",
+    op.I32_SHR_S: "_shrs({a}, {b}, 32)",
+    op.I32_ROTL: "_rotl({a}, {b}, 32)",
+    op.I32_ROTR: "_rotr({a}, {b}, 32)",
+    op.I64_ADD: "({a} + {b}) & " + _MASK64,
+    op.I64_SUB: "({a} - {b}) & " + _MASK64,
+    op.I64_MUL: "({a} * {b}) & " + _MASK64,
+    op.I64_AND: "{a} & {b}",
+    op.I64_OR: "{a} | {b}",
+    op.I64_XOR: "{a} ^ {b}",
+    op.I64_SHL: "({a} << ({b} % 64)) & " + _MASK64,
+    op.I64_SHR_U: "{a} >> ({b} % 64)",
+    op.I64_SHR_S: "_shrs({a}, {b}, 64)",
+    op.I64_ROTL: "_rotl({a}, {b}, 64)",
+    op.I64_ROTR: "_rotr({a}, {b}, 64)",
+    op.F64_ADD: "{a} + {b}",
+    op.F64_SUB: "{a} - {b}",
+    op.F64_MUL: "{a} * {b}",
+    op.F64_DIV: "_fdiv({a}, {b})",
+    op.F64_MIN: "_fmin({a}, {b})",
+    op.F64_MAX: "_fmax({a}, {b})",
+    op.F64_COPYSIGN: "_copysign({a}, {b})",
+    op.F32_ADD: "_f32r({a} + {b})",
+    op.F32_SUB: "_f32r({a} - {b})",
+    op.F32_MUL: "_f32r({a} * {b})",
+    op.F32_DIV: "_f32r(_fdiv({a}, {b}))",
+    op.F32_MIN: "_fmin({a}, {b})",
+    op.F32_MAX: "_fmax({a}, {b})",
+    op.F32_COPYSIGN: "_copysign({a}, {b})",
+}
+
+# Trapping binary operators (division family): always materialised.
+_TRAPPING_BINOPS: Dict[int, str] = {
+    op.I32_DIV_S: "_divs({a}, {b}, 32)",
+    op.I32_DIV_U: "_divu({a}, {b})",
+    op.I32_REM_S: "_rems({a}, {b}, 32)",
+    op.I32_REM_U: "_remu({a}, {b})",
+    op.I64_DIV_S: "_divs({a}, {b}, 64)",
+    op.I64_DIV_U: "_divu({a}, {b})",
+    op.I64_REM_S: "_rems({a}, {b}, 64)",
+    op.I64_REM_U: "_remu({a}, {b})",
+}
+
+# Comparison operators producing i32 booleans (pure).
+_RELOPS: Dict[int, str] = {
+    op.I32_EQ: "{a} == {b}",
+    op.I32_NE: "{a} != {b}",
+    op.I32_LT_S: "_s32({a}) < _s32({b})",
+    op.I32_LT_U: "{a} < {b}",
+    op.I32_GT_S: "_s32({a}) > _s32({b})",
+    op.I32_GT_U: "{a} > {b}",
+    op.I32_LE_S: "_s32({a}) <= _s32({b})",
+    op.I32_LE_U: "{a} <= {b}",
+    op.I32_GE_S: "_s32({a}) >= _s32({b})",
+    op.I32_GE_U: "{a} >= {b}",
+    op.I64_EQ: "{a} == {b}",
+    op.I64_NE: "{a} != {b}",
+    op.I64_LT_S: "_s64({a}) < _s64({b})",
+    op.I64_LT_U: "{a} < {b}",
+    op.I64_GT_S: "_s64({a}) > _s64({b})",
+    op.I64_GT_U: "{a} > {b}",
+    op.I64_LE_S: "_s64({a}) <= _s64({b})",
+    op.I64_LE_U: "{a} <= {b}",
+    op.I64_GE_S: "_s64({a}) >= _s64({b})",
+    op.I64_GE_U: "{a} >= {b}",
+    op.F32_EQ: "{a} == {b}",
+    op.F64_EQ: "{a} == {b}",
+    op.F32_NE: "{a} != {b} or _isnan({a}) or _isnan({b})",
+    op.F64_NE: "{a} != {b} or _isnan({a}) or _isnan({b})",
+    op.F32_LT: "{a} < {b}",
+    op.F64_LT: "{a} < {b}",
+    op.F32_GT: "{a} > {b}",
+    op.F64_GT: "{a} > {b}",
+    op.F32_LE: "{a} <= {b}",
+    op.F64_LE: "{a} <= {b}",
+    op.F32_GE: "{a} >= {b}",
+    op.F64_GE: "{a} >= {b}",
+}
+
+# NaN-reading comparisons re-evaluate {a}/{b}; those must stay variables.
+_MULTI_USE_RELOPS = {op.F32_NE, op.F64_NE}
+
+# Signed comparisons: operands that are literals fold through _s32/_s64 at
+# compile time (loop bounds are almost always constants).
+_SIGNED_RELOPS = {
+    op.I32_LT_S: 32, op.I32_GT_S: 32, op.I32_LE_S: 32, op.I32_GE_S: 32,
+    op.I64_LT_S: 64, op.I64_GT_S: 64, op.I64_LE_S: 64, op.I64_GE_S: 64,
+}
+
+# Integer binops whose literal-literal results fold at compile time.
+_FOLDABLE_BINOPS = {
+    op.I32_ADD, op.I32_SUB, op.I32_MUL, op.I32_AND, op.I32_OR, op.I32_XOR,
+    op.I32_SHL, op.I32_SHR_U, op.I32_SHR_S, op.I32_ROTL, op.I32_ROTR,
+    op.I64_ADD, op.I64_SUB, op.I64_MUL, op.I64_AND, op.I64_OR, op.I64_XOR,
+    op.I64_SHL, op.I64_SHR_U, op.I64_SHR_S, op.I64_ROTL, op.I64_ROTR,
+}
+
+_FOLD_NAMESPACE = {
+    "_shrs": num.shr_s, "_rotl": num.rotl, "_rotr": num.rotr,
+    "_s32": num.s32, "_s64": num.s64,
+}
+
+# Pure unary operators: opcode -> template over {a}.
+_UNOPS: Dict[int, str] = {
+    op.I32_CLZ: "_clz({a}, 32)",
+    op.I32_CTZ: "_ctz({a}, 32)",
+    op.I32_POPCNT: "_popcnt({a})",
+    op.I64_CLZ: "_clz({a}, 64)",
+    op.I64_CTZ: "_ctz({a}, 64)",
+    op.I64_POPCNT: "_popcnt({a})",
+    op.F64_ABS: "abs({a})",
+    op.F64_NEG: "-({a})",
+    op.F64_CEIL: "_fceil({a})",
+    op.F64_FLOOR: "_ffloor({a})",
+    op.F64_TRUNC: "_ftrunc({a})",
+    op.F64_NEAREST: "_fnearest({a})",
+    op.F64_SQRT: "_fsqrt({a})",
+    op.F32_ABS: "abs({a})",
+    op.F32_NEG: "-({a})",
+    op.F32_CEIL: "_fceil({a})",
+    op.F32_FLOOR: "_ffloor({a})",
+    op.F32_TRUNC: "_ftrunc({a})",
+    op.F32_NEAREST: "_fnearest({a})",
+    op.F32_SQRT: "_f32r(_fsqrt({a}))",
+    op.I32_WRAP_I64: "{a} & " + _MASK32,
+    op.I64_EXTEND_I32_U: "{a}",
+    op.I64_EXTEND_I32_S: "_s32({a}) & " + _MASK64,
+    op.F32_CONVERT_I32_S: "_f32r(float(_s32({a})))",
+    op.F32_CONVERT_I32_U: "_f32r(float({a}))",
+    op.F32_CONVERT_I64_S: "_f32r(float(_s64({a})))",
+    op.F32_CONVERT_I64_U: "_f32r(float({a}))",
+    op.F32_DEMOTE_F64: "_f32r({a})",
+    op.F64_CONVERT_I32_S: "float(_s32({a}))",
+    op.F64_CONVERT_I32_U: "float({a})",
+    op.F64_CONVERT_I64_S: "float(_s64({a}))",
+    op.F64_CONVERT_I64_U: "float({a})",
+    op.F64_PROMOTE_F32: "{a}",
+    op.I32_REINTERPRET_F32: "_ri32f32({a})",
+    op.I64_REINTERPRET_F64: "_ri64f64({a})",
+    op.F32_REINTERPRET_I32: "_rf32i32({a})",
+    op.F64_REINTERPRET_I64: "_rf64i64({a})",
+    op.I32_EXTEND8_S: "_ext({a}, 8, 32)",
+    op.I32_EXTEND16_S: "_ext({a}, 16, 32)",
+    op.I64_EXTEND8_S: "_ext({a}, 8, 64)",
+    op.I64_EXTEND16_S: "_ext({a}, 16, 64)",
+    op.I64_EXTEND32_S: "_ext({a}, 32, 64)",
+}
+
+# Trapping unary operators (float-to-int truncation): materialised.
+_TRAPPING_UNOPS: Dict[int, str] = {
+    op.I32_TRUNC_F32_S: "_trunc({a}, True, 32)",
+    op.I32_TRUNC_F32_U: "_trunc({a}, False, 32)",
+    op.I32_TRUNC_F64_S: "_trunc({a}, True, 32)",
+    op.I32_TRUNC_F64_U: "_trunc({a}, False, 32)",
+    op.I64_TRUNC_F32_S: "_trunc({a}, True, 64)",
+    op.I64_TRUNC_F32_U: "_trunc({a}, False, 64)",
+    op.I64_TRUNC_F64_S: "_trunc({a}, True, 64)",
+    op.I64_TRUNC_F64_U: "_trunc({a}, False, 64)",
+}
+
+_LOADS: Dict[int, tuple] = {
+    op.I32_LOAD: (4, "_upI32({m}, {a})[0]"),
+    op.I64_LOAD: (8, "_upI64({m}, {a})[0]"),
+    op.F32_LOAD: (4, "_upF32({m}, {a})[0]"),
+    op.F64_LOAD: (8, "_upF64({m}, {a})[0]"),
+    op.I32_LOAD8_U: (1, "{m}[{a}]"),
+    op.I64_LOAD8_U: (1, "{m}[{a}]"),
+    op.I32_LOAD8_S: (1, "_ext({m}[{a}], 8, 32)"),
+    op.I64_LOAD8_S: (1, "_ext({m}[{a}], 8, 64)"),
+    op.I32_LOAD16_U: (2, "_upI16({m}, {a})[0]"),
+    op.I64_LOAD16_U: (2, "_upI16({m}, {a})[0]"),
+    op.I32_LOAD16_S: (2, "_ext(_upI16({m}, {a})[0], 16, 32)"),
+    op.I64_LOAD16_S: (2, "_ext(_upI16({m}, {a})[0], 16, 64)"),
+    op.I64_LOAD32_U: (4, "_upI32({m}, {a})[0]"),
+    op.I64_LOAD32_S: (4, "_ext(_upI32({m}, {a})[0], 32, 64)"),
+}
+
+_STORES: Dict[int, tuple] = {
+    op.I32_STORE: (4, "_pkI32({m}, {a}, {v})"),
+    op.I64_STORE: (8, "_pkI64({m}, {a}, {v})"),
+    op.F32_STORE: (4, "_pkF32({m}, {a}, {v})"),
+    op.F64_STORE: (8, "_pkF64({m}, {a}, {v})"),
+    op.I32_STORE8: (1, "{m}[{a}] = ({v}) & 0xFF"),
+    op.I64_STORE8: (1, "{m}[{a}] = ({v}) & 0xFF"),
+    op.I32_STORE16: (2, "_pkI16({m}, {a}, ({v}) & 0xFFFF)"),
+    op.I64_STORE16: (2, "_pkI16({m}, {a}, ({v}) & 0xFFFF)"),
+    op.I64_STORE32: (4, "_pkI32({m}, {a}, ({v}) & " + _MASK32 + ")"),
+}
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class _Value:
+    """One compile-time stack slot: a deferred expression or a variable."""
+
+    __slots__ = ("expr", "locals_read", "reads_global", "reads_memory",
+                 "ops", "is_var", "bool_expr")
+
+    def __init__(self, expr: str, locals_read: FrozenSet[int] = _EMPTY,
+                 reads_global: bool = False, reads_memory: bool = False,
+                 ops: int = 1, is_var: bool = False,
+                 bool_expr: Optional[str] = None) -> None:
+        self.expr = expr
+        self.locals_read = locals_read
+        self.reads_global = reads_global
+        self.reads_memory = reads_memory
+        self.ops = ops
+        self.is_var = is_var
+        # For i32 booleans produced by comparisons/eqz: the raw Python
+        # condition, so branches can test it without the 1/0 round trip.
+        self.bool_expr = bool_expr
+
+    @classmethod
+    def var(cls, name: str) -> "_Value":
+        return cls(name, ops=0, is_var=True)
+
+    @property
+    def paren(self) -> str:
+        """The expression, parenthesised unless it is atomic."""
+        if self.is_var or self.expr.isidentifier() or _is_literal(self.expr):
+            return self.expr
+        return f"({self.expr})"
+
+    @property
+    def condition(self) -> str:
+        """The truth-test form for if/br_if/select."""
+        return self.bool_expr if self.bool_expr is not None else self.expr
+
+    @property
+    def literal(self) -> Optional[int]:
+        """The integer value when this is a literal constant."""
+        if _is_literal(self.expr):
+            return int(self.expr)
+        return None
+
+
+def _is_literal(expr: str) -> bool:
+    return expr.isdigit() or (expr.startswith("-") and expr[1:].isdigit())
+
+
+class _Emitter:
+    """Accumulates generated source with explicit indentation control."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str) -> None:
+        # Single-space indentation maximises nesting headroom in the
+        # tokenizer for deeply nested Wasm control flow.
+        self.lines.append(" " * self.indent + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Frame:
+    """One open structured construct during compilation."""
+
+    __slots__ = ("kind", "label", "entry_height", "arity", "top_level")
+
+    def __init__(self, kind: int, label: int, entry_height: int,
+                 arity: int, top_level: bool) -> None:
+        self.kind = kind
+        self.label = label
+        self.entry_height = entry_height
+        self.arity = arity
+        self.top_level = top_level
+
+
+class _FunctionCompiler:
+    """Compiles one decoded function body into Python source."""
+
+    def __init__(self, module: Module, func: Function, func_index: int) -> None:
+        self.module = module
+        self.func = func
+        self.func_index = func_index
+        self.func_type = module.types[func.type_index]
+        self.out = _Emitter()
+        self.frames: List[_Frame] = []
+        self.next_label = 0
+        self.next_temp = 0
+        self.stack: List[_Value] = []
+
+    # -- stack management ---------------------------------------------------------
+    #
+    # Naming discipline: mid-stream materialisations always get a *fresh*
+    # temporary (t{n}) so a deferred expression can never observe its
+    # referenced variable being recycled. Canonical position names (s{i})
+    # are written only at control-flow boundaries by `_spill_all`, in
+    # ascending position order — an entry can only reference position
+    # names of positions <= its own (values are consumed linearly), so
+    # the ascending pass reads every old value before overwriting it.
+
+    def _push(self, expr: str, locals_read: FrozenSet[int] = _EMPTY,
+              reads_global: bool = False, reads_memory: bool = False,
+              ops: int = 1, bool_expr: Optional[str] = None) -> None:
+        self.stack.append(
+            _Value(expr, locals_read, reads_global, reads_memory, ops,
+                   bool_expr=bool_expr))
+        if ops > _MAX_FUSED_OPS:
+            self._materialize(len(self.stack) - 1)
+
+    def _push_var(self, expr: str) -> None:
+        """Materialise ``expr`` into a fresh temporary immediately."""
+        name = f"t{self.next_temp}"
+        self.next_temp += 1
+        self.out.emit(f"{name} = {expr}")
+        self.stack.append(_Value.var(name))
+
+    def _pop(self) -> _Value:
+        return self.stack.pop()
+
+    def _materialize(self, position: int) -> None:
+        """Evaluate a deferred entry now, into a fresh temporary."""
+        value = self.stack[position]
+        if value.is_var:
+            return
+        name = f"t{self.next_temp}"
+        self.next_temp += 1
+        self.out.emit(f"{name} = {value.expr}")
+        self.stack[position] = _Value.var(name)
+
+    def _spill(self, position: int) -> None:
+        """Place a stack entry into its canonical boundary variable."""
+        value = self.stack[position]
+        name = f"s{position}"
+        if value.is_var and value.expr == name:
+            return
+        self.out.emit(f"{name} = {value.expr}")
+        self.stack[position] = _Value.var(name)
+
+    def _spill_all(self) -> None:
+        for position in range(len(self.stack)):
+            self._spill(position)
+
+    def _spill_local_readers(self, local_index: int) -> None:
+        for position, value in enumerate(self.stack):
+            if local_index in value.locals_read:
+                self._materialize(position)
+
+    def _spill_global_readers(self) -> None:
+        for position, value in enumerate(self.stack):
+            if value.reads_global:
+                self._materialize(position)
+
+    def _spill_memory_readers(self) -> None:
+        for position, value in enumerate(self.stack):
+            if value.reads_memory:
+                self._materialize(position)
+
+    def _spill_call_clobbered(self) -> None:
+        """A call may write globals and memory (not our locals)."""
+        for position, value in enumerate(self.stack):
+            if value.reads_global or value.reads_memory:
+                self._materialize(position)
+
+    def _reset_stack(self, height: int) -> None:
+        """Canonical var entries s0..s{height-1} (control-join state)."""
+        self.stack = [_Value.var(f"s{i}") for i in range(height)]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _result_expr(self) -> str:
+        if len(self.func_type.results) == 0:
+            return "None"
+        return self.stack[-1].expr if self.stack else "None"
+
+    def _emit_branch(self, depth: int) -> None:
+        """Emit the transfer for ``br depth``; stack entries are vars."""
+        height = len(self.stack)
+        if depth >= len(self.frames):
+            # Branch to the function frame: a return.
+            if len(self.func_type.results) == 0:
+                self.out.emit("return None")
+            else:
+                self.out.emit(f"return s{height - 1}")
+            return
+        frame = self.frames[-1 - depth]
+        arity = 0 if frame.kind == op.LOOP else frame.arity
+        base = frame.entry_height
+        source_base = height - arity
+        for position in range(arity):
+            if source_base + position != base + position:
+                self.out.emit(f"s{base + position} = s{source_base + position}")
+        if depth == 0 and frame.kind != op.LOOP:
+            self.out.emit("break")
+        elif depth == 0:
+            # Back edge to the innermost loop: at this point the
+            # innermost Python `while` is that loop's body capsule, whose
+            # body *is* the loop body — `continue` restarts it directly,
+            # skipping the _br unwind machinery.
+            self.out.emit("continue")
+        else:
+            self.out.emit(f"_br = {frame.label}")
+            self.out.emit("break")
+
+    def _emit_epilogue(self, frame: _Frame) -> None:
+        """Post-capsule branch bookkeeping for a construct."""
+        if frame.kind == op.LOOP:
+            self.out.emit("if _br >= 0:")
+            self.out.indent += 1
+            self.out.emit(f"if _br == {frame.label}:")
+            self.out.indent += 1
+            self.out.emit("_br = -1")
+            self.out.emit("continue")
+            self.out.indent -= 1
+            self.out.emit("break")
+            self.out.indent -= 1
+            self.out.emit("break")
+            self.out.indent -= 1  # close outer while
+            if not frame.top_level:
+                self.out.emit("if _br >= 0:")
+                self.out.indent += 1
+                self.out.emit("break")
+                self.out.indent -= 1
+        else:
+            self.out.indent -= 1  # close capsule while
+            self.out.emit("if _br >= 0:")
+            self.out.indent += 1
+            if frame.top_level:
+                self.out.emit("_br = -1")
+            else:
+                self.out.emit(f"if _br != {frame.label}: break")
+                self.out.emit("_br = -1")
+            self.out.indent -= 1
+
+    # -- main pass ---------------------------------------------------------------
+
+    def compile(self) -> str:
+        func_type = self.func_type
+        params = [f"l{i}" for i in range(len(func_type.params))]
+        name = f"_wasm_f{self.func_index}"
+        self.out.emit(f"def {name}({', '.join(params)}):")
+        self.out.indent += 1
+        self.out.emit("_inst.enter_call()")
+        self.out.emit("try:")
+        self.out.indent += 1
+        for offset, valtype in enumerate(self.func.locals):
+            index = len(params) + offset
+            zero = "0" if valtype.is_integer else "0.0"
+            self.out.emit(f"l{index} = {zero}")
+        self.out.emit("_br = -1")
+        self._compile_body()
+        self.out.indent -= 1
+        self.out.emit("finally:")
+        self.out.indent += 1
+        self.out.emit("_inst.exit_call()")
+        self.out.indent -= 1
+        self.out.indent -= 1
+        return self.out.source()
+
+    def _compile_body(self) -> None:
+        module = self.module
+        out = self.out
+        dead = False
+        dead_depth = 0
+
+        for instr in self.func.body:
+            code = instr.opcode
+
+            if dead:
+                if code in (op.BLOCK, op.LOOP, op.IF):
+                    dead_depth += 1
+                elif code == op.ELSE and dead_depth == 0:
+                    frame = self.frames[-1]
+                    out.indent -= 1
+                    out.emit("else:")
+                    out.indent += 1
+                    out.emit("pass")
+                    self._reset_stack(frame.entry_height)
+                    dead = False
+                elif code == op.END:
+                    if dead_depth:
+                        dead_depth -= 1
+                    elif not self.frames:
+                        dead = False
+                    else:
+                        frame = self.frames.pop()
+                        if frame.kind == op.IF:
+                            out.indent -= 1  # close if/else suite
+                        self._reset_stack(frame.entry_height + frame.arity)
+                        dead = False
+                        if frame.kind == op.LOOP:
+                            out.emit("break")
+                            out.indent -= 1
+                            self._emit_epilogue(frame)
+                        else:
+                            out.emit("break")
+                            self._emit_epilogue(frame)
+                continue
+
+            if code == op.NOP:
+                continue
+
+            if code == op.BLOCK:
+                self._spill_all()
+                frame = _Frame(code, self.next_label, len(self.stack),
+                               instr.arg.arity, not self.frames)
+                self.next_label += 1
+                self.frames.append(frame)
+                out.emit(f"while True:  # block L{frame.label}")
+                out.indent += 1
+                out.emit("pass")
+            elif code == op.LOOP:
+                self._spill_all()
+                frame = _Frame(code, self.next_label, len(self.stack),
+                               instr.arg.arity, not self.frames)
+                self.next_label += 1
+                self.frames.append(frame)
+                out.emit(f"while True:  # loop L{frame.label}")
+                out.indent += 1
+                out.emit("while True:")
+                out.indent += 1
+                out.emit("pass")
+            elif code == op.IF:
+                condition = self._pop()
+                self._spill_all()
+                frame = _Frame(code, self.next_label, len(self.stack),
+                               instr.arg.arity, not self.frames)
+                self.next_label += 1
+                self.frames.append(frame)
+                out.emit(f"while True:  # if L{frame.label}")
+                out.indent += 1
+                out.emit(f"if {condition.condition}:")
+                out.indent += 1
+                out.emit("pass")
+            elif code == op.ELSE:
+                frame = self.frames[-1]
+                self._spill_all()
+                out.indent -= 1
+                out.emit("else:")
+                out.indent += 1
+                out.emit("pass")
+                self._reset_stack(frame.entry_height)
+            elif code == op.END:
+                self._spill_all()
+                if not self.frames:
+                    out.emit(f"return {self._result_expr()}")
+                    continue
+                frame = self.frames.pop()
+                if frame.kind == op.IF:
+                    out.indent -= 1  # close if (or else) suite
+                self._reset_stack(frame.entry_height + frame.arity)
+                if frame.kind == op.LOOP:
+                    out.emit("break")
+                    out.indent -= 1
+                    self._emit_epilogue(frame)
+                else:
+                    out.emit("break")
+                    self._emit_epilogue(frame)
+            elif code == op.BR:
+                self._spill_all()
+                self._emit_branch(instr.arg)
+                dead = True
+            elif code == op.BR_IF:
+                condition = self._pop()
+                self._spill_all()
+                out.emit(f"if {condition.condition}:")
+                out.indent += 1
+                self._emit_branch(instr.arg)
+                out.indent -= 1
+            elif code == op.BR_TABLE:
+                depths, default = instr.arg
+                selector = self._pop()
+                self._spill_all()
+                if depths:
+                    out.emit(f"_i = {selector.expr}")
+                    for position, depth in enumerate(depths):
+                        keyword = "if" if position == 0 else "elif"
+                        out.emit(f"{keyword} _i == {position}:")
+                        out.indent += 1
+                        self._emit_branch(depth)
+                        out.indent -= 1
+                    out.emit("else:")
+                    out.indent += 1
+                    self._emit_branch(default)
+                    out.indent -= 1
+                else:
+                    self._emit_branch(default)
+                dead = True
+            elif code == op.RETURN:
+                out.emit(f"return {self._result_expr()}")
+                dead = True
+            elif code == op.UNREACHABLE:
+                out.emit('_trap("unreachable executed")')
+                dead = True
+            elif code == op.CALL:
+                signature = module.func_type(instr.arg)
+                nparams = len(signature.params)
+                arguments = self.stack[len(self.stack) - nparams:] \
+                    if nparams else []
+                del self.stack[len(self.stack) - nparams:]
+                self._spill_call_clobbered()
+                argument_list = ", ".join(a.expr for a in arguments)
+                if signature.results:
+                    self._push_var(f"_f[{instr.arg}]({argument_list})")
+                else:
+                    out.emit(f"_f[{instr.arg}]({argument_list})")
+            elif code == op.CALL_INDIRECT:
+                signature = module.types[instr.arg]
+                element = self._pop()
+                nparams = len(signature.params)
+                arguments = self.stack[len(self.stack) - nparams:] \
+                    if nparams else []
+                del self.stack[len(self.stack) - nparams:]
+                self._spill_call_clobbered()
+                out.emit(f"_fi = _tbl.get({element.expr})")
+                out.emit(f"if _ft[_fi] != _sig{instr.arg}:")
+                out.indent += 1
+                out.emit('_trap("indirect call signature mismatch")')
+                out.indent -= 1
+                argument_list = ", ".join(a.expr for a in arguments)
+                if signature.results:
+                    self._push_var(f"_f[_fi]({argument_list})")
+                else:
+                    out.emit(f"_f[_fi]({argument_list})")
+            elif code == op.DROP:
+                self._pop()  # deferred expressions are pure: discard
+            elif code == op.SELECT:
+                condition = self._pop()
+                self._spill(len(self.stack) - 2)
+                self._spill(len(self.stack) - 1)
+                top = len(self.stack)
+                out.emit(f"if not ({condition.condition}):")
+                out.indent += 1
+                out.emit(f"s{top - 2} = s{top - 1}")
+                out.indent -= 1
+                self._pop()
+            elif code == op.LOCAL_GET:
+                self._push(f"l{instr.arg}",
+                           locals_read=frozenset((instr.arg,)), ops=1)
+            elif code == op.LOCAL_SET:
+                value = self._pop()
+                self._spill_local_readers(instr.arg)
+                out.emit(f"l{instr.arg} = {value.expr}")
+            elif code == op.LOCAL_TEE:
+                value = self._pop()
+                self._spill_local_readers(instr.arg)
+                out.emit(f"l{instr.arg} = {value.expr}")
+                self._push(f"l{instr.arg}",
+                           locals_read=frozenset((instr.arg,)), ops=1)
+            elif code == op.GLOBAL_GET:
+                self._push(f"_g[{instr.arg}].value", reads_global=True, ops=1)
+            elif code == op.GLOBAL_SET:
+                value = self._pop()
+                self._spill_global_readers()
+                out.emit(f"_g[{instr.arg}].value = {value.expr}")
+            elif code in (op.I32_CONST, op.I64_CONST):
+                self._push(str(instr.arg), ops=0)
+            elif code in (op.F32_CONST, op.F64_CONST):
+                value = instr.arg
+                if math.isnan(value):
+                    self._push("float('nan')", ops=0)
+                elif math.isinf(value):
+                    sign = "-" if value < 0 else ""
+                    self._push(f"float('{sign}inf')", ops=0)
+                else:
+                    self._push(repr(value), ops=0)
+            elif code in _LOADS:
+                width, template = _LOADS[code]
+                address = self._pop()
+                offset = f" + {instr.arg}" if instr.arg else ""
+                out.emit(f"_a = {address.paren}{offset}")
+                out.emit(f"if _a + {width} > len(_m): "
+                         "_trap('out-of-bounds memory access')")
+                self._push_var(template.format(m="_m", a="_a"))
+            elif code in _STORES:
+                width, template = _STORES[code]
+                value = self._pop()
+                address = self._pop()
+                self._spill_memory_readers()
+                offset = f" + {instr.arg}" if instr.arg else ""
+                out.emit(f"_a = {address.paren}{offset}")
+                out.emit(f"if _a + {width} > len(_m): "
+                         "_trap('out-of-bounds memory access')")
+                out.emit(template.format(m="_m", a="_a", v=value.expr))
+            elif code == op.MEMORY_SIZE:
+                self._push("_mem.size_pages", reads_memory=True, ops=1)
+            elif code == op.MEMORY_GROW:
+                value = self._pop()
+                self._spill_memory_readers()
+                self._push_var(f"_mem.grow({value.expr}) & {_MASK32}")
+            elif code in (op.I32_EQZ, op.I64_EQZ):
+                operand = self._pop()
+                if operand.bool_expr is not None:
+                    raw = f"not ({operand.bool_expr})"
+                elif operand.literal is not None:
+                    raw = "True" if operand.literal == 0 else "False"
+                else:
+                    raw = f"{operand.paren} == 0"
+                self._push(
+                    f"1 if {raw} else 0",
+                    locals_read=operand.locals_read,
+                    reads_global=operand.reads_global,
+                    reads_memory=operand.reads_memory,
+                    ops=operand.ops + 2,
+                    bool_expr=raw,
+                )
+            elif code in _BINOPS:
+                rhs = self._pop()
+                lhs = self._pop()
+                if (code in _FOLDABLE_BINOPS and lhs.literal is not None
+                        and rhs.literal is not None):
+                    folded = eval(  # compile-time, pure integer arithmetic
+                        _BINOPS[code].format(a=lhs.expr, b=rhs.expr),
+                        dict(_FOLD_NAMESPACE),
+                    )
+                    self._push(str(folded), ops=0)
+                    continue
+                self._push(
+                    _BINOPS[code].format(a=lhs.paren, b=rhs.paren),
+                    locals_read=lhs.locals_read | rhs.locals_read,
+                    reads_global=lhs.reads_global or rhs.reads_global,
+                    reads_memory=lhs.reads_memory or rhs.reads_memory,
+                    ops=lhs.ops + rhs.ops + 1,
+                )
+            elif code in _TRAPPING_BINOPS:
+                rhs = self._pop()
+                lhs = self._pop()
+                self._push_var(
+                    _TRAPPING_BINOPS[code].format(a=lhs.expr, b=rhs.expr))
+            elif code in _RELOPS:
+                rhs = self._pop()
+                lhs = self._pop()
+                if code in _MULTI_USE_RELOPS:
+                    # The template reads each operand more than once:
+                    # materialise both into fresh temporaries first.
+                    self.stack.append(lhs)
+                    self._materialize(len(self.stack) - 1)
+                    self.stack.append(rhs)
+                    self._materialize(len(self.stack) - 1)
+                    rhs = self._pop()
+                    lhs = self._pop()
+                if code in _SIGNED_RELOPS:
+                    bits = _SIGNED_RELOPS[code]
+                    raw = _RELOPS[code].format(a=lhs.paren, b=rhs.paren)
+                    # Fold _sNN(literal) operands into signed literals.
+                    for operand in (lhs, rhs):
+                        literal = operand.literal
+                        if literal is not None:
+                            signed = num.s32(literal) if bits == 32 \
+                                else num.s64(literal)
+                            raw = raw.replace(
+                                f"_s{bits}({operand.paren})", str(signed), 1)
+                else:
+                    raw = _RELOPS[code].format(a=lhs.paren, b=rhs.paren)
+                self._push(
+                    f"1 if {raw} else 0",
+                    locals_read=lhs.locals_read | rhs.locals_read,
+                    reads_global=lhs.reads_global or rhs.reads_global,
+                    reads_memory=lhs.reads_memory or rhs.reads_memory,
+                    ops=lhs.ops + rhs.ops + 2,
+                    bool_expr=raw,
+                )
+            elif code in _UNOPS:
+                operand = self._pop()
+                template = _UNOPS[code]
+                expression = template.format(a=operand.paren)
+                if template == "{a}":
+                    self.stack.append(operand)
+                else:
+                    self._push(
+                        expression,
+                        locals_read=operand.locals_read,
+                        reads_global=operand.reads_global,
+                        reads_memory=operand.reads_memory,
+                        ops=operand.ops + 1,
+                    )
+            elif code in _TRAPPING_UNOPS:
+                operand = self._pop()
+                self._push_var(_TRAPPING_UNOPS[code].format(a=operand.expr))
+            else:
+                raise WasmError(f"AOT: unimplemented opcode {op.name(code)}")
+
+
+class AotCompiler(Engine):
+    """Engine that compiles functions to Python closures at load time."""
+
+    name = "aot"
+
+    def compile_function(self, module: Module, instance: Instance,
+                         func_index: int) -> Callable:
+        func = module.functions[func_index - len(module.imported_funcs)]
+        compiler = _FunctionCompiler(module, func, func_index)
+        source = compiler.compile()
+        namespace = self._namespace(module, instance)
+        code = compile(source, f"<wasm-aot f{func_index}>", "exec")
+        exec(code, namespace)
+        compiled = namespace[f"_wasm_f{func_index}"]
+        compiled.__wasm_source__ = source  # aid debugging and tests
+        # Internal Wasm->Wasm calls skip the coercing wrapper: values
+        # produced inside the sandbox are already canonical.
+        namespace["_f"].append(compiled)
+        param_types = module.types[func.type_index].params
+        return _wrap_entry(compiled, param_types)
+
+    def _namespace(self, module: Module, instance: Instance) -> dict:
+        cached = getattr(instance, "_aot_namespace", None)
+        if cached is not None:
+            return cached
+        namespace = {
+            "_inst": instance,
+            # The fast call table: host bindings as-is (they are ordinary
+            # Python callables), local functions appended *unwrapped* as
+            # they are compiled. instance.funcs keeps the wrapped entry
+            # points for the embedder.
+            "_f": list(instance.funcs),
+            "_ft": instance.func_types,
+            "_g": instance.globals,
+            "_mem": instance.memory,
+            "_m": instance.memory.data if instance.memory else b"",
+            "_tbl": instance.table,
+            "_trap": _trap,
+            "_s32": num.s32,
+            "_s64": num.s64,
+            "_f32r": num.f32_round,
+            "_clz": num.clz,
+            "_ctz": num.ctz,
+            "_popcnt": num.popcnt,
+            "_rotl": num.rotl,
+            "_rotr": num.rotr,
+            "_divs": num.idiv_s,
+            "_divu": num.idiv_u,
+            "_rems": num.irem_s,
+            "_remu": num.irem_u,
+            "_shrs": num.shr_s,
+            "_trunc": num.trunc_to_int,
+            "_ext": num.extend_signed,
+            "_fdiv": _fdiv,
+            "_fmin": num.fmin,
+            "_fmax": num.fmax,
+            "_fceil": num.fceil,
+            "_ffloor": num.ffloor,
+            "_ftrunc": num.ftrunc,
+            "_fnearest": num.fnearest,
+            "_fsqrt": num.fsqrt,
+            "_copysign": math.copysign,
+            "_isnan": math.isnan,
+            "_ri32f32": num.i32_reinterpret_f32,
+            "_ri64f64": num.i64_reinterpret_f64,
+            "_rf32i32": num.f32_reinterpret_i32,
+            "_rf64i64": num.f64_reinterpret_i64,
+            "_upI16": S_I16.unpack_from,
+            "_upI32": S_I32.unpack_from,
+            "_upI64": S_I64.unpack_from,
+            "_upF32": S_F32.unpack_from,
+            "_upF64": S_F64.unpack_from,
+            "_pkI16": S_I16.pack_into,
+            "_pkI32": S_I32.pack_into,
+            "_pkI64": S_I64.pack_into,
+            "_pkF32": S_F32.pack_into,
+            "_pkF64": S_F64.pack_into,
+        }
+        for type_index, func_type in enumerate(module.types):
+            namespace[f"_sig{type_index}"] = func_type
+        instance._aot_namespace = namespace  # type: ignore[attr-defined]
+        return namespace
+
+
+def _wrap_entry(compiled: Callable, param_types) -> Callable:
+    """Coerce host-supplied arguments once at the public boundary."""
+    from repro.wasm.interpreter import _coerce
+
+    def entry(*args):
+        if len(args) != len(param_types):
+            raise TrapError(
+                f"expected {len(param_types)} arguments, got {len(args)}"
+            )
+        return compiled(*(
+            _coerce(value, valtype)
+            for value, valtype in zip(args, param_types)
+        ))
+
+    entry.__wasm_source__ = compiled.__wasm_source__
+    entry.compiled = compiled
+    return entry

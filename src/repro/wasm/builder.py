@@ -1,0 +1,406 @@
+"""Programmatic construction of WebAssembly binaries.
+
+The paper compiles its workloads with WASI-SDK (Clang); offline we author
+modules either through :mod:`repro.walc` (which drives this builder) or
+directly in tests. The builder emits spec-conformant MVP binaries that the
+decoder, validator and both execution engines then consume — giving full
+encode/decode round-trip coverage.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import WasmError
+from repro.wasm import opcodes as op
+from repro.wasm.leb128 import encode_signed, encode_unsigned
+from repro.wasm.types import (
+    EMPTY_BLOCK_TYPE,
+    FUNC_TYPE_TAG,
+    FUNCREF,
+    ValType,
+)
+
+_MAGIC = b"\x00asm"
+_VERSION = b"\x01\x00\x00\x00"
+
+# Section identifiers.
+_SEC_TYPE = 1
+_SEC_IMPORT = 2
+_SEC_FUNCTION = 3
+_SEC_TABLE = 4
+_SEC_MEMORY = 5
+_SEC_GLOBAL = 6
+_SEC_EXPORT = 7
+_SEC_START = 8
+_SEC_ELEMENT = 9
+_SEC_CODE = 10
+_SEC_DATA = 11
+
+# Immediate-encoding categories, keyed by opcode.
+_IMM_BLOCKTYPE = {op.BLOCK, op.LOOP, op.IF}
+_IMM_INDEX = {
+    op.BR, op.BR_IF, op.CALL,
+    op.LOCAL_GET, op.LOCAL_SET, op.LOCAL_TEE,
+    op.GLOBAL_GET, op.GLOBAL_SET,
+}
+_IMM_MEMORY = set(range(op.I32_LOAD, op.I64_STORE32 + 1))
+_NATURAL_ALIGN = {
+    op.I32_LOAD: 2, op.I64_LOAD: 3, op.F32_LOAD: 2, op.F64_LOAD: 3,
+    op.I32_LOAD8_S: 0, op.I32_LOAD8_U: 0, op.I32_LOAD16_S: 1, op.I32_LOAD16_U: 1,
+    op.I64_LOAD8_S: 0, op.I64_LOAD8_U: 0, op.I64_LOAD16_S: 1, op.I64_LOAD16_U: 1,
+    op.I64_LOAD32_S: 2, op.I64_LOAD32_U: 2,
+    op.I32_STORE: 2, op.I64_STORE: 3, op.F32_STORE: 2, op.F64_STORE: 3,
+    op.I32_STORE8: 0, op.I32_STORE16: 1,
+    op.I64_STORE8: 0, op.I64_STORE16: 1, op.I64_STORE32: 2,
+}
+
+
+def _encode_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    return encode_unsigned(len(raw)) + raw
+
+
+def _encode_valtypes(types: Sequence[ValType]) -> bytes:
+    return encode_unsigned(len(types)) + bytes(int(t) for t in types)
+
+
+def _encode_limits(minimum: int, maximum: Optional[int]) -> bytes:
+    if maximum is None:
+        return b"\x00" + encode_unsigned(minimum)
+    return b"\x01" + encode_unsigned(minimum) + encode_unsigned(maximum)
+
+
+class FunctionBuilder:
+    """Accumulates the encoded body of one function."""
+
+    def __init__(self, module: "ModuleBuilder", index: int, type_index: int) -> None:
+        self._module = module
+        self.index = index
+        self.type_index = type_index
+        self.locals: List[ValType] = []
+        self._body = bytearray()
+        self._depth = 0
+
+    def add_local(self, valtype: ValType) -> int:
+        """Declare one extra local; returns its index (params included)."""
+        param_count = len(self._module.types[self.type_index][0])
+        self.locals.append(valtype)
+        return param_count + len(self.locals) - 1
+
+    # -- low-level emission -------------------------------------------------
+
+    def emit(self, opcode: int, *immediates) -> "FunctionBuilder":
+        """Append one instruction, encoding immediates by opcode category."""
+        body = self._body
+        body.append(opcode)
+        if opcode in _IMM_BLOCKTYPE:
+            block_type = immediates[0] if immediates else None
+            if block_type is None:
+                body.append(EMPTY_BLOCK_TYPE)
+            else:
+                body.append(int(block_type))
+            self._depth += 1
+        elif opcode == op.END:
+            self._depth -= 1
+            if self._depth < 0:
+                raise WasmError("unbalanced end in function body")
+        elif opcode == op.ELSE:
+            pass
+        elif opcode in _IMM_INDEX:
+            body.extend(encode_unsigned(immediates[0]))
+        elif opcode == op.BR_TABLE:
+            depths, default = immediates
+            body.extend(encode_unsigned(len(depths)))
+            for depth in depths:
+                body.extend(encode_unsigned(depth))
+            body.extend(encode_unsigned(default))
+        elif opcode == op.CALL_INDIRECT:
+            body.extend(encode_unsigned(immediates[0]))
+            body.append(0x00)  # table index (MVP: always 0)
+        elif opcode in _IMM_MEMORY:
+            offset = immediates[0] if immediates else 0
+            body.extend(encode_unsigned(_NATURAL_ALIGN[opcode]))
+            body.extend(encode_unsigned(offset))
+        elif opcode in (op.MEMORY_SIZE, op.MEMORY_GROW):
+            body.append(0x00)
+        elif opcode == op.I32_CONST:
+            body.extend(encode_signed(_wrap_signed(immediates[0], 32)))
+        elif opcode == op.I64_CONST:
+            body.extend(encode_signed(_wrap_signed(immediates[0], 64)))
+        elif opcode == op.F32_CONST:
+            body.extend(struct.pack("<f", immediates[0]))
+        elif opcode == op.F64_CONST:
+            body.extend(struct.pack("<d", immediates[0]))
+        return self
+
+    # -- structured-control helpers -----------------------------------------
+
+    def block(self, result: Optional[ValType] = None) -> "FunctionBuilder":
+        return self.emit(op.BLOCK, result)
+
+    def loop(self, result: Optional[ValType] = None) -> "FunctionBuilder":
+        return self.emit(op.LOOP, result)
+
+    def if_(self, result: Optional[ValType] = None) -> "FunctionBuilder":
+        return self.emit(op.IF, result)
+
+    def else_(self) -> "FunctionBuilder":
+        return self.emit(op.ELSE)
+
+    def end(self) -> "FunctionBuilder":
+        return self.emit(op.END)
+
+    # -- frequent-instruction sugar ------------------------------------------
+
+    def i32_const(self, value: int) -> "FunctionBuilder":
+        return self.emit(op.I32_CONST, value)
+
+    def i64_const(self, value: int) -> "FunctionBuilder":
+        return self.emit(op.I64_CONST, value)
+
+    def f32_const(self, value: float) -> "FunctionBuilder":
+        return self.emit(op.F32_CONST, value)
+
+    def f64_const(self, value: float) -> "FunctionBuilder":
+        return self.emit(op.F64_CONST, value)
+
+    def local_get(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_GET, index)
+
+    def local_set(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_SET, index)
+
+    def local_tee(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_TEE, index)
+
+    def global_get(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.GLOBAL_GET, index)
+
+    def global_set(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.GLOBAL_SET, index)
+
+    def call(self, func_index: int) -> "FunctionBuilder":
+        return self.emit(op.CALL, func_index)
+
+    def br(self, depth: int) -> "FunctionBuilder":
+        return self.emit(op.BR, depth)
+
+    def br_if(self, depth: int) -> "FunctionBuilder":
+        return self.emit(op.BR_IF, depth)
+
+    def ret(self) -> "FunctionBuilder":
+        return self.emit(op.RETURN)
+
+    # -- assembly -----------------------------------------------------------
+
+    def encoded(self) -> bytes:
+        """Encode locals declaration + body (with the terminating ``end``)."""
+        if self._depth != 0:
+            raise WasmError(
+                f"function {self.index}: {self._depth} unterminated block(s)"
+            )
+        groups: List[Tuple[int, ValType]] = []
+        for valtype in self.locals:
+            if groups and groups[-1][1] == valtype:
+                groups[-1] = (groups[-1][0] + 1, valtype)
+            else:
+                groups.append((1, valtype))
+        out = bytearray(encode_unsigned(len(groups)))
+        for count, valtype in groups:
+            out.extend(encode_unsigned(count))
+            out.append(int(valtype))
+        out.extend(self._body)
+        out.append(op.END)
+        return bytes(out)
+
+
+def _wrap_signed(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+class ModuleBuilder:
+    """Builds a complete Wasm binary module."""
+
+    def __init__(self) -> None:
+        self.types: List[Tuple[Tuple[ValType, ...], Tuple[ValType, ...]]] = []
+        self._imports: List[Tuple[str, str, int]] = []
+        self._functions: List[FunctionBuilder] = []
+        self._table: Optional[Tuple[int, Optional[int]]] = None
+        self._memory: Optional[Tuple[int, Optional[int]]] = None
+        self._globals: List[Tuple[ValType, bool, Union[int, float]]] = []
+        self._exports: List[Tuple[str, int, int]] = []
+        self._start: Optional[int] = None
+        self._elements: List[Tuple[int, List[int]]] = []
+        self._data: List[Tuple[int, bytes]] = []
+        self._imports_frozen = False
+
+    # -- declarations ---------------------------------------------------------
+
+    def add_type(
+        self,
+        params: Sequence[ValType] = (),
+        results: Sequence[ValType] = (),
+    ) -> int:
+        """Intern a function type and return its index."""
+        signature = (tuple(params), tuple(results))
+        try:
+            return self.types.index(signature)
+        except ValueError:
+            self.types.append(signature)
+            return len(self.types) - 1
+
+    def import_function(self, module: str, name: str, type_index: int) -> int:
+        """Declare a function import; returns its function index."""
+        if self._imports_frozen:
+            raise WasmError("imports must be declared before local functions")
+        self._imports.append((module, name, type_index))
+        return len(self._imports) - 1
+
+    def add_function(self, type_index: int) -> FunctionBuilder:
+        """Begin a new local function; returns its body builder."""
+        self._imports_frozen = True
+        index = len(self._imports) + len(self._functions)
+        builder = FunctionBuilder(self, index, type_index)
+        self._functions.append(builder)
+        return builder
+
+    def add_table(self, minimum: int, maximum: Optional[int] = None) -> int:
+        self._table = (minimum, maximum)
+        return 0
+
+    def add_memory(self, min_pages: int, max_pages: Optional[int] = None) -> int:
+        self._memory = (min_pages, max_pages)
+        return 0
+
+    def add_global(
+        self,
+        valtype: ValType,
+        mutable: bool,
+        init: Union[int, float],
+    ) -> int:
+        self._globals.append((valtype, mutable, init))
+        return len(self._globals) - 1
+
+    def export_function(self, name: str, func_index: int) -> None:
+        self._exports.append((name, 0x00, func_index))
+
+    def export_table(self, name: str, index: int = 0) -> None:
+        self._exports.append((name, 0x01, index))
+
+    def export_memory(self, name: str, index: int = 0) -> None:
+        self._exports.append((name, 0x02, index))
+
+    def export_global(self, name: str, index: int) -> None:
+        self._exports.append((name, 0x03, index))
+
+    def set_start(self, func_index: int) -> None:
+        self._start = func_index
+
+    def add_element(self, offset: int, func_indices: Sequence[int]) -> None:
+        self._elements.append((offset, list(func_indices)))
+
+    def add_data(self, offset: int, data: bytes) -> None:
+        self._data.append((offset, bytes(data)))
+
+    # -- emission -------------------------------------------------------------
+
+    @staticmethod
+    def _section(section_id: int, payload: bytes) -> bytes:
+        return bytes([section_id]) + encode_unsigned(len(payload)) + payload
+
+    def build(self) -> bytes:
+        """Assemble and return the final binary."""
+        out = bytearray(_MAGIC + _VERSION)
+
+        payload = encode_unsigned(len(self.types))
+        for params, results in self.types:
+            payload += (
+                bytes([FUNC_TYPE_TAG])
+                + _encode_valtypes(params)
+                + _encode_valtypes(results)
+            )
+        out += self._section(_SEC_TYPE, payload)
+
+        if self._imports:
+            payload = encode_unsigned(len(self._imports))
+            for module, name, type_index in self._imports:
+                payload += (
+                    _encode_name(module)
+                    + _encode_name(name)
+                    + b"\x00"
+                    + encode_unsigned(type_index)
+                )
+            out += self._section(_SEC_IMPORT, payload)
+
+        if self._functions:
+            payload = encode_unsigned(len(self._functions))
+            for function in self._functions:
+                payload += encode_unsigned(function.type_index)
+            out += self._section(_SEC_FUNCTION, payload)
+
+        if self._table is not None:
+            payload = encode_unsigned(1) + bytes([FUNCREF]) + _encode_limits(*self._table)
+            out += self._section(_SEC_TABLE, payload)
+
+        if self._memory is not None:
+            payload = encode_unsigned(1) + _encode_limits(*self._memory)
+            out += self._section(_SEC_MEMORY, payload)
+
+        if self._globals:
+            payload = encode_unsigned(len(self._globals))
+            for valtype, mutable, init in self._globals:
+                payload += bytes([int(valtype), 0x01 if mutable else 0x00])
+                payload += _encode_const_expr(valtype, init)
+            out += self._section(_SEC_GLOBAL, payload)
+
+        if self._exports:
+            payload = encode_unsigned(len(self._exports))
+            for name, kind, index in self._exports:
+                payload += _encode_name(name) + bytes([kind]) + encode_unsigned(index)
+            out += self._section(_SEC_EXPORT, payload)
+
+        if self._start is not None:
+            out += self._section(_SEC_START, encode_unsigned(self._start))
+
+        if self._elements:
+            payload = encode_unsigned(len(self._elements))
+            for offset, indices in self._elements:
+                payload += encode_unsigned(0)
+                payload += bytes([op.I32_CONST]) + encode_signed(offset) + bytes([op.END])
+                payload += encode_unsigned(len(indices))
+                for func_index in indices:
+                    payload += encode_unsigned(func_index)
+            out += self._section(_SEC_ELEMENT, payload)
+
+        if self._functions:
+            payload = encode_unsigned(len(self._functions))
+            for function in self._functions:
+                body = function.encoded()
+                payload += encode_unsigned(len(body)) + body
+            out += self._section(_SEC_CODE, payload)
+
+        if self._data:
+            payload = encode_unsigned(len(self._data))
+            for offset, data in self._data:
+                payload += encode_unsigned(0)
+                payload += bytes([op.I32_CONST]) + encode_signed(offset) + bytes([op.END])
+                payload += encode_unsigned(len(data)) + data
+            out += self._section(_SEC_DATA, payload)
+
+        return bytes(out)
+
+
+def _encode_const_expr(valtype: ValType, init: Union[int, float]) -> bytes:
+    if valtype == ValType.I32:
+        return bytes([op.I32_CONST]) + encode_signed(_wrap_signed(int(init), 32)) + bytes([op.END])
+    if valtype == ValType.I64:
+        return bytes([op.I64_CONST]) + encode_signed(_wrap_signed(int(init), 64)) + bytes([op.END])
+    if valtype == ValType.F32:
+        return bytes([op.F32_CONST]) + struct.pack("<f", init) + bytes([op.END])
+    return bytes([op.F64_CONST]) + struct.pack("<d", init) + bytes([op.END])

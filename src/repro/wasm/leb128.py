@@ -1,0 +1,79 @@
+"""LEB128 variable-length integer encoding (Wasm binary format §5.2.2)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import DecodeError
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise ValueError("unsigned LEB128 cannot encode negatives")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_signed(value: int) -> bytes:
+    """Encode an integer as signed LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        sign_bit = byte & 0x40
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def decode_unsigned(data: bytes, offset: int, max_bits: int = 64) -> Tuple[int, int]:
+    """Decode unsigned LEB128 at ``offset``; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise DecodeError("truncated LEB128 integer")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            break
+        if shift >= max_bits + 7:
+            raise DecodeError("LEB128 integer too long")
+    if result >= 1 << max_bits:
+        raise DecodeError(f"LEB128 value exceeds {max_bits} bits")
+    return result, offset
+
+
+def decode_signed(data: bytes, offset: int, max_bits: int = 64) -> Tuple[int, int]:
+    """Decode signed LEB128 at ``offset``; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise DecodeError("truncated LEB128 integer")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40 and shift < max_bits + 7:
+                result |= -1 << shift
+            break
+        if shift >= max_bits + 7:
+            raise DecodeError("LEB128 integer too long")
+    low = -(1 << (max_bits - 1))
+    high = 1 << (max_bits - 1)
+    if not low <= result < high:
+        raise DecodeError(f"signed LEB128 value exceeds {max_bits} bits")
+    return result, offset

@@ -1,0 +1,264 @@
+"""Runtime structures shared by the interpreter and the AOT engine.
+
+An :class:`Instance` owns a linear :class:`Memory`, a funcref
+:class:`Table`, globals and a function index space mixing host imports and
+local functions. Engines differ only in how they turn a decoded
+:class:`~repro.wasm.module.Function` into a Python callable.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import LinkError, TrapError, ValidationError
+from repro.wasm.decoder import decode_module
+from repro.wasm.module import Module
+from repro.wasm.types import PAGE_SIZE, FuncType, ValType
+from repro.wasm.validation import validate_module
+
+# Bounded well below CPython's own recursion limit: one Wasm frame costs
+# up to three Python frames in the interpreting engine.
+MAX_CALL_DEPTH = 256
+
+
+class Memory:
+    """A growable linear memory backed by a single ``bytearray``.
+
+    The backing buffer grows in place (``bytearray.extend``) so references
+    captured by compiled code stay valid across ``memory.grow``.
+    """
+
+    def __init__(self, min_pages: int, max_pages: Optional[int] = None,
+                 hard_cap_bytes: Optional[int] = None) -> None:
+        self.max_pages = max_pages
+        self.hard_cap_bytes = hard_cap_bytes
+        if hard_cap_bytes is not None and min_pages * PAGE_SIZE > hard_cap_bytes:
+            raise TrapError("initial memory exceeds the platform heap cap")
+        self.data = bytearray(min_pages * PAGE_SIZE)
+
+    @property
+    def size_pages(self) -> int:
+        return len(self.data) // PAGE_SIZE
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns old size in pages, or -1."""
+        old = self.size_pages
+        new = old + delta_pages
+        if new > 65536:
+            return -1
+        if self.max_pages is not None and new > self.max_pages:
+            return -1
+        if (self.hard_cap_bytes is not None
+                and new * PAGE_SIZE > self.hard_cap_bytes):
+            return -1
+        self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        return old
+
+    # -- typed access (used by hosts and the interpreter) ---------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        if address < 0 or address + size > len(self.data):
+            raise TrapError("out-of-bounds memory read")
+        return bytes(self.data[address : address + size])
+
+    def write(self, address: int, payload: bytes) -> None:
+        if address < 0 or address + len(payload) > len(self.data):
+            raise TrapError("out-of-bounds memory write")
+        self.data[address : address + len(payload)] = payload
+
+
+class Table:
+    """A funcref table; unset elements trap on call_indirect."""
+
+    def __init__(self, minimum: int, maximum: Optional[int] = None) -> None:
+        self.maximum = maximum
+        self.elements: List[Optional[int]] = [None] * minimum
+
+    def get(self, index: int) -> int:
+        if index < 0 or index >= len(self.elements):
+            raise TrapError("table index out of bounds")
+        element = self.elements[index]
+        if element is None:
+            raise TrapError("uninitialised table element")
+        return element
+
+
+class GlobalInstance:
+    """A mutable or immutable global cell."""
+
+    __slots__ = ("value", "mutable", "valtype")
+
+    def __init__(self, valtype: ValType, value, mutable: bool) -> None:
+        self.valtype = valtype
+        self.value = value
+        self.mutable = mutable
+
+
+class HostFunction:
+    """An imported function provided by the embedder (e.g. the WASI layer).
+
+    ``fn`` is called as ``fn(instance, *args)`` and must return ``None``,
+    a single value, or a tuple matching the declared result arity.
+    """
+
+    def __init__(self, func_type: FuncType, fn: Callable, name: str = "") -> None:
+        self.func_type = func_type
+        self.fn = fn
+        self.name = name
+
+
+Imports = Dict[str, Dict[str, HostFunction]]
+
+
+class Instance:
+    """An instantiated module with its runtime state."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.memory: Optional[Memory] = None
+        self.table: Optional[Table] = None
+        self.globals: List[GlobalInstance] = []
+        # Joint function index space; each entry is a Python callable taking
+        # positional Wasm values.
+        self.funcs: List[Callable] = []
+        self.func_types: List[FuncType] = []
+        self.call_depth = 0
+        self._export_cache: Dict[str, Callable] = {}
+
+    def enter_call(self) -> None:
+        self.call_depth += 1
+        if self.call_depth > MAX_CALL_DEPTH:
+            self.call_depth = 0
+            raise TrapError("call stack exhausted")
+
+    def exit_call(self) -> None:
+        self.call_depth -= 1
+
+    def exported_function(self, name: str) -> Callable:
+        cached = self._export_cache.get(name)
+        if cached is not None:
+            return cached
+        export = self.module.export(name)
+        if export.kind != "func":
+            raise LinkError(f"export {name!r} is a {export.kind}, not a function")
+        fn = self.funcs[export.index]
+        self._export_cache[name] = fn
+        return fn
+
+    def invoke(self, name: str, *args):
+        """Call an exported function with Python values."""
+        return self.exported_function(name)(*args)
+
+
+class Engine:
+    """Interface implemented by the interpreter and the AOT compiler."""
+
+    #: Human-readable engine name, used in benchmark labels.
+    name = "abstract"
+
+    def compile_function(self, module: Module, instance: Instance,
+                         func_index: int) -> Callable:
+        raise NotImplementedError
+
+    # -- shared instantiation -------------------------------------------------
+
+    def instantiate(self, module_or_binary, imports: Optional[Imports] = None,
+                    memory_cap_bytes: Optional[int] = None) -> Instance:
+        """Validate and instantiate a module (binary or decoded).
+
+        ``memory_cap_bytes`` lets the embedding platform (OP-TEE's secure
+        heap in this reproduction) cap the linear memory irrespective of the
+        module's own limits.
+        """
+        if isinstance(module_or_binary, (bytes, bytearray)):
+            module = decode_module(bytes(module_or_binary))
+        else:
+            module = module_or_binary
+        validate_module(module)
+        imports = imports or {}
+
+        instance = Instance(module)
+
+        for imported in module.imported_funcs:
+            namespace = imports.get(imported.module, {})
+            host = namespace.get(imported.name)
+            if host is None:
+                raise LinkError(
+                    f"unresolved import {imported.module}.{imported.name}"
+                )
+            expected = module.types[imported.type_index]
+            if host.func_type != expected:
+                raise LinkError(
+                    f"import {imported.module}.{imported.name}: "
+                    f"signature {host.func_type} != declared {expected}"
+                )
+            instance.funcs.append(_bind_host(host, instance))
+            instance.func_types.append(expected)
+
+        if module.memories:
+            limits = module.memories[0].limits
+            instance.memory = Memory(
+                limits.minimum, limits.maximum, hard_cap_bytes=memory_cap_bytes
+            )
+        if module.tables:
+            limits = module.tables[0].limits
+            instance.table = Table(limits.minimum, limits.maximum)
+
+        for global_decl in module.globals:
+            instance.globals.append(
+                GlobalInstance(
+                    global_decl.type.valtype,
+                    global_decl.init,
+                    global_decl.type.mutable,
+                )
+            )
+
+        for segment in module.elements:
+            table = instance.table
+            if table is None:
+                raise ValidationError("element segment without a table")
+            end = segment.offset + len(segment.func_indices)
+            if end > len(table.elements):
+                raise TrapError("element segment out of bounds")
+            for position, func_index in enumerate(segment.func_indices):
+                table.elements[segment.offset + position] = func_index
+
+        for segment in module.data_segments:
+            if instance.memory is None:
+                raise ValidationError("data segment without a memory")
+            instance.memory.write(segment.offset, segment.data)
+
+        local_base = len(module.imported_funcs)
+        for local_index in range(len(module.functions)):
+            func_index = local_base + local_index
+            instance.funcs.append(
+                self.compile_function(module, instance, func_index)
+            )
+            instance.func_types.append(module.func_type(func_index))
+
+        if module.start is not None:
+            instance.funcs[module.start]()
+        return instance
+
+
+def _bind_host(host: HostFunction, instance: Instance) -> Callable:
+    def call(*args):
+        result = host.fn(instance, *args)
+        arity = len(host.func_type.results)
+        if arity == 0:
+            return None
+        if arity == 1 and isinstance(result, tuple):
+            return result[0]
+        return result
+
+    call.host = host  # type: ignore[attr-defined]
+    return call
+
+
+# Preformatted structs for typed memory access.
+S_I32 = struct.Struct("<I")
+S_I64 = struct.Struct("<Q")
+S_F32 = struct.Struct("<f")
+S_F64 = struct.Struct("<d")
+S_I16 = struct.Struct("<H")

@@ -1,0 +1,106 @@
+"""WebAssembly type layer: value types, function types, limits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import DecodeError
+
+PAGE_SIZE = 65536
+
+
+class ValType(enum.IntEnum):
+    """Value types, encoded with their binary-format bytes."""
+
+    I32 = 0x7F
+    I64 = 0x7E
+    F32 = 0x7D
+    F64 = 0x7C
+
+    @classmethod
+    def from_byte(cls, byte: int) -> "ValType":
+        try:
+            return cls(byte)
+        except ValueError:
+            raise DecodeError(f"unknown value type 0x{byte:02x}") from None
+
+    @property
+    def mnemonic(self) -> str:
+        return self.name.lower()
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (ValType.I32, ValType.I64)
+
+    def zero(self):
+        """The default value of this type (module-instantiation semantics)."""
+        return 0 if self.is_integer else 0.0
+
+
+I32 = ValType.I32
+I64 = ValType.I64
+F32 = ValType.F32
+F64 = ValType.F64
+
+FUNCREF = 0x70
+FUNC_TYPE_TAG = 0x60
+EMPTY_BLOCK_TYPE = 0x40
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function signature: parameter and result types."""
+
+    params: Tuple[ValType, ...]
+    results: Tuple[ValType, ...]
+
+    def __str__(self) -> str:
+        params = " ".join(t.mnemonic for t in self.params) or "()"
+        results = " ".join(t.mnemonic for t in self.results) or "()"
+        return f"[{params}] -> [{results}]"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Size limits of a memory (pages) or table (elements)."""
+
+    minimum: int
+    maximum: Optional[int] = None
+
+    def validate(self, hard_cap: int) -> None:
+        if self.minimum > hard_cap:
+            raise DecodeError("limits minimum exceeds the hard cap")
+        if self.maximum is not None:
+            if self.maximum > hard_cap:
+                raise DecodeError("limits maximum exceeds the hard cap")
+            if self.maximum < self.minimum:
+                raise DecodeError("limits maximum below minimum")
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    """A global's value type and mutability."""
+
+    valtype: ValType
+    mutable: bool
+
+
+@dataclass(frozen=True)
+class BlockType:
+    """A structured instruction's type: [] -> [] or [] -> [t] in the MVP."""
+
+    results: Tuple[ValType, ...]
+
+    @classmethod
+    def empty(cls) -> "BlockType":
+        return cls(())
+
+    @classmethod
+    def single(cls, valtype: ValType) -> "BlockType":
+        return cls((valtype,))
+
+    @property
+    def arity(self) -> int:
+        return len(self.results)

@@ -1,0 +1,117 @@
+"""Generator for attested Wasm applications (WASI-RA clients).
+
+Produces walc source — compiled to Wasm — for an application that runs
+the full WASI-RA flow of paper Fig. 2: handshake with a verifier whose
+identity key is hard-coded in the (measured) binary, evidence generation,
+and retrieval of the secret blob into linear memory.
+"""
+
+from __future__ import annotations
+
+from repro.walc import compile_source
+
+#: Linear-memory layout of the generated application.
+VERIFIER_KEY_ADDR = 1024
+HOST_ADDR = 1152
+ANCHOR_ADDR = 1216
+SECRET_ADDR = 4096
+
+
+def _byte_list(data: bytes) -> str:
+    return ", ".join(str(b) for b in data)
+
+
+def attested_app_source(verifier_key: bytes, host: str, port: int,
+                        secret_capacity: int,
+                        extra_functions: str = "") -> str:
+    """walc source for a WASI-RA client.
+
+    ``secret_capacity`` sizes both the receive buffer and the module
+    memory; ``extra_functions`` lets workloads (e.g. the Genann macro
+    benchmark) append their own code operating on the received secret at
+    ``SECRET_ADDR``.
+    """
+    if len(verifier_key) != 65:
+        raise ValueError("verifier key must be an uncompressed P-256 point")
+    host_bytes = host.encode("utf-8")
+    pages = max(2, (SECRET_ADDR + secret_capacity + 65535) // 65536 + 1)
+    return f"""
+memory {pages} max {max(pages, 1024)};
+
+// The verifier's identity key: part of the measured code image, so the
+// verifier detects any attempt to redirect the application (paper SIV).
+data {VERIFIER_KEY_ADDR} ({_byte_list(verifier_key)});
+data {HOST_ADDR} ({_byte_list(host_bytes)});
+
+import fn watz.wasi_ra_net_handshake(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32;
+import fn watz.wasi_ra_collect_quote(a: i32, b: i32) -> i32;
+import fn watz.wasi_ra_dispose_quote(a: i32);
+import fn watz.wasi_ra_net_send_quote(a: i32, b: i32) -> i32;
+import fn watz.wasi_ra_net_receive_data(a: i32, b: i32, c: i32) -> i32;
+import fn watz.wasi_ra_net_dispose(a: i32);
+
+var secret_size: i32 = 0;
+
+export fn ra_handshake() -> i32 {{
+  return wasi_ra_net_handshake({HOST_ADDR}, {len(host_bytes)}, {port},
+                               {VERIFIER_KEY_ADDR}, 65, {ANCHOR_ADDR});
+}}
+
+export fn ra_collect_quote() -> i32 {{
+  return wasi_ra_collect_quote({ANCHOR_ADDR}, 32);
+}}
+
+export fn ra_send_quote(ctx: i32, quote: i32) -> i32 {{
+  return wasi_ra_net_send_quote(ctx, quote);
+}}
+
+export fn ra_receive_data(ctx: i32) -> i32 {{
+  var n: i32 = wasi_ra_net_receive_data(ctx, {SECRET_ADDR}, {secret_capacity});
+  if (n >= 0) {{ secret_size = n; }}
+  return n;
+}}
+
+export fn ra_dispose(ctx: i32, quote: i32) {{
+  wasi_ra_dispose_quote(quote);
+  wasi_ra_net_dispose(ctx);
+}}
+
+// One-shot flow: returns the secret size, or a negative errno.
+export fn attest() -> i32 {{
+  var ctx: i32 = ra_handshake();
+  if (ctx < 0) {{ return ctx; }}
+  var quote: i32 = ra_collect_quote();
+  if (quote < 0) {{ return quote; }}
+  var rc: i32 = ra_send_quote(ctx, quote);
+  if (rc != 0) {{ return 0 - rc; }}
+  var n: i32 = ra_receive_data(ctx);
+  ra_dispose(ctx, quote);
+  return n;
+}}
+
+export fn secret_length() -> i32 {{ return secret_size; }}
+
+export fn secret_byte(i: i32) -> i32 {{
+  if (i < 0 || i >= secret_size) {{ return -1; }}
+  return load_u8({SECRET_ADDR} + i);
+}}
+
+export fn secret_checksum() -> i32 {{
+  var sum: i32 = 0;
+  for (var i: i32 = 0; i < secret_size; i = i + 1) {{
+    sum = (sum + load_u8({SECRET_ADDR} + i)) % 65536;
+  }}
+  return sum;
+}}
+{extra_functions}
+"""
+
+
+def build_attested_app(verifier_key: bytes, host: str, port: int,
+                       secret_capacity: int = 1 << 20,
+                       extra_functions: str = "") -> bytes:
+    """Compile the attested application to a Wasm binary."""
+    return compile_source(
+        attested_app_source(verifier_key, host, port, secret_capacity,
+                            extra_functions)
+    )

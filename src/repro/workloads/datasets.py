@@ -1,0 +1,98 @@
+"""Synthetic datasets for the macro benchmarks.
+
+The paper trains Genann on the UCI Iris dataset (150 records, 4 features,
+3 classes, 4.45 kB) replicated up to 1 MB. The UCI file is not available
+offline, so we generate an *Iris-like* dataset: three Gaussian classes in
+4 dimensions around the canonical species means, 50 records per class,
+from a deterministic PRNG — identical record layout and identical code
+paths through the training loop (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Tuple
+
+Record = Tuple[Tuple[float, float, float, float], int]
+
+#: Class means close to the published per-species feature means.
+_CLASS_MEANS = (
+    (5.0, 3.4, 1.5, 0.2),   # setosa-like
+    (5.9, 2.8, 4.3, 1.3),   # versicolor-like
+    (6.6, 3.0, 5.6, 2.0),   # virginica-like
+)
+_CLASS_STD = (0.35, 0.30, 0.45, 0.20)
+
+RECORDS_PER_CLASS = 50
+RECORD_STRUCT = struct.Struct("<4di")  # 4 features + label = 36 bytes
+RECORD_SIZE = RECORD_STRUCT.size
+
+
+class _Prng:
+    """A small deterministic generator (xorshift) with a Box–Muller tail."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & 0xFFFFFFFF or 1
+        self._spare = None
+
+    def uniform(self) -> float:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return x / 4294967296.0
+
+    def gaussian(self) -> float:
+        if self._spare is not None:
+            value = self._spare
+            self._spare = None
+            return value
+        u1 = max(self.uniform(), 1e-12)
+        u2 = self.uniform()
+        radius = math.sqrt(-2.0 * math.log(u1))
+        self._spare = radius * math.sin(2.0 * math.pi * u2)
+        return radius * math.cos(2.0 * math.pi * u2)
+
+
+def iris_like_records(seed: int = 42) -> List[Record]:
+    """150 records: 50 per class, deterministic for a given seed."""
+    prng = _Prng(seed)
+    records: List[Record] = []
+    for label, means in enumerate(_CLASS_MEANS):
+        for _ in range(RECORDS_PER_CLASS):
+            features = tuple(
+                round(max(0.1, mean + _CLASS_STD[i] * prng.gaussian()), 2)
+                for i, mean in enumerate(means)
+            )
+            records.append((features, label))
+    return records
+
+
+def encode_records(records: List[Record]) -> bytes:
+    """Binary encoding consumed by both the Python and walc ANNs."""
+    return b"".join(
+        RECORD_STRUCT.pack(*features, label) for features, label in records
+    )
+
+
+def decode_records(payload: bytes) -> List[Record]:
+    if len(payload) % RECORD_SIZE:
+        raise ValueError("payload is not a whole number of records")
+    records = []
+    for offset in range(0, len(payload), RECORD_SIZE):
+        *features, label = RECORD_STRUCT.unpack_from(payload, offset)
+        records.append((tuple(features), label))
+    return records
+
+
+def dataset_of_size(target_bytes: int, seed: int = 42) -> bytes:
+    """Replicate the base dataset up to ~``target_bytes`` (paper §VI-F)."""
+    base = encode_records(iris_like_records(seed))
+    copies = max(1, target_bytes // len(base))
+    blob = base * copies
+    remainder = target_bytes - len(blob)
+    if remainder >= RECORD_SIZE:
+        blob += base[: (remainder // RECORD_SIZE) * RECORD_SIZE]
+    return blob

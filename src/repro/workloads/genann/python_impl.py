@@ -1,0 +1,139 @@
+"""A Genann-like feedforward neural network (the native build).
+
+Mirrors genann.c: fully connected layers, sigmoid activations,
+plain backpropagation, flat weight array. The paper's benchmark topology
+is 4 inputs, one hidden layer of 4 neurons, 3 outputs (one per class).
+
+The sigmoid uses the same range-reduced exp as the walc build
+(:mod:`repro.workloads.polybench.kernels_medley`), keeping the two
+implementations bit-comparable for the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.workloads.datasets import Record
+from repro.workloads.polybench.kernels_medley import _exp_shared
+
+
+def _sigmoid(x: float) -> float:
+    if x < -45.0:
+        return 0.0
+    if x > 45.0:
+        return 1.0
+    return 1.0 / (1.0 + _exp_shared(0.0 - x))
+
+
+class Genann:
+    """genann(inputs, hidden_layers=1, hidden, outputs) with sigmoid."""
+
+    def __init__(self, inputs: int, hidden: int, outputs: int,
+                 seed: int = 1) -> None:
+        self.inputs = inputs
+        self.hidden = hidden
+        self.outputs = outputs
+        self.total_weights = (inputs + 1) * hidden + (hidden + 1) * outputs
+        # genann_randomize: weights in [-0.5, 0.5) from rand(); we use a
+        # deterministic LCG matched by the walc build.
+        state = seed & 0x7FFFFFFF or 1
+        weights = []
+        for _ in range(self.total_weights):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            weights.append(((state >> 8) % 10000) / 10000.0 - 0.5)
+        self.weights: List[float] = weights
+        self.hidden_out = [0.0] * hidden
+        self.output = [0.0] * outputs
+
+    # -- forward -------------------------------------------------------------
+
+    def run(self, inputs: Sequence[float]) -> List[float]:
+        w = self.weights
+        position = 0
+        for h in range(self.hidden):
+            total = w[position] * -1.0  # bias
+            position += 1
+            for i in range(self.inputs):
+                total = total + w[position] * inputs[i]
+                position += 1
+            self.hidden_out[h] = _sigmoid(total)
+        for o in range(self.outputs):
+            total = w[position] * -1.0
+            position += 1
+            for h in range(self.hidden):
+                total = total + w[position] * self.hidden_out[h]
+                position += 1
+            self.output[o] = _sigmoid(total)
+        return list(self.output)
+
+    # -- backprop -------------------------------------------------------------
+
+    def train(self, inputs: Sequence[float], desired: Sequence[float],
+              rate: float) -> None:
+        self.run(inputs)
+        # Output deltas: sigmoid derivative times error.
+        output_delta = [
+            (desired[o] - self.output[o])
+            * self.output[o] * (1.0 - self.output[o])
+            for o in range(self.outputs)
+        ]
+        # Hidden deltas.
+        hidden_offset = (self.inputs + 1) * self.hidden
+        hidden_delta = []
+        for h in range(self.hidden):
+            accumulated = 0.0
+            for o in range(self.outputs):
+                weight = self.weights[
+                    hidden_offset + o * (self.hidden + 1) + 1 + h
+                ]
+                accumulated = accumulated + output_delta[o] * weight
+            hidden_delta.append(
+                self.hidden_out[h] * (1.0 - self.hidden_out[h]) * accumulated
+            )
+        # Output-layer weight update.
+        position = hidden_offset
+        for o in range(self.outputs):
+            self.weights[position] = (
+                self.weights[position] + output_delta[o] * rate * -1.0
+            )
+            position += 1
+            for h in range(self.hidden):
+                self.weights[position] = (
+                    self.weights[position]
+                    + output_delta[o] * rate * self.hidden_out[h]
+                )
+                position += 1
+        # Hidden-layer weight update.
+        position = 0
+        for h in range(self.hidden):
+            self.weights[position] = (
+                self.weights[position] + hidden_delta[h] * rate * -1.0
+            )
+            position += 1
+            for i in range(self.inputs):
+                self.weights[position] = (
+                    self.weights[position] + hidden_delta[h] * rate * inputs[i]
+                )
+                position += 1
+
+
+def train_classifier(records: List[Record], epochs: int = 1,
+                     rate: float = 0.5, seed: int = 1) -> Genann:
+    """The paper's benchmark loop: train a 4-4-3 classifier on the records."""
+    network = Genann(4, 4, 3, seed)
+    for _ in range(epochs):
+        for features, label in records:
+            desired = [0.0, 0.0, 0.0]
+            desired[label] = 1.0
+            network.train(features, desired, rate)
+    return network
+
+
+def accuracy(network: Genann, records: List[Record]) -> float:
+    correct = 0
+    for features, label in records:
+        output = network.run(features)
+        prediction = max(range(len(output)), key=output.__getitem__)
+        if prediction == label:
+            correct += 1
+    return correct / len(records)

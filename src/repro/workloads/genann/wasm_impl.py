@@ -1,0 +1,228 @@
+"""The Wasm build of the Genann benchmark, authored in walc.
+
+Generates the ANN functions (4-4-3 topology, sigmoid, backprop) operating
+on records laid out in linear memory — the layout of
+:mod:`repro.workloads.datasets` (4 little-endian f64 features + one i32
+label = 36 bytes). Composed with the WASI-RA client skeleton
+(:mod:`repro.workloads.attested`) the records arrive through the secure
+channel; the normal-world baseline reads them from a regular file
+through the WASI file system (``ann_load_file``).
+
+The LCG weight initialisation and the range-reduced exp mirror the Python
+build exactly, so the two produce bit-identical weights after training.
+"""
+
+from __future__ import annotations
+
+from repro.walc import compile_source
+from repro.workloads.attested import SECRET_ADDR, attested_app_source
+from repro.workloads.polybench.kernels_medley import _EXP_WALC
+
+INPUTS = 4
+HIDDEN = 4
+OUTPUTS = 3
+TOTAL_WEIGHTS = (INPUTS + 1) * HIDDEN + (HIDDEN + 1) * OUTPUTS
+RECORD_SIZE = 36
+
+
+DATASET_FILENAME = "iris.bin"
+
+
+def ann_functions(data_addr: int, data_capacity: int) -> str:
+    """walc source for the ANN, with the dataset at ``data_addr``."""
+    weights = (data_addr + data_capacity + 63) & ~63
+    hidden_out = weights + TOTAL_WEIGHTS * 8
+    output = hidden_out + HIDDEN * 8
+    hidden_offset = (INPUTS + 1) * HIDDEN
+    filename_bytes = ", ".join(str(b) for b in DATASET_FILENAME.encode())
+    return f"""
+data 480 ({filename_bytes});  // the dataset file name
+
+import fn wasi_snapshot_preview1.path_open(a: i32, b: i32, c: i32, d: i32,
+                                           e: i32, f: i64, g: i64, h: i32,
+                                           i: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_read(a: i32, b: i32, c: i32, d: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_close(a: i32) -> i32;
+
+// The WAMR-baseline path of Fig. 8: the dataset "is fetched from a
+// regular file" — read it through WASI into the data area.
+export fn ann_load_file() -> i32 {{
+  var rc: i32 = path_open(3, 0, 480, {len(DATASET_FILENAME.encode())}, 0,
+                          0L, 0L, 0, 64);
+  if (rc != 0) {{ return 0 - rc; }}
+  var fd: i32 = load_i32(64);
+  var total: i32 = 0;
+  while (total < {data_capacity}) {{
+    store_i32(0, {data_addr} + total);   // iov base
+    store_i32(4, 65536);                  // iov len
+    rc = fd_read(fd, 0, 1, 16);
+    if (rc != 0) {{ fd_close(fd); return 0 - rc; }}
+    var n: i32 = load_i32(16);
+    if (n == 0) {{ break; }}
+    total = total + n;
+  }}
+  fd_close(fd);
+  return total;
+}}
+{_EXP_WALC}
+
+fn sigmoid(x: f64) -> f64 {{
+  if (x < -45.0) {{ return 0.0; }}
+  if (x > 45.0) {{ return 1.0; }}
+  return 1.0 / (1.0 + exp_shared(0.0 - x));
+}}
+
+export fn ann_init(seed: i32) {{
+  var state: i32 = seed & 0x7fffffff;
+  if (state == 0) {{ state = 1; }}
+  for (var w: i32 = 0; w < {TOTAL_WEIGHTS}; w = w + 1) {{
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    store_f64({weights} + w * 8,
+              ((((state >> 8) % 10000) as f64) / 10000.0) - 0.5);
+  }}
+}}
+
+fn ann_run(rec: i32) {{
+  var pos: i32 = 0;
+  for (var h: i32 = 0; h < {HIDDEN}; h = h + 1) {{
+    var total: f64 = load_f64({weights} + pos * 8) * (0.0 - 1.0);
+    pos = pos + 1;
+    for (var i: i32 = 0; i < {INPUTS}; i = i + 1) {{
+      total = total + load_f64({weights} + pos * 8) * load_f64(rec + i * 8);
+      pos = pos + 1;
+    }}
+    store_f64({hidden_out} + h * 8, sigmoid(total));
+  }}
+  for (var o: i32 = 0; o < {OUTPUTS}; o = o + 1) {{
+    var total: f64 = load_f64({weights} + pos * 8) * (0.0 - 1.0);
+    pos = pos + 1;
+    for (var h: i32 = 0; h < {HIDDEN}; h = h + 1) {{
+      total = total + load_f64({weights} + pos * 8)
+                    * load_f64({hidden_out} + h * 8);
+      pos = pos + 1;
+    }}
+    store_f64({output} + o * 8, sigmoid(total));
+  }}
+}}
+
+fn ann_train_one(rec: i32, label: i32, rate: f64) {{
+  ann_run(rec);
+  // Output deltas (desired is one-hot at `label`).
+  var od0: f64 = 0.0;
+  var od1: f64 = 0.0;
+  var od2: f64 = 0.0;
+  for (var o: i32 = 0; o < {OUTPUTS}; o = o + 1) {{
+    var out: f64 = load_f64({output} + o * 8);
+    var desired: f64 = 0.0;
+    if (o == label) {{ desired = 1.0; }}
+    var delta: f64 = (desired - out) * out * (1.0 - out);
+    if (o == 0) {{ od0 = delta; }}
+    if (o == 1) {{ od1 = delta; }}
+    if (o == 2) {{ od2 = delta; }}
+  }}
+  // Hidden deltas.
+  for (var h: i32 = 0; h < {HIDDEN}; h = h + 1) {{
+    var acc: f64 = 0.0;
+    for (var o: i32 = 0; o < {OUTPUTS}; o = o + 1) {{
+      var w: f64 = load_f64({weights}
+                            + ({hidden_offset} + o * ({HIDDEN} + 1) + 1 + h) * 8);
+      var delta: f64 = od0;
+      if (o == 1) {{ delta = od1; }}
+      if (o == 2) {{ delta = od2; }}
+      acc = acc + delta * w;
+    }}
+    var ho: f64 = load_f64({hidden_out} + h * 8);
+    store_f64({output} + ({OUTPUTS} + h) * 8, ho * (1.0 - ho) * acc);
+  }}
+  // Output-layer update.
+  var pos: i32 = {hidden_offset};
+  for (var o: i32 = 0; o < {OUTPUTS}; o = o + 1) {{
+    var delta: f64 = od0;
+    if (o == 1) {{ delta = od1; }}
+    if (o == 2) {{ delta = od2; }}
+    store_f64({weights} + pos * 8,
+              load_f64({weights} + pos * 8) + delta * rate * (0.0 - 1.0));
+    pos = pos + 1;
+    for (var h: i32 = 0; h < {HIDDEN}; h = h + 1) {{
+      store_f64({weights} + pos * 8,
+                load_f64({weights} + pos * 8)
+                + delta * rate * load_f64({hidden_out} + h * 8));
+      pos = pos + 1;
+    }}
+  }}
+  // Hidden-layer update.
+  pos = 0;
+  for (var h: i32 = 0; h < {HIDDEN}; h = h + 1) {{
+    var hdelta: f64 = load_f64({output} + ({OUTPUTS} + h) * 8);
+    store_f64({weights} + pos * 8,
+              load_f64({weights} + pos * 8) + hdelta * rate * (0.0 - 1.0));
+    pos = pos + 1;
+    for (var i: i32 = 0; i < {INPUTS}; i = i + 1) {{
+      store_f64({weights} + pos * 8,
+                load_f64({weights} + pos * 8)
+                + hdelta * rate * load_f64(rec + i * 8));
+      pos = pos + 1;
+    }}
+  }}
+}}
+
+// Train `epochs` passes over `n` records located at the data area.
+export fn ann_train(n: i32, epochs: i32, rate: f64) -> i32 {{
+  var trained: i32 = 0;
+  for (var e: i32 = 0; e < epochs; e = e + 1) {{
+    for (var r: i32 = 0; r < n; r = r + 1) {{
+      var rec: i32 = {data_addr} + r * {RECORD_SIZE};
+      ann_train_one(rec, load_i32(rec + 32), rate);
+      trained = trained + 1;
+    }}
+  }}
+  return trained;
+}}
+
+export fn ann_accuracy(n: i32) -> i32 {{
+  var correct: i32 = 0;
+  for (var r: i32 = 0; r < n; r = r + 1) {{
+    var rec: i32 = {data_addr} + r * {RECORD_SIZE};
+    ann_run(rec);
+    var best: i32 = 0;
+    var best_v: f64 = load_f64({output});
+    for (var o: i32 = 1; o < {OUTPUTS}; o = o + 1) {{
+      if (load_f64({output} + o * 8) > best_v) {{
+        best = o;
+        best_v = load_f64({output} + o * 8);
+      }}
+    }}
+    if (best == load_i32(rec + 32)) {{ correct = correct + 1; }}
+  }}
+  return correct;
+}}
+
+export fn ann_weight_checksum() -> f64 {{
+  var sum: f64 = 0.0;
+  for (var w: i32 = 0; w < {TOTAL_WEIGHTS}; w = w + 1) {{
+    sum = sum + load_f64({weights} + w * 8);
+  }}
+  return sum;
+}}
+"""
+
+
+def build_standalone_ann(data_capacity: int = 1 << 20,
+                         data_addr: int = SECRET_ADDR) -> bytes:
+    """ANN module without the RA client (the WAMR-baseline build)."""
+    pages = (data_addr + data_capacity + 4096 + 65535) // 65536 + 1
+    source = f"memory {pages} max {max(pages, 64)};\n" + ann_functions(
+        data_addr, data_capacity
+    )
+    return compile_source(source)
+
+
+def build_attested_ann(verifier_key: bytes, host: str, port: int,
+                       data_capacity: int = 1 << 20) -> bytes:
+    """The paper's end-to-end app: WASI-RA client + ANN (Fig. 8, WaTZ)."""
+    return compile_source(
+        attested_app_source(
+            verifier_key, host, port, data_capacity,
+            extra_functions=ann_functions(SECRET_ADDR, data_capacity),
+        )
+    )

@@ -1,0 +1,282 @@
+"""A B-tree, the index structure of the mini database.
+
+SQLite stores both tables and indices as B-trees; this module provides the
+same substrate for :mod:`repro.workloads.minidb`. Keys are Python values
+ordered with SQLite-like semantics (None < numbers < text); values are row
+identifiers. Duplicate keys are supported unless the tree is unique.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import SqlError
+
+ORDER = 32  # max children per interior node
+_MAX_KEYS = ORDER - 1
+_MIN_KEYS = _MAX_KEYS // 2
+
+
+def key_rank(value: Any) -> Tuple[int, Any]:
+    """Total order over SQL values: NULL < numeric < text."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    raise SqlError(f"unorderable value {value!r}")
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[Tuple] = []    # (rank, rowid) pairs for ordering
+        self.values: List[Tuple[Any, int]] = []  # (key, rowid)
+        self.children: List["_Node"] = []
+        self.leaf = leaf
+
+
+class BTree:
+    """A B-tree mapping (key, rowid) pairs, ordered by key then rowid."""
+
+    def __init__(self, unique: bool = False) -> None:
+        self._root = _Node(leaf=True)
+        self.unique = unique
+        self.size = 0
+
+    # Composite ordering key: rowid breaks ties among duplicates.
+    @staticmethod
+    def _composite(key: Any, rowid: int) -> Tuple:
+        return (key_rank(key), rowid)
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, key: Any, rowid: int) -> None:
+        if self.unique and self.contains_key(key):
+            raise SqlError(f"UNIQUE constraint violated for key {key!r}")
+        root = self._root
+        if len(root.keys) == _MAX_KEYS:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, rowid)
+        self.size += 1
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        middle = _MAX_KEYS // 2
+        parent.keys.insert(index, child.keys[middle])
+        parent.values.insert(index, child.values[middle])
+        sibling.keys = child.keys[middle + 1 :]
+        sibling.values = child.values[middle + 1 :]
+        child.keys = child.keys[:middle]
+        child.values = child.values[:middle]
+        if not child.leaf:
+            sibling.children = child.children[middle + 1 :]
+            child.children = child.children[: middle + 1]
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: Any, rowid: int) -> None:
+        composite = self._composite(key, rowid)
+        while True:
+            index = _bisect(node.keys, composite)
+            if node.leaf:
+                node.keys.insert(index, composite)
+                node.values.insert(index, (key, rowid))
+                return
+            child = node.children[index]
+            if len(child.keys) == _MAX_KEYS:
+                self._split_child(node, index)
+                if composite > node.keys[index]:
+                    index += 1
+                child = node.children[index]
+            node = child
+
+    # -- deletion ---------------------------------------------------------------
+
+    def delete(self, key: Any, rowid: int) -> bool:
+        """Remove one (key, rowid) entry; returns whether it existed."""
+        removed = self._delete(self._root, self._composite(key, rowid))
+        if removed:
+            self.size -= 1
+            if not self._root.leaf and not self._root.keys:
+                self._root = self._root.children[0]
+        return removed
+
+    def _delete(self, node: _Node, composite: Tuple) -> bool:
+        index = _bisect(node.keys, composite)
+        if index < len(node.keys) and node.keys[index] == composite:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return True
+            # Replace by predecessor from the left subtree.
+            predecessor = node.children[index]
+            while not predecessor.leaf:
+                predecessor = predecessor.children[-1]
+            node.keys[index] = predecessor.keys[-1]
+            node.values[index] = predecessor.values[-1]
+            removed = self._delete(node.children[index], predecessor.keys[-1])
+            self._rebalance(node, index)
+            return removed
+        if node.leaf:
+            return False
+        removed = self._delete(node.children[index], composite)
+        self._rebalance(node, index)
+        return removed
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        if len(child.keys) >= _MIN_KEYS:
+            return
+        # Borrow from the left sibling.
+        if index > 0 and len(parent.children[index - 1].keys) > _MIN_KEYS:
+            left = parent.children[index - 1]
+            child.keys.insert(0, parent.keys[index - 1])
+            child.values.insert(0, parent.values[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            parent.values[index - 1] = left.values.pop()
+            if not child.leaf:
+                child.children.insert(0, left.children.pop())
+            return
+        # Borrow from the right sibling.
+        if (index < len(parent.children) - 1
+                and len(parent.children[index + 1].keys) > _MIN_KEYS):
+            right = parent.children[index + 1]
+            child.keys.append(parent.keys[index])
+            child.values.append(parent.values[index])
+            parent.keys[index] = right.keys.pop(0)
+            parent.values[index] = right.values.pop(0)
+            if not child.leaf:
+                child.children.append(right.children.pop(0))
+            return
+        # Merge with a sibling.
+        if index > 0:
+            left_index = index - 1
+        else:
+            left_index = index
+        left = parent.children[left_index]
+        right = parent.children[left_index + 1]
+        left.keys.append(parent.keys.pop(left_index))
+        left.values.append(parent.values.pop(left_index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        parent.children.pop(left_index + 1)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def contains_key(self, key: Any) -> bool:
+        for _ in self.scan_key(key):
+            return True
+        return False
+
+    def scan_key(self, key: Any) -> Iterator[int]:
+        """Row ids of all entries with exactly ``key``."""
+        rank = key_rank(key)
+        yield from (rowid for entry_key, rowid
+                    in self._scan(rank, rank, True, True)
+                    if True)
+
+    def scan_range(self, low: Any, high: Any,
+                   include_low: bool = True,
+                   include_high: bool = True) -> Iterator[Tuple[Any, int]]:
+        """(key, rowid) pairs with low <= key <= high (None = unbounded)."""
+        low_rank = key_rank(low) if low is not None else None
+        high_rank = key_rank(high) if high is not None else None
+        yield from self._scan(low_rank, high_rank, include_low, include_high)
+
+    def _scan(self, low_rank, high_rank, include_low, include_high):
+        stack: List[Tuple[_Node, int]] = []
+        node = self._root
+        # Descend to the first candidate.
+        while True:
+            if low_rank is None:
+                index = 0
+            else:
+                index = _bisect(node.keys, (low_rank, -1))
+            stack.append((node, index))
+            if node.leaf:
+                break
+            node = node.children[index]
+        while stack:
+            node, index = stack.pop()
+            if node.leaf:
+                for position in range(index, len(node.keys)):
+                    entry = node.values[position]
+                    if not self._in_range(node.keys[position][0],
+                                          low_rank, high_rank,
+                                          include_low, include_high):
+                        if high_rank is not None \
+                                and node.keys[position][0] > high_rank:
+                            return
+                        continue
+                    yield entry
+            else:
+                if index < len(node.keys):
+                    rank = node.keys[index][0]
+                    if high_rank is not None and rank > high_rank:
+                        if self._in_range(rank, low_rank, high_rank,
+                                          include_low, include_high):
+                            yield node.values[index]
+                        return
+                    if self._in_range(rank, low_rank, high_rank,
+                                      include_low, include_high):
+                        yield node.values[index]
+                    stack.append((node, index + 1))
+                    child = node.children[index + 1]
+                    while True:
+                        stack.append((child, 0))
+                        if child.leaf:
+                            break
+                        child = child.children[0]
+                    # Re-enter the loop from the new leaf.
+                    continue
+
+    @staticmethod
+    def _in_range(rank, low_rank, high_rank, include_low, include_high) -> bool:
+        if low_rank is not None:
+            if rank < low_rank:
+                return False
+            if rank == low_rank and not include_low:
+                return False
+        if high_rank is not None:
+            if rank > high_rank:
+                return False
+            if rank == high_rank and not include_high:
+                return False
+        return True
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """All (key, rowid) pairs in key order."""
+        yield from self._scan(None, None, True, True)
+
+    def min_key(self) -> Optional[Any]:
+        for key, _rowid in self.items():
+            return key
+        return None
+
+    def max_key(self) -> Optional[Any]:
+        node = self._root
+        while not node.leaf:
+            node = node.children[-1]
+        if not node.values:
+            return None
+        return node.values[-1][0]
+
+
+def _bisect(keys: List[Tuple], composite: Tuple) -> int:
+    low, high = 0, len(keys)
+    while low < high:
+        middle = (low + high) // 2
+        if keys[middle] < composite:
+            low = middle + 1
+        else:
+            high = middle
+    return low

@@ -1,0 +1,852 @@
+"""Execution engine of the mini database.
+
+A heap of rows per table plus B-tree indices, an expression evaluator with
+SQLite-ish semantics (NULL propagation, LIKE, three-valued logic kept
+two-valued for simplicity), an access-path planner that uses an index for
+equality and range predicates, nested-loop joins with index acceleration,
+grouping, ordering and aggregates, and undo-log transactions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SqlError
+from repro.workloads.minidb import sql as ast
+from repro.workloads.minidb.btree import BTree, key_rank
+from repro.workloads.minidb.sql import parse
+
+
+@dataclass
+class IndexInfo:
+    name: str
+    table: str
+    column: str
+    unique: bool
+    tree: BTree
+
+
+class Table:
+    """Row storage: dict rowid -> tuple, plus column metadata."""
+
+    def __init__(self, name: str, columns: List[ast.ColumnDef]) -> None:
+        self.name = name
+        self.columns = columns
+        self.column_positions = {c.name: i for i, c in enumerate(columns)}
+        self.rows: Dict[int, Tuple] = {}
+        self.next_rowid = 1
+        self.indices: List[IndexInfo] = []
+
+    def position(self, column: str) -> int:
+        try:
+            return self.column_positions[column]
+        except KeyError:
+            raise SqlError(
+                f"no column {column!r} in table {self.name!r}"
+            ) from None
+
+
+class _Undo:
+    """Undo log entries for transaction rollback."""
+
+    __slots__ = ("apply",)
+
+    def __init__(self, apply: Callable[[], None]) -> None:
+        self.apply = apply
+
+
+class Connection:
+    """The public API: ``execute`` SQL, fetch rows, manage transactions."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+        self.indices: Dict[str, IndexInfo] = {}
+        self._in_transaction = False
+        self._undo: List[_Undo] = []
+        #: Prepared-statement cache, keyed by SQL text (SQLite's
+        #: speedtest1 reuses prepared statements the same way).
+        self._statement_cache: Dict[str, Any] = {}
+        #: Statements executed (the Speedtest harness reports this).
+        self.statements_executed = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql_text: str, parameters: Iterable[Any] = ()) -> List[Tuple]:
+        """Execute one statement; returns result rows for SELECT.
+
+        Statements are prepared once per SQL text and re-executed with
+        fresh ``?`` bindings, like SQLite prepared statements.
+        """
+        statement = self._statement_cache.get(sql_text)
+        if statement is None:
+            statement = parse(sql_text)
+            self._statement_cache[sql_text] = statement
+        _PARAMETERS.values = list(parameters)
+        self.statements_executed += 1
+        handler = {
+            ast.CreateTable: self._create_table,
+            ast.CreateIndex: self._create_index,
+            ast.DropTable: self._drop_table,
+            ast.DropIndex: self._drop_index,
+            ast.Insert: self._insert,
+            ast.Update: self._update,
+            ast.Delete: self._delete,
+            ast.Select: self._selectstmt,
+            ast.Begin: self._begin,
+            ast.Commit: self._commit,
+            ast.Rollback: self._rollback,
+        }[type(statement)]
+        return handler(statement)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> List[Tuple]:
+        if statement.name in self.tables:
+            raise SqlError(f"table {statement.name!r} already exists")
+        table = Table(statement.name, statement.columns)
+        self.tables[statement.name] = table
+        for column in statement.columns:
+            if column.primary_key:
+                self._add_index(
+                    f"pk_{statement.name}_{column.name}",
+                    table, column.name, unique=True,
+                )
+        if self._in_transaction:
+            name = statement.name
+            self._undo.append(_Undo(lambda: self.tables.pop(name, None)))
+        return []
+
+    def _add_index(self, name: str, table: Table, column: str,
+                   unique: bool) -> IndexInfo:
+        if name in self.indices:
+            raise SqlError(f"index {name!r} already exists")
+        position = table.position(column)
+        info = IndexInfo(name, table.name, column, unique, BTree(unique))
+        for rowid, row in table.rows.items():
+            info.tree.insert(row[position], rowid)
+        table.indices.append(info)
+        self.indices[name] = info
+        return info
+
+    def _create_index(self, statement: ast.CreateIndex) -> List[Tuple]:
+        table = self._table(statement.table)
+        info = self._add_index(statement.name, table, statement.column,
+                               statement.unique)
+        if self._in_transaction:
+            self._undo.append(_Undo(lambda: self._remove_index(info)))
+        return []
+
+    def _remove_index(self, info: IndexInfo) -> None:
+        self.indices.pop(info.name, None)
+        table = self.tables.get(info.table)
+        if table is not None and info in table.indices:
+            table.indices.remove(info)
+
+    def _drop_table(self, statement: ast.DropTable) -> List[Tuple]:
+        table = self._table(statement.name)
+        for info in list(table.indices):
+            self._remove_index(info)
+        del self.tables[statement.name]
+        return []
+
+    def _drop_index(self, statement: ast.DropIndex) -> List[Tuple]:
+        info = self.indices.get(statement.name)
+        if info is None:
+            raise SqlError(f"no index named {statement.name!r}")
+        self._remove_index(info)
+        return []
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise SqlError(f"no table named {name!r}")
+        return table
+
+    def _insert(self, statement: ast.Insert) -> List[Tuple]:
+        table = self._table(statement.table)
+        if statement.columns is None:
+            positions = list(range(len(table.columns)))
+        else:
+            positions = [table.position(c) for c in statement.columns]
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(positions):
+                raise SqlError("INSERT value count mismatch")
+            row = [None] * len(table.columns)
+            for position, expr in zip(positions, row_exprs):
+                row[position] = _evaluate(expr, _EMPTY_SCOPE)
+            row = tuple(_coerce(table.columns[i], v)
+                        for i, v in enumerate(row))
+            rowid = table.next_rowid
+            table.next_rowid += 1
+            for info in table.indices:
+                info.tree.insert(row[table.position(info.column)], rowid)
+            table.rows[rowid] = row
+            if self._in_transaction:
+                self._undo.append(_Undo(
+                    lambda t=table, rid=rowid, r=row: self._undo_insert(t, rid, r)
+                ))
+        return []
+
+    def _undo_insert(self, table: Table, rowid: int, row: Tuple) -> None:
+        if rowid in table.rows:
+            del table.rows[rowid]
+            for info in table.indices:
+                info.tree.delete(row[table.position(info.column)], rowid)
+
+    def _delete(self, statement: ast.Delete) -> List[Tuple]:
+        table = self._table(statement.table)
+        victims = list(self._candidate_rows(table, statement.where, None))
+        deleted = 0
+        for rowid, row in victims:
+            scope = _RowScope(table, None, row)
+            if statement.where is not None \
+                    and not _truthy(_evaluate(statement.where, scope)):
+                continue
+            del table.rows[rowid]
+            for info in table.indices:
+                info.tree.delete(row[table.position(info.column)], rowid)
+            deleted += 1
+            if self._in_transaction:
+                self._undo.append(_Undo(
+                    lambda t=table, rid=rowid, r=row: self._undo_delete(t, rid, r)
+                ))
+        return [(deleted,)]
+
+    def _undo_delete(self, table: Table, rowid: int, row: Tuple) -> None:
+        table.rows[rowid] = row
+        for info in table.indices:
+            info.tree.insert(row[table.position(info.column)], rowid)
+
+    def _update(self, statement: ast.Update) -> List[Tuple]:
+        table = self._table(statement.table)
+        victims = list(self._candidate_rows(table, statement.where, None))
+        assignments = [(table.position(c), expr)
+                       for c, expr in statement.assignments]
+        updated = 0
+        for rowid, row in victims:
+            scope = _RowScope(table, None, row)
+            if statement.where is not None \
+                    and not _truthy(_evaluate(statement.where, scope)):
+                continue
+            new_row = list(row)
+            for position, expr in assignments:
+                new_row[position] = _coerce(
+                    table.columns[position], _evaluate(expr, scope)
+                )
+            new_row = tuple(new_row)
+            for info in table.indices:
+                position = table.position(info.column)
+                if row[position] != new_row[position]:
+                    info.tree.delete(row[position], rowid)
+                    info.tree.insert(new_row[position], rowid)
+            table.rows[rowid] = new_row
+            updated += 1
+            if self._in_transaction:
+                self._undo.append(_Undo(
+                    lambda t=table, rid=rowid, r=row:
+                        self._undo_update(t, rid, r)
+                ))
+        return [(updated,)]
+
+    def _undo_update(self, table: Table, rowid: int, old: Tuple) -> None:
+        current = table.rows.get(rowid)
+        if current is None:
+            return
+        for info in table.indices:
+            position = table.position(info.column)
+            if current[position] != old[position]:
+                info.tree.delete(current[position], rowid)
+                info.tree.insert(old[position], rowid)
+        table.rows[rowid] = old
+
+    # -- transactions -----------------------------------------------------------
+
+    def _begin(self, _statement) -> List[Tuple]:
+        if self._in_transaction:
+            raise SqlError("nested transactions are not supported")
+        self._in_transaction = True
+        self._undo = []
+        return []
+
+    def _commit(self, _statement) -> List[Tuple]:
+        if not self._in_transaction:
+            raise SqlError("COMMIT outside a transaction")
+        self._in_transaction = False
+        self._undo = []
+        return []
+
+    def _rollback(self, _statement) -> List[Tuple]:
+        if not self._in_transaction:
+            raise SqlError("ROLLBACK outside a transaction")
+        for entry in reversed(self._undo):
+            entry.apply()
+        self._in_transaction = False
+        self._undo = []
+        return []
+
+    # -- access paths -------------------------------------------------------------
+
+    def _candidate_rows(self, table: Table, where, alias: Optional[str]
+                        ) -> Iterable[Tuple[int, Tuple]]:
+        """Rows to consider, using an index when the WHERE allows it."""
+        path = _index_path(table, where, alias)
+        if path is None:
+            return list(table.rows.items())
+        info, low, high, include_low, include_high = path
+        rowids = [rowid for _key, rowid
+                  in info.tree.scan_range(low, high, include_low, include_high)]
+        return [(rowid, table.rows[rowid]) for rowid in rowids
+                if rowid in table.rows]
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def _selectstmt(self, statement: ast.Select) -> List[Tuple]:
+        if statement.table is None:
+            scope = _EMPTY_SCOPE
+            return [tuple(_evaluate(item.expr, scope)
+                          for item in statement.items)]
+        table = self._table(statement.table)
+        alias = statement.alias or statement.table
+
+        # SQLite-style planner fast path: MIN/MAX of an indexed column
+        # reads the B-tree ends instead of materialising any rows.
+        if not statement.group_by and not statement.joins:
+            fast = self._min_max_fast_path(statement, table)
+            if fast is not None:
+                return fast
+
+        scopes: List["_JoinScope"] = []
+        for rowid, row in self._candidate_rows(table, statement.where,
+                                               alias):
+            scopes.append(_JoinScope({alias: (table, row)}))
+
+        for join in statement.joins:
+            joined = self._table(join.table)
+            join_alias = join.alias or join.table
+            scopes = list(self._join(scopes, joined, join_alias,
+                                     join.condition))
+
+        if statement.where is not None:
+            scopes = [s for s in scopes
+                      if _truthy(_evaluate(statement.where, s))]
+
+        has_aggregates = any(
+            _contains_aggregate(item.expr) for item in statement.items
+        )
+
+        if statement.group_by:
+            rows = self._grouped(statement, scopes)
+        elif has_aggregates:
+            rows = [tuple(_evaluate_aggregate(item.expr, scopes)
+                          for item in statement.items)]
+        else:
+            rows = []
+            for scope in scopes:
+                out = []
+                for item in statement.items:
+                    if isinstance(item.expr, ast.Star):
+                        out.extend(scope.star_values())
+                    else:
+                        out.append(_evaluate(item.expr, scope))
+                rows.append(tuple(out))
+            if statement.order_by:
+                rows = self._ordered(statement, scopes)
+
+        if statement.order_by and (statement.group_by or has_aggregates):
+            # Order the computed rows by output position when possible.
+            pass
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return rows
+
+    def _min_max_fast_path(self, statement: ast.Select,
+                           table: Table) -> Optional[List[Tuple]]:
+        """Serve pure MIN/MAX-of-indexed-column selects from index ends.
+
+        Applies when every select item is MIN(col) or MAX(col) on one
+        indexed column and the WHERE clause (if any) only constrains that
+        same column with range predicates subsumed by the index bounds.
+        """
+        column = None
+        for item in statement.items:
+            expr = item.expr
+            if not isinstance(expr, ast.Aggregate) \
+                    or expr.func not in ("min", "max") \
+                    or not isinstance(expr.argument, ast.ColumnRef):
+                return None
+            name = expr.argument.name
+            if column is None:
+                column = name
+            elif column != name:
+                return None
+        index = None
+        for info in table.indices:
+            if info.column == column:
+                index = info
+                break
+        if index is None:
+            return None
+        minimum = index.tree.min_key()
+        maximum = index.tree.max_key()
+        if statement.where is not None:
+            # Only a simple range on the same column that subsumes the
+            # index bounds qualifies (e.g. BETWEEN 0 AND huge); anything
+            # tighter falls back to the generic path.
+            if not _is_simple_range(statement.where, table,
+                                    statement.alias, column):
+                return None
+            constraints = _collect_constraints(statement.where, table,
+                                               statement.alias)
+            bounds = constraints.get(column)
+            if bounds is None:
+                return None
+            low, high, _include_low, _include_high = bounds
+            if minimum is not None and low is not None \
+                    and key_rank(low) > key_rank(minimum):
+                return None
+            if maximum is not None and high is not None \
+                    and key_rank(high) < key_rank(maximum):
+                return None
+        row = tuple(
+            minimum if item.expr.func == "min" else maximum
+            for item in statement.items
+        )
+        return [row]
+
+    def _ordered(self, statement: ast.Select, scopes) -> List[Tuple]:
+        decorated = []
+        for scope in scopes:
+            sort_key = tuple(
+                (key_rank(_evaluate(expr, scope)), descending)
+                for expr, descending in statement.order_by
+            )
+            out = []
+            for item in statement.items:
+                if isinstance(item.expr, ast.Star):
+                    out.extend(scope.star_values())
+                else:
+                    out.append(_evaluate(item.expr, scope))
+            decorated.append((sort_key, tuple(out)))
+        # Mixed ASC/DESC: sort per key from the last to the first.
+        for position in range(len(statement.order_by) - 1, -1, -1):
+            descending = statement.order_by[position][1]
+            decorated.sort(key=lambda pair, p=position: pair[0][p][0],
+                           reverse=descending)
+        return [row for _key, row in decorated]
+
+    def _grouped(self, statement: ast.Select, scopes) -> List[Tuple]:
+        groups: Dict[Tuple, List] = {}
+        order: List[Tuple] = []
+        for scope in scopes:
+            key = tuple(key_rank(_evaluate(e, scope))
+                        for e in statement.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(scope)
+        rows = []
+        for key in sorted(order):
+            members = groups[key]
+            if statement.having is not None:
+                having_value = _evaluate_aggregate(statement.having, members)
+                if not _truthy(having_value):
+                    continue
+            rows.append(tuple(
+                _evaluate_aggregate(item.expr, members)
+                for item in statement.items
+            ))
+        return rows
+
+    def _join(self, scopes, table: Table, alias: str, condition):
+        equality = _join_equality(condition, alias, table)
+        index = None
+        if equality is not None:
+            column, outer_expr = equality
+            for info in table.indices:
+                if info.column == column:
+                    index = (info, outer_expr)
+                    break
+        for scope in scopes:
+            if index is not None:
+                info, outer_expr = index
+                key = _evaluate(outer_expr, scope)
+                for rowid in info.tree.scan_key(key):
+                    row = table.rows.get(rowid)
+                    if row is None:
+                        continue
+                    merged = scope.extended(alias, table, row)
+                    if _truthy(_evaluate(condition, merged)):
+                        yield merged
+            else:
+                for row in table.rows.values():
+                    merged = scope.extended(alias, table, row)
+                    if _truthy(_evaluate(condition, merged)):
+                        yield merged
+
+
+# -- scopes ----------------------------------------------------------------------
+
+
+class _JoinScope:
+    """Column resolution over one or more (alias -> row) bindings."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: Dict[str, Tuple[Table, Tuple]]) -> None:
+        self.bindings = bindings
+
+    def extended(self, alias: str, table: Table, row: Tuple) -> "_JoinScope":
+        merged = dict(self.bindings)
+        merged[alias] = (table, row)
+        return _JoinScope(merged)
+
+    def resolve(self, table_name: Optional[str], column: str):
+        if table_name is not None:
+            binding = self.bindings.get(table_name)
+            if binding is None:
+                raise SqlError(f"unknown table alias {table_name!r}")
+            table, row = binding
+            return row[table.position(column)]
+        for table, row in self.bindings.values():
+            position = table.column_positions.get(column)
+            if position is not None:
+                return row[position]
+        raise SqlError(f"unknown column {column!r}")
+
+    def star_values(self) -> List[Any]:
+        out: List[Any] = []
+        for table, row in self.bindings.values():
+            out.extend(row)
+        return out
+
+
+class _RowScope(_JoinScope):
+    def __init__(self, table: Table, alias: Optional[str], row: Tuple) -> None:
+        super().__init__({alias or table.name: (table, row)})
+
+
+class _EmptyScope(_JoinScope):
+    def __init__(self) -> None:
+        super().__init__({})
+
+
+_EMPTY_SCOPE = _EmptyScope()
+
+
+# -- expression evaluation ----------------------------------------------------------
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value) and value is not None
+
+
+def _coerce(column: ast.ColumnDef, value: Any) -> Any:
+    if value is None:
+        return None
+    if column.type == "integer":
+        return int(value)
+    if column.type == "real":
+        return float(value)
+    if column.type == "text":
+        return str(value)
+    return value
+
+
+class _ParameterBindings:
+    """Current ``?`` bindings; single-threaded execution makes this safe."""
+
+    def __init__(self) -> None:
+        self.values: List[Any] = []
+
+
+_PARAMETERS = _ParameterBindings()
+
+
+def _evaluate(expr, scope: _JoinScope) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Parameter):
+        try:
+            return _PARAMETERS.values[expr.index]
+        except IndexError:
+            raise SqlError("missing binding for ? parameter") from None
+    if isinstance(expr, ast.ColumnRef):
+        return scope.resolve(expr.table, expr.name)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _evaluate(expr.operand, scope)
+        if expr.operator == "-":
+            return None if operand is None else -operand
+        return int(not _truthy(operand))
+    if isinstance(expr, ast.BinaryOp):
+        return _evaluate_binary(expr, scope)
+    if isinstance(expr, ast.LikeOp):
+        value = _evaluate(expr.operand, scope)
+        pattern = _evaluate(expr.pattern, scope)
+        if value is None or pattern is None:
+            return None
+        matched = _like(str(value), str(pattern))
+        return int(matched != expr.negated)
+    if isinstance(expr, ast.InOp):
+        value = _evaluate(expr.operand, scope)
+        options = [_evaluate(option, scope) for option in expr.options]
+        matched = value in options
+        return int(matched != expr.negated)
+    if isinstance(expr, ast.BetweenOp):
+        value = _evaluate(expr.operand, scope)
+        low = _evaluate(expr.low, scope)
+        high = _evaluate(expr.high, scope)
+        if value is None or low is None or high is None:
+            return None
+        matched = (key_rank(low) <= key_rank(value) <= key_rank(high))
+        return int(matched != expr.negated)
+    if isinstance(expr, ast.IsNullOp):
+        value = _evaluate(expr.operand, scope)
+        return int((value is None) != expr.negated)
+    if isinstance(expr, ast.Aggregate):
+        raise SqlError("aggregate used outside an aggregating context")
+    if isinstance(expr, ast.Star):
+        raise SqlError("* is only valid in SELECT lists and COUNT(*)")
+    raise SqlError(f"unsupported expression {type(expr).__name__}")
+
+
+def _evaluate_binary(expr: ast.BinaryOp, scope: _JoinScope) -> Any:
+    operator = expr.operator
+    if operator == "and":
+        left = _evaluate(expr.left, scope)
+        if not _truthy(left):
+            return 0
+        return int(_truthy(_evaluate(expr.right, scope)))
+    if operator == "or":
+        left = _evaluate(expr.left, scope)
+        if _truthy(left):
+            return 1
+        return int(_truthy(_evaluate(expr.right, scope)))
+    left = _evaluate(expr.left, scope)
+    right = _evaluate(expr.right, scope)
+    if left is None or right is None:
+        return None
+    if operator == "=":
+        return int(left == right)
+    if operator == "<>":
+        return int(left != right)
+    if operator in ("<", "<=", ">", ">="):
+        lrank, rrank = key_rank(left), key_rank(right)
+        return int({
+            "<": lrank < rrank,
+            "<=": lrank <= rrank,
+            ">": lrank > rrank,
+            ">=": lrank >= rrank,
+        }[operator])
+    if operator == "+":
+        if isinstance(left, str) or isinstance(right, str):
+            return str(left) + str(right)
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            return None  # SQLite yields NULL on division by zero
+        if isinstance(left, int) and isinstance(right, int):
+            return left // right
+        return left / right
+    if operator == "%":
+        if right == 0:
+            return None
+        return left % right
+    raise SqlError(f"unsupported operator {operator!r}")
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, value, re.IGNORECASE) is not None
+
+
+def _contains_aggregate(expr) -> bool:
+    if isinstance(expr, ast.Aggregate):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+def _evaluate_aggregate(expr, scopes) -> Any:
+    if isinstance(expr, ast.Aggregate):
+        if isinstance(expr.argument, ast.Star):
+            if expr.func != "count":
+                raise SqlError("* argument is only valid for COUNT")
+            return len(scopes)
+        values = [_evaluate(expr.argument, s) for s in scopes]
+        values = [v for v in values if v is not None]
+        if expr.distinct:
+            seen = []
+            for value in values:
+                if value not in seen:
+                    seen.append(value)
+            values = seen
+        if expr.func == "count":
+            return len(values)
+        if not values:
+            return None
+        if expr.func == "sum":
+            return sum(values)
+        if expr.func == "avg":
+            return sum(values) / len(values)
+        if expr.func == "min":
+            return min(values, key=key_rank)
+        return max(values, key=key_rank)
+    if isinstance(expr, ast.BinaryOp):
+        left = _evaluate_aggregate(expr.left, scopes)
+        right = _evaluate_aggregate(expr.right, scopes)
+        return _evaluate_binary(
+            ast.BinaryOp(expr.operator, ast.Literal(left), ast.Literal(right)),
+            _EMPTY_SCOPE,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        value = _evaluate_aggregate(expr.operand, scopes)
+        return _evaluate(ast.UnaryOp(expr.operator, ast.Literal(value)),
+                         _EMPTY_SCOPE)
+    # Non-aggregate expression inside a group: evaluate on a representative.
+    if scopes:
+        return _evaluate(expr, scopes[0])
+    return None
+
+
+# -- index path selection ---------------------------------------------------------
+
+
+def _index_path(table: Table, where, alias: Optional[str]):
+    """Find (index, low, high, incl_low, incl_high) usable for ``where``."""
+    if where is None or not table.indices:
+        return None
+    constraints = _collect_constraints(where, table, alias)
+    for info in table.indices:
+        bounds = constraints.get(info.column)
+        if bounds is not None:
+            low, high, include_low, include_high = bounds
+            return info, low, high, include_low, include_high
+    return None
+
+
+def _collect_constraints(where, table: Table, alias: Optional[str]):
+    """Map column -> (low, high, incl_low, incl_high) from AND-ed terms."""
+    constraints: Dict[str, List] = {}
+
+    def visit(node):
+        if isinstance(node, ast.BinaryOp) and node.operator == "and":
+            visit(node.left)
+            visit(node.right)
+            return
+        if isinstance(node, ast.BetweenOp) and not node.negated:
+            column = _plain_column(node.operand, table, alias)
+            low = _constant_value(node.low)
+            high = _constant_value(node.high)
+            if column and low is not _NO_VALUE and high is not _NO_VALUE:
+                _merge(constraints, column, low, True, high, True)
+            return
+        if isinstance(node, ast.BinaryOp) and node.operator in (
+                "=", "<", "<=", ">", ">="):
+            column = _plain_column(node.left, table, alias)
+            value = _constant_value(node.right)
+            operator = node.operator
+            if column is None:
+                column = _plain_column(node.right, table, alias)
+                value = _constant_value(node.left)
+                operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+                    operator, operator)
+            if column is None or value is _NO_VALUE:
+                return
+            if operator == "=":
+                _merge(constraints, column, value, True, value, True)
+            elif operator == "<":
+                _merge(constraints, column, None, True, value, False)
+            elif operator == "<=":
+                _merge(constraints, column, None, True, value, True)
+            elif operator == ">":
+                _merge(constraints, column, value, False, None, True)
+            elif operator == ">=":
+                _merge(constraints, column, value, True, None, True)
+
+    visit(where)
+    return {
+        column: tuple(bounds) for column, bounds in constraints.items()
+    }
+
+
+def _merge(constraints, column, low, include_low, high, include_high):
+    current = constraints.get(column)
+    if current is None:
+        constraints[column] = [low, high, include_low, include_high]
+        return
+    if low is not None:
+        if current[0] is None or key_rank(low) > key_rank(current[0]):
+            current[0] = low
+            current[2] = include_low
+    if high is not None:
+        if current[1] is None or key_rank(high) < key_rank(current[1]):
+            current[1] = high
+            current[3] = include_high
+
+
+def _is_simple_range(where, table: Table, alias: Optional[str],
+                     column: str) -> bool:
+    """True when ``where`` is only AND-ed range terms on ``column``."""
+    if isinstance(where, ast.BinaryOp) and where.operator == "and":
+        return (_is_simple_range(where.left, table, alias, column)
+                and _is_simple_range(where.right, table, alias, column))
+    if isinstance(where, ast.BetweenOp) and not where.negated:
+        return _plain_column(where.operand, table, alias) == column
+    if isinstance(where, ast.BinaryOp) and where.operator in (
+            "<", "<=", ">", ">="):
+        return (_plain_column(where.left, table, alias) == column
+                or _plain_column(where.right, table, alias) == column)
+    return False
+
+
+_NO_VALUE = object()
+
+
+def _constant_value(expr):
+    """The runtime value of a literal or bound parameter, else _NO_VALUE."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Parameter):
+        try:
+            return _PARAMETERS.values[expr.index]
+        except IndexError:
+            return _NO_VALUE
+    return _NO_VALUE
+
+
+def _plain_column(expr, table: Table, alias: Optional[str]) -> Optional[str]:
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None and expr.table not in (table.name, alias):
+        return None
+    if expr.name not in table.column_positions:
+        return None
+    return expr.name
+
+
+def _join_equality(condition, alias: str, table: Table):
+    """Detect ``inner.col = outer_expr`` patterns for index joins."""
+    if not isinstance(condition, ast.BinaryOp) or condition.operator != "=":
+        return None
+    for inner, outer in ((condition.left, condition.right),
+                         (condition.right, condition.left)):
+        if isinstance(inner, ast.ColumnRef) and inner.table == alias \
+                and inner.name in table.column_positions:
+            return inner.name, outer
+    return None
+
+
+def connect() -> Connection:
+    """Open a new in-memory database (the paper runs in-memory only)."""
+    return Connection()

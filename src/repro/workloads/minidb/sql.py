@@ -1,0 +1,609 @@
+"""SQL front end of the mini database: lexer, AST, parser.
+
+Covers the dialect the Speedtest1-like suite needs: CREATE/DROP TABLE,
+CREATE [UNIQUE] INDEX, INSERT, SELECT (joins, WHERE, GROUP BY, ORDER BY,
+LIMIT, aggregates, LIKE, IN, BETWEEN), UPDATE, DELETE and transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SqlError
+
+_KEYWORDS = {
+    "select", "from", "where", "insert", "into", "values", "update", "set",
+    "delete", "create", "drop", "table", "index", "unique", "on", "and",
+    "or", "not", "like", "in", "between", "is", "null", "order", "by",
+    "group", "limit", "asc", "desc", "join", "inner", "as", "integer",
+    "real", "text", "primary", "key", "begin", "commit", "rollback",
+    "count", "sum", "avg", "min", "max", "distinct", "having",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "kw" | "name" | "num" | "str" | "op" | "eof"
+    text: str
+    value: Any = None
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    size = len(sql)
+    while position < size:
+        char = sql[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and sql.startswith("--", position):
+            end = sql.find("\n", position)
+            position = size if end == -1 else end
+            continue
+        if char.isdigit() or (char == "." and position + 1 < size
+                              and sql[position + 1].isdigit()):
+            start = position
+            seen_dot = False
+            while position < size and (sql[position].isdigit()
+                                       or (sql[position] == "." and not seen_dot)):
+                if sql[position] == ".":
+                    seen_dot = True
+                position += 1
+            text = sql[start:position]
+            value = float(text) if seen_dot else int(text)
+            tokens.append(Token("num", text, value))
+            continue
+        if char == "'":
+            position += 1
+            chunks = []
+            while True:
+                if position >= size:
+                    raise SqlError("unterminated string literal")
+                if sql[position] == "'":
+                    if position + 1 < size and sql[position + 1] == "'":
+                        chunks.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                chunks.append(sql[position])
+                position += 1
+            text = "".join(chunks)
+            tokens.append(Token("str", text, text))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < size and (sql[position].isalnum()
+                                       or sql[position] == "_"):
+                position += 1
+            text = sql[start:position]
+            lowered = text.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(Token("kw", lowered))
+            else:
+                tokens.append(Token("name", text))
+            continue
+        for operator in ("<>", "<=", ">=", "!=", "==", "(", ")", ",", "*",
+                         "=", "<", ">", "+", "-", "/", ".", ";", "%", "?"):
+            if sql.startswith(operator, position):
+                tokens.append(Token("op", operator))
+                position += len(operator)
+                break
+        else:
+            raise SqlError(f"unexpected character {char!r} in SQL")
+    tokens.append(Token("eof", ""))
+    return tokens
+
+
+# -- AST -------------------------------------------------------------------
+
+
+@dataclass
+class Literal:
+    value: Any
+
+
+@dataclass
+class Parameter:
+    """A ``?`` placeholder, bound at execution time (prepared statements)."""
+
+    index: int
+
+
+@dataclass
+class ColumnRef:
+    table: Optional[str]
+    name: str
+
+
+@dataclass
+class Star:
+    pass
+
+
+@dataclass
+class BinaryOp:
+    operator: str
+    left: Any
+    right: Any
+
+
+@dataclass
+class UnaryOp:
+    operator: str
+    operand: Any
+
+
+@dataclass
+class LikeOp:
+    operand: Any
+    pattern: Any
+    negated: bool = False
+
+
+@dataclass
+class InOp:
+    operand: Any
+    options: List[Any] = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass
+class BetweenOp:
+    operand: Any
+    low: Any
+    high: Any
+    negated: bool = False
+
+
+@dataclass
+class IsNullOp:
+    operand: Any
+    negated: bool = False
+
+
+@dataclass
+class Aggregate:
+    func: str  # count | sum | avg | min | max
+    argument: Any  # expression or Star for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass
+class SelectItem:
+    expr: Any
+    alias: Optional[str] = None
+
+
+@dataclass
+class JoinClause:
+    table: str
+    alias: Optional[str]
+    condition: Any
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]
+    table: Optional[str] = None
+    alias: Optional[str] = None
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Any = None
+    group_by: List[Any] = field(default_factory=list)
+    having: Any = None
+    order_by: List[Tuple[Any, bool]] = field(default_factory=list)  # (expr, desc)
+    limit: Optional[int] = None
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type: str
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: List[ColumnDef]
+
+
+@dataclass
+class CreateIndex:
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+
+
+@dataclass
+class DropTable:
+    name: str
+
+
+@dataclass
+class DropIndex:
+    name: str
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: Optional[List[str]]
+    rows: List[List[Any]]  # rows of expressions
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Any]]
+    where: Any = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Any = None
+
+
+@dataclass
+class Begin:
+    pass
+
+
+@dataclass
+class Commit:
+    pass
+
+
+@dataclass
+class Rollback:
+    pass
+
+
+# -- parser -------------------------------------------------------------------
+
+
+class Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.position = 0
+        self.parameter_count = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            raise SqlError(
+                f"expected {text or kind}, found {self.current.text!r}"
+            )
+        return token
+
+    def _name(self) -> str:
+        token = self.current
+        if token.kind == "name":
+            return self._advance().text
+        # Unreserved keywords usable as identifiers.
+        if token.kind == "kw" and token.text in ("key", "index", "count"):
+            return self._advance().text
+        raise SqlError(f"expected a name, found {token.text!r}")
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind != "kw":
+            raise SqlError(f"expected a statement, found {token.text!r}")
+        statement = {
+            "select": self._select,
+            "insert": self._insert,
+            "update": self._update,
+            "delete": self._delete,
+            "create": self._create,
+            "drop": self._drop,
+            "begin": lambda: (self._advance(), Begin())[1],
+            "commit": lambda: (self._advance(), Commit())[1],
+            "rollback": lambda: (self._advance(), Rollback())[1],
+        }.get(token.text)
+        if statement is None:
+            raise SqlError(f"unsupported statement {token.text!r}")
+        result = statement()
+        self._accept("op", ";")
+        if self.current.kind != "eof":
+            raise SqlError(f"trailing tokens after statement: "
+                           f"{self.current.text!r}")
+        return result
+
+    def _create(self):
+        self._expect("kw", "create")
+        unique = bool(self._accept("kw", "unique"))
+        if self._accept("kw", "table"):
+            if unique:
+                raise SqlError("UNIQUE applies to indices, not tables")
+            name = self._name()
+            self._expect("op", "(")
+            columns = []
+            while True:
+                col_name = self._name()
+                type_token = self.current
+                if type_token.kind == "kw" and type_token.text in (
+                        "integer", "real", "text"):
+                    self._advance()
+                    col_type = type_token.text
+                else:
+                    col_type = "integer"
+                primary = False
+                if self._accept("kw", "primary"):
+                    self._expect("kw", "key")
+                    primary = True
+                columns.append(ColumnDef(col_name, col_type, primary))
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+            return CreateTable(name, columns)
+        self._expect("kw", "index")
+        index_name = self._name()
+        self._expect("kw", "on")
+        table = self._name()
+        self._expect("op", "(")
+        column = self._name()
+        self._expect("op", ")")
+        return CreateIndex(index_name, table, column, unique)
+
+    def _drop(self):
+        self._expect("kw", "drop")
+        if self._accept("kw", "table"):
+            return DropTable(self._name())
+        self._expect("kw", "index")
+        return DropIndex(self._name())
+
+    def _insert(self):
+        self._expect("kw", "insert")
+        self._expect("kw", "into")
+        table = self._name()
+        columns = None
+        if self._accept("op", "("):
+            columns = []
+            while True:
+                columns.append(self._name())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        self._expect("kw", "values")
+        rows = []
+        while True:
+            self._expect("op", "(")
+            row = []
+            while True:
+                row.append(self._expression())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+            rows.append(row)
+            if not self._accept("op", ","):
+                break
+        return Insert(table, columns, rows)
+
+    def _update(self):
+        self._expect("kw", "update")
+        table = self._name()
+        self._expect("kw", "set")
+        assignments = []
+        while True:
+            column = self._name()
+            self._expect("op", "=")
+            assignments.append((column, self._expression()))
+            if not self._accept("op", ","):
+                break
+        where = None
+        if self._accept("kw", "where"):
+            where = self._expression()
+        return Update(table, assignments, where)
+
+    def _delete(self):
+        self._expect("kw", "delete")
+        self._expect("kw", "from")
+        table = self._name()
+        where = None
+        if self._accept("kw", "where"):
+            where = self._expression()
+        return Delete(table, where)
+
+    def _select(self):
+        self._expect("kw", "select")
+        items = []
+        while True:
+            if self._accept("op", "*"):
+                items.append(SelectItem(Star()))
+            else:
+                expr = self._expression()
+                alias = None
+                if self._accept("kw", "as"):
+                    alias = self._name()
+                items.append(SelectItem(expr, alias))
+            if not self._accept("op", ","):
+                break
+        select = Select(items)
+        if self._accept("kw", "from"):
+            select.table = self._name()
+            if self.current.kind == "name":
+                select.alias = self._advance().text
+            while self._accept("kw", "join") or (
+                    self._accept("kw", "inner") and self._expect("kw", "join")):
+                table = self._name()
+                alias = None
+                if self.current.kind == "name":
+                    alias = self._advance().text
+                self._expect("kw", "on")
+                condition = self._expression()
+                select.joins.append(JoinClause(table, alias, condition))
+        if self._accept("kw", "where"):
+            select.where = self._expression()
+        if self._accept("kw", "group"):
+            self._expect("kw", "by")
+            while True:
+                select.group_by.append(self._expression())
+                if not self._accept("op", ","):
+                    break
+            if self._accept("kw", "having"):
+                select.having = self._expression()
+        if self._accept("kw", "order"):
+            self._expect("kw", "by")
+            while True:
+                expr = self._expression()
+                descending = False
+                if self._accept("kw", "desc"):
+                    descending = True
+                else:
+                    self._accept("kw", "asc")
+                select.order_by.append((expr, descending))
+                if not self._accept("op", ","):
+                    break
+        if self._accept("kw", "limit"):
+            token = self._expect("num")
+            select.limit = int(token.value)
+        return select
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self._accept("kw", "or"):
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self._accept("kw", "and"):
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self._accept("kw", "not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        token = self.current
+        if token.kind == "op" and token.text in ("=", "==", "<>", "!=", "<",
+                                                 "<=", ">", ">="):
+            self._advance()
+            operator = {"==": "=", "!=": "<>"}.get(token.text, token.text)
+            return BinaryOp(operator, left, self._additive())
+        negated = False
+        if token.kind == "kw" and token.text == "not":
+            lookahead = self.tokens[self.position + 1]
+            if lookahead.kind == "kw" and lookahead.text in (
+                    "like", "in", "between"):
+                self._advance()
+                negated = True
+                token = self.current
+        if token.kind == "kw" and token.text == "like":
+            self._advance()
+            return LikeOp(left, self._additive(), negated)
+        if token.kind == "kw" and token.text == "in":
+            self._advance()
+            self._expect("op", "(")
+            options = []
+            while True:
+                options.append(self._expression())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+            return InOp(left, options, negated)
+        if token.kind == "kw" and token.text == "between":
+            self._advance()
+            low = self._additive()
+            self._expect("kw", "and")
+            return BetweenOp(left, low, self._additive(), negated)
+        if token.kind == "kw" and token.text == "is":
+            self._advance()
+            is_negated = bool(self._accept("kw", "not"))
+            self._expect("kw", "null")
+            return IsNullOp(left, is_negated)
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            token = self.current
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                left = BinaryOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self._accept("op", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self.current
+        if token.kind == "op" and token.text == "?":
+            self._advance()
+            parameter = Parameter(self.parameter_count)
+            self.parameter_count += 1
+            return parameter
+        if token.kind == "num" or token.kind == "str":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "kw" and token.text == "null":
+            self._advance()
+            return Literal(None)
+        if token.kind == "kw" and token.text in ("count", "sum", "avg",
+                                                 "min", "max"):
+            func = self._advance().text
+            self._expect("op", "(")
+            distinct = bool(self._accept("kw", "distinct"))
+            if self._accept("op", "*"):
+                argument = Star()
+            else:
+                argument = self._expression()
+            self._expect("op", ")")
+            return Aggregate(func, argument, distinct)
+        if token.kind == "name":
+            name = self._advance().text
+            if self._accept("op", "."):
+                return ColumnRef(name, self._name())
+            return ColumnRef(None, name)
+        if self._accept("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise SqlError(f"unexpected token {token.text!r} in expression")
+
+
+def parse(sql: str):
+    """Parse one SQL statement."""
+    return Parser(sql).parse_statement()

@@ -1,0 +1,525 @@
+"""The Wasm build of the database engine core, authored in walc.
+
+The paper compiles SQLite itself to Wasm with WASI-SDK; offline we cannot
+compile C, so the Wasm side of Fig. 6 is this walc storage engine doing
+the *same logical row operations* per test (appends, index maintenance,
+binary-search lookups, range scans, sort, group, join). Payload "text"
+columns are modelled as derived integers, which preserves the
+work-per-row profile without a string library.
+
+The index is a two-level structure — a linked list of sorted blocks of at
+most 128 entries with in-block binary search and block splitting — i.e. a
+height-2 B-tree, matching the O(log n)-ish maintenance cost of the B-tree
+used by the Python engine. ORDER BY uses bottom-up merge sort.
+"""
+
+from __future__ import annotations
+
+from repro.walc import compile_source
+
+CAPACITY = 8192
+BLOCK = 128          # entries per index block
+MAX_BLOCKS = CAPACITY * 2 // BLOCK + 4
+
+
+def dbcore_source(capacity: int = CAPACITY) -> str:
+    c = capacity
+    nblocks = c * 2 // BLOCK + 4
+    keys, vals, pay, alive = 0, 4 * c, 8 * c, 12 * c
+    # Index block storage: each block owns a fixed slot of BLOCK entries.
+    idx_keys = 16 * c
+    idx_rows = idx_keys + 4 * nblocks * BLOCK
+    blk_len = idx_rows + 4 * nblocks * BLOCK
+    blk_next = blk_len + 4 * nblocks
+    t2_keys = blk_next + 4 * nblocks
+    t2_vals = t2_keys + 4 * c
+    scratch = t2_vals + 4 * c
+    scratch2 = scratch + 4 * c
+    total_bytes = scratch2 + 4 * c + 4096
+    pages = total_bytes // 65536 + 2
+    return f"""
+memory {pages} max {pages * 4};
+
+var count: i32 = 0;
+var indexed: i32 = 0;
+var idx_head: i32 = -1;     // first index block, -1 when empty
+var blk_alloc: i32 = 0;     // bump allocator over block slots
+var t2_count: i32 = 0;
+
+// Deterministic pseudo-random key stream (speedtest1 randomises too).
+fn prng(seed: i32) -> i32 {{
+  return ((seed * 1103515245 + 12345) >> 8) & 0x7fffff;
+}}
+
+fn blk_key(b: i32, i: i32) -> i32 {{
+  return load_i32({idx_keys} + (b * {BLOCK} + i) * 4);
+}}
+
+fn blk_row(b: i32, i: i32) -> i32 {{
+  return load_i32({idx_rows} + (b * {BLOCK} + i) * 4);
+}}
+
+fn blk_set(b: i32, i: i32, key: i32, row: i32) {{
+  store_i32({idx_keys} + (b * {BLOCK} + i) * 4, key);
+  store_i32({idx_rows} + (b * {BLOCK} + i) * 4, row);
+}}
+
+fn blk_count(b: i32) -> i32 {{
+  return load_i32({blk_len} + b * 4);
+}}
+
+fn blk_set_count(b: i32, n: i32) {{
+  store_i32({blk_len} + b * 4, n);
+}}
+
+fn blk_succ(b: i32) -> i32 {{
+  return load_i32({blk_next} + b * 4);
+}}
+
+fn blk_set_succ(b: i32, s: i32) {{
+  store_i32({blk_next} + b * 4, s);
+}}
+
+fn blk_new() -> i32 {{
+  var b: i32 = blk_alloc;
+  blk_alloc = blk_alloc + 1;
+  if (b >= {nblocks}) {{ unreachable(); }}
+  blk_set_count(b, 0);
+  blk_set_succ(b, -1);
+  return b;
+}}
+
+export fn idx_reset() {{
+  idx_head = -1;
+  blk_alloc = 0;
+}}
+
+// The block whose range covers `key` (the first block whose max >= key),
+// or the last block.
+fn idx_find_block(key: i32) -> i32 {{
+  var b: i32 = idx_head;
+  while (b >= 0) {{
+    var n: i32 = blk_count(b);
+    if (n > 0 && blk_key(b, n - 1) >= key) {{ return b; }}
+    if (blk_succ(b) < 0) {{ return b; }}
+    b = blk_succ(b);
+  }}
+  return b;
+}}
+
+// First in-block position with key >= target.
+fn blk_lower_bound(b: i32, key: i32) -> i32 {{
+  var lo: i32 = 0;
+  var hi: i32 = blk_count(b);
+  while (lo < hi) {{
+    var mid: i32 = (lo + hi) / 2;
+    if (blk_key(b, mid) < key) {{ lo = mid + 1; }}
+    else {{ hi = mid; }}
+  }}
+  return lo;
+}}
+
+fn idx_insert(key: i32, row: i32) {{
+  if (idx_head < 0) {{
+    idx_head = blk_new();
+  }}
+  var b: i32 = idx_find_block(key);
+  if (blk_count(b) == {BLOCK}) {{
+    // Split: move the upper half into a fresh linked block.
+    var s: i32 = blk_new();
+    var half: i32 = {BLOCK} / 2;
+    var src_k: i32 = {idx_keys} + (b * {BLOCK} + half) * 4;
+    var src_r: i32 = {idx_rows} + (b * {BLOCK} + half) * 4;
+    var dst_k: i32 = {idx_keys} + s * {BLOCK} * 4;
+    var dst_r: i32 = {idx_rows} + s * {BLOCK} * 4;
+    for (var i: i32 = 0; i < half; i = i + 1) {{
+      store_i32(dst_k + i * 4, load_i32(src_k + i * 4));
+      store_i32(dst_r + i * 4, load_i32(src_r + i * 4));
+    }}
+    blk_set_count(s, half);
+    blk_set_count(b, half);
+    blk_set_succ(s, blk_succ(b));
+    blk_set_succ(b, s);
+    if (key > blk_key(b, half - 1)) {{ b = s; }}
+  }}
+  // Inlined binary search + shift over the block's key/row slots.
+  var base_k: i32 = {idx_keys} + b * {BLOCK} * 4;
+  var base_r: i32 = {idx_rows} + b * {BLOCK} * 4;
+  var n: i32 = blk_count(b);
+  var lo: i32 = 0;
+  var hi: i32 = n;
+  while (lo < hi) {{
+    var mid: i32 = (lo + hi) / 2;
+    if (load_i32(base_k + mid * 4) < key) {{ lo = mid + 1; }}
+    else {{ hi = mid; }}
+  }}
+  var i: i32 = n;
+  while (i > lo) {{
+    store_i32(base_k + i * 4, load_i32(base_k + (i - 1) * 4));
+    store_i32(base_r + i * 4, load_i32(base_r + (i - 1) * 4));
+    i = i - 1;
+  }}
+  store_i32(base_k + lo * 4, key);
+  store_i32(base_r + lo * 4, row);
+  blk_set_count(b, n + 1);
+}}
+
+fn idx_delete(key: i32, row: i32) {{
+  var b: i32 = idx_head;
+  while (b >= 0) {{
+    var n: i32 = blk_count(b);
+    var base_k: i32 = {idx_keys} + b * {BLOCK} * 4;
+    var base_r: i32 = {idx_rows} + b * {BLOCK} * 4;
+    if (n > 0 && load_i32(base_k + (n - 1) * 4) >= key) {{
+      var lo: i32 = 0;
+      var hi: i32 = n;
+      while (lo < hi) {{
+        var mid: i32 = (lo + hi) / 2;
+        if (load_i32(base_k + mid * 4) < key) {{ lo = mid + 1; }}
+        else {{ hi = mid; }}
+      }}
+      while (lo < n && load_i32(base_k + lo * 4) == key) {{
+        if (load_i32(base_r + lo * 4) == row) {{
+          for (var i: i32 = lo; i < n - 1; i = i + 1) {{
+            store_i32(base_k + i * 4, load_i32(base_k + (i + 1) * 4));
+            store_i32(base_r + i * 4, load_i32(base_r + (i + 1) * 4));
+          }}
+          blk_set_count(b, n - 1);
+          return;
+        }}
+        lo = lo + 1;
+      }}
+      // Duplicates may spill into the next block.
+    }}
+    b = blk_succ(b);
+  }}
+}}
+
+export fn reset() {{
+  count = 0;
+  indexed = 0;
+  idx_reset();
+}}
+
+export fn set_indexed(flag: i32) {{
+  indexed = flag;
+  if (flag != 0 && idx_head < 0) {{
+    idx_head = blk_new();
+  }}
+}}
+
+export fn row_count() -> i32 {{ return count; }}
+
+// Insert n rows with keys in [0, key_range); payload derives from the key
+// the way speedtest1 derives its text column from the row number.
+export fn insert_many(n: i32, key_range: i32) -> i32 {{
+  var inserted: i32 = 0;
+  for (var i: i32 = 0; i < n; i = i + 1) {{
+    var key: i32 = prng(count + i) % key_range;
+    var row: i32 = count + i;
+    store_i32({keys} + row * 4, key);
+    store_i32({vals} + row * 4, (key * 3 + 7) % 1000);
+    store_i32({pay} + row * 4, prng(key));
+    store_i32({alive} + row * 4, 1);
+    if (indexed != 0) {{
+      idx_insert(key, row);
+    }}
+    inserted = inserted + 1;
+  }}
+  count = count + n;
+  return inserted;
+}}
+
+export fn build_index() -> i32 {{
+  idx_reset();
+  idx_head = blk_new();
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      idx_insert(load_i32({keys} + row * 4), row);
+      n = n + 1;
+    }}
+  }}
+  indexed = 1;
+  return n;
+}}
+
+// Range count through the index (SELECT ... WHERE key BETWEEN lo AND hi).
+export fn lookup_count(lo: i32, hi: i32) -> i32 {{
+  var n: i32 = 0;
+  var b: i32 = idx_find_block(lo);
+  if (b < 0) {{ return 0; }}
+  var pos: i32 = blk_lower_bound(b, lo);
+  while (b >= 0) {{
+    while (pos < blk_count(b)) {{
+      if (blk_key(b, pos) > hi) {{ return n; }}
+      if (load_i32({alive} + blk_row(b, pos) * 4) != 0) {{ n = n + 1; }}
+      pos = pos + 1;
+    }}
+    b = blk_succ(b);
+    pos = 0;
+  }}
+  return n;
+}}
+
+// Full-scan range count (no usable index).
+export fn scan_count(lo: i32, hi: i32) -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var v: i32 = load_i32({vals} + row * 4);
+      if (v >= lo && v <= hi) {{ n = n + 1; }}
+    }}
+  }}
+  return n;
+}}
+
+// Text-compare surrogate: payload residue filter (LIKE 'pattern%').
+export fn scan_like(mask: i32, residue: i32) -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      if (remu(load_i32({pay} + row * 4), mask) == residue) {{ n = n + 1; }}
+    }}
+  }}
+  return n;
+}}
+
+// Disjunctive filter (WHERE v = a OR v = b OR key < c).
+export fn scan_or(a: i32, b: i32, limit_key: i32) -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var v: i32 = load_i32({vals} + row * 4);
+      if (v == a || v == b || load_i32({keys} + row * 4) < limit_key) {{
+        n = n + 1;
+      }}
+    }}
+  }}
+  return n;
+}}
+
+// m point lookups via the index (SELECT ... WHERE key = ?).
+export fn select_eq_sum(m: i32, key_range: i32) -> i32 {{
+  var total: i32 = 0;
+  for (var i: i32 = 0; i < m; i = i + 1) {{
+    var key: i32 = prng(i * 17 + 3) % key_range;
+    var b: i32 = idx_find_block(key);
+    if (b >= 0) {{
+      var pos: i32 = blk_lower_bound(b, key);
+      while (b >= 0) {{
+        if (pos >= blk_count(b)) {{
+          b = blk_succ(b);
+          pos = 0;
+          continue;
+        }}
+        if (blk_key(b, pos) != key) {{ break; }}
+        var row: i32 = blk_row(b, pos);
+        if (load_i32({alive} + row * 4) != 0) {{
+          total = (total + load_i32({vals} + row * 4)) % 1000000;
+        }}
+        pos = pos + 1;
+      }}
+    }}
+  }}
+  return total;
+}}
+
+// Range update via full scan (UPDATE ... WHERE val BETWEEN, no index).
+export fn update_scan(lo: i32, hi: i32, delta: i32) -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var v: i32 = load_i32({vals} + row * 4);
+      if (v >= lo && v <= hi) {{
+        store_i32({vals} + row * 4, v + delta);
+        n = n + 1;
+      }}
+    }}
+  }}
+  return n;
+}}
+
+// Key update through the index: matching rows are collected first, then
+// re-keyed with full index maintenance.
+export fn update_indexed(lo: i32, hi: i32, delta: i32) -> i32 {{
+  var n: i32 = 0;
+  var b: i32 = idx_find_block(lo);
+  if (b >= 0) {{
+    var pos: i32 = blk_lower_bound(b, lo);
+    while (b >= 0) {{
+      while (pos < blk_count(b)) {{
+        if (blk_key(b, pos) > hi) {{ b = -1; break; }}
+        var row: i32 = blk_row(b, pos);
+        if (load_i32({alive} + row * 4) != 0) {{
+          store_i32({scratch} + n * 4, row);
+          n = n + 1;
+        }}
+        pos = pos + 1;
+      }}
+      if (b < 0) {{ break; }}
+      b = blk_succ(b);
+      pos = 0;
+    }}
+  }}
+  for (var i: i32 = 0; i < n; i = i + 1) {{
+    var row: i32 = load_i32({scratch} + i * 4);
+    var key: i32 = load_i32({keys} + row * 4);
+    idx_delete(key, row);
+    store_i32({keys} + row * 4, key + delta);
+    idx_insert(key + delta, row);
+  }}
+  return n;
+}}
+
+// Range delete: tombstones plus index maintenance when indexed.
+export fn delete_range(lo: i32, hi: i32) -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var key: i32 = load_i32({keys} + row * 4);
+      if (key >= lo && key <= hi) {{
+        store_i32({alive} + row * 4, 0);
+        if (indexed != 0) {{
+          idx_delete(key, row);
+        }}
+        n = n + 1;
+      }}
+    }}
+  }}
+  return n;
+}}
+
+// ORDER BY: bottom-up merge sort of live values, then a checksum pass.
+export fn order_by_checksum() -> i32 {{
+  var m: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      store_i32({scratch} + m * 4, load_i32({vals} + row * 4));
+      m = m + 1;
+    }}
+  }}
+  var src: i32 = {scratch};
+  var dst: i32 = {scratch2};
+  var width: i32 = 1;
+  while (width < m) {{
+    var lo: i32 = 0;
+    while (lo < m) {{
+      var mid: i32 = lo + width;
+      if (mid > m) {{ mid = m; }}
+      var hi: i32 = lo + 2 * width;
+      if (hi > m) {{ hi = m; }}
+      var i: i32 = lo;
+      var j: i32 = mid;
+      var k: i32 = lo;
+      while (i < mid && j < hi) {{
+        if (load_i32(src + i * 4) <= load_i32(src + j * 4)) {{
+          store_i32(dst + k * 4, load_i32(src + i * 4));
+          i = i + 1;
+        }} else {{
+          store_i32(dst + k * 4, load_i32(src + j * 4));
+          j = j + 1;
+        }}
+        k = k + 1;
+      }}
+      while (i < mid) {{
+        store_i32(dst + k * 4, load_i32(src + i * 4));
+        i = i + 1;
+        k = k + 1;
+      }}
+      while (j < hi) {{
+        store_i32(dst + k * 4, load_i32(src + j * 4));
+        j = j + 1;
+        k = k + 1;
+      }}
+      lo = hi;
+    }}
+    var tmp: i32 = src;
+    src = dst;
+    dst = tmp;
+    width = width * 2;
+  }}
+  var sum: i32 = 0;
+  for (var i: i32 = 0; i < m; i = i + 1) {{
+    sum = (sum * 31 + load_i32(src + i * 4)) & 0xffffff;
+  }}
+  return sum;
+}}
+
+// GROUP BY val % buckets with SUM aggregates.
+export fn group_sum(buckets: i32) -> i32 {{
+  for (var b: i32 = 0; b < buckets; b = b + 1) {{
+    store_i32({scratch} + b * 4, 0);
+  }}
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var v: i32 = load_i32({vals} + row * 4);
+      var b: i32 = remu(v, buckets);
+      store_i32({scratch} + b * 4, load_i32({scratch} + b * 4) + v);
+    }}
+  }}
+  var sum: i32 = 0;
+  for (var b: i32 = 0; b < buckets; b = b + 1) {{
+    sum = (sum * 31 + load_i32({scratch} + b * 4)) & 0xffffff;
+  }}
+  return sum;
+}}
+
+// Second table for joins: sorted keys so the join probe can binary search.
+export fn fill_join_table(n: i32) {{
+  for (var i: i32 = 0; i < n; i = i + 1) {{
+    store_i32({t2_keys} + i * 4, i * 2);
+    store_i32({t2_vals} + i * 4, (i * 11 + 5) % 997);
+  }}
+  t2_count = n;
+}}
+
+export fn join_sum() -> i32 {{
+  var total: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{
+      var key: i32 = load_i32({keys} + row * 4);
+      var lo: i32 = 0;
+      var hi: i32 = t2_count;
+      while (lo < hi) {{
+        var mid: i32 = (lo + hi) / 2;
+        if (load_i32({t2_keys} + mid * 4) < key) {{ lo = mid + 1; }}
+        else {{ hi = mid; }}
+      }}
+      if (lo < t2_count && load_i32({t2_keys} + lo * 4) == key) {{
+        total = (total + load_i32({t2_vals} + lo * 4)) % 1000000;
+      }}
+    }}
+  }}
+  return total;
+}}
+
+export fn count_alive() -> i32 {{
+  var n: i32 = 0;
+  for (var row: i32 = 0; row < count; row = row + 1) {{
+    if (load_i32({alive} + row * 4) != 0) {{ n = n + 1; }}
+  }}
+  return n;
+}}
+
+// MIN/MAX through the index: both ends, repeated m times.
+export fn min_max_sum(m: i32) -> i32 {{
+  var total: i32 = 0;
+  for (var i: i32 = 0; i < m; i = i + 1) {{
+    var b: i32 = idx_head;
+    if (b >= 0 && blk_count(b) > 0) {{
+      var mn: i32 = blk_key(b, 0);
+      var last: i32 = b;
+      while (blk_succ(last) >= 0) {{ last = blk_succ(last); }}
+      var mx: i32 = blk_key(last, blk_count(last) - 1);
+      total = (total + mn + mx) % 1000000;
+    }}
+  }}
+  return total;
+}}
+"""
+
+
+def compile_dbcore(capacity: int = CAPACITY) -> bytes:
+    """Compile the storage-engine core to a Wasm binary."""
+    return compile_source(dbcore_source(capacity))

@@ -1,0 +1,42 @@
+"""The PolyBench/C suite (v4.2-equivalent) in walc and pure Python.
+
+Importing this package registers all 30 kernels of the paper's Fig. 5:
+
+* datamining: correlation, covariance
+* blas: gemm, gemver, gesummv, symm, syr2k, syrk, trmm, 2mm, 3mm
+* kernels: atax, bicg, doitgen, mvt
+* solvers: cholesky, durbin, gramschmidt, lu, ludcmp, trisolv
+* medley: deriche, floyd-warshall, nussinov
+* stencils: adi, fdtd-2d, heat-3d, jacobi-1d, jacobi-2d, seidel-2d
+"""
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, REGISTRY
+# Importing the kernel modules populates the registry.
+from repro.workloads.polybench import (  # noqa: F401
+    kernels_datamining,
+    kernels_linalg,
+    kernels_medley,
+    kernels_solvers,
+    kernels_stencils,
+)
+
+EXPECTED_KERNEL_COUNT = 30
+
+
+def all_kernels():
+    """All registered kernels, in a stable order."""
+    return [REGISTRY[name] for name in sorted(REGISTRY)]
+
+
+def get_kernel(name: str) -> Kernel:
+    return REGISTRY[name]
+
+
+__all__ = [
+    "Kernel",
+    "REGISTRY",
+    "DOUBLE",
+    "all_kernels",
+    "get_kernel",
+    "EXPECTED_KERNEL_COUNT",
+]

@@ -1,0 +1,51 @@
+"""Common infrastructure for the PolyBench/C kernel suite.
+
+Each kernel exists twice, mirroring the paper's methodology: a walc
+implementation compiled to Wasm (the WASI-SDK build) and a pure-Python
+implementation (the native GCC build). Both follow the same loop structure
+and the same PolyBench initialisation formulas, and both return a checksum
+over the output arrays — identical IEEE-754 operation order means the two
+must agree bit-for-bit, which doubles as an engine-correctness test.
+
+Problem sizes are scaled-down "medium" datasets so the pure-Python Wasm
+engine completes in milliseconds; Fig. 5 reports ratios, which are what
+the scaling preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+DOUBLE = 8  # sizeof(f64)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One PolyBench kernel in its two implementations."""
+
+    name: str
+    category: str
+    #: walc source; ``run()`` must be exported and return the checksum.
+    walc_source: Callable[[int], str]
+    #: Pure-Python reference with identical operation order.
+    native: Callable[[int], float]
+    #: Scaled-down default problem size.
+    default_size: int
+    #: Heap pages the Wasm module needs at the default size.
+    pages: Callable[[int], int] = None  # type: ignore[assignment]
+
+
+REGISTRY: Dict[str, Kernel] = {}
+
+
+def register(kernel: Kernel) -> Kernel:
+    if kernel.name in REGISTRY:
+        raise ValueError(f"duplicate kernel {kernel.name}")
+    REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def pages_for(total_doubles: int, scratch: int = 4096) -> int:
+    """Memory pages needed for ``total_doubles`` f64 slots plus scratch."""
+    return (total_doubles * DOUBLE + scratch + 65535) // 65536 + 1

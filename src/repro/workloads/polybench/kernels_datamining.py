@@ -1,0 +1,192 @@
+"""PolyBench data-mining kernels: correlation, covariance."""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, pages_for, register
+
+
+def _covariance_source(n: int) -> str:
+    data, cov, mean = 0, n * n * DOUBLE, 2 * n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n + n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({data} + (i * {n} + j) * 8, ((i * j) as f64) / {nf});
+    }}
+  }}
+  var float_n: f64 = {nf};
+  for (var j: i32 = 0; j < {n}; j = j + 1) {{
+    var m: f64 = 0.0;
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      m = m + load_f64({data} + (i * {n} + j) * 8);
+    }}
+    store_f64({mean} + j * 8, m / float_n);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({data} + (i * {n} + j) * 8,
+                load_f64({data} + (i * {n} + j) * 8) - load_f64({mean} + j * 8));
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = i; j < {n}; j = j + 1) {{
+      var c: f64 = 0.0;
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        c = c + load_f64({data} + (k * {n} + i) * 8)
+              * load_f64({data} + (k * {n} + j) * 8);
+      }}
+      c = c / (float_n - 1.0);
+      store_f64({cov} + (i * {n} + j) * 8, c);
+      store_f64({cov} + (j * {n} + i) * 8, c);
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({cov} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _covariance_native(n: int) -> float:
+    data = [(i * j) / n for i in range(n) for j in range(n)]
+    cov = [0.0] * (n * n)
+    mean = [0.0] * n
+    float_n = float(n)
+    for j in range(n):
+        m = 0.0
+        for i in range(n):
+            m = m + data[i * n + j]
+        mean[j] = m / float_n
+    for i in range(n):
+        for j in range(n):
+            data[i * n + j] = data[i * n + j] - mean[j]
+    for i in range(n):
+        for j in range(i, n):
+            c = 0.0
+            for k in range(n):
+                c = c + data[k * n + i] * data[k * n + j]
+            c = c / (float_n - 1.0)
+            cov[i * n + j] = c
+            cov[j * n + i] = c
+    total = 0.0
+    for value in cov:
+        total = total + value
+    return total
+
+
+register(Kernel("covariance", "datamining", _covariance_source,
+                _covariance_native, 30))
+
+
+def _correlation_source(n: int) -> str:
+    data, corr = 0, n * n * DOUBLE
+    mean, stddev = 2 * n * n * DOUBLE, (2 * n * n + n) * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n + 2 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({data} + (i * {n} + j) * 8, ((i * j) as f64) / {nf} + (i as f64));
+    }}
+  }}
+  var float_n: f64 = {nf};
+  var eps: f64 = 0.1;
+  for (var j: i32 = 0; j < {n}; j = j + 1) {{
+    var m: f64 = 0.0;
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      m = m + load_f64({data} + (i * {n} + j) * 8);
+    }}
+    m = m / float_n;
+    store_f64({mean} + j * 8, m);
+    var sd: f64 = 0.0;
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      var d: f64 = load_f64({data} + (i * {n} + j) * 8) - m;
+      sd = sd + d * d;
+    }}
+    sd = sqrt(sd / float_n);
+    if (sd <= eps) {{ sd = 1.0; }}
+    store_f64({stddev} + j * 8, sd);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      var v: f64 = load_f64({data} + (i * {n} + j) * 8) - load_f64({mean} + j * 8);
+      v = v / (sqrt(float_n) * load_f64({stddev} + j * 8));
+      store_f64({data} + (i * {n} + j) * 8, v);
+    }}
+  }}
+  for (var i: i32 = 0; i < {n} - 1; i = i + 1) {{
+    store_f64({corr} + (i * {n} + i) * 8, 1.0);
+    for (var j: i32 = i + 1; j < {n}; j = j + 1) {{
+      var c: f64 = 0.0;
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        c = c + load_f64({data} + (k * {n} + i) * 8)
+              * load_f64({data} + (k * {n} + j) * 8);
+      }}
+      store_f64({corr} + (i * {n} + j) * 8, c);
+      store_f64({corr} + (j * {n} + i) * 8, c);
+    }}
+  }}
+  store_f64({corr} + (({n} - 1) * {n} + {n} - 1) * 8, 1.0);
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({corr} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _correlation_native(n: int) -> float:
+    data = [(i * j) / n + float(i) for i in range(n) for j in range(n)]
+    corr = [0.0] * (n * n)
+    mean = [0.0] * n
+    stddev = [0.0] * n
+    float_n = float(n)
+    eps = 0.1
+    for j in range(n):
+        m = 0.0
+        for i in range(n):
+            m = m + data[i * n + j]
+        m = m / float_n
+        mean[j] = m
+        sd = 0.0
+        for i in range(n):
+            d = data[i * n + j] - m
+            sd = sd + d * d
+        sd = math.sqrt(sd / float_n)
+        if sd <= eps:
+            sd = 1.0
+        stddev[j] = sd
+    for i in range(n):
+        for j in range(n):
+            v = data[i * n + j] - mean[j]
+            v = v / (math.sqrt(float_n) * stddev[j])
+            data[i * n + j] = v
+    for i in range(n - 1):
+        corr[i * n + i] = 1.0
+        for j in range(i + 1, n):
+            c = 0.0
+            for k in range(n):
+                c = c + data[k * n + i] * data[k * n + j]
+            corr[i * n + j] = c
+            corr[j * n + i] = c
+    corr[(n - 1) * n + n - 1] = 1.0
+    total = 0.0
+    for value in corr:
+        total = total + value
+    return total
+
+
+register(Kernel("correlation", "datamining", _correlation_source,
+                _correlation_native, 30))

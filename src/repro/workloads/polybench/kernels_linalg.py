@@ -1,0 +1,828 @@
+"""PolyBench linear-algebra kernels (BLAS and kernels groups).
+
+gemm, 2mm, 3mm, atax, bicg, mvt, gemver, gesummv, doitgen, symm, syr2k,
+syrk, trmm — each as a walc source generator plus a mirrored pure-Python
+native implementation returning the same checksum.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, pages_for, register
+
+
+def _gemm_source(n: int) -> str:
+    a, b, c = 0, n * n * DOUBLE, 2 * n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(3 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j + 1) % {n}) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, (((i * (j + 1)) % {n}) as f64) / {nf});
+      store_f64({c} + (i * {n} + j) * 8, (((i * (j + 2)) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({c} + (i * {n} + j) * 8, load_f64({c} + (i * {n} + j) * 8) * beta);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({c} + (i * {n} + j) * 8,
+                  load_f64({c} + (i * {n} + j) * 8)
+                  + alpha * load_f64({a} + (i * {n} + k) * 8)
+                          * load_f64({b} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({c} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _gemm_native(n: int) -> float:
+    a = [((i * j + 1) % n) / n for i in range(n) for j in range(n)]
+    b = [((i * (j + 1)) % n) / n for i in range(n) for j in range(n)]
+    c = [((i * (j + 2)) % n) / n for i in range(n) for j in range(n)]
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(n):
+            c[i * n + j] = c[i * n + j] * beta
+            for k in range(n):
+                c[i * n + j] = c[i * n + j] + alpha * a[i * n + k] * b[k * n + j]
+    return sum_mirror(c)
+
+
+def sum_mirror(values) -> float:
+    """Left-to-right accumulation, matching the walc checksum loops."""
+    total = 0.0
+    for value in values:
+        total = total + value
+    return total
+
+
+register(Kernel("gemm", "blas", _gemm_source, _gemm_native, 28))
+
+
+def _two_mm_source(n: int) -> str:
+    a, b, c, d, tmp = (k * n * n * DOUBLE for k in range(5))
+    nf = float(n)
+    return f"""
+memory {pages_for(5 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j + 1) % {n}) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, (((i * (j + 1)) % {n}) as f64) / {nf});
+      store_f64({c} + (i * {n} + j) * 8, (((i * (j + 3) + 1) % {n}) as f64) / {nf});
+      store_f64({d} + (i * {n} + j) * 8, (((i * (j + 2)) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({tmp} + (i * {n} + j) * 8, 0.0);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({tmp} + (i * {n} + j) * 8,
+                  load_f64({tmp} + (i * {n} + j) * 8)
+                  + alpha * load_f64({a} + (i * {n} + k) * 8)
+                          * load_f64({b} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({d} + (i * {n} + j) * 8, load_f64({d} + (i * {n} + j) * 8) * beta);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({d} + (i * {n} + j) * 8,
+                  load_f64({d} + (i * {n} + j) * 8)
+                  + load_f64({tmp} + (i * {n} + k) * 8)
+                  * load_f64({c} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({d} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _two_mm_native(n: int) -> float:
+    a = [((i * j + 1) % n) / n for i in range(n) for j in range(n)]
+    b = [((i * (j + 1)) % n) / n for i in range(n) for j in range(n)]
+    c = [((i * (j + 3) + 1) % n) / n for i in range(n) for j in range(n)]
+    d = [((i * (j + 2)) % n) / n for i in range(n) for j in range(n)]
+    tmp = [0.0] * (n * n)
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(n):
+            tmp[i * n + j] = 0.0
+            for k in range(n):
+                tmp[i * n + j] = tmp[i * n + j] + alpha * a[i * n + k] * b[k * n + j]
+    for i in range(n):
+        for j in range(n):
+            d[i * n + j] = d[i * n + j] * beta
+            for k in range(n):
+                d[i * n + j] = d[i * n + j] + tmp[i * n + k] * c[k * n + j]
+    return sum_mirror(d)
+
+
+register(Kernel("2mm", "blas", _two_mm_source, _two_mm_native, 24))
+
+
+def _three_mm_source(n: int) -> str:
+    a, b, c, d, e, f, g = (k * n * n * DOUBLE for k in range(7))
+    nf = float(n)
+    return f"""
+memory {pages_for(7 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, ((((i * j + 1) % {n}) as f64)) / (5.0 * {nf}));
+      store_f64({b} + (i * {n} + j) * 8, ((((i * (j + 1) + 2) % {n}) as f64)) / (5.0 * {nf}));
+      store_f64({c} + (i * {n} + j) * 8, ((((i * (j + 3)) % {n}) as f64)) / (5.0 * {nf}));
+      store_f64({d} + (i * {n} + j) * 8, ((((i * (j + 2) + 2) % {n}) as f64)) / (5.0 * {nf}));
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({e} + (i * {n} + j) * 8, 0.0);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({e} + (i * {n} + j) * 8,
+                  load_f64({e} + (i * {n} + j) * 8)
+                  + load_f64({a} + (i * {n} + k) * 8) * load_f64({b} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({f} + (i * {n} + j) * 8, 0.0);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({f} + (i * {n} + j) * 8,
+                  load_f64({f} + (i * {n} + j) * 8)
+                  + load_f64({c} + (i * {n} + k) * 8) * load_f64({d} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({g} + (i * {n} + j) * 8, 0.0);
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        store_f64({g} + (i * {n} + j) * 8,
+                  load_f64({g} + (i * {n} + j) * 8)
+                  + load_f64({e} + (i * {n} + k) * 8) * load_f64({f} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({g} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _three_mm_native(n: int) -> float:
+    a = [((i * j + 1) % n) / (5.0 * n) for i in range(n) for j in range(n)]
+    b = [((i * (j + 1) + 2) % n) / (5.0 * n) for i in range(n) for j in range(n)]
+    c = [((i * (j + 3)) % n) / (5.0 * n) for i in range(n) for j in range(n)]
+    d = [((i * (j + 2) + 2) % n) / (5.0 * n) for i in range(n) for j in range(n)]
+    e = [0.0] * (n * n)
+    f = [0.0] * (n * n)
+    g = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            e[i * n + j] = 0.0
+            for k in range(n):
+                e[i * n + j] = e[i * n + j] + a[i * n + k] * b[k * n + j]
+    for i in range(n):
+        for j in range(n):
+            f[i * n + j] = 0.0
+            for k in range(n):
+                f[i * n + j] = f[i * n + j] + c[i * n + k] * d[k * n + j]
+    for i in range(n):
+        for j in range(n):
+            g[i * n + j] = 0.0
+            for k in range(n):
+                g[i * n + j] = g[i * n + j] + e[i * n + k] * f[k * n + j]
+    return sum_mirror(g)
+
+
+register(Kernel("3mm", "blas", _three_mm_source, _three_mm_native, 22))
+
+
+def _atax_source(n: int) -> str:
+    a, x, y, tmp = 0, n * n * DOUBLE, (n * n + n) * DOUBLE, (n * n + 2 * n) * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n + 3 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({x} + i * 8, 1.0 + (i as f64) / {nf});
+    store_f64({y} + i * 8, 0.0);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i + j) % {n}) as f64) / (5.0 * {nf}));
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var t: f64 = 0.0;
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      t = t + load_f64({a} + (i * {n} + j) * 8) * load_f64({x} + j * 8);
+    }}
+    store_f64({tmp} + i * 8, t);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({y} + j * 8,
+                load_f64({y} + j * 8) + load_f64({a} + (i * {n} + j) * 8) * t);
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({y} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _atax_native(n: int) -> float:
+    a = [((i + j) % n) / (5.0 * n) for i in range(n) for j in range(n)]
+    x = [1.0 + i / n for i in range(n)]
+    y = [0.0] * n
+    for i in range(n):
+        t = 0.0
+        for j in range(n):
+            t = t + a[i * n + j] * x[j]
+        for j in range(n):
+            y[j] = y[j] + a[i * n + j] * t
+    return sum_mirror(y)
+
+
+register(Kernel("atax", "kernels", _atax_source, _atax_native, 80))
+
+
+def _bicg_source(n: int) -> str:
+    a = 0
+    s, q, p, r = ((n * n + k * n) * DOUBLE for k in range(4))
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n + 4 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({p} + i * 8, ((i % {n}) as f64) / {nf});
+    store_f64({r} + i * 8, ((i % {n}) as f64) / {nf} + 1.0);
+    store_f64({s} + i * 8, 0.0);
+    store_f64({q} + i * 8, 0.0);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * (j + 1)) % {n}) as f64) / {nf});
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var ri: f64 = load_f64({r} + i * 8);
+    var qi: f64 = 0.0;
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({s} + j * 8,
+                load_f64({s} + j * 8) + ri * load_f64({a} + (i * {n} + j) * 8));
+      qi = qi + load_f64({a} + (i * {n} + j) * 8) * load_f64({p} + j * 8);
+    }}
+    store_f64({q} + i * 8, qi);
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    sum = sum + load_f64({s} + i * 8) + load_f64({q} + i * 8);
+  }}
+  return sum;
+}}
+"""
+
+
+def _bicg_native(n: int) -> float:
+    a = [((i * (j + 1)) % n) / n for i in range(n) for j in range(n)]
+    p = [(i % n) / n for i in range(n)]
+    r = [(i % n) / n + 1.0 for i in range(n)]
+    s = [0.0] * n
+    q = [0.0] * n
+    for i in range(n):
+        ri = r[i]
+        qi = 0.0
+        for j in range(n):
+            s[j] = s[j] + ri * a[i * n + j]
+            qi = qi + a[i * n + j] * p[j]
+        q[i] = qi
+    total = 0.0
+    for i in range(n):
+        total = total + s[i] + q[i]
+    return total
+
+
+register(Kernel("bicg", "kernels", _bicg_source, _bicg_native, 80))
+
+
+def _mvt_source(n: int) -> str:
+    a = 0
+    x1, x2, y1, y2 = ((n * n + k * n) * DOUBLE for k in range(4))
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n + 4 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({x1} + i * 8, ((i % {n}) as f64) / {nf});
+    store_f64({x2} + i * 8, (((i + 1) % {n}) as f64) / {nf});
+    store_f64({y1} + i * 8, (((i + 3) % {n}) as f64) / {nf});
+    store_f64({y2} + i * 8, (((i + 4) % {n}) as f64) / {nf});
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j) % {n}) as f64) / {nf});
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var t: f64 = load_f64({x1} + i * 8);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      t = t + load_f64({a} + (i * {n} + j) * 8) * load_f64({y1} + j * 8);
+    }}
+    store_f64({x1} + i * 8, t);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var t: f64 = load_f64({x2} + i * 8);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      t = t + load_f64({a} + (j * {n} + i) * 8) * load_f64({y2} + j * 8);
+    }}
+    store_f64({x2} + i * 8, t);
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    sum = sum + load_f64({x1} + i * 8) + load_f64({x2} + i * 8);
+  }}
+  return sum;
+}}
+"""
+
+
+def _mvt_native(n: int) -> float:
+    a = [((i * j) % n) / n for i in range(n) for j in range(n)]
+    x1 = [(i % n) / n for i in range(n)]
+    x2 = [((i + 1) % n) / n for i in range(n)]
+    y1 = [((i + 3) % n) / n for i in range(n)]
+    y2 = [((i + 4) % n) / n for i in range(n)]
+    for i in range(n):
+        t = x1[i]
+        for j in range(n):
+            t = t + a[i * n + j] * y1[j]
+        x1[i] = t
+    for i in range(n):
+        t = x2[i]
+        for j in range(n):
+            t = t + a[j * n + i] * y2[j]
+        x2[i] = t
+    total = 0.0
+    for i in range(n):
+        total = total + x1[i] + x2[i]
+    return total
+
+
+register(Kernel("mvt", "kernels", _mvt_source, _mvt_native, 80))
+
+
+def _gemver_source(n: int) -> str:
+    a = 0
+    u1, v1, u2, v2, w, x, y, z = ((n * n + k * n) * DOUBLE for k in range(8))
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n + 8 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var fi: f64 = i as f64;
+    store_f64({u1} + i * 8, fi);
+    store_f64({u2} + i * 8, ((fi + 1.0) / {nf}) / 2.0);
+    store_f64({v1} + i * 8, ((fi + 1.0) / {nf}) / 4.0);
+    store_f64({v2} + i * 8, ((fi + 1.0) / {nf}) / 6.0);
+    store_f64({y} + i * 8, ((fi + 1.0) / {nf}) / 8.0);
+    store_f64({z} + i * 8, ((fi + 1.0) / {nf}) / 9.0);
+    store_f64({x} + i * 8, 0.0);
+    store_f64({w} + i * 8, 0.0);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8,
+                load_f64({a} + (i * {n} + j) * 8)
+                + load_f64({u1} + i * 8) * load_f64({v1} + j * 8)
+                + load_f64({u2} + i * 8) * load_f64({v2} + j * 8));
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({x} + i * 8,
+                load_f64({x} + i * 8)
+                + beta * load_f64({a} + (j * {n} + i) * 8) * load_f64({y} + j * 8));
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({x} + i * 8, load_f64({x} + i * 8) + load_f64({z} + i * 8));
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({w} + i * 8,
+                load_f64({w} + i * 8)
+                + alpha * load_f64({a} + (i * {n} + j) * 8) * load_f64({x} + j * 8));
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({w} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _gemver_native(n: int) -> float:
+    a = [((i * j) % n) / n for i in range(n) for j in range(n)]
+    u1 = [float(i) for i in range(n)]
+    u2 = [((i + 1.0) / n) / 2.0 for i in range(n)]
+    v1 = [((i + 1.0) / n) / 4.0 for i in range(n)]
+    v2 = [((i + 1.0) / n) / 6.0 for i in range(n)]
+    y = [((i + 1.0) / n) / 8.0 for i in range(n)]
+    z = [((i + 1.0) / n) / 9.0 for i in range(n)]
+    x = [0.0] * n
+    w = [0.0] * n
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(n):
+            a[i * n + j] = a[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j]
+    for i in range(n):
+        for j in range(n):
+            x[i] = x[i] + beta * a[j * n + i] * y[j]
+    for i in range(n):
+        x[i] = x[i] + z[i]
+    for i in range(n):
+        for j in range(n):
+            w[i] = w[i] + alpha * a[i * n + j] * x[j]
+    return sum_mirror(w)
+
+
+register(Kernel("gemver", "blas", _gemver_source, _gemver_native, 60))
+
+
+def _gesummv_source(n: int) -> str:
+    a, b = 0, n * n * DOUBLE
+    x, y, tmp = ((2 * n * n + k * n) * DOUBLE for k in range(3))
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n + 3 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({x} + i * 8, ((i % {n}) as f64) / {nf});
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j + 1) % {n}) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, (((i * j + 2) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var t: f64 = 0.0;
+    var yv: f64 = 0.0;
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      t = t + load_f64({a} + (i * {n} + j) * 8) * load_f64({x} + j * 8);
+      yv = yv + load_f64({b} + (i * {n} + j) * 8) * load_f64({x} + j * 8);
+    }}
+    store_f64({tmp} + i * 8, t);
+    store_f64({y} + i * 8, alpha * t + beta * yv);
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({y} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _gesummv_native(n: int) -> float:
+    a = [((i * j + 1) % n) / n for i in range(n) for j in range(n)]
+    b = [((i * j + 2) % n) / n for i in range(n) for j in range(n)]
+    x = [(i % n) / n for i in range(n)]
+    y = [0.0] * n
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        t = 0.0
+        yv = 0.0
+        for j in range(n):
+            t = t + a[i * n + j] * x[j]
+            yv = yv + b[i * n + j] * x[j]
+        y[i] = alpha * t + beta * yv
+    return sum_mirror(y)
+
+
+register(Kernel("gesummv", "blas", _gesummv_source, _gesummv_native, 70))
+
+
+def _doitgen_source(n: int) -> str:
+    # A[r][q][p], C4[p][s], sum[p] with r=q=p=s=n.
+    a = 0
+    c4 = n * n * n * DOUBLE
+    acc = (n * n * n + n * n) * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n * n + n * n + n)};
+export fn run() -> f64 {{
+  for (var r: i32 = 0; r < {n}; r = r + 1) {{
+    for (var q: i32 = 0; q < {n}; q = q + 1) {{
+      for (var p: i32 = 0; p < {n}; p = p + 1) {{
+        store_f64({a} + ((r * {n} + q) * {n} + p) * 8,
+                  ((((r * q + p) % {n}) as f64)) / {nf});
+      }}
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({c4} + (i * {n} + j) * 8, (((i * j % {n}) as f64)) / {nf});
+    }}
+  }}
+  for (var r: i32 = 0; r < {n}; r = r + 1) {{
+    for (var q: i32 = 0; q < {n}; q = q + 1) {{
+      for (var p: i32 = 0; p < {n}; p = p + 1) {{
+        var t: f64 = 0.0;
+        for (var s: i32 = 0; s < {n}; s = s + 1) {{
+          t = t + load_f64({a} + ((r * {n} + q) * {n} + s) * 8)
+                * load_f64({c4} + (s * {n} + p) * 8);
+        }}
+        store_f64({acc} + p * 8, t);
+      }}
+      for (var p: i32 = 0; p < {n}; p = p + 1) {{
+        store_f64({a} + ((r * {n} + q) * {n} + p) * 8, load_f64({acc} + p * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var r: i32 = 0; r < {n}; r = r + 1) {{
+    for (var q: i32 = 0; q < {n}; q = q + 1) {{
+      for (var p: i32 = 0; p < {n}; p = p + 1) {{
+        sum = sum + load_f64({a} + ((r * {n} + q) * {n} + p) * 8);
+      }}
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _doitgen_native(n: int) -> float:
+    a = [((r * q + p) % n) / n
+         for r in range(n) for q in range(n) for p in range(n)]
+    c4 = [(i * j % n) / n for i in range(n) for j in range(n)]
+    acc = [0.0] * n
+    for r in range(n):
+        for q in range(n):
+            for p in range(n):
+                t = 0.0
+                for s in range(n):
+                    t = t + a[(r * n + q) * n + s] * c4[s * n + p]
+                acc[p] = t
+            for p in range(n):
+                a[(r * n + q) * n + p] = acc[p]
+    return sum_mirror(a)
+
+
+register(Kernel("doitgen", "kernels", _doitgen_source, _doitgen_native, 14))
+
+
+def _symm_source(n: int) -> str:
+    a, b, c = 0, n * n * DOUBLE, 2 * n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(3 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i + j) % 100) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, ((({n} + i - j) % 100) as f64) / {nf});
+      store_f64({c} + (i * {n} + j) * 8, (((i + j) % 100) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      var temp2: f64 = 0.0;
+      for (var k: i32 = 0; k < i; k = k + 1) {{
+        store_f64({c} + (k * {n} + j) * 8,
+                  load_f64({c} + (k * {n} + j) * 8)
+                  + alpha * load_f64({b} + (i * {n} + j) * 8)
+                          * load_f64({a} + (i * {n} + k) * 8));
+        temp2 = temp2 + load_f64({b} + (k * {n} + j) * 8)
+                      * load_f64({a} + (i * {n} + k) * 8);
+      }}
+      store_f64({c} + (i * {n} + j) * 8,
+                beta * load_f64({c} + (i * {n} + j) * 8)
+                + alpha * load_f64({b} + (i * {n} + j) * 8)
+                        * load_f64({a} + (i * {n} + i) * 8)
+                + alpha * temp2);
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({c} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _symm_native(n: int) -> float:
+    a = [((i + j) % 100) / n for i in range(n) for j in range(n)]
+    b = [((n + i - j) % 100) / n for i in range(n) for j in range(n)]
+    c = [((i + j) % 100) / n for i in range(n) for j in range(n)]
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(n):
+            temp2 = 0.0
+            for k in range(i):
+                c[k * n + j] = c[k * n + j] + alpha * b[i * n + j] * a[i * n + k]
+                temp2 = temp2 + b[k * n + j] * a[i * n + k]
+            c[i * n + j] = (beta * c[i * n + j]
+                            + alpha * b[i * n + j] * a[i * n + i]
+                            + alpha * temp2)
+    return sum_mirror(c)
+
+
+register(Kernel("symm", "blas", _symm_source, _symm_native, 30))
+
+
+def _syrk_source(n: int) -> str:
+    a, c = 0, n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j + 1) % {n}) as f64) / {nf});
+      store_f64({c} + (i * {n} + j) * 8, (((i * j + 2) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j <= i; j = j + 1) {{
+      store_f64({c} + (i * {n} + j) * 8, load_f64({c} + (i * {n} + j) * 8) * beta);
+    }}
+    for (var k: i32 = 0; k < {n}; k = k + 1) {{
+      for (var j: i32 = 0; j <= i; j = j + 1) {{
+        store_f64({c} + (i * {n} + j) * 8,
+                  load_f64({c} + (i * {n} + j) * 8)
+                  + alpha * load_f64({a} + (i * {n} + k) * 8)
+                          * load_f64({a} + (j * {n} + k) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({c} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _syrk_native(n: int) -> float:
+    a = [((i * j + 1) % n) / n for i in range(n) for j in range(n)]
+    c = [((i * j + 2) % n) / n for i in range(n) for j in range(n)]
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(i + 1):
+            c[i * n + j] = c[i * n + j] * beta
+        for k in range(n):
+            for j in range(i + 1):
+                c[i * n + j] = c[i * n + j] + alpha * a[i * n + k] * a[j * n + k]
+    return sum_mirror(c)
+
+
+register(Kernel("syrk", "blas", _syrk_source, _syrk_native, 30))
+
+
+def _syr2k_source(n: int) -> str:
+    a, b, c = 0, n * n * DOUBLE, 2 * n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(3 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j + 1) % {n}) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, (((i * j + 2) % {n}) as f64) / {nf});
+      store_f64({c} + (i * {n} + j) * 8, (((i * j + 3) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  var beta: f64 = 1.2;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j <= i; j = j + 1) {{
+      store_f64({c} + (i * {n} + j) * 8, load_f64({c} + (i * {n} + j) * 8) * beta);
+    }}
+    for (var k: i32 = 0; k < {n}; k = k + 1) {{
+      for (var j: i32 = 0; j <= i; j = j + 1) {{
+        store_f64({c} + (i * {n} + j) * 8,
+                  load_f64({c} + (i * {n} + j) * 8)
+                  + load_f64({a} + (j * {n} + k) * 8) * alpha
+                    * load_f64({b} + (i * {n} + k) * 8)
+                  + load_f64({b} + (j * {n} + k) * 8) * alpha
+                    * load_f64({a} + (i * {n} + k) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({c} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _syr2k_native(n: int) -> float:
+    a = [((i * j + 1) % n) / n for i in range(n) for j in range(n)]
+    b = [((i * j + 2) % n) / n for i in range(n) for j in range(n)]
+    c = [((i * j + 3) % n) / n for i in range(n) for j in range(n)]
+    alpha, beta = 1.5, 1.2
+    for i in range(n):
+        for j in range(i + 1):
+            c[i * n + j] = c[i * n + j] * beta
+        for k in range(n):
+            for j in range(i + 1):
+                c[i * n + j] = (c[i * n + j]
+                                + a[j * n + k] * alpha * b[i * n + k]
+                                + b[j * n + k] * alpha * a[i * n + k])
+    return sum_mirror(c)
+
+
+register(Kernel("syr2k", "blas", _syr2k_source, _syr2k_native, 26))
+
+
+def _trmm_source(n: int) -> str:
+    a, b = 0, n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, (((i * j) % {n}) as f64) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, ((({n} + i - j) % {n}) as f64) / {nf});
+    }}
+  }}
+  var alpha: f64 = 1.5;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      for (var k: i32 = i + 1; k < {n}; k = k + 1) {{
+        store_f64({b} + (i * {n} + j) * 8,
+                  load_f64({b} + (i * {n} + j) * 8)
+                  + load_f64({a} + (k * {n} + i) * 8)
+                  * load_f64({b} + (k * {n} + j) * 8));
+      }}
+      store_f64({b} + (i * {n} + j) * 8, alpha * load_f64({b} + (i * {n} + j) * 8));
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({b} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _trmm_native(n: int) -> float:
+    a = [((i * j) % n) / n for i in range(n) for j in range(n)]
+    b = [((n + i - j) % n) / n for i in range(n) for j in range(n)]
+    alpha = 1.5
+    for i in range(n):
+        for j in range(n):
+            for k in range(i + 1, n):
+                b[i * n + j] = b[i * n + j] + a[k * n + i] * b[k * n + j]
+            b[i * n + j] = alpha * b[i * n + j]
+    return sum_mirror(b)
+
+
+register(Kernel("trmm", "blas", _trmm_source, _trmm_native, 30))

@@ -1,0 +1,376 @@
+"""PolyBench medley kernels: deriche, floyd-warshall, nussinov.
+
+deriche needs ``exp``; Wasm has no transcendental opcodes and WASI-SDK
+links libm into the module, so here both implementations share the *same*
+range-reduction + Taylor algorithm (in walc and in Python) — keeping the
+bit-for-bit checksum equality the suite relies on.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, pages_for, register
+
+# exp(x) by range reduction around ln 2 and an 11-term Taylor tail,
+# mirrored exactly in walc below.
+_LN2 = 0.6931471805599453
+
+
+def _exp_shared(x: float) -> float:
+    k = int(x / _LN2)
+    r = x - (k * 1.0) * _LN2
+    term = 1.0
+    total = 1.0
+    i = 1
+    while i <= 11:
+        term = term * r / (i * 1.0)
+        total = total + term
+        i = i + 1
+    scale = 1.0
+    if k >= 0:
+        j = 0
+        while j < k:
+            scale = scale * 2.0
+            j = j + 1
+    else:
+        j = 0
+        while j > k:
+            scale = scale / 2.0
+            j = j - 1
+    return total * scale
+
+
+_EXP_WALC = f"""
+fn exp_shared(x: f64) -> f64 {{
+  var k: i32 = (x / {_LN2!r}) as i32;
+  var r: f64 = x - ((k as f64) * {_LN2!r});
+  var term: f64 = 1.0;
+  var total: f64 = 1.0;
+  for (var i: i32 = 1; i <= 11; i = i + 1) {{
+    term = term * r / (i as f64);
+    total = total + term;
+  }}
+  var scale: f64 = 1.0;
+  if (k >= 0) {{
+    for (var j: i32 = 0; j < k; j = j + 1) {{ scale = scale * 2.0; }}
+  }} else {{
+    for (var j: i32 = 0; j > k; j = j - 1) {{ scale = scale / 2.0; }}
+  }}
+  return total * scale;
+}}
+"""
+
+
+def _deriche_source(n: int) -> str:
+    # Square image W = H = n; arrays: img_in, img_out, y1, y2.
+    img_in, img_out, y1, y2 = (k * n * n * DOUBLE for k in range(4))
+    return f"""
+memory {pages_for(4 * n * n)};
+{_EXP_WALC}
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({img_in} + (i * {n} + j) * 8,
+                (((313 * i + 991 * j) % 65536) as f64) / 65535.0);
+    }}
+  }}
+  var alpha: f64 = 0.25;
+  var k: f64 = (1.0 - exp_shared(0.0 - alpha)) * (1.0 - exp_shared(0.0 - alpha))
+             / (1.0 + 2.0 * alpha * exp_shared(0.0 - alpha)
+                - exp_shared(0.0 - 2.0 * alpha));
+  var a1: f64 = k;
+  var a5: f64 = k;
+  var a2: f64 = k * exp_shared(0.0 - alpha) * (alpha - 1.0);
+  var a6: f64 = a2;
+  var a3: f64 = k * exp_shared(0.0 - alpha) * (alpha + 1.0);
+  var a7: f64 = a3;
+  var a4: f64 = 0.0 - k * exp_shared(0.0 - 2.0 * alpha);
+  var a8: f64 = a4;
+  var b1: f64 = 2.0 * exp_shared(0.0 - alpha);
+  var b2: f64 = 0.0 - exp_shared(0.0 - 2.0 * alpha);
+  var c1: f64 = 1.0;
+  var c2: f64 = 1.0;
+
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var ym1: f64 = 0.0;
+    var ym2: f64 = 0.0;
+    var xm1: f64 = 0.0;
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      var x: f64 = load_f64({img_in} + (i * {n} + j) * 8);
+      var y: f64 = a1 * x + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      store_f64({y1} + (i * {n} + j) * 8, y);
+      xm1 = x;
+      ym2 = ym1;
+      ym1 = y;
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var yp1: f64 = 0.0;
+    var yp2: f64 = 0.0;
+    var xp1: f64 = 0.0;
+    var xp2: f64 = 0.0;
+    for (var j: i32 = {n} - 1; j >= 0; j = j - 1) {{
+      var x: f64 = load_f64({img_in} + (i * {n} + j) * 8);
+      var y: f64 = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+      store_f64({y2} + (i * {n} + j) * 8, y);
+      xp2 = xp1;
+      xp1 = x;
+      yp2 = yp1;
+      yp1 = y;
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({img_out} + (i * {n} + j) * 8,
+                c1 * (load_f64({y1} + (i * {n} + j) * 8)
+                      + load_f64({y2} + (i * {n} + j) * 8)));
+    }}
+  }}
+  for (var j: i32 = 0; j < {n}; j = j + 1) {{
+    var tm1: f64 = 0.0;
+    var ym1: f64 = 0.0;
+    var ym2: f64 = 0.0;
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      var t: f64 = load_f64({img_out} + (i * {n} + j) * 8);
+      var y: f64 = a5 * t + a6 * tm1 + b1 * ym1 + b2 * ym2;
+      store_f64({y1} + (i * {n} + j) * 8, y);
+      tm1 = t;
+      ym2 = ym1;
+      ym1 = y;
+    }}
+  }}
+  for (var j: i32 = 0; j < {n}; j = j + 1) {{
+    var tp1: f64 = 0.0;
+    var tp2: f64 = 0.0;
+    var yp1: f64 = 0.0;
+    var yp2: f64 = 0.0;
+    for (var i: i32 = {n} - 1; i >= 0; i = i - 1) {{
+      var t: f64 = load_f64({img_out} + (i * {n} + j) * 8);
+      var y: f64 = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+      store_f64({y2} + (i * {n} + j) * 8, y);
+      tp2 = tp1;
+      tp1 = t;
+      yp2 = yp1;
+      yp1 = y;
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + c2 * (load_f64({y1} + (i * {n} + j) * 8)
+                        + load_f64({y2} + (i * {n} + j) * 8));
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _deriche_native(n: int) -> float:
+    exp = _exp_shared
+    img_in = [((313 * i + 991 * j) % 65536) / 65535.0
+              for i in range(n) for j in range(n)]
+    img_out = [0.0] * (n * n)
+    y1 = [0.0] * (n * n)
+    y2 = [0.0] * (n * n)
+    alpha = 0.25
+    k = ((1.0 - exp(0.0 - alpha)) * (1.0 - exp(0.0 - alpha))
+         / (1.0 + 2.0 * alpha * exp(0.0 - alpha) - exp(0.0 - 2.0 * alpha)))
+    a1 = a5 = k
+    a2 = a6 = k * exp(0.0 - alpha) * (alpha - 1.0)
+    a3 = a7 = k * exp(0.0 - alpha) * (alpha + 1.0)
+    a4 = a8 = 0.0 - k * exp(0.0 - 2.0 * alpha)
+    b1 = 2.0 * exp(0.0 - alpha)
+    b2 = 0.0 - exp(0.0 - 2.0 * alpha)
+    c1 = c2 = 1.0
+    for i in range(n):
+        ym1 = ym2 = xm1 = 0.0
+        for j in range(n):
+            x = img_in[i * n + j]
+            y = a1 * x + a2 * xm1 + b1 * ym1 + b2 * ym2
+            y1[i * n + j] = y
+            xm1 = x
+            ym2 = ym1
+            ym1 = y
+    for i in range(n):
+        yp1 = yp2 = xp1 = xp2 = 0.0
+        for j in range(n - 1, -1, -1):
+            x = img_in[i * n + j]
+            y = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2
+            y2[i * n + j] = y
+            xp2 = xp1
+            xp1 = x
+            yp2 = yp1
+            yp1 = y
+    for i in range(n):
+        for j in range(n):
+            img_out[i * n + j] = c1 * (y1[i * n + j] + y2[i * n + j])
+    for j in range(n):
+        tm1 = ym1 = ym2 = 0.0
+        for i in range(n):
+            t = img_out[i * n + j]
+            y = a5 * t + a6 * tm1 + b1 * ym1 + b2 * ym2
+            y1[i * n + j] = y
+            tm1 = t
+            ym2 = ym1
+            ym1 = y
+    for j in range(n):
+        tp1 = tp2 = yp1 = yp2 = 0.0
+        for i in range(n - 1, -1, -1):
+            t = img_out[i * n + j]
+            y = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2
+            y2[i * n + j] = y
+            tp2 = tp1
+            tp1 = t
+            yp2 = yp1
+            yp1 = y
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            total = total + c2 * (y1[i * n + j] + y2[i * n + j])
+    return total
+
+
+register(Kernel("deriche", "medley", _deriche_source, _deriche_native, 48))
+
+
+def _floyd_warshall_source(n: int) -> str:
+    path = 0
+    return f"""
+memory {pages_for(n * n // 2 + 1)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      var v: i32 = (i * j) % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {{
+        v = 999;
+      }}
+      store_i32({path} + (i * {n} + j) * 4, v);
+    }}
+  }}
+  for (var k: i32 = 0; k < {n}; k = k + 1) {{
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      for (var j: i32 = 0; j < {n}; j = j + 1) {{
+        var direct: i32 = load_i32({path} + (i * {n} + j) * 4);
+        var via: i32 = load_i32({path} + (i * {n} + k) * 4)
+                     + load_i32({path} + (k * {n} + j) * 4);
+        if (via < direct) {{
+          store_i32({path} + (i * {n} + j) * 4, via);
+        }}
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + (load_i32({path} + (i * {n} + j) * 4) as f64);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _floyd_warshall_native(n: int) -> float:
+    path = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            v = (i * j) % 7 + 1
+            if (i + j) % 13 == 0 or (i + j) % 7 == 0 or (i + j) % 11 == 0:
+                v = 999
+            path[i * n + j] = v
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                via = path[i * n + k] + path[k * n + j]
+                if via < path[i * n + j]:
+                    path[i * n + j] = via
+    total = 0.0
+    for value in path:
+        total = total + float(value)
+    return total
+
+
+register(Kernel("floyd-warshall", "medley", _floyd_warshall_source,
+                _floyd_warshall_native, 30))
+
+
+def _nussinov_source(n: int) -> str:
+    # seq (bases 0..3) as i32, table as i32.
+    seq, table = 0, n * 4
+    return f"""
+memory {pages_for(n * n // 2 + n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_i32({seq} + i * 4, (i + 1) % 4);
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_i32({table} + (i * {n} + j) * 4, 0);
+    }}
+  }}
+  for (var i: i32 = {n} - 1; i >= 0; i = i - 1) {{
+    for (var j: i32 = i + 1; j < {n}; j = j + 1) {{
+      if (j - 1 >= 0) {{
+        var left: i32 = load_i32({table} + (i * {n} + j - 1) * 4);
+        if (left > load_i32({table} + (i * {n} + j) * 4)) {{
+          store_i32({table} + (i * {n} + j) * 4, left);
+        }}
+      }}
+      if (i + 1 < {n}) {{
+        var down: i32 = load_i32({table} + ((i + 1) * {n} + j) * 4);
+        if (down > load_i32({table} + (i * {n} + j) * 4)) {{
+          store_i32({table} + (i * {n} + j) * 4, down);
+        }}
+      }}
+      if (j - 1 >= 0 && i + 1 < {n}) {{
+        var diag: i32 = load_i32({table} + ((i + 1) * {n} + j - 1) * 4);
+        if (i < j - 1) {{
+          var match: i32 = 0;
+          if (load_i32({seq} + i * 4) + load_i32({seq} + j * 4) == 3) {{
+            match = 1;
+          }}
+          diag = diag + match;
+        }}
+        if (diag > load_i32({table} + (i * {n} + j) * 4)) {{
+          store_i32({table} + (i * {n} + j) * 4, diag);
+        }}
+      }}
+      for (var k: i32 = i + 1; k < j; k = k + 1) {{
+        var split: i32 = load_i32({table} + (i * {n} + k) * 4)
+                       + load_i32({table} + ((k + 1) * {n} + j) * 4);
+        if (split > load_i32({table} + (i * {n} + j) * 4)) {{
+          store_i32({table} + (i * {n} + j) * 4, split);
+        }}
+      }}
+    }}
+  }}
+  return load_i32({table} + ({n} - 1) * 4) as f64;
+}}
+"""
+
+
+def _nussinov_native(n: int) -> float:
+    seq = [(i + 1) % 4 for i in range(n)]
+    table = [0] * (n * n)
+    for i in range(n - 1, -1, -1):
+        for j in range(i + 1, n):
+            if j - 1 >= 0:
+                left = table[i * n + j - 1]
+                if left > table[i * n + j]:
+                    table[i * n + j] = left
+            if i + 1 < n:
+                down = table[(i + 1) * n + j]
+                if down > table[i * n + j]:
+                    table[i * n + j] = down
+            if j - 1 >= 0 and i + 1 < n:
+                diag = table[(i + 1) * n + j - 1]
+                if i < j - 1:
+                    diag = diag + (1 if seq[i] + seq[j] == 3 else 0)
+                if diag > table[i * n + j]:
+                    table[i * n + j] = diag
+            for k in range(i + 1, j):
+                split = table[i * n + k] + table[(k + 1) * n + j]
+                if split > table[i * n + j]:
+                    table[i * n + j] = split
+    return float(table[0 * n + (n - 1)])
+
+
+register(Kernel("nussinov", "medley", _nussinov_source, _nussinov_native, 32))

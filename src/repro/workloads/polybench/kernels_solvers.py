@@ -1,0 +1,434 @@
+"""PolyBench linear-algebra solvers.
+
+cholesky, durbin, gramschmidt, lu, ludcmp, trisolv.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, pages_for, register
+
+
+def _spd_init_walc(a: int, n: int, b: int) -> str:
+    """walc code making A (at ``a``) positive definite via A = B.B^T."""
+    nf = float(n)
+    return f"""
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j <= i; j = j + 1) {{
+      store_f64({b} + (i * {n} + j) * 8, ((0.0 - ((j % {n}) as f64)) / {nf}) + 1.0);
+    }}
+    for (var j: i32 = i + 1; j < {n}; j = j + 1) {{
+      store_f64({b} + (i * {n} + j) * 8, 0.0);
+    }}
+    store_f64({b} + (i * {n} + i) * 8, 1.0);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      var t: f64 = 0.0;
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        t = t + load_f64({b} + (i * {n} + k) * 8) * load_f64({b} + (j * {n} + k) * 8);
+      }}
+      store_f64({a} + (i * {n} + j) * 8, t);
+    }}
+  }}
+"""
+
+
+def _spd_init_native(n: int):
+    b = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(i + 1):
+            b[i * n + j] = (0.0 - (j % n)) / n + 1.0
+        for j in range(i + 1, n):
+            b[i * n + j] = 0.0
+        b[i * n + i] = 1.0
+    a = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            t = 0.0
+            for k in range(n):
+                t = t + b[i * n + k] * b[j * n + k]
+            a[i * n + j] = t
+    return a
+
+
+def _cholesky_source(n: int) -> str:
+    a, b = 0, n * n * DOUBLE
+    return f"""
+memory {pages_for(2 * n * n)};
+export fn run() -> f64 {{
+{_spd_init_walc(a, n, b)}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < i; j = j + 1) {{
+      for (var k: i32 = 0; k < j; k = k + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  load_f64({a} + (i * {n} + j) * 8)
+                  - load_f64({a} + (i * {n} + k) * 8)
+                  * load_f64({a} + (j * {n} + k) * 8));
+      }}
+      store_f64({a} + (i * {n} + j) * 8,
+                load_f64({a} + (i * {n} + j) * 8) / load_f64({a} + (j * {n} + j) * 8));
+    }}
+    for (var k: i32 = 0; k < i; k = k + 1) {{
+      store_f64({a} + (i * {n} + i) * 8,
+                load_f64({a} + (i * {n} + i) * 8)
+                - load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (i * {n} + k) * 8));
+    }}
+    store_f64({a} + (i * {n} + i) * 8, sqrt(load_f64({a} + (i * {n} + i) * 8)));
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j <= i; j = j + 1) {{
+      sum = sum + load_f64({a} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _cholesky_native(n: int) -> float:
+    a = _spd_init_native(n)
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                a[i * n + j] = a[i * n + j] - a[i * n + k] * a[j * n + k]
+            a[i * n + j] = a[i * n + j] / a[j * n + j]
+        for k in range(i):
+            a[i * n + i] = a[i * n + i] - a[i * n + k] * a[i * n + k]
+        a[i * n + i] = math.sqrt(a[i * n + i])
+    total = 0.0
+    for i in range(n):
+        for j in range(i + 1):
+            total = total + a[i * n + j]
+    return total
+
+
+register(Kernel("cholesky", "solvers", _cholesky_source, _cholesky_native, 26))
+
+
+def _durbin_source(n: int) -> str:
+    r, y, z = 0, n * DOUBLE, 2 * n * DOUBLE
+    return f"""
+memory {pages_for(3 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({r} + i * 8, ({n} + 1 - i) as f64);
+  }}
+  store_f64({y}, 0.0 - load_f64({r}));
+  var beta: f64 = 1.0;
+  var alpha: f64 = 0.0 - load_f64({r});
+  for (var k: i32 = 1; k < {n}; k = k + 1) {{
+    beta = (1.0 - alpha * alpha) * beta;
+    var s: f64 = 0.0;
+    for (var i: i32 = 0; i < k; i = i + 1) {{
+      s = s + load_f64({r} + (k - i - 1) * 8) * load_f64({y} + i * 8);
+    }}
+    alpha = 0.0 - (load_f64({r} + k * 8) + s) / beta;
+    for (var i: i32 = 0; i < k; i = i + 1) {{
+      store_f64({z} + i * 8,
+                load_f64({y} + i * 8) + alpha * load_f64({y} + (k - i - 1) * 8));
+    }}
+    for (var i: i32 = 0; i < k; i = i + 1) {{
+      store_f64({y} + i * 8, load_f64({z} + i * 8));
+    }}
+    store_f64({y} + k * 8, alpha);
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({y} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _durbin_native(n: int) -> float:
+    r = [float(n + 1 - i) for i in range(n)]
+    y = [0.0] * n
+    z = [0.0] * n
+    y[0] = 0.0 - r[0]
+    beta = 1.0
+    alpha = 0.0 - r[0]
+    for k in range(1, n):
+        beta = (1.0 - alpha * alpha) * beta
+        s = 0.0
+        for i in range(k):
+            s = s + r[k - i - 1] * y[i]
+        alpha = 0.0 - (r[k] + s) / beta
+        for i in range(k):
+            z[i] = y[i] + alpha * y[k - i - 1]
+        for i in range(k):
+            y[i] = z[i]
+        y[k] = alpha
+    total = 0.0
+    for i in range(n):
+        total = total + y[i]
+    return total
+
+
+register(Kernel("durbin", "solvers", _durbin_source, _durbin_native, 120))
+
+
+def _gramschmidt_source(n: int) -> str:
+    a, r, q = 0, n * n * DOUBLE, 2 * n * n * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(3 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8,
+                ((((i * j) % {n}) as f64) / {nf}) * 100.0 + 10.0);
+      store_f64({r} + (i * {n} + j) * 8, 0.0);
+      store_f64({q} + (i * {n} + j) * 8, 0.0);
+    }}
+  }}
+  for (var k: i32 = 0; k < {n}; k = k + 1) {{
+    var nrm: f64 = 0.0;
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      nrm = nrm + load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (i * {n} + k) * 8);
+    }}
+    store_f64({r} + (k * {n} + k) * 8, sqrt(nrm));
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      store_f64({q} + (i * {n} + k) * 8,
+                load_f64({a} + (i * {n} + k) * 8) / load_f64({r} + (k * {n} + k) * 8));
+    }}
+    for (var j: i32 = k + 1; j < {n}; j = j + 1) {{
+      var t: f64 = 0.0;
+      for (var i: i32 = 0; i < {n}; i = i + 1) {{
+        t = t + load_f64({q} + (i * {n} + k) * 8) * load_f64({a} + (i * {n} + j) * 8);
+      }}
+      store_f64({r} + (k * {n} + j) * 8, t);
+      for (var i: i32 = 0; i < {n}; i = i + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  load_f64({a} + (i * {n} + j) * 8)
+                  - load_f64({q} + (i * {n} + k) * 8) * t);
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({r} + (i * {n} + j) * 8) + load_f64({q} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _gramschmidt_native(n: int) -> float:
+    a = [((i * j) % n) / n * 100.0 + 10.0 for i in range(n) for j in range(n)]
+    r = [0.0] * (n * n)
+    q = [0.0] * (n * n)
+    for k in range(n):
+        nrm = 0.0
+        for i in range(n):
+            nrm = nrm + a[i * n + k] * a[i * n + k]
+        r[k * n + k] = math.sqrt(nrm)
+        for i in range(n):
+            q[i * n + k] = a[i * n + k] / r[k * n + k]
+        for j in range(k + 1, n):
+            t = 0.0
+            for i in range(n):
+                t = t + q[i * n + k] * a[i * n + j]
+            r[k * n + j] = t
+            for i in range(n):
+                a[i * n + j] = a[i * n + j] - q[i * n + k] * t
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            total = total + r[i * n + j] + q[i * n + j]
+    return total
+
+
+register(Kernel("gramschmidt", "solvers", _gramschmidt_source,
+                _gramschmidt_native, 26))
+
+
+def _lu_source(n: int) -> str:
+    a, b = 0, n * n * DOUBLE
+    return f"""
+memory {pages_for(2 * n * n)};
+export fn run() -> f64 {{
+{_spd_init_walc(a, n, b)}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < i; j = j + 1) {{
+      for (var k: i32 = 0; k < j; k = k + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  load_f64({a} + (i * {n} + j) * 8)
+                  - load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (k * {n} + j) * 8));
+      }}
+      store_f64({a} + (i * {n} + j) * 8,
+                load_f64({a} + (i * {n} + j) * 8) / load_f64({a} + (j * {n} + j) * 8));
+    }}
+    for (var j: i32 = i; j < {n}; j = j + 1) {{
+      for (var k: i32 = 0; k < i; k = k + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  load_f64({a} + (i * {n} + j) * 8)
+                  - load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (k * {n} + j) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({a} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _lu_native(n: int) -> float:
+    a = _spd_init_native(n)
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j]
+            a[i * n + j] = a[i * n + j] / a[j * n + j]
+        for j in range(i, n):
+            for k in range(i):
+                a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j]
+    total = 0.0
+    for value in a:
+        total = total + value
+    return total
+
+
+register(Kernel("lu", "solvers", _lu_source, _lu_native, 26))
+
+
+def _ludcmp_source(n: int) -> str:
+    a, bmat = 0, n * n * DOUBLE
+    b, x, y = ((2 * n * n + k * n) * DOUBLE for k in range(3))
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n + 3 * n)};
+export fn run() -> f64 {{
+{_spd_init_walc(a, n, bmat)}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({b} + i * 8, ((i + 1) as f64) / {nf} / 2.0 + 4.0);
+    store_f64({x} + i * 8, 0.0);
+    store_f64({y} + i * 8, 0.0);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < i; j = j + 1) {{
+      var w: f64 = load_f64({a} + (i * {n} + j) * 8);
+      for (var k: i32 = 0; k < j; k = k + 1) {{
+        w = w - load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (k * {n} + j) * 8);
+      }}
+      store_f64({a} + (i * {n} + j) * 8, w / load_f64({a} + (j * {n} + j) * 8));
+    }}
+    for (var j: i32 = i; j < {n}; j = j + 1) {{
+      var w: f64 = load_f64({a} + (i * {n} + j) * 8);
+      for (var k: i32 = 0; k < i; k = k + 1) {{
+        w = w - load_f64({a} + (i * {n} + k) * 8) * load_f64({a} + (k * {n} + j) * 8);
+      }}
+      store_f64({a} + (i * {n} + j) * 8, w);
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var w: f64 = load_f64({b} + i * 8);
+    for (var j: i32 = 0; j < i; j = j + 1) {{
+      w = w - load_f64({a} + (i * {n} + j) * 8) * load_f64({y} + j * 8);
+    }}
+    store_f64({y} + i * 8, w);
+  }}
+  for (var i: i32 = {n} - 1; i >= 0; i = i - 1) {{
+    var w: f64 = load_f64({y} + i * 8);
+    for (var j: i32 = i + 1; j < {n}; j = j + 1) {{
+      w = w - load_f64({a} + (i * {n} + j) * 8) * load_f64({x} + j * 8);
+    }}
+    store_f64({x} + i * 8, w / load_f64({a} + (i * {n} + i) * 8));
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({x} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _ludcmp_native(n: int) -> float:
+    a = _spd_init_native(n)
+    b = [(i + 1) / n / 2.0 + 4.0 for i in range(n)]
+    x = [0.0] * n
+    y = [0.0] * n
+    for i in range(n):
+        for j in range(i):
+            w = a[i * n + j]
+            for k in range(j):
+                w = w - a[i * n + k] * a[k * n + j]
+            a[i * n + j] = w / a[j * n + j]
+        for j in range(i, n):
+            w = a[i * n + j]
+            for k in range(i):
+                w = w - a[i * n + k] * a[k * n + j]
+            a[i * n + j] = w
+    for i in range(n):
+        w = b[i]
+        for j in range(i):
+            w = w - a[i * n + j] * y[j]
+        y[i] = w
+    for i in range(n - 1, -1, -1):
+        w = y[i]
+        for j in range(i + 1, n):
+            w = w - a[i * n + j] * x[j]
+        x[i] = w / a[i * n + i]
+    total = 0.0
+    for i in range(n):
+        total = total + x[i]
+    return total
+
+
+register(Kernel("ludcmp", "solvers", _ludcmp_source, _ludcmp_native, 26))
+
+
+def _trisolv_source(n: int) -> str:
+    l, x, b = 0, n * n * DOUBLE, (n * n + n) * DOUBLE
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n + 2 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({x} + i * 8, 0.0 - 999.0);
+    store_f64({b} + i * 8, i as f64);
+    for (var j: i32 = 0; j <= i; j = j + 1) {{
+      store_f64({l} + (i * {n} + j) * 8,
+                (((i + {n} - j + 1) as f64) * 2.0) / {nf});
+    }}
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    var w: f64 = load_f64({b} + i * 8);
+    for (var j: i32 = 0; j < i; j = j + 1) {{
+      w = w - load_f64({l} + (i * {n} + j) * 8) * load_f64({x} + j * 8);
+    }}
+    store_f64({x} + i * 8, w / load_f64({l} + (i * {n} + i) * 8));
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({x} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _trisolv_native(n: int) -> float:
+    l = [0.0] * (n * n)
+    x = [-999.0] * n
+    b = [float(i) for i in range(n)]
+    for i in range(n):
+        for j in range(i + 1):
+            l[i * n + j] = (i + n - j + 1) * 2.0 / n
+    for i in range(n):
+        w = b[i]
+        for j in range(i):
+            w = w - l[i * n + j] * x[j]
+        x[i] = w / l[i * n + i]
+    total = 0.0
+    for i in range(n):
+        total = total + x[i]
+    return total
+
+
+register(Kernel("trisolv", "solvers", _trisolv_source, _trisolv_native, 100))

@@ -1,0 +1,545 @@
+"""PolyBench stencil kernels: adi, fdtd-2d, heat-3d, jacobi-1d,
+jacobi-2d, seidel-2d.
+
+Each takes (time steps, grid size) folded into one ``size`` parameter:
+``tsteps = max(2, size // 5)`` keeps the paper's medium-dataset shape of
+tens of time steps over a moderate grid.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.polybench.base import DOUBLE, Kernel, pages_for, register
+
+
+def _tsteps(n: int) -> int:
+    return max(2, n // 5)
+
+
+def _jacobi_1d_source(n: int) -> str:
+    a, b = 0, n * DOUBLE
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    store_f64({a} + i * 8, ((i as f64) + 2.0) / {nf});
+    store_f64({b} + i * 8, ((i as f64) + 3.0) / {nf});
+  }}
+  for (var t: i32 = 0; t < {steps}; t = t + 1) {{
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      store_f64({b} + i * 8,
+                0.33333 * (load_f64({a} + (i - 1) * 8)
+                           + load_f64({a} + i * 8)
+                           + load_f64({a} + (i + 1) * 8)));
+    }}
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      store_f64({a} + i * 8,
+                0.33333 * (load_f64({b} + (i - 1) * 8)
+                           + load_f64({b} + i * 8)
+                           + load_f64({b} + (i + 1) * 8)));
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{ sum = sum + load_f64({a} + i * 8); }}
+  return sum;
+}}
+"""
+
+
+def _jacobi_1d_native(n: int) -> float:
+    steps = _tsteps(n)
+    a = [(i + 2.0) / n for i in range(n)]
+    b = [(i + 3.0) / n for i in range(n)]
+    for _t in range(steps):
+        for i in range(1, n - 1):
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1])
+        for i in range(1, n - 1):
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1])
+    total = 0.0
+    for value in a:
+        total = total + value
+    return total
+
+
+register(Kernel("jacobi-1d", "stencils", _jacobi_1d_source,
+                _jacobi_1d_native, 400))
+
+
+def _jacobi_2d_source(n: int) -> str:
+    a, b = 0, n * n * DOUBLE
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8, ((i as f64) * ((j as f64) + 2.0)) / {nf});
+      store_f64({b} + (i * {n} + j) * 8, ((i as f64) * ((j as f64) + 3.0)) / {nf});
+    }}
+  }}
+  for (var t: i32 = 0; t < {steps}; t = t + 1) {{
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        store_f64({b} + (i * {n} + j) * 8,
+                  0.2 * (load_f64({a} + (i * {n} + j) * 8)
+                         + load_f64({a} + (i * {n} + j - 1) * 8)
+                         + load_f64({a} + (i * {n} + j + 1) * 8)
+                         + load_f64({a} + ((i + 1) * {n} + j) * 8)
+                         + load_f64({a} + ((i - 1) * {n} + j) * 8)));
+      }}
+    }}
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  0.2 * (load_f64({b} + (i * {n} + j) * 8)
+                         + load_f64({b} + (i * {n} + j - 1) * 8)
+                         + load_f64({b} + (i * {n} + j + 1) * 8)
+                         + load_f64({b} + ((i + 1) * {n} + j) * 8)
+                         + load_f64({b} + ((i - 1) * {n} + j) * 8)));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({a} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _jacobi_2d_native(n: int) -> float:
+    steps = _tsteps(n)
+    a = [i * (j + 2.0) / n for i in range(n) for j in range(n)]
+    b = [i * (j + 3.0) / n for i in range(n) for j in range(n)]
+    for _t in range(steps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1]
+                                      + a[i * n + j + 1]
+                                      + a[(i + 1) * n + j]
+                                      + a[(i - 1) * n + j])
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i * n + j] = 0.2 * (b[i * n + j] + b[i * n + j - 1]
+                                      + b[i * n + j + 1]
+                                      + b[(i + 1) * n + j]
+                                      + b[(i - 1) * n + j])
+    total = 0.0
+    for value in a:
+        total = total + value
+    return total
+
+
+register(Kernel("jacobi-2d", "stencils", _jacobi_2d_source,
+                _jacobi_2d_native, 36))
+
+
+def _seidel_2d_source(n: int) -> str:
+    a = 0
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({a} + (i * {n} + j) * 8,
+                ((i as f64) * ((j as f64) + 2.0) + 2.0) / {nf});
+    }}
+  }}
+  for (var t: i32 = 0; t < {steps}; t = t + 1) {{
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        store_f64({a} + (i * {n} + j) * 8,
+                  (load_f64({a} + ((i - 1) * {n} + j - 1) * 8)
+                   + load_f64({a} + ((i - 1) * {n} + j) * 8)
+                   + load_f64({a} + ((i - 1) * {n} + j + 1) * 8)
+                   + load_f64({a} + (i * {n} + j - 1) * 8)
+                   + load_f64({a} + (i * {n} + j) * 8)
+                   + load_f64({a} + (i * {n} + j + 1) * 8)
+                   + load_f64({a} + ((i + 1) * {n} + j - 1) * 8)
+                   + load_f64({a} + ((i + 1) * {n} + j) * 8)
+                   + load_f64({a} + ((i + 1) * {n} + j + 1) * 8)) / 9.0);
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({a} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _seidel_2d_native(n: int) -> float:
+    steps = _tsteps(n)
+    a = [(i * (j + 2.0) + 2.0) / n for i in range(n) for j in range(n)]
+    for _t in range(steps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i * n + j] = (a[(i - 1) * n + j - 1] + a[(i - 1) * n + j]
+                                + a[(i - 1) * n + j + 1] + a[i * n + j - 1]
+                                + a[i * n + j] + a[i * n + j + 1]
+                                + a[(i + 1) * n + j - 1] + a[(i + 1) * n + j]
+                                + a[(i + 1) * n + j + 1]) / 9.0
+    total = 0.0
+    for value in a:
+        total = total + value
+    return total
+
+
+register(Kernel("seidel-2d", "stencils", _seidel_2d_source,
+                _seidel_2d_native, 36))
+
+
+def _fdtd_2d_source(n: int) -> str:
+    ex, ey, hz, fict = (0, n * n * DOUBLE, 2 * n * n * DOUBLE,
+                        3 * n * n * DOUBLE)
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(3 * n * n + n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {steps}; i = i + 1) {{
+    store_f64({fict} + i * 8, i as f64);
+  }}
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({ex} + (i * {n} + j) * 8, ((i as f64) * ((j as f64) + 1.0)) / {nf});
+      store_f64({ey} + (i * {n} + j) * 8, ((i as f64) * ((j as f64) + 2.0)) / {nf});
+      store_f64({hz} + (i * {n} + j) * 8, ((i as f64) * ((j as f64) + 3.0)) / {nf});
+    }}
+  }}
+  for (var t: i32 = 0; t < {steps}; t = t + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({ey} + j * 8, load_f64({fict} + t * 8));
+    }}
+    for (var i: i32 = 1; i < {n}; i = i + 1) {{
+      for (var j: i32 = 0; j < {n}; j = j + 1) {{
+        store_f64({ey} + (i * {n} + j) * 8,
+                  load_f64({ey} + (i * {n} + j) * 8)
+                  - 0.5 * (load_f64({hz} + (i * {n} + j) * 8)
+                           - load_f64({hz} + ((i - 1) * {n} + j) * 8)));
+      }}
+    }}
+    for (var i: i32 = 0; i < {n}; i = i + 1) {{
+      for (var j: i32 = 1; j < {n}; j = j + 1) {{
+        store_f64({ex} + (i * {n} + j) * 8,
+                  load_f64({ex} + (i * {n} + j) * 8)
+                  - 0.5 * (load_f64({hz} + (i * {n} + j) * 8)
+                           - load_f64({hz} + (i * {n} + j - 1) * 8)));
+      }}
+    }}
+    for (var i: i32 = 0; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 0; j < {n} - 1; j = j + 1) {{
+        store_f64({hz} + (i * {n} + j) * 8,
+                  load_f64({hz} + (i * {n} + j) * 8)
+                  - 0.7 * (load_f64({ex} + (i * {n} + j + 1) * 8)
+                           - load_f64({ex} + (i * {n} + j) * 8)
+                           + load_f64({ey} + ((i + 1) * {n} + j) * 8)
+                           - load_f64({ey} + (i * {n} + j) * 8)));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({hz} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _fdtd_2d_native(n: int) -> float:
+    steps = _tsteps(n)
+    ex = [i * (j + 1.0) / n for i in range(n) for j in range(n)]
+    ey = [i * (j + 2.0) / n for i in range(n) for j in range(n)]
+    hz = [i * (j + 3.0) / n for i in range(n) for j in range(n)]
+    fict = [float(i) for i in range(steps)]
+    for t in range(steps):
+        for j in range(n):
+            ey[j] = fict[t]
+        for i in range(1, n):
+            for j in range(n):
+                ey[i * n + j] = ey[i * n + j] - 0.5 * (hz[i * n + j]
+                                                       - hz[(i - 1) * n + j])
+        for i in range(n):
+            for j in range(1, n):
+                ex[i * n + j] = ex[i * n + j] - 0.5 * (hz[i * n + j]
+                                                       - hz[i * n + j - 1])
+        for i in range(n - 1):
+            for j in range(n - 1):
+                hz[i * n + j] = hz[i * n + j] - 0.7 * (
+                    ex[i * n + j + 1] - ex[i * n + j]
+                    + ey[(i + 1) * n + j] - ey[i * n + j])
+    total = 0.0
+    for value in hz:
+        total = total + value
+    return total
+
+
+register(Kernel("fdtd-2d", "stencils", _fdtd_2d_source, _fdtd_2d_native, 36))
+
+
+def _heat_3d_source(n: int) -> str:
+    a, b = 0, n * n * n * DOUBLE
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(2 * n * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        var v: f64 = ((i + j + ({n} - k)) as f64) * 10.0 / {nf};
+        store_f64({a} + ((i * {n} + j) * {n} + k) * 8, v);
+        store_f64({b} + ((i * {n} + j) * {n} + k) * 8, v);
+      }}
+    }}
+  }}
+  for (var t: i32 = 1; t <= {steps}; t = t + 1) {{
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        for (var k: i32 = 1; k < {n} - 1; k = k + 1) {{
+          store_f64({b} + ((i * {n} + j) * {n} + k) * 8,
+              0.125 * (load_f64({a} + (((i + 1) * {n} + j) * {n} + k) * 8)
+                       - 2.0 * load_f64({a} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({a} + (((i - 1) * {n} + j) * {n} + k) * 8))
+            + 0.125 * (load_f64({a} + ((i * {n} + j + 1) * {n} + k) * 8)
+                       - 2.0 * load_f64({a} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({a} + ((i * {n} + j - 1) * {n} + k) * 8))
+            + 0.125 * (load_f64({a} + ((i * {n} + j) * {n} + k + 1) * 8)
+                       - 2.0 * load_f64({a} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({a} + ((i * {n} + j) * {n} + k - 1) * 8))
+            + load_f64({a} + ((i * {n} + j) * {n} + k) * 8));
+        }}
+      }}
+    }}
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        for (var k: i32 = 1; k < {n} - 1; k = k + 1) {{
+          store_f64({a} + ((i * {n} + j) * {n} + k) * 8,
+              0.125 * (load_f64({b} + (((i + 1) * {n} + j) * {n} + k) * 8)
+                       - 2.0 * load_f64({b} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({b} + (((i - 1) * {n} + j) * {n} + k) * 8))
+            + 0.125 * (load_f64({b} + ((i * {n} + j + 1) * {n} + k) * 8)
+                       - 2.0 * load_f64({b} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({b} + ((i * {n} + j - 1) * {n} + k) * 8))
+            + 0.125 * (load_f64({b} + ((i * {n} + j) * {n} + k + 1) * 8)
+                       - 2.0 * load_f64({b} + ((i * {n} + j) * {n} + k) * 8)
+                       + load_f64({b} + ((i * {n} + j) * {n} + k - 1) * 8))
+            + load_f64({b} + ((i * {n} + j) * {n} + k) * 8));
+        }}
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      for (var k: i32 = 0; k < {n}; k = k + 1) {{
+        sum = sum + load_f64({a} + ((i * {n} + j) * {n} + k) * 8);
+      }}
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _heat_3d_native(n: int) -> float:
+    steps = _tsteps(n)
+    a = [0.0] * (n * n * n)
+    b = [0.0] * (n * n * n)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                v = (i + j + (n - k)) * 10.0 / n
+                a[(i * n + j) * n + k] = v
+                b[(i * n + j) * n + k] = v
+    for _t in range(1, steps + 1):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                for k in range(1, n - 1):
+                    b[(i * n + j) * n + k] = (
+                        0.125 * (a[((i + 1) * n + j) * n + k]
+                                 - 2.0 * a[(i * n + j) * n + k]
+                                 + a[((i - 1) * n + j) * n + k])
+                        + 0.125 * (a[(i * n + j + 1) * n + k]
+                                   - 2.0 * a[(i * n + j) * n + k]
+                                   + a[(i * n + j - 1) * n + k])
+                        + 0.125 * (a[(i * n + j) * n + k + 1]
+                                   - 2.0 * a[(i * n + j) * n + k]
+                                   + a[(i * n + j) * n + k - 1])
+                        + a[(i * n + j) * n + k])
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                for k in range(1, n - 1):
+                    a[(i * n + j) * n + k] = (
+                        0.125 * (b[((i + 1) * n + j) * n + k]
+                                 - 2.0 * b[(i * n + j) * n + k]
+                                 + b[((i - 1) * n + j) * n + k])
+                        + 0.125 * (b[(i * n + j + 1) * n + k]
+                                   - 2.0 * b[(i * n + j) * n + k]
+                                   + b[(i * n + j - 1) * n + k])
+                        + 0.125 * (b[(i * n + j) * n + k + 1]
+                                   - 2.0 * b[(i * n + j) * n + k]
+                                   + b[(i * n + j) * n + k - 1])
+                        + b[(i * n + j) * n + k])
+    total = 0.0
+    for value in a:
+        total = total + value
+    return total
+
+
+register(Kernel("heat-3d", "stencils", _heat_3d_source, _heat_3d_native, 12))
+
+
+def _adi_source(n: int) -> str:
+    u, v, p, q = (k * n * n * DOUBLE for k in range(4))
+    steps = _tsteps(n)
+    nf = float(n)
+    return f"""
+memory {pages_for(4 * n * n)};
+export fn run() -> f64 {{
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      store_f64({u} + (i * {n} + j) * 8, ((i as f64) + ({n} - j) as f64) * 10.0 / {nf});
+      store_f64({v} + (i * {n} + j) * 8, 0.0);
+      store_f64({p} + (i * {n} + j) * 8, 0.0);
+      store_f64({q} + (i * {n} + j) * 8, 0.0);
+    }}
+  }}
+  var dx: f64 = 1.0 / {nf};
+  var dy: f64 = 1.0 / {nf};
+  var dt: f64 = 1.0 / ({steps} as f64);
+  var b1: f64 = 2.0;
+  var b2: f64 = 1.0;
+  var mul1: f64 = b1 * dt / (dx * dx);
+  var mul2: f64 = b2 * dt / (dy * dy);
+  var a: f64 = 0.0 - mul1 / 2.0;
+  var b: f64 = 1.0 + mul1;
+  var c: f64 = a;
+  var d: f64 = 0.0 - mul2 / 2.0;
+  var e: f64 = 1.0 + mul2;
+  var f: f64 = d;
+  for (var t: i32 = 1; t <= {steps}; t = t + 1) {{
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      store_f64({v} + (0 * {n} + i) * 8, 1.0);
+      store_f64({p} + (i * {n} + 0) * 8, 0.0);
+      store_f64({q} + (i * {n} + 0) * 8, load_f64({v} + (0 * {n} + i) * 8));
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        store_f64({p} + (i * {n} + j) * 8,
+                  (0.0 - c) / (a * load_f64({p} + (i * {n} + j - 1) * 8) + b));
+        store_f64({q} + (i * {n} + j) * 8,
+                  ((0.0 - d) * load_f64({u} + (j * {n} + i - 1) * 8)
+                   + (1.0 + 2.0 * d) * load_f64({u} + (j * {n} + i) * 8)
+                   - f * load_f64({u} + (j * {n} + i + 1) * 8)
+                   - a * load_f64({q} + (i * {n} + j - 1) * 8))
+                  / (a * load_f64({p} + (i * {n} + j - 1) * 8) + b));
+      }}
+      store_f64({v} + (({n} - 1) * {n} + i) * 8, 1.0);
+      for (var j: i32 = {n} - 2; j >= 1; j = j - 1) {{
+        store_f64({v} + (j * {n} + i) * 8,
+                  load_f64({p} + (i * {n} + j) * 8)
+                  * load_f64({v} + ((j + 1) * {n} + i) * 8)
+                  + load_f64({q} + (i * {n} + j) * 8));
+      }}
+    }}
+    for (var i: i32 = 1; i < {n} - 1; i = i + 1) {{
+      store_f64({u} + (i * {n} + 0) * 8, 1.0);
+      store_f64({p} + (i * {n} + 0) * 8, 0.0);
+      store_f64({q} + (i * {n} + 0) * 8, load_f64({u} + (i * {n} + 0) * 8));
+      for (var j: i32 = 1; j < {n} - 1; j = j + 1) {{
+        store_f64({p} + (i * {n} + j) * 8,
+                  (0.0 - f) / (d * load_f64({p} + (i * {n} + j - 1) * 8) + e));
+        store_f64({q} + (i * {n} + j) * 8,
+                  ((0.0 - a) * load_f64({v} + ((i - 1) * {n} + j) * 8)
+                   + (1.0 + 2.0 * a) * load_f64({v} + (i * {n} + j) * 8)
+                   - c * load_f64({v} + ((i + 1) * {n} + j) * 8)
+                   - d * load_f64({q} + (i * {n} + j - 1) * 8))
+                  / (d * load_f64({p} + (i * {n} + j - 1) * 8) + e));
+      }}
+      store_f64({u} + (i * {n} + {n} - 1) * 8, 1.0);
+      for (var j: i32 = {n} - 2; j >= 1; j = j - 1) {{
+        store_f64({u} + (i * {n} + j) * 8,
+                  load_f64({p} + (i * {n} + j) * 8)
+                  * load_f64({u} + (i * {n} + j + 1) * 8)
+                  + load_f64({q} + (i * {n} + j) * 8));
+      }}
+    }}
+  }}
+  var sum: f64 = 0.0;
+  for (var i: i32 = 0; i < {n}; i = i + 1) {{
+    for (var j: i32 = 0; j < {n}; j = j + 1) {{
+      sum = sum + load_f64({u} + (i * {n} + j) * 8);
+    }}
+  }}
+  return sum;
+}}
+"""
+
+
+def _adi_native(n: int) -> float:
+    steps = _tsteps(n)
+    u = [(i + (n - j)) * 10.0 / n for i in range(n) for j in range(n)]
+    v = [0.0] * (n * n)
+    p = [0.0] * (n * n)
+    q = [0.0] * (n * n)
+    dx = 1.0 / n
+    dy = 1.0 / n
+    dt = 1.0 / float(steps)
+    b1, b2 = 2.0, 1.0
+    mul1 = b1 * dt / (dx * dx)
+    mul2 = b2 * dt / (dy * dy)
+    a = 0.0 - mul1 / 2.0
+    b = 1.0 + mul1
+    c = a
+    d = 0.0 - mul2 / 2.0
+    e = 1.0 + mul2
+    f = d
+    for _t in range(1, steps + 1):
+        for i in range(1, n - 1):
+            v[0 * n + i] = 1.0
+            p[i * n + 0] = 0.0
+            q[i * n + 0] = v[0 * n + i]
+            for j in range(1, n - 1):
+                p[i * n + j] = (0.0 - c) / (a * p[i * n + j - 1] + b)
+                q[i * n + j] = ((0.0 - d) * u[j * n + i - 1]
+                                + (1.0 + 2.0 * d) * u[j * n + i]
+                                - f * u[j * n + i + 1]
+                                - a * q[i * n + j - 1]) \
+                    / (a * p[i * n + j - 1] + b)
+            v[(n - 1) * n + i] = 1.0
+            for j in range(n - 2, 0, -1):
+                v[j * n + i] = p[i * n + j] * v[(j + 1) * n + i] + q[i * n + j]
+        for i in range(1, n - 1):
+            u[i * n + 0] = 1.0
+            p[i * n + 0] = 0.0
+            q[i * n + 0] = u[i * n + 0]
+            for j in range(1, n - 1):
+                p[i * n + j] = (0.0 - f) / (d * p[i * n + j - 1] + e)
+                q[i * n + j] = ((0.0 - a) * v[(i - 1) * n + j]
+                                + (1.0 + 2.0 * a) * v[i * n + j]
+                                - c * v[(i + 1) * n + j]
+                                - d * q[i * n + j - 1]) \
+                    / (d * p[i * n + j - 1] + e)
+            u[i * n + n - 1] = 1.0
+            for j in range(n - 2, 0, -1):
+                u[i * n + j] = p[i * n + j] * u[i * n + j + 1] + q[i * n + j]
+    total = 0.0
+    for value in u:
+        total = total + value
+    return total
+
+
+register(Kernel("adi", "stencils", _adi_source, _adi_native, 24))

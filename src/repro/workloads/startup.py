@@ -1,0 +1,43 @@
+"""Generator of size-controlled Wasm applications for the startup bench.
+
+The paper (§VI-B) creates nine Wasm programs of 1-9 MB by unrolling
+thousands of loop iterations; we do the same with the module builder:
+many functions of straight-line arithmetic, replicated until the binary
+reaches the requested size. The entry point executes a single instruction
+chain and returns, exactly as the paper stops after the first
+instruction to isolate startup cost.
+"""
+
+from __future__ import annotations
+
+from repro.wasm import ModuleBuilder
+from repro.wasm import opcodes as op
+from repro.wasm.types import I32
+
+#: Instructions per filler function; keeps generated AOT functions small
+#: enough for CPython's compiler.
+_CHUNK = 1500
+
+
+def build_startup_app(target_bytes: int) -> bytes:
+    """A module of roughly ``target_bytes`` with an ``entry`` export."""
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    t_entry = builder.add_type([], [I32])
+
+    entry = builder.add_function(t_entry)
+    entry.i32_const(1)
+    builder.export_function("entry", entry.index)
+
+    # Each filler function encodes to roughly 6 bytes per const/add pair.
+    filler_count = 0
+    estimated = 200  # header + sections overhead
+    while estimated < target_bytes:
+        function = builder.add_function(t_entry)
+        function.i32_const(0)
+        for step in range(_CHUNK):
+            function.i32_const((step * 2654435761) & 0x7FFFFFFF)
+            function.emit(op.I32_ADD)
+        filler_count += 1
+        estimated += _CHUNK * 7 + 10
+    return builder.build()

@@ -1,0 +1,92 @@
+"""The benchmark harness utilities."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    Summary,
+    format_duration,
+    format_table,
+    geometric_mean,
+    measure_real,
+    measure_simulated,
+    paper_comparison,
+    ratio,
+)
+from repro.hw import SimClock
+
+
+def test_summary_statistics():
+    summary = Summary.of([3.0, 1.0, 2.0])
+    assert summary.median == 2.0
+    assert summary.mean == 2.0
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert summary.runs == 3
+    assert summary.stdev == pytest.approx(1.0)
+
+
+def test_summary_single_sample():
+    summary = Summary.of([5.0])
+    assert summary.median == 5.0
+    assert summary.stdev == 0.0
+
+
+def test_summary_rejects_empty():
+    with pytest.raises(ValueError):
+        Summary.of([])
+
+
+def test_measure_real_counts_runs():
+    calls = []
+    summary = measure_real(lambda: calls.append(1), runs=4, warmup=2)
+    assert summary.runs == 4
+    assert len(calls) == 6  # warmup + measured
+
+
+def test_measure_simulated_uses_virtual_clock():
+    clock = SimClock()
+    summary = measure_simulated(clock, lambda: clock.advance(1500), runs=3)
+    assert summary.median == 1500.0
+
+
+def test_ratio():
+    fast = Summary.of([1.0])
+    slow = Summary.of([3.0])
+    assert ratio(slow, fast) == 3.0
+    assert math.isinf(ratio(slow, Summary.of([0.0])))
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_format_duration_scales():
+    assert format_duration(2.5) == "2.50 s"
+    assert format_duration(0.0025) == "2.50 ms"
+    assert format_duration(2.5e-6) == "2.50 us"
+    assert format_duration(3e-9) == "3 ns"
+
+
+def test_format_table_alignment():
+    table = format_table("demo", ["name", "value"],
+                         [("alpha", 1.0), ("b", 123.456)])
+    lines = table.splitlines()
+    assert lines[0] == "== demo =="
+    assert lines[1].startswith("name")
+    assert set(lines[2]) <= {"-", " "}  # the separator row
+    assert lines[3].startswith("alpha")
+    # Columns align: the value column starts at the same offset everywhere.
+    offset = lines[1].index("value")
+    assert lines[3][offset:].strip() == "1.00"
+    assert lines[4][offset:].strip() == "123"
+
+
+def test_paper_comparison_header():
+    block = paper_comparison("Fig. X", [("q", "1", "2", "")])
+    assert "paper vs measured" in block
+    assert "Fig. X" in block

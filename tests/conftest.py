@@ -1,0 +1,37 @@
+"""Shared fixtures: engines, a booted device, a verifier deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.testbed import Device, Testbed
+from repro.wasm import AotCompiler, Interpreter
+
+
+@pytest.fixture(params=["interpreter", "aot"])
+def engine(request):
+    """Both execution engines; spec-behaviour tests run on each."""
+    if request.param == "interpreter":
+        return Interpreter()
+    return AotCompiler()
+
+
+@pytest.fixture
+def aot_engine():
+    return AotCompiler()
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    return Testbed()
+
+
+@pytest.fixture
+def device(testbed) -> Device:
+    return testbed.create_device()
+
+
+@pytest.fixture
+def verifier_identity() -> ecdsa.KeyPair:
+    return ecdsa.keypair_from_private(0xB00B1E5 + 12345)

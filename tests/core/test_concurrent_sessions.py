@@ -1,0 +1,97 @@
+"""Concurrent remote-attestation sessions.
+
+The paper omits protocol session identifiers "for conciseness", noting
+they are needed for concurrent attestations. In this architecture the
+verifier spawns one TA session per inbound connection, so concurrency is
+structural — these tests interleave several live attestations and check
+they cannot contaminate each other.
+"""
+
+import pytest
+
+from repro.core import VerifierPolicy, measure_bytes, start_verifier
+from repro.errors import ProtocolError
+from repro.workloads.attested import build_attested_app
+
+HOST, PORT = "concurrent.verifier", 7500
+SECRET = b"concurrent secret blob"
+
+
+@pytest.fixture
+def deployment(testbed, verifier_identity):
+    device = testbed.create_device()
+    app = build_attested_app(verifier_identity.public_bytes(), HOST, PORT,
+                             secret_capacity=1 << 14)
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    # Each inbound connection holds a verifier TA session for its
+    # lifetime; concurrent attestations therefore need small per-session
+    # heaps to fit the 27 MB secure-heap cap alongside the runtime.
+    start_verifier(testbed.network, HOST, PORT, device.client,
+                   testbed.vendor_key, verifier_identity, policy,
+                   lambda: SECRET, heap_size=3 * 1024 * 1024)
+    session = device.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = device.load_wasm(session, app)
+    return device, session, loaded["app"]
+
+
+def test_two_interleaved_attestations(deployment):
+    device, session, app = deployment
+    # Open both handshakes before either finishes.
+    ctx_one = device.run_wasm(session, app, "ra_handshake")
+    ctx_two = device.run_wasm(session, app, "ra_handshake")
+    assert ctx_one > 0 and ctx_two > 0 and ctx_one != ctx_two
+    quote_one = device.run_wasm(session, app, "ra_collect_quote")
+    # Note: the app's anchor buffer holds the *latest* handshake's anchor,
+    # so quote_one actually belongs to ctx_two's session.
+    assert device.run_wasm(session, app, "ra_send_quote",
+                           ctx_two, quote_one) == 0
+    assert device.run_wasm(session, app, "ra_receive_data", ctx_two) \
+        == len(SECRET)
+
+
+def test_evidence_from_one_session_rejected_in_another(deployment):
+    device, session, app = deployment
+    ctx_one = device.run_wasm(session, app, "ra_handshake")
+    quote_one = device.run_wasm(session, app, "ra_collect_quote")
+    ctx_two = device.run_wasm(session, app, "ra_handshake")
+    # quote_one is anchored to session one; sending it on session two
+    # must fail (the attester-side anchor guard catches it).
+    result = device.run_wasm(session, app, "ra_send_quote",
+                             ctx_two, quote_one)
+    assert result != 0
+
+
+def test_sequential_attestations_reuse_nothing(deployment):
+    device, session, app = deployment
+    assert device.run_wasm(session, app, "attest") == len(SECRET)
+    assert device.run_wasm(session, app, "attest") == len(SECRET)
+
+
+def test_verifier_ta_rejects_out_of_order_messages(testbed, deployment,
+                                                   verifier_identity):
+    device, _session, _app = deployment
+    connection = testbed.network.connect(HOST, PORT)
+    # msg2 before any msg0 on this connection.
+    from repro.core import protocol
+
+    connection.send(bytes([protocol.MSG2]) + b"\x00" * 346)
+    with pytest.raises(Exception):
+        connection.receive()
+
+
+def test_verifier_ta_rejects_double_msg0(testbed, deployment):
+    import os
+
+    from repro.core.attester import Attester
+
+    device, _session, _app = deployment
+    attester = Attester(os.urandom)
+    connection = testbed.network.connect(HOST, PORT)
+    first = attester.start_session(b"\x04" + b"\x00" * 64)
+    connection.send(attester.make_msg0(first))
+    connection.receive()
+    connection.send(attester.make_msg0(first))
+    with pytest.raises(ProtocolError, match="msg0 after"):
+        connection.receive()

@@ -1,0 +1,117 @@
+"""Evidence structure and code measurement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evidence import (
+    EVIDENCE_BODY_SIZE,
+    EVIDENCE_SIZE,
+    Evidence,
+    SignedEvidence,
+    WATZ_VERSION,
+)
+from repro.core.measurement import MeasuringCopier, measure_bytes
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import EvidenceError, SignatureError
+
+_KEY = ecdsa.keypair_from_private(0x1234)
+
+
+def _evidence(**overrides):
+    fields = dict(
+        anchor=b"\xaa" * 32,
+        claim=b"\xbb" * 32,
+        attestation_public_key=_KEY.public_bytes(),
+    )
+    fields.update(overrides)
+    return Evidence(**fields)
+
+
+def test_encode_decode_roundtrip():
+    evidence = _evidence()
+    decoded = Evidence.decode(evidence.encode())
+    assert decoded == evidence
+    assert decoded.version == WATZ_VERSION
+
+
+def test_encoded_size_is_fixed():
+    assert len(_evidence().encode()) == EVIDENCE_BODY_SIZE
+
+
+def test_version_carried():
+    evidence = _evidence(version=(2, 7))
+    assert Evidence.decode(evidence.encode()).version == (2, 7)
+
+
+def test_bad_field_sizes_rejected():
+    with pytest.raises(EvidenceError):
+        _evidence(anchor=b"short")
+    with pytest.raises(EvidenceError):
+        _evidence(claim=b"x" * 31)
+    with pytest.raises(EvidenceError):
+        _evidence(attestation_public_key=b"x" * 64)
+
+
+def test_decode_rejects_bad_magic():
+    raw = bytearray(_evidence().encode())
+    raw[0] ^= 0xFF
+    with pytest.raises(EvidenceError, match="magic"):
+        Evidence.decode(bytes(raw))
+
+
+def test_decode_rejects_bad_length():
+    with pytest.raises(EvidenceError):
+        Evidence.decode(_evidence().encode() + b"x")
+
+
+def test_signed_evidence_roundtrip_and_verify():
+    evidence = _evidence()
+    signature = ecdsa.sign(_KEY.private, evidence.encode())
+    signed = SignedEvidence(evidence, signature)
+    assert len(signed.encode()) == EVIDENCE_SIZE
+    decoded = SignedEvidence.decode(signed.encode())
+    decoded.verify_signature()
+
+
+def test_signed_evidence_detects_tampered_claim():
+    evidence = _evidence()
+    signature = ecdsa.sign(_KEY.private, evidence.encode())
+    forged = SignedEvidence(_evidence(claim=b"\xcc" * 32), signature)
+    with pytest.raises(SignatureError):
+        forged.verify_signature()
+
+
+def test_signed_evidence_key_must_match_signer():
+    """Self-consistent evidence under a rogue key verifies — which is
+    exactly why verifiers must also check endorsement (paper §IV(d))."""
+    rogue = ecdsa.keypair_from_private(777)
+    evidence = _evidence(attestation_public_key=rogue.public_bytes())
+    signed = SignedEvidence(evidence,
+                            ecdsa.sign(rogue.private, evidence.encode()))
+    signed.verify_signature()  # passes: signature is self-consistent
+
+
+def test_measure_bytes():
+    measurement = measure_bytes(b"bytecode")
+    assert measurement.digest == sha256(b"bytecode")
+    assert measurement.size == 8
+    assert measurement.hex == sha256(b"bytecode").hex()
+
+
+def test_measuring_copier_matches_one_shot():
+    copier = MeasuringCopier()
+    payload = bytes(range(256)) * 1024  # multiple chunks
+    copy = copier.copy(payload)
+    measurement = copier.finish()
+    assert copy == payload
+    assert measurement.digest == sha256(payload)
+    assert measurement.size == len(payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=200_000))
+def test_measuring_copier_property(payload):
+    copier = MeasuringCopier()
+    assert copier.copy(payload) == payload
+    assert copier.finish().digest == sha256(payload)

@@ -1,0 +1,220 @@
+"""The §VII extensions: measured boot and encrypted evidence."""
+
+import os
+
+import pytest
+
+from repro.core import VerifierPolicy, measure_bytes, start_verifier
+from repro.core.attester import Attester
+from repro.core.evidence import NO_BOOT_CLAIM, Evidence, SignedEvidence
+from repro.core.verifier import Verifier
+from repro.core import protocol
+from repro.crypto import ecdsa
+from repro.errors import AuthenticationError, MeasurementMismatch
+from repro.workloads.attested import build_attested_app
+
+DEVICE = ecdsa.keypair_from_private(600613)
+IDENTITY = ecdsa.keypair_from_private(424243)
+CLAIM = measure_bytes(b"extension app").digest
+
+
+def _sign(body):
+    return ecdsa.sign(DEVICE.private, body)
+
+
+def _policy():
+    policy = VerifierPolicy()
+    policy.endorse(DEVICE.public_bytes())
+    policy.trust_measurement(CLAIM)
+    return policy
+
+
+def _handshake(attester, verifier):
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    return session, verifier_session
+
+
+# -- measured boot -----------------------------------------------------------------
+
+
+def test_boot_measurement_accumulates_pcr_style(device):
+    report = device.soc.boot_report
+    accumulated = report.accumulated_measurement()
+    # Recompute by hand with TPM extend semantics.
+    from repro.crypto.hashing import sha256
+
+    register = b"\x00" * 32
+    for measurement in report.measurements:
+        register = sha256(register + measurement)
+    assert accumulated == register
+    assert device.kernel.boot_measurement == accumulated
+
+
+def test_boot_measurement_sensitive_to_stage_payloads(testbed):
+    """Different firmware -> different accumulated boot claim."""
+    import repro.testbed as tb_module
+
+    device_one = testbed.create_device()
+    original = tb_module.BOOT_STAGES
+    try:
+        tb_module.BOOT_STAGES = ("spl", "arm-trusted-firmware", "op-tee-v2")
+        device_two = testbed.create_device()
+    finally:
+        tb_module.BOOT_STAGES = original
+    assert device_one.kernel.boot_measurement != \
+        device_two.kernel.boot_measurement
+
+
+def test_evidence_carries_boot_claim():
+    evidence = Evidence(
+        anchor=b"\x01" * 32, claim=CLAIM,
+        attestation_public_key=DEVICE.public_bytes(),
+        boot_claim=b"\x07" * 32,
+    )
+    assert Evidence.decode(evidence.encode()).boot_claim == b"\x07" * 32
+
+
+def test_verifier_appraises_boot_claim():
+    policy = _policy()
+    policy.trust_boot_measurement(b"\x07" * 32)
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, policy, os.urandom)
+    session, verifier_session = _handshake(attester, verifier)
+
+    good = attester.collect_evidence(session.anchor, CLAIM,
+                                     DEVICE.public_bytes(), _sign,
+                                     boot_claim=b"\x07" * 32)
+    msg3 = verifier.handle_msg2(verifier_session,
+                                attester.make_msg2(session, good), b"s")
+    assert attester.handle_msg3(session, msg3) == b"s"
+
+
+def test_verifier_rejects_unknown_boot_claim():
+    policy = _policy()
+    policy.trust_boot_measurement(b"\x07" * 32)
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, policy, os.urandom)
+    session, verifier_session = _handshake(attester, verifier)
+
+    bad = attester.collect_evidence(session.anchor, CLAIM,
+                                    DEVICE.public_bytes(), _sign,
+                                    boot_claim=b"\x66" * 32)
+    with pytest.raises(MeasurementMismatch, match="boot"):
+        verifier.handle_msg2(verifier_session,
+                             attester.make_msg2(session, bad), b"s")
+
+
+def test_boot_claim_optional_when_policy_silent():
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom)
+    session, verifier_session = _handshake(attester, verifier)
+    evidence = attester.collect_evidence(session.anchor, CLAIM,
+                                         DEVICE.public_bytes(), _sign)
+    assert evidence.evidence.boot_claim == NO_BOOT_CLAIM
+    verifier.handle_msg2(verifier_session,
+                         attester.make_msg2(session, evidence), b"s")
+
+
+def test_end_to_end_boot_claim_from_platform(testbed, verifier_identity):
+    """The WASI-RA flow embeds the real platform boot measurement, and a
+    verifier pinned to it accepts the device."""
+    device = testbed.create_device()
+    app = build_attested_app(verifier_identity.public_bytes(),
+                             "boot.verifier", 7910, secret_capacity=4096)
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    policy.trust_boot_measurement(device.kernel.boot_measurement)
+    start_verifier(testbed.network, "boot.verifier", 7910, device.client,
+                   testbed.vendor_key, verifier_identity, policy,
+                   lambda: b"boot-gated secret")
+    session = device.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = device.load_wasm(session, app)
+    assert device.run_wasm(session, loaded["app"], "attest") == \
+        len(b"boot-gated secret")
+    session.close()
+
+
+def test_end_to_end_wrong_boot_pin_rejected(testbed, verifier_identity):
+    device = testbed.create_device()
+    app = build_attested_app(verifier_identity.public_bytes(),
+                             "boot2.verifier", 7911, secret_capacity=4096)
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    policy.trust_boot_measurement(b"\x13" * 32)  # some other firmware
+    start_verifier(testbed.network, "boot2.verifier", 7911, device.client,
+                   testbed.vendor_key, verifier_identity, policy,
+                   lambda: b"secret")
+    session = device.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = device.load_wasm(session, app)
+    assert device.run_wasm(session, loaded["app"], "attest") < 0
+    session.close()
+
+
+# -- encrypted evidence ---------------------------------------------------------------
+
+
+def test_encrypted_msg2_roundtrip():
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom)
+    session, verifier_session = _handshake(attester, verifier)
+    evidence = attester.collect_evidence(session.anchor, CLAIM,
+                                         DEVICE.public_bytes(), _sign)
+    msg2 = attester.make_msg2(session, evidence, encrypt_evidence=True)
+    assert msg2[0] == protocol.MSG2_ENC
+    msg3 = verifier.handle_msg2(verifier_session, msg2, b"hidden")
+    assert attester.handle_msg3(session, msg3) == b"hidden"
+
+
+def test_encrypted_msg2_hides_claim_and_device():
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom)
+    session, _verifier_session = _handshake(attester, verifier)
+    evidence = attester.collect_evidence(session.anchor, CLAIM,
+                                         DEVICE.public_bytes(), _sign)
+    clear = attester.make_msg2(session, evidence)
+    sealed = attester.make_msg2(session, evidence, encrypt_evidence=True)
+    assert CLAIM in clear                      # Table II: evidence in clear
+    assert CLAIM not in sealed                 # extension: sealed under K_e
+    assert DEVICE.public_bytes() not in sealed
+
+
+def test_encrypted_msg2_tamper_detected():
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom)
+    session, verifier_session = _handshake(attester, verifier)
+    evidence = attester.collect_evidence(session.anchor, CLAIM,
+                                         DEVICE.public_bytes(), _sign)
+    msg2 = bytearray(attester.make_msg2(session, evidence,
+                                        encrypt_evidence=True))
+    msg2[80] ^= 0x01  # inside the sealed evidence
+    with pytest.raises(AuthenticationError):
+        verifier.handle_msg2(verifier_session, bytes(msg2), b"s")
+
+
+def test_verifier_ta_accepts_encrypted_msg2(testbed, verifier_identity):
+    """Through the full platform: listener + verifier TA."""
+    device = testbed.create_device()
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(CLAIM)
+    start_verifier(testbed.network, "enc.verifier", 7912, device.client,
+                   testbed.vendor_key, verifier_identity, policy,
+                   lambda: b"enc secret")
+    attester = Attester(os.urandom)
+    connection = testbed.network.connect("enc.verifier", 7912)
+    session = attester.start_session(verifier_identity.public_bytes())
+    connection.send(attester.make_msg0(session))
+    attester.handle_msg1(session, connection.receive())
+    with device.soc.enter_secure_world():
+        signature_fn = device.kernel.attestation_service.sign_evidence
+        evidence = attester.collect_evidence(
+            session.anchor, CLAIM, device.attestation_public_key,
+            signature_fn)
+    connection.send(attester.make_msg2(session, evidence,
+                                       encrypt_evidence=True))
+    blob = attester.handle_msg3(session, connection.receive())
+    assert blob == b"enc secret"

@@ -1,0 +1,203 @@
+"""The WaTZ runtime TA: loading, measuring, executing Wasm on the platform."""
+
+import pytest
+
+from repro.core.runtime import (
+    CMD_INVOKE,
+    CMD_LOAD,
+    CMD_MEASUREMENT,
+    CMD_STDOUT,
+    CMD_UNLOAD,
+    NormalWorldRuntime,
+    RELOCATION_OVERHEAD_FACTOR,
+)
+from repro.core.measurement import measure_bytes
+from repro.errors import TeeAccessDenied, TeeBadParameters, TeeOutOfMemory
+from repro.walc import compile_source
+
+_APP = """
+memory 1;
+import fn wasi_snapshot_preview1.clock_time_get(a: i32, b: i64, c: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_write(a: i32, b: i32, c: i32, d: i32) -> i32;
+data 100 (111, 107);  // "ok"
+
+export fn add(a: i32, b: i32) -> i32 { return a + b; }
+
+export fn now() -> i64 {
+  clock_time_get(1, 1L, 64);
+  return load_i64(64);
+}
+
+export fn say_ok() -> i32 {
+  store_i32(0, 100);
+  store_i32(4, 2);
+  return fd_write(1, 0, 1, 16);
+}
+"""
+
+
+@pytest.fixture
+def watz(device):
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    binary = compile_source(_APP)
+    loaded = device.load_wasm(session, binary)
+    return device, session, loaded, binary
+
+
+def test_load_reports_measurement(watz):
+    device, session, loaded, binary = watz
+    assert loaded["measurement"] == measure_bytes(binary).hex
+
+
+def test_measurement_queryable_later(watz):
+    device, session, loaded, binary = watz
+    result = session.invoke(CMD_MEASUREMENT, {"app": loaded["app"]})
+    assert result["measurement"] == measure_bytes(binary).hex
+
+
+def test_invoke_exported_function(watz):
+    device, session, loaded, _ = watz
+    assert device.run_wasm(session, loaded["app"], "add", 20, 22) == 42
+
+
+def test_wasi_clock_runs_on_simulated_time(watz):
+    device, session, loaded, _ = watz
+    first = device.run_wasm(session, loaded["app"], "now")
+    second = device.run_wasm(session, loaded["app"], "now")
+    assert second > first > 0
+
+
+def test_wasm_clock_fetch_charges_figure_3a_cost(watz):
+    device, session, loaded, _ = watz
+    costs = device.soc.costs
+    # Isolate the in-TA cost: measure around the TA-internal invocation.
+    app = session.ta._apps[loaded["app"]]
+    with device.soc.enter_secure_world():
+        before = device.soc.clock.now_ns()
+        app.instance.invoke("now")
+        elapsed = device.soc.clock.now_ns() - before
+    assert elapsed == costs.wasm_time_fetch_ns
+
+
+def test_stdout_captured(watz):
+    device, session, loaded, _ = watz
+    assert device.run_wasm(session, loaded["app"], "say_ok") == 0
+    assert device.read_stdout(session, loaded["app"]) == "ok"
+
+
+def test_startup_breakdown_phases_positive(watz):
+    _, _, loaded, _ = watz
+    breakdown = loaded["breakdown"]
+    assert breakdown.transition_ns > 0
+    assert breakdown.load_s > 0
+    assert breakdown.hash_s > 0
+    fractions = breakdown.fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    # Loading dominates (Fig. 4: ~73%).
+    assert fractions["load"] == max(fractions.values())
+
+
+def test_load_accounts_relocation_overhead(device):
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    binary = compile_source(_APP)
+    before = session.api.heap_used
+    device.load_wasm(session, binary)
+    used = session.api.heap_used - before
+    # 2x for relocations plus the executable region itself.
+    assert used >= len(binary) * RELOCATION_OVERHEAD_FACTOR + len(binary)
+
+
+def test_load_fails_when_heap_cannot_hold_bytecode(testbed):
+    device = testbed.create_device()
+    session = device.open_watz(heap_size=256)  # smaller than the bytecode
+    binary = compile_source(_APP)
+    with pytest.raises(TeeOutOfMemory):
+        device.load_wasm(session, binary)
+
+
+def test_load_fails_when_heap_cannot_hold_wasm_memory(testbed):
+    from repro.errors import TrapError
+
+    device = testbed.create_device()
+    # Enough for bytecode + relocations, not for the app's linear memory.
+    session = device.open_watz(heap_size=2048)
+    binary = compile_source(_APP)
+    with pytest.raises(TrapError, match="heap cap"):
+        device.load_wasm(session, binary)
+
+
+def test_aot_needs_executable_pages_extension(testbed):
+    """The paper's OP-TEE extension: without it, AOT loading fails."""
+    device = testbed.create_device(allow_executable_pages=False)
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    binary = compile_source(_APP)
+    with pytest.raises(TeeAccessDenied, match="executable"):
+        device.load_wasm(session, binary)
+
+
+def test_interpreter_engine_selectable(device):
+    session = device.open_watz(heap_size=4 * 1024 * 1024,
+                               engine="interpreter")
+    binary = compile_source(_APP)
+    loaded = device.load_wasm(session, binary, engine="interpreter")
+    assert device.run_wasm(session, loaded["app"], "add", 1, 2) == 3
+
+
+def test_multiple_apps_isolated(device):
+    """Two hosted apps cannot see each other's memory (sandbox claim)."""
+    session = device.open_watz(heap_size=8 * 1024 * 1024)
+    source = """
+memory 1;
+var secret: i32 = 0;
+export fn put(v: i32) { secret = v; store_i32(0, v); }
+export fn get() -> i32 { return load_i32(0); }
+"""
+    binary = compile_source(source)
+    first = device.load_wasm(session, binary)
+    second = device.load_wasm(session, binary)
+    device.run_wasm(session, first["app"], "put", 1234)
+    assert device.run_wasm(session, first["app"], "get") == 1234
+    assert device.run_wasm(session, second["app"], "get") == 0
+
+
+def test_unload_returns_memory(device):
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    binary = compile_source(_APP)
+    before = session.api.heap_used
+    loaded = device.load_wasm(session, binary)
+    session.invoke(CMD_UNLOAD, {"app": loaded["app"]})
+    assert session.api.heap_used == before
+
+
+def test_unknown_app_handle_rejected(watz):
+    _, session, _, _ = watz
+    with pytest.raises(TeeBadParameters):
+        session.invoke(CMD_INVOKE, {"app": 999, "function": "add"})
+
+
+def test_unknown_command_rejected(watz):
+    _, session, _, _ = watz
+    with pytest.raises(TeeBadParameters):
+        session.invoke(77, {})
+
+
+def test_entry_point_runs_at_load(device):
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    source = """
+memory 1;
+var started: i32 = 0;
+export fn main() { started = 1; }
+export fn check() -> i32 { return started; }
+"""
+    loaded = device.load_wasm(session, compile_source(source), entry="main")
+    assert loaded["breakdown"].execute_s >= 0
+    assert device.run_wasm(session, loaded["app"], "check") == 1
+
+
+def test_normal_world_runtime_matches_result(device):
+    binary = compile_source(_APP)
+    runtime = NormalWorldRuntime(device.soc)
+    app = runtime.load(binary)
+    assert runtime.invoke(app, "add", 20, 22) == 42
+    assert app.measurement.digest == measure_bytes(binary).digest
+    assert app.wasi_ra is None  # no attestation outside the TEE

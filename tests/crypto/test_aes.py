@@ -1,0 +1,91 @@
+"""AES-128 against FIPS-197 / SP 800-38A vectors and structural checks."""
+
+import binascii
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import Aes128, _SBOX
+from repro.errors import CryptoError
+
+h = binascii.unhexlify
+
+
+def test_fips197_vector():
+    cipher = Aes128(h("000102030405060708090a0b0c0d0e0f"))
+    out = cipher.encrypt_block(h("00112233445566778899aabbccddeeff"))
+    assert out == h("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+@pytest.mark.parametrize("key,plain,expected", [
+    # SP 800-38A F.1.1 ECB-AES128 blocks.
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "6bc1bee22e409f96e93d7e117393172a",
+     "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "ae2d8a571e03ac9c9eb76fac45af8e51",
+     "f5d3d58503b9699de785895a96fdbaaf"),
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "30c81c46a35ce411e5fbc1191a0a52ef",
+     "43b1cd7f598ece23881b00e3ed030688"),
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "f69f2445df4f9b17ad2b417be66c3710",
+     "7b0c785e27e8ad3f8223207104725dd4"),
+])
+def test_sp800_38a_ecb_vectors(key, plain, expected):
+    assert Aes128(h(key)).encrypt_block(h(plain)) == h(expected)
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(_SBOX) == list(range(256))
+
+
+def test_sbox_known_entries():
+    assert _SBOX[0x00] == 0x63
+    assert _SBOX[0x01] == 0x7C
+    assert _SBOX[0x53] == 0xED
+    assert _SBOX[0xFF] == 0x16
+
+
+def test_wrong_key_size_rejected():
+    with pytest.raises(CryptoError):
+        Aes128(b"short")
+
+
+def test_wrong_block_size_rejected():
+    with pytest.raises(CryptoError):
+        Aes128(b"\x00" * 16).encrypt_block(b"tiny")
+
+
+def test_vectorised_blocks_match_scalar():
+    cipher = Aes128(h("000102030405060708090a0b0c0d0e0f"))
+    keystream = cipher.ctr_keystream(b"\xaa" * 12, 7, 9)
+    assert len(keystream) == 9 * 16
+    for index in range(9):
+        block = b"\xaa" * 12 + (7 + index).to_bytes(4, "big")
+        expected = cipher.encrypt_block(block)
+        assert keystream[index * 16 : (index + 1) * 16] == expected
+
+
+def test_ctr_counter_wraps_32_bits():
+    cipher = Aes128(b"\x01" * 16)
+    keystream = cipher.ctr_keystream(b"\x00" * 12, 0xFFFFFFFF, 2)
+    expected_first = cipher.encrypt_block(b"\x00" * 12 + b"\xff\xff\xff\xff")
+    expected_second = cipher.encrypt_block(b"\x00" * 12 + b"\x00\x00\x00\x00")
+    assert keystream[:16] == expected_first
+    assert keystream[16:] == expected_second
+
+
+def test_ctr_rejects_bad_prefix():
+    with pytest.raises(CryptoError):
+        Aes128(b"\x01" * 16).ctr_keystream(b"short", 0, 1)
+
+
+def test_empty_keystream():
+    assert Aes128(b"\x01" * 16).ctr_keystream(b"\x00" * 12, 0, 0) == b""
+
+
+def test_different_keys_differ():
+    block = b"\x00" * 16
+    assert Aes128(b"\x01" * 16).encrypt_block(block) != \
+        Aes128(b"\x02" * 16).encrypt_block(block)

@@ -1,0 +1,67 @@
+"""AES-CMAC against RFC 4493 vectors."""
+
+import binascii
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cmac import AesCmac, aes_cmac
+from repro.errors import AuthenticationError
+
+h = binascii.unhexlify
+
+_KEY = h("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+@pytest.mark.parametrize("message,expected", [
+    ("", "bb1d6929e95937287fa37d129b756746"),
+    ("6bc1bee22e409f96e93d7e117393172a",
+     "070a16b46b4d4144f79bdd9dd04a287c"),
+    ("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+     "30c81c46a35ce411",
+     "dfa66747de9ae63030ca32611497c827"),
+    ("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+     "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+     "51f0bebf7e3b9d92fc49741779363cfe"),
+])
+def test_rfc4493_vectors(message, expected):
+    assert aes_cmac(_KEY, h(message)) == h(expected)
+
+
+def test_verify_accepts_valid():
+    mac = aes_cmac(_KEY, b"message")
+    AesCmac(_KEY).verify(b"message", mac)
+
+
+def test_verify_rejects_tampered_message():
+    mac = aes_cmac(_KEY, b"message")
+    with pytest.raises(AuthenticationError):
+        AesCmac(_KEY).verify(b"messagX", mac)
+
+
+def test_verify_rejects_tampered_mac():
+    mac = bytearray(aes_cmac(_KEY, b"message"))
+    mac[0] ^= 1
+    with pytest.raises(AuthenticationError):
+        AesCmac(_KEY).verify(b"message", bytes(mac))
+
+
+def test_different_keys_different_macs():
+    assert aes_cmac(b"a" * 16, b"m") != aes_cmac(b"b" * 16, b"m")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=200))
+def test_mac_deterministic_and_16_bytes(message):
+    first = aes_cmac(_KEY, message)
+    assert len(first) == 16
+    assert first == aes_cmac(_KEY, message)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=120), st.integers(0, 119))
+def test_single_bit_flip_changes_mac(message, position):
+    position %= len(message)
+    mutated = bytearray(message)
+    mutated[position] ^= 0x40
+    assert aes_cmac(_KEY, message) != aes_cmac(_KEY, bytes(mutated))

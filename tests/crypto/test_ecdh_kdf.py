@@ -1,0 +1,101 @@
+"""ECDHE agreement and the SGX-style key-derivation chain."""
+
+import pytest
+
+from repro.crypto import ec, ecdh
+from repro.crypto.fortuna import seeded_fortuna
+from repro.crypto.kdf import derive_kdk, derive_key, derive_session_keys
+from repro.errors import CryptoError
+
+
+def _pair(seed: bytes):
+    return ecdh.generate(seeded_fortuna(seed).random_bytes)
+
+
+def test_shared_secret_agreement():
+    alice = _pair(b"alice")
+    bob = _pair(b"bob")
+    assert ecdh.shared_secret(alice.private, bob.public) == \
+        ecdh.shared_secret(bob.private, alice.public)
+
+
+def test_shared_secret_is_32_bytes():
+    alice = _pair(b"a")
+    bob = _pair(b"b")
+    assert len(ecdh.shared_secret(alice.private, bob.public)) == 32
+
+
+def test_distinct_sessions_distinct_secrets():
+    alice = _pair(b"alice")
+    bob = _pair(b"bob")
+    carol = _pair(b"carol")
+    assert ecdh.shared_secret(alice.private, bob.public) != \
+        ecdh.shared_secret(alice.private, carol.public)
+
+
+def test_generation_is_deterministic_per_seed():
+    assert _pair(b"same").private == _pair(b"same").private
+    assert _pair(b"one").private != _pair(b"two").private
+
+
+def test_invalid_peer_point_rejected():
+    alice = _pair(b"alice")
+    with pytest.raises(CryptoError):
+        ecdh.shared_secret(alice.private, ec.Point(1, 1))
+
+
+def test_infinity_peer_rejected():
+    alice = _pair(b"alice")
+    with pytest.raises(CryptoError):
+        ecdh.shared_secret(alice.private, ec.INFINITY)
+
+
+def test_public_bytes_is_sec1():
+    alice = _pair(b"alice")
+    encoded = alice.public_bytes()
+    assert len(encoded) == 65 and encoded[0] == 0x04
+
+
+def test_kdk_requires_32_bytes():
+    with pytest.raises(CryptoError):
+        derive_kdk(b"short")
+
+
+def test_kdk_uses_little_endian_secret():
+    secret = bytes(range(32))
+    assert derive_kdk(secret) != derive_kdk(secret[::-1]) or secret == secret[::-1]
+
+
+def test_derived_keys_differ_by_label():
+    kdk = derive_kdk(b"\x11" * 32)
+    assert derive_key(kdk, b"SMK") != derive_key(kdk, b"SK")
+
+
+def test_derive_key_requires_kdk_size():
+    with pytest.raises(CryptoError):
+        derive_key(b"short", b"SMK")
+
+
+def test_session_keys_deterministic():
+    secret = b"\xab" * 32
+    first = derive_session_keys(secret)
+    second = derive_session_keys(secret)
+    assert first.mac_key == second.mac_key
+    assert first.enc_key == second.enc_key
+    assert first.mac_key != first.enc_key
+
+
+def test_session_keys_bind_to_secret():
+    assert derive_session_keys(b"\x01" * 32).mac_key != \
+        derive_session_keys(b"\x02" * 32).mac_key
+
+
+def test_end_to_end_key_agreement_chain():
+    """The full msg0/msg1 key path: ECDHE -> KDK -> (K_m, K_e)."""
+    attester = _pair(b"attester")
+    verifier = _pair(b"verifier")
+    keys_attester = derive_session_keys(
+        ecdh.shared_secret(attester.private, verifier.public))
+    keys_verifier = derive_session_keys(
+        ecdh.shared_secret(verifier.private, attester.public))
+    assert keys_attester == keys_verifier

@@ -1,0 +1,82 @@
+"""Fortuna generator and the hashing helpers."""
+
+import pytest
+
+from repro.crypto.fortuna import Fortuna, seeded_fortuna
+from repro.crypto.hashing import (
+    IncrementalHash,
+    constant_time_equal,
+    hmac_sha256,
+    sha256,
+    sha256_hex,
+)
+from repro.errors import CryptoError
+
+
+def test_fortuna_requires_seeding():
+    with pytest.raises(CryptoError):
+        Fortuna().random_bytes(16)
+
+
+def test_fortuna_deterministic_per_seed():
+    assert seeded_fortuna(b"seed").random_bytes(64) == \
+        seeded_fortuna(b"seed").random_bytes(64)
+
+
+def test_fortuna_different_seeds_differ():
+    assert seeded_fortuna(b"a").random_bytes(32) != \
+        seeded_fortuna(b"b").random_bytes(32)
+
+
+def test_fortuna_rekeys_between_requests():
+    generator = seeded_fortuna(b"seed")
+    assert generator.random_bytes(32) != generator.random_bytes(32)
+
+
+def test_fortuna_request_sizes():
+    generator = seeded_fortuna(b"seed")
+    assert generator.random_bytes(0) == b""
+    assert len(generator.random_bytes(1)) == 1
+    assert len(generator.random_bytes(33)) == 33
+    with pytest.raises(CryptoError):
+        generator.random_bytes((1 << 20) + 1)
+    with pytest.raises(CryptoError):
+        generator.random_bytes(-1)
+
+
+def test_fortuna_reseed_changes_stream():
+    generator = seeded_fortuna(b"seed")
+    fork = seeded_fortuna(b"seed")
+    fork.reseed(b"more entropy")
+    assert generator.random_bytes(32) != fork.random_bytes(32)
+
+
+def test_sha256_known_value():
+    assert sha256_hex(b"abc") == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_incremental_hash_matches_one_shot():
+    ctx = IncrementalHash()
+    ctx.update(b"hello ")
+    ctx.update(b"world")
+    assert ctx.digest() == sha256(b"hello world")
+    assert ctx.length == 11
+
+
+def test_incremental_hash_empty():
+    assert IncrementalHash().digest() == sha256(b"")
+
+
+def test_hmac_sha256_rfc4231_case_1():
+    key = b"\x0b" * 20
+    assert hmac_sha256(key, b"Hi There").hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"diff")
+    assert not constant_time_equal(b"same", b"samelonger")

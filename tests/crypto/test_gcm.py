@@ -1,0 +1,102 @@
+"""AES-GCM: McGrew–Viega vectors, tamper detection, property tests."""
+
+import binascii
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import AuthenticationError, CryptoError
+
+h = binascii.unhexlify
+
+_KEY = h("feffe9928665731c6d6a8f9467308308")
+_IV = h("cafebabefacedbaddecaf888")
+_PT = h(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+)
+_AAD = h("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+def test_gcm_test_case_4():
+    sealed = AesGcm(_KEY).seal(_IV, _PT, _AAD)
+    assert sealed[:-16] == h(
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+    )
+    assert sealed[-16:] == h("5bc94fbc3221a5db94fae95ae7121a47")
+
+
+def test_gcm_test_case_1_empty():
+    gcm = AesGcm(b"\x00" * 16)
+    sealed = gcm.seal(b"\x00" * 12, b"")
+    assert sealed == h("58e2fccefa7e3061367f1d57a4e7455a")
+
+
+def test_gcm_test_case_2_single_block():
+    gcm = AesGcm(b"\x00" * 16)
+    sealed = gcm.seal(b"\x00" * 12, b"\x00" * 16)
+    assert sealed[:16] == h("0388dace60b6a392f328c2b971b2fe78")
+    assert sealed[16:] == h("ab6e47d42cec13bdf53a67b21257bddf")
+
+
+def test_roundtrip_with_aad():
+    gcm = AesGcm(b"k" * 16)
+    sealed = gcm.seal(b"i" * 12, b"hello watz", b"header")
+    assert gcm.open(b"i" * 12, sealed, b"header") == b"hello watz"
+
+
+def test_ciphertext_tamper_detected():
+    gcm = AesGcm(b"k" * 16)
+    sealed = bytearray(gcm.seal(b"i" * 12, b"secret blob content"))
+    sealed[3] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        gcm.open(b"i" * 12, bytes(sealed))
+
+
+def test_tag_tamper_detected():
+    gcm = AesGcm(b"k" * 16)
+    sealed = bytearray(gcm.seal(b"i" * 12, b"secret"))
+    sealed[-1] ^= 0x80
+    with pytest.raises(AuthenticationError):
+        gcm.open(b"i" * 12, bytes(sealed))
+
+
+def test_wrong_aad_detected():
+    gcm = AesGcm(b"k" * 16)
+    sealed = gcm.seal(b"i" * 12, b"secret", b"aad-1")
+    with pytest.raises(AuthenticationError):
+        gcm.open(b"i" * 12, sealed, b"aad-2")
+
+
+def test_wrong_iv_detected():
+    gcm = AesGcm(b"k" * 16)
+    sealed = gcm.seal(b"i" * 12, b"secret")
+    with pytest.raises(AuthenticationError):
+        gcm.open(b"j" * 12, sealed)
+
+
+def test_wrong_key_detected():
+    sealed = AesGcm(b"k" * 16).seal(b"i" * 12, b"secret")
+    with pytest.raises(AuthenticationError):
+        AesGcm(b"x" * 16).open(b"i" * 12, sealed)
+
+
+def test_bad_iv_size():
+    with pytest.raises(CryptoError):
+        AesGcm(b"k" * 16).seal(b"short", b"data")
+
+
+def test_truncated_message_rejected():
+    with pytest.raises(AuthenticationError):
+        AesGcm(b"k" * 16).open(b"i" * 12, b"tooshort")
+
+
+@settings(max_examples=25, deadline=None)
+@given(plaintext=st.binary(max_size=300), aad=st.binary(max_size=64))
+def test_roundtrip_property(plaintext, aad):
+    gcm = AesGcm(b"p" * 16)
+    sealed = gcm.seal(b"v" * 12, plaintext, aad)
+    assert len(sealed) == len(plaintext) + 16
+    assert gcm.open(b"v" * 12, sealed, aad) == plaintext

@@ -1,0 +1,203 @@
+"""Simulated hardware: fuses, CAAM, secure boot, worlds, cost model."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import FuseError, SecureBootError, WorldError
+from repro.hw import (
+    DEFAULT_COSTS,
+    CostModel,
+    EFuses,
+    SoC,
+    StageImage,
+    World,
+    sign_stage,
+)
+
+_VENDOR = ecdsa.keypair_from_private(0xABCDEF)
+
+
+def _provisioned_soc() -> SoC:
+    soc = SoC()
+    soc.provision(b"\x11" * 32, sha256(_VENDOR.public_bytes()))
+    return soc
+
+
+def _stages():
+    return [sign_stage(name, f"{name} payload".encode(), _VENDOR)
+            for name in ("spl", "atf", "optee")]
+
+
+# -- fuses ----------------------------------------------------------------
+
+
+def test_fuses_write_once():
+    fuses = EFuses()
+    fuses.program_otpmk(b"\x01" * 32)
+    with pytest.raises(FuseError):
+        fuses.program_otpmk(b"\x02" * 32)
+
+
+def test_fuse_size_enforced():
+    fuses = EFuses()
+    with pytest.raises(FuseError):
+        fuses.program_otpmk(b"short")
+
+
+def test_unprogrammed_fuse_read_fails():
+    fuses = EFuses()
+    with pytest.raises(FuseError):
+        fuses.boot_key_hash.read()
+
+
+def test_otpmk_not_software_readable():
+    soc = _provisioned_soc()
+    with pytest.raises(FuseError, match="CAAM"):
+        soc.fuses.read_otpmk_from_caam(object())
+
+
+# -- CAAM / MKVB ------------------------------------------------------------
+
+
+def test_mkvb_differs_per_world():
+    soc = _provisioned_soc()
+    normal = soc.caam.master_key_verification_blob(World.NORMAL)
+    secure = soc.caam.master_key_verification_blob(World.SECURE)
+    assert normal != secure
+    assert len(normal) == len(secure) == 32
+
+
+def test_mkvb_stable_across_reads():
+    soc = _provisioned_soc()
+    assert soc.caam.master_key_verification_blob(World.SECURE) == \
+        soc.caam.master_key_verification_blob(World.SECURE)
+
+
+def test_mkvb_differs_per_device():
+    one = SoC()
+    one.provision(b"\x01" * 32, sha256(_VENDOR.public_bytes()))
+    two = SoC()
+    two.provision(b"\x02" * 32, sha256(_VENDOR.public_bytes()))
+    assert one.caam.master_key_verification_blob(World.SECURE) != \
+        two.caam.master_key_verification_blob(World.SECURE)
+
+
+# -- secure boot -------------------------------------------------------------
+
+
+def test_secure_boot_succeeds_with_genuine_stages():
+    soc = _provisioned_soc()
+    report = soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    assert report.stages == ["spl", "atf", "optee"]
+    assert len(report.measurements) == 3
+    assert soc.current_world == World.SECURE
+
+
+def test_secure_boot_rejects_tampered_stage():
+    soc = _provisioned_soc()
+    stages = _stages()
+    tampered = StageImage(stages[1].name, b"evil payload",
+                          stages[1].signature)
+    with pytest.raises(SecureBootError, match="signature"):
+        soc.secure_boot(_VENDOR.public_bytes(), [stages[0], tampered])
+    assert not soc.securely_booted
+
+
+def test_secure_boot_rejects_wrong_vendor_key():
+    soc = _provisioned_soc()
+    rogue = ecdsa.keypair_from_private(31337)
+    stages = [sign_stage("spl", b"x", rogue)]
+    with pytest.raises(SecureBootError, match="fused"):
+        soc.secure_boot(rogue.public_bytes(), stages)
+
+
+def test_secure_boot_rejects_empty_chain():
+    soc = _provisioned_soc()
+    with pytest.raises(SecureBootError, match="empty"):
+        soc.secure_boot(_VENDOR.public_bytes(), [])
+
+
+def test_stage_measurements_are_payload_hashes():
+    stage = sign_stage("spl", b"payload bytes", _VENDOR)
+    assert stage.measurement == sha256(b"payload bytes")
+
+
+# -- worlds and clock ----------------------------------------------------------
+
+
+def test_enter_secure_world_requires_boot():
+    soc = _provisioned_soc()
+    with pytest.raises(SecureBootError):
+        with soc.enter_secure_world():
+            pass
+
+
+def test_world_transition_costs_match_figure_3b():
+    soc = _provisioned_soc()
+    soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    soc.current_world = World.NORMAL
+    before = soc.clock.now_ns()
+    with soc.enter_secure_world():
+        entered = soc.clock.now_ns()
+    returned = soc.clock.now_ns()
+    assert entered - before == DEFAULT_COSTS.world_enter_ns
+    assert returned - entered == DEFAULT_COSTS.world_return_ns
+
+
+def test_nested_world_enter_rejected():
+    soc = _provisioned_soc()
+    soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    soc.current_world = World.NORMAL
+    with soc.enter_secure_world():
+        with pytest.raises(WorldError):
+            with soc.enter_secure_world():
+                pass
+
+
+def test_rpc_requires_secure_world():
+    soc = _provisioned_soc()
+    with pytest.raises(WorldError):
+        with soc.rpc_to_normal_world():
+            pass
+
+
+def test_monotonic_read_cost_depends_on_world():
+    soc = _provisioned_soc()
+    soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    # Secure-world read pays the kernel RPC.
+    before = soc.clock.now_ns()
+    soc.read_monotonic_ns()
+    secure_cost = soc.clock.now_ns() - before
+    assert secure_cost == DEFAULT_COSTS.secure_time_fetch_ns
+    # Normal-world read is just the clock read.
+    soc.current_world = World.NORMAL
+    before = soc.clock.now_ns()
+    soc.read_monotonic_ns()
+    assert soc.clock.now_ns() - before == DEFAULT_COSTS.clock_read_ns
+
+
+def test_clock_monotonicity():
+    soc = SoC()
+    with pytest.raises(ValueError):
+        soc.clock.advance(-1)
+
+
+# -- cost model composition ------------------------------------------------------
+
+
+def test_cost_model_composes_paper_values():
+    """The calibration contract of DESIGN.md: paper numbers emerge from
+    composition of primitives, they are not stored anywhere."""
+    costs = CostModel()
+    assert costs.world_enter_ns == 86_000
+    assert costs.world_return_ns == 20_000
+    assert abs(costs.secure_time_fetch_ns - 10_000) <= 1000
+    assert abs(costs.wasm_time_fetch_ns - 13_000) <= 1000
+    assert costs.wasm_time_fetch_ns - costs.secure_time_fetch_ns == \
+        costs.wasi_dispatch_ns
+
+
+def test_shared_copy_cost_scales_linearly():
+    costs = CostModel()
+    assert costs.shared_copy_ns(2048) == 2 * costs.shared_copy_ns(1024)

@@ -1,0 +1,244 @@
+"""OP-TEE: kernel, TA life cycle, GP API, memory caps, sockets."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.errors import (
+    TeeAccessDenied,
+    TeeBadParameters,
+    TeeOutOfMemory,
+    TeeSecurityViolation,
+)
+from repro.hw.caam import World
+from repro.optee import (
+    SECURE_HEAP_CAP,
+    SHARED_MEMORY_CAP,
+    TaManifest,
+    TrustedApplication,
+    sign_ta,
+)
+from repro.optee.kernel import OpTeeKernel
+from repro.optee.sharedmem import SharedMemoryPool
+from repro.testbed import Testbed
+
+
+class EchoTa(TrustedApplication):
+    def invoke(self, command, params):
+        if command == 1:
+            return {"time": self.api.get_system_time_ns()}
+        if command == 2:
+            self.api.tee_malloc(params["size"])
+            return {"used": self.api.heap_used}
+        return {"echo": params}
+
+
+def _install_echo(device, heap=1 << 20):
+    manifest = TaManifest(uuid="echo", name="echo", heap_size=heap)
+    image = sign_ta(manifest, b"echo payload", EchoTa, device.vendor_key)
+    device.kernel.install_ta(image)
+    return device.client.open_session("echo")
+
+
+# -- shared memory ------------------------------------------------------------
+
+
+def test_shared_memory_cap_is_nine_megabytes():
+    assert SHARED_MEMORY_CAP == 9 * 1024 * 1024
+
+
+def test_shared_memory_cap_enforced():
+    pool = SharedMemoryPool()
+    pool.allocate(8 * 1024 * 1024)
+    with pytest.raises(TeeOutOfMemory, match="cap"):
+        pool.allocate(2 * 1024 * 1024)
+
+
+def test_shared_memory_free_returns_capacity():
+    pool = SharedMemoryPool()
+    buffer = pool.allocate(8 * 1024 * 1024)
+    buffer.free()
+    pool.allocate(9 * 1024 * 1024)  # must succeed now
+
+
+def test_shared_buffer_bounds_checked():
+    pool = SharedMemoryPool()
+    buffer = pool.allocate(128)
+    with pytest.raises(TeeBadParameters):
+        buffer.write(120, b"too long for the buffer")
+    with pytest.raises(TeeBadParameters):
+        buffer.read(120, 64)
+
+
+def test_shared_buffer_read_write():
+    pool = SharedMemoryPool()
+    buffer = pool.allocate(64)
+    buffer.write(8, b"watz")
+    assert buffer.read(8, 4) == b"watz"
+
+
+# -- kernel ----------------------------------------------------------------------
+
+
+def test_kernel_requires_secure_boot():
+    from repro.hw import SoC
+
+    soc = SoC()
+    vendor = ecdsa.keypair_from_private(5)
+    with pytest.raises(Exception, match="secure"):
+        OpTeeKernel(soc, vendor.public)
+
+
+def test_secure_heap_cap_is_27mb(device):
+    assert device.kernel.secure_heap_capacity == 27 * 1024 * 1024 == SECURE_HEAP_CAP
+
+
+def test_secure_heap_cap_enforced(device):
+    device.kernel.secure_alloc(SECURE_HEAP_CAP)
+    with pytest.raises(TeeOutOfMemory):
+        device.kernel.secure_alloc(1)
+    device.kernel.secure_free(SECURE_HEAP_CAP)
+
+
+def test_huk_subkeys_stable_and_distinct(device):
+    one = device.kernel.huk_subkey_derive(b"usage-a", 32)
+    two = device.kernel.huk_subkey_derive(b"usage-a", 32)
+    other = device.kernel.huk_subkey_derive(b"usage-b", 32)
+    assert one == two
+    assert one != other
+    assert len(device.kernel.huk_subkey_derive(b"u", 16)) == 16
+
+
+def test_huk_subkey_size_limit(device):
+    with pytest.raises(TeeBadParameters):
+        device.kernel.huk_subkey_derive(b"u", 64)
+
+
+def test_executable_pages_extension(device):
+    region = device.kernel.map_executable_pages(4096)
+    assert region.executable
+    device.kernel.unmap_executable_pages(region)
+    assert not region.executable
+
+
+def test_stock_kernel_refuses_executable_pages(testbed):
+    device = testbed.create_device(allow_executable_pages=False)
+    with pytest.raises(TeeAccessDenied, match="stock"):
+        device.kernel.map_executable_pages(4096)
+
+
+# -- TA management ----------------------------------------------------------------
+
+
+def test_ta_signature_verified_on_install(device):
+    manifest = TaManifest(uuid="x", name="x", heap_size=1024)
+    rogue = ecdsa.keypair_from_private(999)
+    image = sign_ta(manifest, b"payload", EchoTa, rogue)
+    with pytest.raises(TeeSecurityViolation):
+        device.kernel.install_ta(image)
+
+
+def test_unknown_ta_uuid(device):
+    with pytest.raises(Exception, match="UUID"):
+        device.client.open_session("missing-uuid")
+
+
+def test_session_invoke_roundtrip(device):
+    session = _install_echo(device)
+    assert session.invoke(0, {"x": 1}) == {"echo": {"x": 1}}
+    session.close()
+
+
+def test_session_close_releases_heap(device):
+    before = device.kernel.secure_heap_allocated
+    session = _install_echo(device, heap=2 << 20)
+    assert device.kernel.secure_heap_allocated == before + (2 << 20)
+    session.close()
+    assert device.kernel.secure_heap_allocated == before
+
+
+def test_closed_session_rejects_invoke(device):
+    session = _install_echo(device)
+    session.close()
+    with pytest.raises(TeeAccessDenied):
+        session.invoke(0, {})
+
+
+def test_invoke_pays_world_transition(device):
+    session = _install_echo(device)
+    costs = device.soc.costs
+    before = device.soc.clock.now_ns()
+    session.invoke(0, {})
+    elapsed = device.soc.clock.now_ns() - before
+    assert elapsed == costs.world_enter_ns + costs.world_return_ns
+
+
+def test_ta_heap_budget_enforced(device):
+    session = _install_echo(device, heap=4096)
+    session.invoke(2, {"size": 4000})
+    with pytest.raises(TeeOutOfMemory, match="heap exhausted"):
+        session.invoke(2, {"size": 4096})
+
+
+def test_gp_time_charges_rpc(device):
+    session = _install_echo(device)
+    result = session.invoke(1)
+    assert result["time"] > 0
+
+
+def test_gp_random(device):
+    session = _install_echo(device)
+    data = session.api.generate_random(16)
+    assert len(data) == 16
+
+
+def test_two_sessions_share_kernel_heap(device):
+    heap = 13 * 1024 * 1024
+    _install_echo(device, heap=heap)
+    manifest = TaManifest(uuid="echo2", name="echo2", heap_size=heap)
+    device.kernel.install_ta(
+        sign_ta(manifest, b"p", EchoTa, device.vendor_key))
+    device.client.open_session("echo2")
+    manifest3 = TaManifest(uuid="echo3", name="echo3", heap_size=heap)
+    device.kernel.install_ta(
+        sign_ta(manifest3, b"p", EchoTa, device.vendor_key))
+    with pytest.raises(TeeOutOfMemory):
+        device.client.open_session("echo3")
+
+
+# -- attestation service ------------------------------------------------------------
+
+
+def test_attestation_key_deterministic_per_device(testbed):
+    device = testbed.create_device()
+    key_one = device.attestation_public_key
+    # "Rebooting": a new kernel on the same SoC derives the same key.
+    device.soc.current_world = World.SECURE
+    rebooted = OpTeeKernel(device.soc, testbed.vendor_key.public)
+    assert rebooted.attestation_service.public_key_bytes == key_one
+
+
+def test_attestation_keys_differ_across_devices(testbed):
+    one = testbed.create_device()
+    two = testbed.create_device()
+    assert one.attestation_public_key != two.attestation_public_key
+
+
+def test_attestation_sign_requires_secure_world(device):
+    with pytest.raises(TeeAccessDenied):
+        device.kernel.attestation_service.sign_evidence(b"claims")
+
+
+def test_attestation_sign_verifies_with_public_key(device):
+    from repro.crypto import ec
+
+    with device.soc.enter_secure_world():
+        signature = device.kernel.attestation_service.sign_evidence(b"claims")
+    public = ec.decode_point(device.attestation_public_key)
+    ecdsa.verify(public, b"claims", signature)
+
+
+def test_private_key_not_reachable(device):
+    service = device.kernel.attestation_service
+    exposed = [name for name in vars(service) if "key_pair" in name.lower()]
+    # Name-mangled private attribute only; no public handle to the pair.
+    assert all(name.startswith("_AttestationService__") for name in exposed)

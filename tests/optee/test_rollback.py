@@ -1,0 +1,94 @@
+"""Rollback protection (§VII): monotonic counters guard trusted storage."""
+
+import pytest
+
+from repro.errors import TeeSecurityViolation, WorldError
+from repro.hw.caam import World
+
+
+def test_counters_only_increase(device):
+    with device.soc.enter_secure_world():
+        counters = device.soc.monotonic
+        assert counters.read("x") == 0
+        assert counters.increment("x") == 1
+        assert counters.increment("x") == 2
+        assert counters.read("x") == 2
+
+
+def test_counters_gated_to_secure_world(device):
+    assert device.soc.current_world == World.NORMAL
+    with pytest.raises(WorldError):
+        device.soc.monotonic.increment("x")
+    with pytest.raises(WorldError):
+        device.soc.monotonic.read("x")
+
+
+def test_storage_versions_advance_per_write(device):
+    storage = device.kernel.trusted_storage
+    with device.soc.enter_secure_world():
+        storage.put("ta", "obj", b"v1")
+        storage.put("ta", "obj", b"v2")
+        assert storage.get("ta", "obj") == b"v2"
+        assert device.soc.monotonic.read("ts/ta/obj") == 2
+
+
+def test_snapshot_restore_detected_as_rollback(device):
+    """The §VII attack: restore an old image of the storage medium."""
+    storage = device.kernel.trusted_storage
+    with device.soc.enter_secure_world():
+        storage.put("ta", "wallet", b"balance=100")
+        stale = storage.snapshot()          # attacker copies the medium
+        storage.put("ta", "wallet", b"balance=1")
+        storage.restore_snapshot(stale)     # attacker restores the copy
+        with pytest.raises(TeeSecurityViolation, match="rollback"):
+            storage.get("ta", "wallet")
+
+
+def test_recreated_object_after_delete_not_confusable(device):
+    storage = device.kernel.trusted_storage
+    with device.soc.enter_secure_world():
+        storage.put("ta", "cfg", b"old")
+        stale = storage.snapshot()
+        storage.delete("ta", "cfg")
+        storage.put("ta", "cfg", b"new")
+        assert storage.get("ta", "cfg") == b"new"
+        storage.restore_snapshot(stale)
+        with pytest.raises(TeeSecurityViolation):
+            storage.get("ta", "cfg")
+
+
+def test_wasi_fs_inherits_rollback_protection(device):
+    """Files written by a Wasm app through WASI-FS are rollback-protected."""
+    from repro.walc import compile_source
+
+    source = """
+memory 1;
+data 512 (102);  // "f"
+import fn wasi_snapshot_preview1.path_open(a: i32, b: i32, c: i32, d: i32,
+                                           e: i32, f: i64, g: i64, h: i32,
+                                           i: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_write(a: i32, b: i32, c: i32, d: i32) -> i32;
+import fn wasi_snapshot_preview1.fd_close(a: i32) -> i32;
+export fn put() -> i32 {
+  path_open(3, 0, 512, 1, 1, 0L, 0L, 0, 64);
+  var fd: i32 = load_i32(64);
+  store_i32(0, 512);
+  store_i32(4, 1);
+  fd_write(fd, 0, 1, 16);
+  return fd_close(fd);
+}
+"""
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    loaded = device.load_wasm(session, compile_source(source),
+                              filesystem=True)
+    device.run_wasm(session, loaded["app"], "put")
+    storage = device.kernel.trusted_storage
+    with device.soc.enter_secure_world():
+        stale = storage.snapshot()
+    device.run_wasm(session, loaded["app"], "put")  # version moves on
+    storage.restore_snapshot(stale)
+    session.close()
+    # The next session tries to load the rolled-back file and is refused.
+    session = device.open_watz(heap_size=4 * 1024 * 1024)
+    with pytest.raises(TeeSecurityViolation, match="rollback"):
+        device.load_wasm(session, compile_source(source), filesystem=True)

@@ -1,0 +1,80 @@
+"""The testbed assembly helper."""
+
+import pytest
+
+from repro.errors import TeeItemNotFound
+from repro.hw.caam import World
+from repro.testbed import Testbed
+from repro.walc import compile_source
+
+
+def test_device_boots_into_normal_world(device):
+    assert device.soc.securely_booted
+    assert device.soc.current_world == World.NORMAL
+    assert device.soc.boot_report.stages == [
+        "spl", "arm-trusted-firmware", "op-tee"]
+
+
+def test_serials_and_identities_are_unique(testbed):
+    one = testbed.create_device()
+    two = testbed.create_device()
+    assert one.serial != two.serial
+    assert one.attestation_public_key != two.attestation_public_key
+
+
+def test_watz_image_cached_per_heap_and_engine(device):
+    first = device.install_watz(1 << 20)
+    again = device.install_watz(1 << 20)
+    other = device.install_watz(2 << 20)
+    interp = device.install_watz(1 << 20, engine="interpreter")
+    assert first == again
+    assert len({first, other, interp}) == 3
+
+
+def test_load_wasm_frees_the_shared_buffer(device):
+    binary = compile_source("export fn f() -> i32 { return 1; }")
+    session = device.open_watz(heap_size=1 << 20)
+    before = device.kernel.shared_memory.allocated
+    device.load_wasm(session, binary)
+    assert device.kernel.shared_memory.allocated == before
+
+
+def test_deterministic_testbed_reproducible():
+    one = Testbed(deterministic_rng=True).create_device()
+    two = Testbed(deterministic_rng=True).create_device()
+    # Same serial, same entropy stream -> identical device randomness.
+    assert one.kernel.rng.random_bytes(16) == two.kernel.rng.random_bytes(16)
+
+
+def test_devices_share_one_network(testbed):
+    one = testbed.create_device()
+    two = testbed.create_device()
+    assert one.network is two.network
+
+
+def test_unknown_ta_session_raises(device):
+    with pytest.raises(TeeItemNotFound):
+        device.client.open_session("nonexistent")
+
+
+def test_cross_device_attestation(testbed, verifier_identity):
+    """Attester and verifier on *different* devices over the network —
+    beyond the paper's co-located setup."""
+    from repro.core import VerifierPolicy, measure_bytes, start_verifier
+    from repro.workloads.attested import build_attested_app
+
+    attesting = testbed.create_device()
+    verifying = testbed.create_device()
+    app = build_attested_app(verifier_identity.public_bytes(),
+                             "remote.verifier", 7700, secret_capacity=4096)
+    policy = VerifierPolicy()
+    policy.endorse(attesting.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    start_verifier(testbed.network, "remote.verifier", 7700,
+                   verifying.client, testbed.vendor_key, verifier_identity,
+                   policy, lambda: b"cross-device")
+    session = attesting.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = attesting.load_wasm(session, app)
+    assert attesting.run_wasm(session, loaded["app"], "attest") \
+        == len(b"cross-device")
+    session.close()

@@ -1,0 +1,144 @@
+"""walc front end: tokens and syntax."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.walc.lexer import tokenize
+from repro.walc.parser import parse
+from repro.walc import ast_nodes as ast
+from repro.wasm.types import ValType
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_tokenize_keywords_and_names():
+    assert kinds("fn foo") == [("keyword", "fn"), ("name", "foo")]
+
+
+def test_tokenize_numbers():
+    tokens = tokenize("1 42 0x1F 3.5 1e3 2L 1.5f")
+    texts = [(t.kind, t.text) for t in tokens[:-1]]
+    assert texts == [
+        ("int", "1"), ("int", "42"), ("int", "0x1F"), ("float", "3.5"),
+        ("float", "1e3"), ("int", "2L"), ("float", "1.5f"),
+    ]
+
+
+def test_tokenize_operators_longest_match():
+    assert kinds("<= << < ->") == [
+        ("op", "<="), ("op", "<<"), ("op", "<"), ("op", "->")]
+
+
+def test_comments_skipped():
+    assert kinds("1 // comment\n 2 /* block\nstill */ 3") == [
+        ("int", "1"), ("int", "2"), ("int", "3")]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_unknown_character():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_parse_function_signature():
+    program = parse("fn f(a: i32, b: f64) -> i64 { return 0; }")
+    function = program.functions[0]
+    assert function.name == "f"
+    assert [p.valtype for p in function.params] == [ValType.I32, ValType.F64]
+    assert function.result == ValType.I64
+    assert not function.exported
+
+
+def test_parse_export_and_void():
+    program = parse("export fn go() { }")
+    assert program.functions[0].exported
+    assert program.functions[0].result is None
+
+
+def test_parse_import():
+    program = parse("import fn wasi_snapshot_preview1.clock_time_get"
+                    "(a: i32, b: i64, c: i32) -> i32;")
+    imported = program.imports[0]
+    assert imported.module == "wasi_snapshot_preview1"
+    assert imported.name == "clock_time_get"
+    assert imported.params == [ValType.I32, ValType.I64, ValType.I32]
+    assert imported.result == ValType.I32
+
+
+def test_parse_memory_and_globals():
+    program = parse("memory 4 max 16;\nvar g: f64 = -2.5;\nvar h: i32 = 7;")
+    assert program.memory.min_pages == 4
+    assert program.memory.max_pages == 16
+    assert program.globals[0].init == -2.5
+    assert program.globals[1].init == 7
+
+
+def test_parse_data_segment():
+    program = parse("data 64 (1, 2, 0xff);")
+    assert program.data[0].offset == 64
+    assert program.data[0].payload == b"\x01\x02\xff"
+
+
+def test_data_byte_out_of_range():
+    with pytest.raises(ParseError):
+        parse("data 0 (300);")
+
+
+def test_parse_precedence():
+    program = parse("fn f() -> i32 { return 1 + 2 * 3; }")
+    expr = program.functions[0].body[0].value
+    assert isinstance(expr, ast.Binary) and expr.operator == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.operator == "*"
+
+
+def test_parse_cast_precedence():
+    program = parse("fn f(x: i32) -> f64 { return (x as f64) / 2.0; }")
+    expr = program.functions[0].body[0].value
+    assert expr.operator == "/"
+    assert isinstance(expr.left, ast.Cast)
+
+
+def test_parse_for_desugars_to_while():
+    program = parse("fn f() { for (var i: i32 = 0; i < 3; i = i + 1) { } }")
+    wrapper = program.functions[0].body[0]
+    assert isinstance(wrapper, ast.If)
+    loop = wrapper.then_body[1]
+    assert isinstance(loop, ast.While)
+    assert loop.step is not None
+
+
+def test_parse_else_if_chain():
+    program = parse(
+        "fn f(x: i32) -> i32 {"
+        " if (x == 1) { return 1; } else if (x == 2) { return 2; }"
+        " else { return 3; } }"
+    )
+    outer = program.functions[0].body[0]
+    assert isinstance(outer.else_body[0], ast.If)
+
+
+def test_parse_logical_operators():
+    program = parse("fn f(a: i32, b: i32) -> i32 { return a && b || !a; }")
+    expr = program.functions[0].body[0].value
+    assert expr.operator == "||"
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse("fn f() { var x: i32 = 1 }")
+
+
+def test_unbalanced_braces_rejected():
+    with pytest.raises(ParseError):
+        parse("fn f() { if (1) { }")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse("fn f() { } 42")

@@ -1,0 +1,139 @@
+"""walc type checking: literal adaptation and rejection cases."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.walc import compile_source
+from repro.walc.parser import parse
+from repro.walc.typecheck import check_program
+
+
+def check(source):
+    program = parse(source)
+    check_program(program)
+    return program
+
+
+def test_literal_adapts_to_i64():
+    check("fn f(x: i64) -> i64 { return x + 1; }")
+
+
+def test_literal_adapts_to_f64():
+    check("fn f(x: f64) -> f64 { return x * 2; }")
+
+
+def test_literal_adapts_on_left():
+    check("fn f(x: f64) -> f64 { return 2 * x; }")
+
+
+def test_forced_suffix_respected():
+    with pytest.raises(TypeCheckError):
+        check("fn f(x: i32) -> i32 { return x + 1L; }")
+
+
+def test_mixed_types_rejected():
+    with pytest.raises(TypeCheckError, match="differ|expected"):
+        check("fn f(x: i32, y: f64) -> f64 { return x + y; }")
+
+
+def test_cast_fixes_mixed_types():
+    check("fn f(x: i32, y: f64) -> f64 { return (x as f64) + y; }")
+
+
+def test_condition_must_be_i32():
+    with pytest.raises(TypeCheckError):
+        check("fn f(x: f64) { if (x) { } }")
+
+
+def test_comparison_gives_i32_condition():
+    check("fn f(x: f64) -> i32 { if (x > 1.0) { return 1; } return 0; }")
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(TypeCheckError, match="unknown variable"):
+        check("fn f() -> i32 { return nope; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(TypeCheckError, match="unknown function"):
+        check("fn f() { nope(); }")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(TypeCheckError, match="duplicate"):
+        check("fn f() { } fn f() { }")
+
+
+def test_intrinsic_name_collision_rejected():
+    with pytest.raises(TypeCheckError, match="duplicate"):
+        check("fn sqrt(x: f64) -> f64 { return x; }")
+
+
+def test_wrong_argument_count():
+    with pytest.raises(TypeCheckError, match="arguments"):
+        check("fn g(x: i32) { } fn f() { g(); }")
+
+
+def test_argument_type_checked():
+    with pytest.raises(TypeCheckError):
+        check("fn g(x: i32) { } fn f(y: f64) { g(y); }")
+
+
+def test_void_call_as_value_rejected():
+    with pytest.raises(TypeCheckError):
+        check("fn g() { } fn f() -> i32 { return g(); }")
+
+
+def test_missing_return_rejected():
+    with pytest.raises(TypeCheckError, match="return"):
+        check("fn f(x: i32) -> i32 { if (x) { return 1; } }")
+
+
+def test_return_on_both_branches_accepted():
+    check("fn f(x: i32) -> i32 { if (x) { return 1; } else { return 2; } }")
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(TypeCheckError):
+        check("fn f() { return 1; }")
+
+
+def test_block_scoping():
+    with pytest.raises(TypeCheckError, match="unknown variable"):
+        check("fn f() -> i32 { if (1) { var x: i32 = 1; } return x; }")
+
+
+def test_shadowing_in_nested_scope():
+    check("fn f() -> i32 { var x: i32 = 1;"
+          " if (1) { var y: i32 = 2; x = y; } return x; }")
+
+
+def test_duplicate_variable_same_scope():
+    with pytest.raises(TypeCheckError, match="duplicate"):
+        check("fn f() { var x: i32 = 1; var x: i32 = 2; }")
+
+
+def test_for_loop_variable_reuse_across_loops():
+    check("""
+fn f() -> i32 {
+  var total: i32 = 0;
+  for (var i: i32 = 0; i < 3; i = i + 1) { total = total + i; }
+  for (var i: i32 = 0; i < 3; i = i + 1) { total = total + i; }
+  return total;
+}
+""")
+
+
+def test_bitwise_requires_integers():
+    with pytest.raises(TypeCheckError):
+        check("fn f(x: f64) -> f64 { return x & x; }")
+
+
+def test_modulo_requires_integers():
+    with pytest.raises(TypeCheckError):
+        check("fn f(x: f64) -> f64 { return x % x; }")
+
+
+def test_global_types_enforced():
+    with pytest.raises(TypeCheckError):
+        check("var g: i32 = 0; fn f(x: f64) { g = x; }")

@@ -1,0 +1,32 @@
+"""Helpers for building tiny test modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.wasm import ModuleBuilder
+from repro.wasm.types import ValType
+
+
+def build_single(params: Sequence[ValType], results: Sequence[ValType],
+                 emit: Callable, locals: Sequence[ValType] = (),
+                 memory: Optional[tuple] = None,
+                 export: str = "f") -> bytes:
+    """A module with one exported function whose body ``emit`` writes."""
+    builder = ModuleBuilder()
+    if memory is not None:
+        builder.add_memory(*memory)
+    type_index = builder.add_type(params, results)
+    function = builder.add_function(type_index)
+    for valtype in locals:
+        function.add_local(valtype)
+    emit(function)
+    builder.export_function(export, function.index)
+    return builder.build()
+
+
+def run_single(engine, params, results, emit, args=(), **kwargs):
+    """Build, instantiate and invoke in one step."""
+    binary = build_single(params, results, emit, **kwargs)
+    instance = engine.instantiate(binary)
+    return instance.invoke("f", *args)

@@ -1,0 +1,150 @@
+"""Differential fuzzing: the two engines must agree on everything.
+
+Hypothesis generates random (but well-typed) walc programs — arithmetic,
+comparisons, branching, loops, memory traffic, function calls — and every
+program is executed on the interpreter and on the AOT engine. The engines
+must agree on the result value *and* on trap behaviour. This is the
+strongest guard on the AOT expression-fusion optimisations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrapError
+from repro.walc import compile_source
+from repro.wasm import AotCompiler, Interpreter
+
+# -- random program generation ---------------------------------------------------
+
+_I32_VARS = ["a", "b", "c"]
+_F64_VARS = ["x", "y"]
+
+
+def _i32_expr(draw, depth):
+    if depth <= 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(-100, 100)))
+        if choice == 1:
+            return draw(st.sampled_from(_I32_VARS))
+        return str(draw(st.integers(0, 0x7FFFFFFF)))
+    operator = draw(st.sampled_from(
+        ["+", "-", "*", "&", "|", "^", "%", "/", "<<", ">>",
+         "==", "!=", "<", ">", "<=", ">="]))
+    left = _i32_expr(draw, depth - 1)
+    right = _i32_expr(draw, depth - 1)
+    return f"({left} {operator} {right})"
+
+
+def _f64_expr(draw, depth):
+    if depth <= 0:
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            value = draw(st.floats(-1e6, 1e6, allow_nan=False))
+            return repr(value)
+        return draw(st.sampled_from(_F64_VARS))
+    operator = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = _f64_expr(draw, depth - 1)
+    right = _f64_expr(draw, depth - 1)
+    return f"({left} {operator} {right})"
+
+
+def _statement(draw, depth):
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        var = draw(st.sampled_from(_I32_VARS))
+        return f"{var} = {_i32_expr(draw, draw(st.integers(0, 2)))};"
+    if choice == 1:
+        var = draw(st.sampled_from(_F64_VARS))
+        return f"{var} = {_f64_expr(draw, draw(st.integers(0, 2)))};"
+    if choice == 2:
+        condition = _i32_expr(draw, 1)
+        body = _statement(draw, depth - 1) if depth > 0 else "a = a + 1;"
+        other = _statement(draw, depth - 1) if depth > 0 else "b = b - 1;"
+        return f"if ({condition}) {{ {body} }} else {{ {other} }}"
+    if choice == 3 and depth > 0:
+        body = _statement(draw, depth - 1)
+        return (f"for (var q{depth}: i32 = 0; q{depth} < "
+                f"{draw(st.integers(1, 5))}; q{depth} = q{depth} + 1) "
+                f"{{ {body} }}")
+    if choice == 4:
+        address = draw(st.integers(0, 120)) * 8
+        return f"store_f64({address}, {_f64_expr(draw, 1)});"
+    if choice == 5:
+        address = draw(st.integers(0, 120)) * 8
+        var = draw(st.sampled_from(_F64_VARS))
+        return f"{var} = load_f64({address});"
+    address = draw(st.integers(0, 240)) * 4
+    return f"store_i32({address}, {_i32_expr(draw, 1)});"
+
+
+@st.composite
+def walc_programs(draw):
+    statements = [
+        _statement(draw, draw(st.integers(0, 2)))
+        for _ in range(draw(st.integers(1, 6)))
+    ]
+    body = "\n  ".join(statements)
+    return f"""
+memory 1;
+fn helper(v: i32) -> i32 {{ return (v * 17 + 3) & 0xffff; }}
+export fn f(a: i32, b: i32) -> i32 {{
+  var c: i32 = helper(a);
+  var x: f64 = 1.5;
+  var y: f64 = -0.25;
+  {body}
+  var acc: f64 = x * 1000.0 + y;
+  if (acc > 2147483.0 || acc < -2147483.0) {{ acc = 0.0; }}
+  return (a ^ b ^ c) + ((acc * 100.0) as i32);
+}}
+"""
+
+
+def _outcome(instance, arguments):
+    try:
+        return ("value", instance.invoke("f", *arguments))
+    except TrapError as trap:
+        return ("trap", str(trap))
+
+
+@settings(max_examples=120, deadline=None)
+@given(source=walc_programs(),
+       arguments=st.tuples(st.integers(0, 1000), st.integers(0, 1000)))
+def test_engines_agree(source, arguments):
+    binary = compile_source(source)
+    interp = Interpreter().instantiate(binary)
+    aot = AotCompiler().instantiate(binary)
+    assert _outcome(interp, arguments) == _outcome(aot, arguments)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=walc_programs(),
+       arguments=st.tuples(st.integers(0, 1000), st.integers(0, 1000)))
+def test_aot_is_deterministic(source, arguments):
+    binary = compile_source(source)
+    first = AotCompiler().instantiate(binary)
+    second = AotCompiler().instantiate(binary)
+    assert _outcome(first, arguments) == _outcome(second, arguments)
+
+
+def test_engines_agree_on_known_trap_order():
+    """A store before a division by zero must happen on both engines."""
+    source = """
+memory 1;
+export fn f(d: i32) -> i32 {
+  store_i32(0, 42);
+  var q: i32 = 10 / d;
+  store_i32(0, q);
+  return load_i32(0);
+}
+export fn peek() -> i32 { return load_i32(0); }
+"""
+    binary = compile_source(source)
+    for engine_class in (Interpreter, AotCompiler):
+        instance = engine_class().instantiate(binary)
+        with pytest.raises(TrapError):
+            instance.invoke("f", 0)
+        # The first store executed before the trap on both engines.
+        assert instance.invoke("peek") == 42

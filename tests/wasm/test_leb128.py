@@ -1,0 +1,87 @@
+"""LEB128 encoding: vectors, limits, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError
+from repro.wasm.leb128 import (
+    decode_signed,
+    decode_unsigned,
+    encode_signed,
+    encode_unsigned,
+)
+
+
+@pytest.mark.parametrize("value,encoded", [
+    (0, b"\x00"),
+    (1, b"\x01"),
+    (127, b"\x7f"),
+    (128, b"\x80\x01"),
+    (624485, b"\xe5\x8e\x26"),
+])
+def test_unsigned_vectors(value, encoded):
+    assert encode_unsigned(value) == encoded
+    assert decode_unsigned(encoded, 0) == (value, len(encoded))
+
+
+@pytest.mark.parametrize("value,encoded", [
+    (0, b"\x00"),
+    (-1, b"\x7f"),
+    (63, b"\x3f"),
+    (64, b"\xc0\x00"),
+    (-64, b"\x40"),
+    (-123456, b"\xc0\xbb\x78"),
+])
+def test_signed_vectors(value, encoded):
+    assert encode_signed(value) == encoded
+    assert decode_signed(encoded, 0) == (value, len(encoded))
+
+
+def test_unsigned_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_unsigned(-1)
+
+
+def test_truncated_input():
+    with pytest.raises(DecodeError):
+        decode_unsigned(b"\x80", 0)
+    with pytest.raises(DecodeError):
+        decode_signed(b"\xff", 0)
+
+
+def test_overlong_encoding_rejected():
+    with pytest.raises(DecodeError):
+        decode_unsigned(b"\x80" * 12 + b"\x01", 0)
+
+
+def test_value_exceeding_bit_width_rejected():
+    encoded = encode_unsigned(1 << 40)
+    with pytest.raises(DecodeError):
+        decode_unsigned(encoded, 0, max_bits=32)
+
+
+def test_signed_value_exceeding_bit_width_rejected():
+    encoded = encode_signed(1 << 40)
+    with pytest.raises(DecodeError):
+        decode_signed(encoded, 0, max_bits=32)
+
+
+def test_decode_at_offset():
+    data = b"\xaa\xbb" + encode_unsigned(300)
+    value, offset = decode_unsigned(data, 2)
+    assert value == 300
+    assert offset == len(data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, (1 << 64) - 1))
+def test_unsigned_roundtrip(value):
+    encoded = encode_unsigned(value)
+    assert decode_unsigned(encoded, 0) == (value, len(encoded))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(-(1 << 63), (1 << 63) - 1))
+def test_signed_roundtrip(value):
+    encoded = encode_signed(value)
+    assert decode_signed(encoded, 0) == (value, len(encoded))

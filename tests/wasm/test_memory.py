@@ -1,0 +1,215 @@
+"""Linear memory: typed access, bounds, grow, data segments."""
+
+import pytest
+
+from repro.errors import TrapError
+from repro.wasm import ModuleBuilder, PAGE_SIZE
+from repro.wasm import opcodes as op
+from repro.wasm.types import F32, F64, I32, I64
+from tests.wasm.helpers import run_single
+
+_MEM = (1, 4)
+
+
+def _roundtrip(engine, store, load, rtype, value, expected=None):
+    def emit(f):
+        f.i32_const(64)
+        f.emit(rtype_const(rtype), value)
+        f.emit(store, 0)
+        f.i32_const(64)
+        f.emit(load, 0)
+
+    result = run_single(engine, [], [rtype], emit, memory=_MEM)
+    assert result == (value if expected is None else expected)
+
+
+def rtype_const(rtype):
+    return {I32: op.I32_CONST, I64: op.I64_CONST,
+            F32: op.F32_CONST, F64: op.F64_CONST}[rtype]
+
+
+def test_i32_store_load(engine):
+    _roundtrip(engine, op.I32_STORE, op.I32_LOAD, I32, 0xDEADBEEF)
+
+
+def test_i64_store_load(engine):
+    _roundtrip(engine, op.I64_STORE, op.I64_LOAD, I64, 0x1122334455667788)
+
+
+def test_f32_store_load(engine):
+    _roundtrip(engine, op.F32_STORE, op.F32_LOAD, F32, 1.5)
+
+
+def test_f64_store_load(engine):
+    _roundtrip(engine, op.F64_STORE, op.F64_LOAD, F64, -2.75)
+
+
+def test_store8_truncates_and_load8_u(engine):
+    _roundtrip(engine, op.I32_STORE8, op.I32_LOAD8_U, I32, 0x1FF, 0xFF)
+
+
+def test_load8_s_sign_extends(engine):
+    def emit(f):
+        f.i32_const(0)
+        f.i32_const(0x80)
+        f.emit(op.I32_STORE8, 0)
+        f.i32_const(0)
+        f.emit(op.I32_LOAD8_S, 0)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 0xFFFFFF80
+
+
+def test_store16_load16(engine):
+    _roundtrip(engine, op.I32_STORE16, op.I32_LOAD16_U, I32, 0x18765, 0x8765)
+
+
+def test_load16_s_sign_extends(engine):
+    def emit(f):
+        f.i32_const(0)
+        f.i32_const(0x8000)
+        f.emit(op.I32_STORE16, 0)
+        f.i32_const(0)
+        f.emit(op.I32_LOAD16_S, 0)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 0xFFFF8000
+
+
+def test_i64_partial_loads(engine):
+    def emit(f):
+        f.i32_const(8)
+        f.i64_const(0xFFFFFFFF)
+        f.emit(op.I64_STORE32, 0)
+        f.i32_const(8)
+        f.emit(op.I64_LOAD32_S, 0)
+
+    result = run_single(engine, [], [I64], emit, memory=_MEM)
+    assert result == 0xFFFFFFFFFFFFFFFF
+
+
+def test_static_offset(engine):
+    def emit(f):
+        f.i32_const(0)
+        f.i32_const(77)
+        f.emit(op.I32_STORE, 128)
+        f.i32_const(128)
+        f.emit(op.I32_LOAD, 0)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 77
+
+
+def test_little_endian_layout(engine):
+    def emit(f):
+        f.i32_const(0)
+        f.i32_const(0x04030201)
+        f.emit(op.I32_STORE, 0)
+        f.i32_const(0)
+        f.emit(op.I32_LOAD8_U, 0)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 0x01
+
+
+def test_out_of_bounds_load_traps(engine):
+    def emit(f):
+        f.i32_const(PAGE_SIZE - 3)
+        f.emit(op.I32_LOAD, 0)
+
+    with pytest.raises(TrapError, match="out-of-bounds"):
+        run_single(engine, [], [I32], emit, memory=_MEM)
+
+
+def test_out_of_bounds_store_traps(engine):
+    def emit(f):
+        f.i32_const(PAGE_SIZE)
+        f.i32_const(1)
+        f.emit(op.I32_STORE, 0)
+
+    with pytest.raises(TrapError, match="out-of-bounds"):
+        run_single(engine, [], [], emit, memory=_MEM)
+
+
+def test_offset_overflow_traps(engine):
+    def emit(f):
+        f.i32_const(0)
+        f.emit(op.I32_LOAD, PAGE_SIZE * 8)
+
+    with pytest.raises(TrapError):
+        run_single(engine, [], [I32], emit, memory=_MEM)
+
+
+def test_memory_size_and_grow(engine):
+    def emit(f):
+        f.emit(op.MEMORY_SIZE)
+        f.i32_const(1)
+        f.emit(op.MEMORY_GROW)
+        f.emit(op.I32_ADD)
+
+    # size(1) + old size from grow(1) = 2
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 2
+
+
+def test_grow_beyond_max_fails(engine):
+    def emit(f):
+        f.i32_const(100)
+        f.emit(op.MEMORY_GROW)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 0xFFFFFFFF
+
+
+def test_grow_makes_new_pages_accessible(engine):
+    def emit(f):
+        f.i32_const(1)
+        f.emit(op.MEMORY_GROW)
+        f.emit(op.DROP)
+        f.i32_const(PAGE_SIZE + 100)
+        f.i32_const(42)
+        f.emit(op.I32_STORE, 0)
+        f.i32_const(PAGE_SIZE + 100)
+        f.emit(op.I32_LOAD, 0)
+
+    assert run_single(engine, [], [I32], emit, memory=_MEM) == 42
+
+
+def test_data_segment_initialises_memory(engine):
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    builder.add_data(10, b"\x2a\x00\x00\x00")
+    t = builder.add_type([], [I32])
+    f = builder.add_function(t)
+    f.i32_const(10)
+    f.emit(op.I32_LOAD, 0)
+    builder.export_function("read", f.index)
+    instance = engine.instantiate(builder.build())
+    assert instance.invoke("read") == 42
+
+
+def test_data_segment_out_of_bounds_traps(engine):
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    builder.add_data(PAGE_SIZE - 1, b"\x01\x02")
+    t = builder.add_type([], [])
+    builder.add_function(t)
+    with pytest.raises(TrapError):
+        engine.instantiate(builder.build())
+
+
+def test_memory_cap_enforced_at_instantiation(engine):
+    builder = ModuleBuilder()
+    builder.add_memory(4)
+    t = builder.add_type([], [])
+    f = builder.add_function(t)
+    builder.export_function("noop", f.index)
+    with pytest.raises(TrapError, match="heap cap"):
+        engine.instantiate(builder.build(), memory_cap_bytes=PAGE_SIZE)
+
+
+def test_memory_cap_limits_grow(engine):
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    t = builder.add_type([], [I32])
+    f = builder.add_function(t)
+    f.i32_const(10)
+    f.emit(op.MEMORY_GROW)
+    builder.export_function("grow", f.index)
+    instance = engine.instantiate(builder.build(),
+                                  memory_cap_bytes=2 * PAGE_SIZE)
+    assert instance.invoke("grow") == 0xFFFFFFFF

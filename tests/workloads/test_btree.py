@@ -1,0 +1,115 @@
+"""The B-tree index structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SqlError
+from repro.workloads.minidb.btree import BTree, key_rank
+
+
+def test_insert_and_scan_ordered():
+    tree = BTree()
+    for key in [5, 1, 9, 3, 7]:
+        tree.insert(key, key * 10)
+    assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+
+def test_duplicates_kept_in_rowid_order():
+    tree = BTree()
+    tree.insert(4, 2)
+    tree.insert(4, 1)
+    tree.insert(4, 3)
+    assert list(tree.scan_key(4)) == [1, 2, 3]
+
+
+def test_unique_constraint():
+    tree = BTree(unique=True)
+    tree.insert(1, 10)
+    with pytest.raises(SqlError, match="UNIQUE"):
+        tree.insert(1, 11)
+
+
+def test_delete_specific_entry():
+    tree = BTree()
+    tree.insert(4, 1)
+    tree.insert(4, 2)
+    assert tree.delete(4, 1)
+    assert list(tree.scan_key(4)) == [2]
+    assert not tree.delete(4, 99)
+
+
+def test_range_scan_bounds():
+    tree = BTree()
+    for key in range(20):
+        tree.insert(key, key)
+    assert [k for k, _ in tree.scan_range(5, 8)] == [5, 6, 7, 8]
+    assert [k for k, _ in tree.scan_range(5, 8, include_low=False)] == [6, 7, 8]
+    assert [k for k, _ in tree.scan_range(5, 8, include_high=False)] == [5, 6, 7]
+    assert [k for k, _ in tree.scan_range(None, 2)] == [0, 1, 2]
+    assert [k for k, _ in tree.scan_range(17, None)] == [17, 18, 19]
+
+
+def test_min_max():
+    tree = BTree()
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+    for key in [5, 1, 9]:
+        tree.insert(key, key)
+    assert tree.min_key() == 1
+    assert tree.max_key() == 9
+
+
+def test_mixed_type_ordering():
+    tree = BTree()
+    tree.insert("text", 1)
+    tree.insert(5, 2)
+    tree.insert(None, 3)
+    tree.insert(2.5, 4)
+    assert [k for k, _ in tree.items()] == [None, 2.5, 5, "text"]
+
+
+def test_key_rank_rejects_unorderable():
+    with pytest.raises(SqlError):
+        key_rank([1, 2])
+
+
+def test_size_tracks_mutations():
+    tree = BTree()
+    for key in range(50):
+        tree.insert(key, key)
+    assert tree.size == 50
+    for key in range(0, 50, 2):
+        tree.delete(key, key)
+    assert tree.size == 25
+
+
+def test_large_sequential_and_reverse_inserts():
+    forward = BTree()
+    backward = BTree()
+    for key in range(1000):
+        forward.insert(key, key)
+        backward.insert(999 - key, 999 - key)
+    assert [k for k, _ in forward.items()] == list(range(1000))
+    assert [k for k, _ in backward.items()] == list(range(1000))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.booleans()), max_size=300))
+def test_matches_reference_under_random_ops(operations):
+    tree = BTree()
+    reference = []
+    rowid = 0
+    for key, is_insert in operations:
+        if is_insert or not reference:
+            tree.insert(key, rowid)
+            reference.append((key, rowid))
+            rowid += 1
+        else:
+            victim = reference[key % len(reference)]
+            assert tree.delete(*victim)
+            reference.remove(victim)
+    expected = sorted(reference)
+    assert [(k, r) for k, r in tree.items()] == expected
+    assert tree.size == len(expected)

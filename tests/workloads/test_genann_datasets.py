@@ -1,0 +1,158 @@
+"""The Genann workload and the synthetic Iris dataset."""
+
+import pytest
+
+from repro.wasm import AotCompiler
+from repro.workloads.datasets import (
+    RECORD_SIZE,
+    dataset_of_size,
+    decode_records,
+    encode_records,
+    iris_like_records,
+)
+from repro.workloads.genann.python_impl import (
+    Genann,
+    accuracy,
+    train_classifier,
+)
+from repro.workloads.genann.wasm_impl import (
+    SECRET_ADDR,
+    TOTAL_WEIGHTS,
+    build_standalone_ann,
+)
+
+
+# -- datasets ------------------------------------------------------------------
+
+
+def test_iris_like_shape():
+    records = iris_like_records()
+    assert len(records) == 150
+    labels = [label for _f, label in records]
+    assert labels.count(0) == labels.count(1) == labels.count(2) == 50
+    for features, _label in records:
+        assert len(features) == 4
+        assert all(value > 0 for value in features)
+
+
+def test_dataset_deterministic_per_seed():
+    assert iris_like_records(7) == iris_like_records(7)
+    assert iris_like_records(7) != iris_like_records(8)
+
+
+def test_classes_are_separated():
+    records = iris_like_records()
+    means = {}
+    for features, label in records:
+        means.setdefault(label, []).append(features[2])  # petal length
+    avg = {label: sum(v) / len(v) for label, v in means.items()}
+    assert avg[0] < avg[1] < avg[2]
+
+
+def test_encode_decode_roundtrip():
+    records = iris_like_records()
+    assert decode_records(encode_records(records)) == records
+
+
+def test_record_size():
+    assert RECORD_SIZE == 36
+    assert len(encode_records(iris_like_records())) == 150 * 36
+
+
+def test_dataset_of_size_replication():
+    blob = dataset_of_size(100_000)
+    assert 95_000 <= len(blob) <= 100_000
+    assert len(blob) % RECORD_SIZE == 0
+    records = decode_records(blob)
+    assert records[:150] == iris_like_records()
+    assert records[150:300] == iris_like_records()
+
+
+def test_decode_rejects_partial_records():
+    with pytest.raises(ValueError):
+        decode_records(b"\x00" * 37)
+
+
+# -- Python ANN ----------------------------------------------------------------------
+
+
+def test_weight_count_matches_genann_formula():
+    network = Genann(4, 4, 3)
+    assert network.total_weights == (4 + 1) * 4 + (4 + 1) * 3 == 35
+
+
+def test_run_outputs_are_probabilities():
+    network = Genann(4, 4, 3)
+    output = network.run((5.0, 3.0, 1.5, 0.2))
+    assert len(output) == 3
+    assert all(0.0 <= value <= 1.0 for value in output)
+
+
+def test_xor_learnable():
+    network = Genann(2, 2, 1, seed=1)
+    data = [((0.0, 0.0), 0.0), ((0.0, 1.0), 1.0),
+            ((1.0, 0.0), 1.0), ((1.0, 1.0), 0.0)]
+    for _ in range(2000):
+        for inputs, desired in data:
+            network.train(inputs, [desired], 3.0)
+    for inputs, desired in data:
+        assert abs(network.run(inputs)[0] - desired) < 0.1
+
+
+def test_training_improves_accuracy():
+    records = iris_like_records()
+    untrained = Genann(4, 4, 3, seed=1)
+    base = accuracy(untrained, records)
+    trained = train_classifier(records, epochs=500)
+    assert accuracy(trained, records) > max(base, 0.9)
+
+
+def test_training_deterministic():
+    records = iris_like_records()
+    one = train_classifier(records, epochs=3)
+    two = train_classifier(records, epochs=3)
+    assert one.weights == two.weights
+
+
+# -- Wasm ANN -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wasm_ann():
+    from repro.wasi import WasiEnvironment, build_wasi_imports
+
+    instance = AotCompiler().instantiate(
+        build_standalone_ann(1 << 16),
+        build_wasi_imports(WasiEnvironment()),
+    )
+    return instance
+
+
+def test_wasm_weights_match_python_init(wasm_ann):
+    wasm_ann.invoke("ann_init", 1)
+    python = Genann(4, 4, 3, seed=1)
+    assert wasm_ann.invoke("ann_weight_checksum") == sum(python.weights)
+
+
+def test_wasm_training_bit_equivalent(wasm_ann):
+    records = iris_like_records()
+    wasm_ann.memory.write(SECRET_ADDR, encode_records(records))
+    wasm_ann.invoke("ann_init", 1)
+    trained = wasm_ann.invoke("ann_train", len(records), 5, 0.5)
+    assert trained == len(records) * 5
+    python = train_classifier(records, epochs=5)
+    assert wasm_ann.invoke("ann_weight_checksum") == sum(python.weights)
+
+
+def test_wasm_accuracy_matches_python(wasm_ann):
+    records = iris_like_records()
+    wasm_ann.memory.write(SECRET_ADDR, encode_records(records))
+    wasm_ann.invoke("ann_init", 1)
+    wasm_ann.invoke("ann_train", len(records), 40, 0.5)
+    correct = wasm_ann.invoke("ann_accuracy", len(records))
+    python = train_classifier(records, epochs=40)
+    assert correct == round(accuracy(python, records) * len(records))
+
+
+def test_total_weights_constant():
+    assert TOTAL_WEIGHTS == 35

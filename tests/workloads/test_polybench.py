@@ -1,0 +1,64 @@
+"""PolyBench suite: registry completeness and Wasm/native equivalence."""
+
+import pytest
+
+from repro.walc import compile_source
+from repro.wasm import AotCompiler, Interpreter
+from repro.workloads.polybench import (
+    EXPECTED_KERNEL_COUNT,
+    REGISTRY,
+    all_kernels,
+    get_kernel,
+)
+
+_CATEGORIES = {
+    "datamining": 2,
+    "blas": 9,
+    "kernels": 4,
+    "solvers": 6,
+    "medley": 3,
+    "stencils": 6,
+}
+
+
+def test_all_30_kernels_registered():
+    assert len(REGISTRY) == EXPECTED_KERNEL_COUNT == 30
+
+
+def test_category_breakdown_matches_polybench():
+    counts = {}
+    for kernel in all_kernels():
+        counts[kernel.category] = counts.get(kernel.category, 0) + 1
+    assert counts == _CATEGORIES
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_wasm_matches_native_bit_for_bit(name, aot_engine):
+    """Identical IEEE-754 operation order => identical checksums."""
+    kernel = get_kernel(name)
+    size = max(6, kernel.default_size // 3)
+    instance = aot_engine.instantiate(compile_source(kernel.walc_source(size)))
+    assert instance.invoke("run") == kernel.native(size)
+
+
+@pytest.mark.parametrize("name", ["gemm", "jacobi-1d", "nussinov"])
+def test_interpreter_agrees_with_aot(name):
+    kernel = get_kernel(name)
+    size = max(6, kernel.default_size // 6)
+    binary = compile_source(kernel.walc_source(size))
+    aot = AotCompiler().instantiate(binary).invoke("run")
+    interp = Interpreter().instantiate(binary).invoke("run")
+    assert aot == interp
+
+
+@pytest.mark.parametrize("name", ["gemm", "atax"])
+def test_kernels_scale_with_size(name):
+    kernel = get_kernel(name)
+    small = kernel.native(8)
+    large = kernel.native(16)
+    assert small != large  # the checksum actually depends on the size
+
+
+def test_default_sizes_positive():
+    for kernel in all_kernels():
+        assert kernel.default_size >= 6

@@ -1,0 +1,173 @@
+"""The Speedtest1-like suite and the walc storage-engine core."""
+
+import pytest
+
+from repro.wasm import AotCompiler
+from repro.workloads.minidb.engine import connect
+from repro.workloads.minidb.speedtest import (
+    ALL_TESTS,
+    READ_TESTS,
+    WRITE_TESTS,
+)
+from repro.workloads.minidb.wasmcore import compile_dbcore
+
+_PAPER_READ = {130, 140, 145, 160, 161, 170, 260, 310, 320, 410, 510, 520}
+_PAPER_WRITE = {100, 110, 120, 180, 190, 210, 290, 300, 400, 500}
+
+_SCALE = 120
+
+
+@pytest.fixture(scope="module")
+def dbcore():
+    return AotCompiler().instantiate(compile_dbcore(capacity=2048))
+
+
+def test_suite_covers_papers_test_numbers():
+    numbers = {t.number for t in ALL_TESTS}
+    assert _PAPER_READ <= numbers
+    assert _PAPER_WRITE <= numbers
+
+
+def test_read_write_classification_matches_paper():
+    assert set(READ_TESTS) == _PAPER_READ
+    assert set(WRITE_TESTS) == _PAPER_WRITE
+
+
+@pytest.mark.parametrize("number", sorted(t.number for t in ALL_TESTS))
+def test_sql_side_runs(number):
+    test = next(t for t in ALL_TESTS if t.number == number)
+    db = connect()
+    test.sql_setup(db, _SCALE)
+    test.sql_run(db, _SCALE)
+    assert db.statements_executed > 0
+
+
+@pytest.mark.parametrize("number", sorted(t.number for t in ALL_TESTS))
+def test_wasm_side_runs(number, dbcore):
+    test = next(t for t in ALL_TESTS if t.number == number)
+    for fn, args in test.wasm_setup(_SCALE):
+        dbcore.invoke(fn, *args)
+    for fn, args in test.wasm_run(_SCALE):
+        dbcore.invoke(fn, *args)
+
+
+# -- cross-checking the two implementations ------------------------------------
+
+
+def _fresh(dbcore, n, indexed):
+    dbcore.invoke("reset")
+    dbcore.invoke("set_indexed", 1 if indexed else 0)
+    dbcore.invoke("insert_many", n, n * 2)
+
+
+def _reference_rows(n):
+    """Mirror of insert_many's deterministic key stream."""
+    def prng(seed):
+        return ((seed * 1103515245 + 12345) >> 8) & 0x7FFFFF
+
+    rows = []
+    for i in range(n):
+        key = prng(i) % (n * 2)
+        rows.append((key, (key * 3 + 7) % 1000, prng(key)))
+    return rows
+
+
+def test_insert_count(dbcore):
+    _fresh(dbcore, 200, indexed=False)
+    assert dbcore.invoke("row_count") == 200
+    assert dbcore.invoke("count_alive") == 200
+
+
+def test_scan_count_matches_reference(dbcore):
+    _fresh(dbcore, 200, indexed=False)
+    rows = _reference_rows(200)
+    expected = sum(1 for _k, v, _p in rows if 100 <= v <= 300)
+    assert dbcore.invoke("scan_count", 100, 300) == expected
+
+
+def test_indexed_lookup_matches_scan(dbcore):
+    _fresh(dbcore, 300, indexed=True)
+    rows = _reference_rows(300)
+    for lo, hi in [(0, 50), (100, 200), (0, 10_000_000)]:
+        expected = sum(1 for k, _v, _p in rows if lo <= k <= hi)
+        assert dbcore.invoke("lookup_count", lo, hi) == expected
+
+
+def test_build_index_equals_incremental(dbcore):
+    _fresh(dbcore, 250, indexed=True)
+    incremental = dbcore.invoke("lookup_count", 0, 1 << 30)
+    dbcore.invoke("build_index")
+    assert dbcore.invoke("lookup_count", 0, 1 << 30) == incremental == 250
+
+
+def test_delete_range_updates_counts(dbcore):
+    _fresh(dbcore, 200, indexed=True)
+    rows = _reference_rows(200)
+    victims = sum(1 for k, _v, _p in rows if 0 <= k <= 100)
+    assert dbcore.invoke("delete_range", 0, 100) == victims
+    assert dbcore.invoke("count_alive") == 200 - victims
+    assert dbcore.invoke("lookup_count", 0, 100) == 0
+
+
+def test_update_indexed_moves_keys(dbcore):
+    _fresh(dbcore, 150, indexed=True)
+    rows = _reference_rows(150)
+    in_range = sum(1 for k, _v, _p in rows if 0 <= k <= 50)
+    moved = dbcore.invoke("update_indexed", 0, 50, 10_000)
+    assert moved == in_range
+    assert dbcore.invoke("lookup_count", 0, 50) == 0
+    assert dbcore.invoke("lookup_count", 10_000, 10_050) == in_range
+
+
+def test_update_scan_changes_values(dbcore):
+    _fresh(dbcore, 150, indexed=False)
+    before = dbcore.invoke("scan_count", 0, 499)
+    moved = dbcore.invoke("update_scan", 0, 499, 1000)
+    assert moved == before
+    assert dbcore.invoke("scan_count", 0, 499) == 0
+
+
+def test_order_by_checksum_stable(dbcore):
+    _fresh(dbcore, 180, indexed=False)
+    first = dbcore.invoke("order_by_checksum")
+    second = dbcore.invoke("order_by_checksum")
+    assert first == second
+
+
+def test_group_sum_partitions_everything(dbcore):
+    _fresh(dbcore, 120, indexed=False)
+    rows = _reference_rows(120)
+    buckets = [0] * 16
+    for _k, v, _p in rows:
+        buckets[v % 16] += v
+    expected = 0
+    for value in buckets:
+        expected = (expected * 31 + value) & 0xFFFFFF
+    assert dbcore.invoke("group_sum", 16) == expected
+
+
+def test_join_sum_matches_reference(dbcore):
+    _fresh(dbcore, 100, indexed=False)
+    dbcore.invoke("fill_join_table", 100)
+    rows = _reference_rows(100)
+    t2 = {i * 2: (i * 11 + 5) % 997 for i in range(100)}
+    expected = 0
+    for k, _v, _p in rows:
+        if k in t2:
+            expected = (expected + t2[k]) % 1000000
+    assert dbcore.invoke("join_sum") == expected
+
+
+def test_min_max_through_index(dbcore):
+    _fresh(dbcore, 150, indexed=True)
+    rows = _reference_rows(150)
+    keys = [k for k, _v, _p in rows]
+    expected = (min(keys) + max(keys)) % 1000000
+    assert dbcore.invoke("min_max_sum", 1) == expected
+
+
+def test_scan_like_residue_filter(dbcore):
+    _fresh(dbcore, 130, indexed=False)
+    rows = _reference_rows(130)
+    expected = sum(1 for _k, _v, p in rows if p % 10 == 3)
+    assert dbcore.invoke("scan_like", 10, 3) == expected

@@ -1,0 +1,274 @@
+"""The mini SQL database: parsing, execution, planning, transactions."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.workloads.minidb.engine import connect
+from repro.workloads.minidb.sql import parse
+
+
+@pytest.fixture
+def db():
+    connection = connect()
+    connection.execute(
+        "CREATE TABLE items(id INTEGER PRIMARY KEY, qty INTEGER, name TEXT)")
+    connection.execute("BEGIN")
+    for i in range(50):
+        connection.execute("INSERT INTO items VALUES (?, ?, ?)",
+                           (i, (i * 7) % 20, f"item-{i:03d}"))
+    connection.execute("COMMIT")
+    return connection
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(SqlError):
+        parse("FROBNICATE THE DATABASE")
+
+
+def test_parse_rejects_trailing_tokens():
+    with pytest.raises(SqlError):
+        parse("SELECT 1 SELECT 2")
+
+
+def test_string_literal_escaping(db):
+    db.execute("INSERT INTO items VALUES (100, 1, 'it''s quoted')")
+    rows = db.execute("SELECT name FROM items WHERE id = 100")
+    assert rows == [("it's quoted",)]
+
+
+def test_comments_allowed(db):
+    assert db.execute("SELECT COUNT(*) FROM items -- trailing comment") \
+        == [(50,)]
+
+
+# -- basic queries -----------------------------------------------------------------
+
+
+def test_select_star(db):
+    rows = db.execute("SELECT * FROM items WHERE id = 3")
+    assert rows == [(3, 1, "item-003")]
+
+
+def test_select_expressions(db):
+    rows = db.execute("SELECT id * 2 + 1 FROM items WHERE id = 10")
+    assert rows == [(21,)]
+
+
+def test_select_without_from():
+    db = connect()
+    assert db.execute("SELECT 1 + 2 * 3") == [(7,)]
+
+
+def test_where_combinations(db):
+    rows = db.execute(
+        "SELECT COUNT(*) FROM items WHERE qty > 5 AND qty <= 10 AND id < 40")
+    expected = sum(1 for i in range(40) if 5 < (i * 7) % 20 <= 10)
+    assert rows == [(expected,)]
+
+
+def test_like(db):
+    assert db.execute("SELECT COUNT(*) FROM items WHERE name LIKE 'item-00%'") \
+        == [(10,)]
+    assert db.execute("SELECT COUNT(*) FROM items WHERE name LIKE 'item-0_0'") \
+        == [(5,)]
+
+
+def test_in_and_between(db):
+    assert db.execute("SELECT COUNT(*) FROM items WHERE id IN (1, 2, 3)") \
+        == [(3,)]
+    assert db.execute("SELECT COUNT(*) FROM items WHERE id BETWEEN 10 AND 12") \
+        == [(3,)]
+    assert db.execute(
+        "SELECT COUNT(*) FROM items WHERE id NOT BETWEEN 10 AND 49") == [(10,)]
+
+
+def test_is_null():
+    db = connect()
+    db.execute("CREATE TABLE t(a INTEGER, b INTEGER)")
+    db.execute("INSERT INTO t VALUES (1, NULL), (2, 5)")
+    assert db.execute("SELECT a FROM t WHERE b IS NULL") == [(1,)]
+    assert db.execute("SELECT a FROM t WHERE b IS NOT NULL") == [(2,)]
+
+
+def test_null_propagation():
+    db = connect()
+    db.execute("CREATE TABLE t(a INTEGER)")
+    db.execute("INSERT INTO t VALUES (NULL)")
+    assert db.execute("SELECT a + 1 FROM t") == [(None,)]
+
+
+def test_order_by_asc_desc(db):
+    rows = db.execute("SELECT id FROM items ORDER BY qty, id DESC LIMIT 5")
+    decorated = sorted(((i * 7) % 20, -i) for i in range(50))
+    expected = [(-d[1],) for d in decorated[:5]]
+    assert rows == expected
+
+
+def test_limit(db):
+    assert len(db.execute("SELECT id FROM items LIMIT 7")) == 7
+
+
+def test_group_by_aggregates(db):
+    rows = db.execute(
+        "SELECT qty, COUNT(*), SUM(id) FROM items GROUP BY qty ORDER BY qty")
+    reference = {}
+    for i in range(50):
+        reference.setdefault((i * 7) % 20, []).append(i)
+    assert len(rows) == len(reference)
+    for qty, count, total in rows:
+        assert count == len(reference[qty])
+        assert total == sum(reference[qty])
+
+
+def test_aggregates_without_group(db):
+    rows = db.execute("SELECT COUNT(*), MIN(id), MAX(id), AVG(id) FROM items")
+    assert rows == [(50, 0, 49, 24.5)]
+
+
+def test_count_distinct(db):
+    rows = db.execute("SELECT COUNT(DISTINCT qty) FROM items")
+    assert rows == [(len({(i * 7) % 20 for i in range(50)}),)]
+
+
+def test_join_with_index(db):
+    db.execute("CREATE TABLE labels(qty INTEGER PRIMARY KEY, tag TEXT)")
+    for q in range(0, 20):
+        db.execute("INSERT INTO labels VALUES (?, ?)", (q, f"tag{q}"))
+    rows = db.execute(
+        "SELECT items.id, labels.tag FROM items JOIN labels "
+        "ON labels.qty = items.qty WHERE items.id < 3 ORDER BY items.id")
+    assert rows == [(0, "tag0"), (1, "tag7"), (2, "tag14")]
+
+
+def test_join_aliases(db):
+    db.execute("CREATE TABLE pair(x INTEGER, y INTEGER)")
+    db.execute("INSERT INTO pair VALUES (1, 2)")
+    rows = db.execute(
+        "SELECT a.x, b.y FROM pair a JOIN pair b ON a.x = b.x")
+    assert rows == [(1, 2)]
+
+
+# -- mutation -----------------------------------------------------------------------
+
+
+def test_update_with_where(db):
+    count = db.execute("UPDATE items SET qty = 99 WHERE id < 5")
+    assert count == [(5,)]
+    assert db.execute("SELECT COUNT(*) FROM items WHERE qty = 99") == [(5,)]
+
+
+def test_update_maintains_index(db):
+    db.execute("CREATE INDEX qty_idx ON items(qty)")
+    db.execute("UPDATE items SET qty = 999 WHERE id = 0")
+    assert db.execute("SELECT id FROM items WHERE qty = 999") == [(0,)]
+
+
+def test_delete_with_where(db):
+    db.execute("DELETE FROM items WHERE id >= 40")
+    assert db.execute("SELECT COUNT(*) FROM items") == [(40,)]
+
+
+def test_primary_key_unique_enforced(db):
+    with pytest.raises(SqlError, match="UNIQUE"):
+        db.execute("INSERT INTO items VALUES (3, 0, 'dup')")
+
+
+def test_insert_column_subset(db):
+    db.execute("INSERT INTO items (id, name) VALUES (200, 'partial')")
+    assert db.execute("SELECT qty, name FROM items WHERE id = 200") \
+        == [(None, "partial")]
+
+
+def test_type_coercion_on_insert():
+    db = connect()
+    db.execute("CREATE TABLE t(a INTEGER, b REAL, c TEXT)")
+    db.execute("INSERT INTO t VALUES (1.9, 2, 3)")
+    assert db.execute("SELECT * FROM t") == [(1, 2.0, "3")]
+
+
+# -- transactions ----------------------------------------------------------------------
+
+
+def test_rollback_undoes_insert_update_delete(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO items VALUES (300, 1, 'tx')")
+    db.execute("UPDATE items SET qty = 7777 WHERE id = 1")
+    db.execute("DELETE FROM items WHERE id = 2")
+    db.execute("ROLLBACK")
+    assert db.execute("SELECT COUNT(*) FROM items") == [(50,)]
+    assert db.execute("SELECT qty FROM items WHERE id = 1") == [((7) % 20,)]
+    assert db.execute("SELECT COUNT(*) FROM items WHERE id = 2") == [(1,)]
+
+
+def test_rollback_restores_indices(db):
+    db.execute("CREATE INDEX qty_idx ON items(qty)")
+    db.execute("BEGIN")
+    db.execute("UPDATE items SET qty = 555 WHERE id < 10")
+    db.execute("ROLLBACK")
+    assert db.execute("SELECT COUNT(*) FROM items WHERE qty = 555") == [(0,)]
+
+
+def test_commit_is_durable(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO items VALUES (301, 1, 'kept')")
+    db.execute("COMMIT")
+    assert db.execute("SELECT name FROM items WHERE id = 301") == [("kept",)]
+
+
+def test_nested_transaction_rejected(db):
+    db.execute("BEGIN")
+    with pytest.raises(SqlError):
+        db.execute("BEGIN")
+    db.execute("ROLLBACK")
+
+
+def test_commit_without_begin_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("COMMIT")
+
+
+# -- planner ---------------------------------------------------------------------------
+
+
+def test_index_and_scan_agree(db):
+    """The planner's indexed path returns the same rows as a full scan."""
+    scan = db.execute("SELECT COUNT(*) FROM items WHERE qty BETWEEN 3 AND 9")
+    db.execute("CREATE INDEX qty_idx ON items(qty)")
+    indexed = db.execute(
+        "SELECT COUNT(*) FROM items WHERE qty BETWEEN 3 AND 9")
+    assert scan == indexed
+
+
+def test_parameter_constraints_use_index(db):
+    direct = db.execute("SELECT COUNT(*) FROM items WHERE id = 7")
+    bound = db.execute("SELECT COUNT(*) FROM items WHERE id = ?", (7,))
+    assert direct == bound == [(1,)]
+
+
+def test_min_max_fast_path_matches_scan(db):
+    assert db.execute("SELECT MIN(id), MAX(id) FROM items") == [(0, 49)]
+    db.execute("DELETE FROM items WHERE id = 0")
+    assert db.execute("SELECT MIN(id) FROM items") == [(1,)]
+
+
+def test_drop_table(db):
+    db.execute("DROP TABLE items")
+    with pytest.raises(SqlError, match="no table"):
+        db.execute("SELECT * FROM items")
+
+
+def test_drop_index(db):
+    db.execute("CREATE INDEX qty_idx ON items(qty)")
+    db.execute("DROP INDEX qty_idx")
+    with pytest.raises(SqlError, match="no index"):
+        db.execute("DROP INDEX qty_idx")
+
+
+def test_statement_cache_reused(db):
+    before = len(db._statement_cache)
+    for i in range(5):
+        db.execute("SELECT qty FROM items WHERE id = ?", (i,))
+    assert len(db._statement_cache) == before + 1
