@@ -1,0 +1,188 @@
+"""Fleet gateway throughput: handshakes/sec and tail latency under load.
+
+Drives the attestation gateway with the fleet load generator at
+concurrency 1/4/16/64, with and without the appraisal cache, and under
+deliberate overload. Two kinds of numbers, never mixed (DESIGN.md,
+"Clock discipline"):
+
+* **live** — real wall-clock measurements of this host actually running
+  every handshake (all crypto, all verifier checks). On one
+  GIL-serialised CPU the live numbers cannot scale with concurrency;
+  they establish the real per-message service and client segment costs.
+* **modeled** — those measured costs composed through a deterministic
+  discrete-event model where attesters are what they are in a real
+  deployment: independent boards. Worker lanes serve the verifier-side
+  work; client segments overlap freely. This is where the scaling
+  acceptance criterion lives.
+
+The simulated world-transition time per forwarded message is reported
+separately in virtual nanoseconds.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.bench import format_table, save_report
+from repro.core.verifier import VerifierPolicy
+from repro.fleet import (FleetConfig, FleetModel, LoadProfile,
+                         build_attester_stacks, model_fleet, run_load,
+                         start_fleet_gateway)
+
+HOST, PORT_BASE = "fleet.bench", 7800
+
+CONCURRENCIES = (1, 4, 16, 64)
+HANDSHAKES_EACH = 2
+BLOB_SIZE = 4 * 1024
+MODEL_WORKERS = 16
+
+
+def _run_live(testbed, identity, port, concurrency, enable_cache=True,
+              rate_per_s=None, rate_burst=32, handshakes=HANDSHAKES_EACH):
+    """One fresh gateway + fleet of attesters, driven to completion."""
+    secret = bytes(range(256)) * (BLOB_SIZE // 256)
+    policy = VerifierPolicy()
+    gateway_device = testbed.create_device()
+    config = FleetConfig(workers=4, enable_cache=enable_cache,
+                         rate_per_s=rate_per_s, rate_burst=rate_burst)
+    gateway = start_fleet_gateway(
+        testbed.network, HOST, port, gateway_device.client,
+        testbed.vendor_key, identity, policy, lambda: secret, config)
+    try:
+        stacks = build_attester_stacks(testbed, policy, concurrency)
+        report = run_load(testbed.network, HOST, port,
+                          identity.public_bytes(), stacks,
+                          LoadProfile(concurrency=concurrency,
+                                      handshakes_per_attester=handshakes,
+                                      blob_size=BLOB_SIZE))
+        records = gateway.drain_records()
+        snapshot = gateway.snapshot()
+    finally:
+        gateway.stop()
+    return report, records, snapshot
+
+
+def test_fleet_throughput(testbed, verifier_identity):
+    identity = verifier_identity
+
+    # -- live sweep over concurrency ------------------------------------------
+    live = {}
+    for offset, concurrency in enumerate(CONCURRENCIES):
+        report, records, snapshot = _run_live(
+            testbed, identity, PORT_BASE + offset, concurrency)
+        expected = concurrency * HANDSHAKES_EACH
+        assert len(report.completed) == expected, \
+            [(r.error, r.attester) for r in report.failed]
+        assert not report.failed and not report.rejected
+        live[concurrency] = (report, records, snapshot)
+
+    # -- capacity model fed by the C=16 measurements --------------------------
+    report16, records16, snapshot16 = live[16]
+    model = FleetModel.from_measurements(report16, records16)
+    modeled = {c: model_fleet(model, workers=MODEL_WORKERS, concurrency=c,
+                              handshakes_per_attester=HANDSHAKES_EACH)
+               for c in CONCURRENCIES}
+    # Acceptance (a): the worker pool scales throughput from 1 to 16
+    # concurrent attesters.
+    assert modeled[16].throughput_hz > 3 * modeled[1].throughput_hz
+
+    rows = []
+    for concurrency in CONCURRENCIES:
+        report, records, _ = live[concurrency]
+        lat = report.latency_percentiles()
+        projection = modeled[concurrency]
+        sim_ms = median(r.sim_transition_ns for r in records) / 1e6
+        rows.append((
+            concurrency,
+            f"{report.throughput_hz:.1f}",
+            f"{lat['p50'] * 1000:.0f}/{lat['p95'] * 1000:.0f}/"
+            f"{lat['p99'] * 1000:.0f}",
+            f"{projection.throughput_hz:.1f}",
+            f"{projection.p50_s * 1000:.0f}/{projection.p95_s * 1000:.0f}/"
+            f"{projection.p99_s * 1000:.0f}",
+            f"{sim_ms:.3f}",
+        ))
+    sweep_table = format_table(
+        "Fleet throughput — live (1-core host) vs modeled "
+        f"({MODEL_WORKERS} lanes, independent boards)",
+        ["conc", "live hs/s", "live p50/95/99 ms",
+         "model hs/s", "model p50/95/99 ms", "sim ns->ms/msg"],
+        rows,
+    )
+
+    # -- acceptance (b): cache hit path is measurably cheaper -----------------
+    hit_summary = snapshot16["latency"].get("service.msg2_hit", {"count": 0})
+    miss_summary = snapshot16["latency"].get("service.msg2_miss",
+                                             {"count": 0})
+    assert hit_summary["count"] > 0 and miss_summary["count"] > 0
+    assert hit_summary["p50"] < miss_summary["p50"], (hit_summary,
+                                                      miss_summary)
+
+    report_nc, records_nc, _ = _run_live(
+        testbed, identity, PORT_BASE + 10, 16, enable_cache=False)
+    assert len(report_nc.completed) == 16 * HANDSHAKES_EACH
+    nc_msg2 = median(r.service_s for r in records_nc if r.kind == "msg2")
+    cache_rows = [
+        ("msg2 verify, cache miss", f"{miss_summary['p50'] * 1000:.1f}",
+         miss_summary["count"], "full ECDSA verify"),
+        ("msg2 verify, cache hit", f"{hit_summary['p50'] * 1000:.1f}",
+         hit_summary["count"], "appraisal memoised"),
+        ("msg2 verify, cache off", f"{nc_msg2 * 1000:.1f}",
+         sum(1 for r in records_nc if r.kind == "msg2"), "baseline gateway"),
+    ]
+    cache_table = format_table(
+        "Appraisal cache — msg2 service time at concurrency 16",
+        ["path", "p50 ms", "msgs", "note"], cache_rows,
+    )
+    cache_line = (f"cache stats at C=16: {snapshot16['cache']}")
+
+    # -- acceptance (c): overload sheds with FleetOverloaded ------------------
+    # Rate 0 with a burst of 6 tokens (one token per message, two messages
+    # per handshake): a sequential phase completes two fully verified
+    # handshakes on the first four tokens, then a flood of 8 attesters
+    # finds at most two tokens left and is shed with FleetOverloaded.
+    secret = bytes(range(256)) * (BLOB_SIZE // 256)
+    overload_policy = VerifierPolicy()
+    overload_gateway = start_fleet_gateway(
+        testbed.network, HOST, PORT_BASE + 11,
+        testbed.create_device().client, testbed.vendor_key, identity,
+        overload_policy, lambda: secret,
+        FleetConfig(workers=4, rate_per_s=0.0, rate_burst=6))
+    try:
+        calm_stacks = build_attester_stacks(testbed, overload_policy, 1)
+        calm = run_load(testbed.network, HOST, PORT_BASE + 11,
+                        identity.public_bytes(), calm_stacks,
+                        LoadProfile(concurrency=1, handshakes_per_attester=2,
+                                    blob_size=BLOB_SIZE))
+        flood_stacks = build_attester_stacks(testbed, overload_policy, 8)
+        flood = run_load(testbed.network, HOST, PORT_BASE + 11,
+                         identity.public_bytes(), flood_stacks,
+                         LoadProfile(concurrency=8, handshakes_per_attester=1,
+                                     blob_size=BLOB_SIZE))
+        overload_snapshot = overload_gateway.snapshot()
+    finally:
+        overload_gateway.stop()
+    assert len(calm.completed) == 2 and not calm.rejected
+    assert all(r.secret_len == BLOB_SIZE for r in calm.completed)
+    assert len(flood.rejected) >= 7, "expected FleetOverloaded rejections"
+    assert not flood.failed
+    assert overload_snapshot["counters"]["rejected_rate"] >= 7
+    overload_lines = [
+        "overload run (rate=0, burst=6): sequential phase completed "
+        f"{len(calm.completed)} verified handshakes; flood of 8 attesters: "
+        f"{len(flood.completed)} completed, {len(flood.rejected)} rejected "
+        "with FleetOverloaded",
+        f"admission stats: {overload_snapshot['admission']}",
+    ]
+
+    model_line = (
+        "model inputs (medians of the live C=16 run): "
+        f"client pre/mid/post = {model.client_pre_s * 1000:.2f}/"
+        f"{model.client_mid_s * 1000:.2f}/{model.client_post_s * 1000:.2f} ms, "
+        f"server msg0/msg2 = {model.server_msg0_s * 1000:.2f}/"
+        f"{model.server_msg2_s * 1000:.2f} ms"
+    )
+    save_report("fleet_throughput", "\n".join([
+        sweep_table, "", model_line, "", cache_table, cache_line, "",
+        *overload_lines,
+    ]))

@@ -5,6 +5,7 @@ from repro.bench.harness import (
     geometric_mean,
     measure_real,
     measure_simulated,
+    percentile,
     ratio,
 )
 from repro.bench.reporting import (
@@ -17,6 +18,7 @@ from repro.bench.reporting import (
 
 __all__ = [
     "Summary",
+    "percentile",
     "measure_real",
     "measure_simulated",
     "ratio",

@@ -16,9 +16,36 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 
+def percentile(samples: List[float], fraction: float) -> float:
+    """Linearly interpolated percentile; ``fraction`` in [0, 1].
+
+    Matches numpy's default ("linear") rule so tail latencies reported by
+    the fleet benchmark agree with common tooling.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * fraction
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
 @dataclass(frozen=True)
 class Summary:
-    """Median and spread of a series of measurements."""
+    """Median and spread of a series of measurements.
+
+    The tail percentiles (p50/p95/p99) serve the fleet throughput
+    benchmark; they default to the median-equivalent 0.0 only for
+    hand-built instances — :meth:`of` always fills them.
+    """
 
     median: float
     mean: float
@@ -26,6 +53,9 @@ class Summary:
     minimum: float
     maximum: float
     runs: int
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @classmethod
     def of(cls, samples: List[float]) -> "Summary":
@@ -38,6 +68,9 @@ class Summary:
             minimum=min(samples),
             maximum=max(samples),
             runs=len(samples),
+            p50=percentile(samples, 0.50),
+            p95=percentile(samples, 0.95),
+            p99=percentile(samples, 0.99),
         )
 
 

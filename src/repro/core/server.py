@@ -27,9 +27,53 @@ VERIFIER_UUID = "watz-verifier"
 SecretProvider = Callable[[], bytes]
 
 
+class VerifierProtocolState:
+    """Verifier-side state machine for one attester's message stream.
+
+    One instance per inbound connection: msg0 opens the handshake, msg2
+    appraises the evidence and (on success) releases the secret. The
+    single-session verifier TA owns exactly one of these; the fleet
+    gateway's pooled TA (:mod:`repro.fleet.gateway`) keeps a table of
+    them keyed by connection, which is what stops interleaved streams
+    from different attesters crossing.
+    """
+
+    def __init__(self, verifier: Verifier,
+                 secret_provider: SecretProvider) -> None:
+        self._verifier = verifier
+        self._secret_provider = secret_provider
+        self._session: Optional[VerifierSession] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """True once msg3 has been released (the handshake is finished)."""
+        return self._done
+
+    def handle(self, data: bytes) -> bytes:
+        if not data:
+            raise ProtocolError("empty protocol message")
+        kind = data[0]
+        if kind == protocol.MSG0:
+            if self._session is not None:
+                raise ProtocolError("msg0 after the handshake started")
+            self._session, reply = self._verifier.handle_msg0(data)
+            return reply
+        if kind in (protocol.MSG2, protocol.MSG2_ENC):
+            if self._session is None or self._done:
+                raise ProtocolError("msg2 without a handshake")
+            reply = self._verifier.handle_msg2(
+                self._session, data, self._secret_provider()
+            )
+            self._done = True
+            return reply
+        raise ProtocolError(f"unexpected message type {kind}")
+
+
 def make_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
                      secret_provider: SecretProvider,
-                     recorder: Optional[protocol.CostRecorder] = None) -> type:
+                     recorder: Optional[protocol.CostRecorder] = None,
+                     appraisal_cache=None) -> type:
     """Build a verifier TA class closed over its configuration.
 
     The identity key and policy are baked into the TA the way the paper's
@@ -40,32 +84,16 @@ def make_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
         def open_session(self, api) -> None:
             super().open_session(api)
             self.verifier = Verifier(
-                identity, policy, api.generate_random, recorder
+                identity, policy, api.generate_random, recorder,
+                appraisal_cache=appraisal_cache,
             )
-            self._session: Optional[VerifierSession] = None
-            self._done = False
+            self._state = VerifierProtocolState(self.verifier,
+                                                secret_provider)
 
         def invoke(self, command: int, params: dict) -> dict:
             if command != CMD_HANDLE_MESSAGE:
                 raise TeeBadParameters(f"unknown verifier command {command}")
-            data = params["data"]
-            if not data:
-                raise ProtocolError("empty protocol message")
-            kind = data[0]
-            if kind == protocol.MSG0:
-                if self._session is not None:
-                    raise ProtocolError("msg0 after the handshake started")
-                self._session, reply = self.verifier.handle_msg0(data)
-                return {"reply": reply}
-            if kind in (protocol.MSG2, protocol.MSG2_ENC):
-                if self._session is None or self._done:
-                    raise ProtocolError("msg2 without a handshake")
-                reply = self.verifier.handle_msg2(
-                    self._session, data, secret_provider()
-                )
-                self._done = True
-                return {"reply": reply}
-            raise ProtocolError(f"unexpected message type {kind}")
+            return {"reply": self._state.handle(params["data"])}
 
     return VerifierTa
 
@@ -91,11 +119,13 @@ def start_verifier(network: Network, host: str, port: int,
                    identity: ecdsa.KeyPair, policy: VerifierPolicy,
                    secret_provider: SecretProvider,
                    heap_size: int = 10 * 1024 * 1024,
-                   recorder: Optional[protocol.CostRecorder] = None) -> None:
+                   recorder: Optional[protocol.CostRecorder] = None,
+                   appraisal_cache=None) -> None:
     """Install the verifier TA and start listening on ``host:port``."""
     manifest = TaManifest(uuid=VERIFIER_UUID, name="watz-verifier",
                           heap_size=heap_size)
-    ta_class = make_verifier_ta(identity, policy, secret_provider, recorder)
+    ta_class = make_verifier_ta(identity, policy, secret_provider, recorder,
+                                appraisal_cache=appraisal_cache)
     image = sign_ta(manifest, b"watz verifier ta", ta_class, vendor_key)
     client.kernel.install_ta(image)
     network.listen(host, port, lambda: VerifierListener(client))

@@ -6,12 +6,22 @@ synchronous request/response: ``send`` on a client connection delivers the
 message to the server-side service immediately, and any reply is queued
 for ``receive``. The supplicant (normal world) is the only component that
 touches this fabric, mirroring OP-TEE's socket redirection.
+
+The fabric is safe for concurrent use: each connection serialises its own
+traffic behind a per-connection lock (so two threads sharing one
+connection cannot interleave a flush), while different connections make
+progress independently — which is what lets the fleet gateway
+(:mod:`repro.fleet.gateway`) serve many attesters at once. The network
+keeps a registry of the connections handed out per listener so
+``shutdown`` can tear down live connections instead of leaving them
+serving a dead address.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TeeCommunicationError
 
@@ -35,18 +45,28 @@ class ClientConnection:
     reproduces the paper's observation (§VI-F) that *sending* the evidence
     is marginal while *receiving* the reply absorbs the server's
     verification time.
+
+    ``close`` drains the outbox first, so a message sent before the close
+    still reaches :meth:`Service.on_message` — mirroring TCP's lingering
+    close. ``abort`` is the server-initiated teardown (listener shutdown):
+    queued messages are dropped, as they would be on a connection reset.
     """
 
-    def __init__(self, service: Service) -> None:
+    def __init__(self, service: Service,
+                 on_closed: Optional[Callable[["ClientConnection"], None]]
+                 = None) -> None:
         self._service = service
         self._outbox: deque = deque()
         self._inbox: deque = deque()
         self._closed = False
+        self._lock = threading.RLock()
+        self._on_closed = on_closed
 
     def send(self, data: bytes) -> None:
-        if self._closed:
-            raise TeeCommunicationError("connection is closed")
-        self._outbox.append(bytes(data))
+        with self._lock:
+            if self._closed:
+                raise TeeCommunicationError("connection is closed")
+            self._outbox.append(bytes(data))
 
     def _flush(self) -> None:
         while self._outbox:
@@ -55,17 +75,39 @@ class ClientConnection:
                 self._inbox.append(reply)
 
     def receive(self) -> bytes:
-        if self._closed:
-            raise TeeCommunicationError("connection is closed")
-        self._flush()
-        if not self._inbox:
-            raise TeeCommunicationError("no pending data on the connection")
-        return self._inbox.popleft()
+        with self._lock:
+            if self._closed:
+                raise TeeCommunicationError("connection is closed")
+            self._flush()
+            if not self._inbox:
+                raise TeeCommunicationError("no pending data on the connection")
+            return self._inbox.popleft()
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
+        """Graceful client close: deliver queued messages, then tear down."""
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._flush()
+            finally:
+                self._teardown()
+
+    def abort(self) -> None:
+        """Abortive close (server shutdown): drop queued messages."""
+        with self._lock:
+            if self._closed:
+                return
+            self._outbox.clear()
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self._closed = True
+        try:
             self._service.on_close()
+        finally:
+            if self._on_closed is not None:
+                self._on_closed(self)
 
 
 ServiceFactory = Callable[[], Service]
@@ -75,19 +117,55 @@ class Network:
     """A registry of listening services addressable by (host, port)."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._listeners: Dict[Tuple[str, int], ServiceFactory] = {}
+        self._connections: Dict[Tuple[str, int], List[ClientConnection]] = {}
 
     def listen(self, host: str, port: int, factory: ServiceFactory) -> None:
         key = (host, port)
-        if key in self._listeners:
-            raise TeeCommunicationError(f"address {host}:{port} already in use")
-        self._listeners[key] = factory
+        with self._lock:
+            if key in self._listeners:
+                raise TeeCommunicationError(
+                    f"address {host}:{port} already in use")
+            self._listeners[key] = factory
+            self._connections.setdefault(key, [])
 
     def shutdown(self, host: str, port: int) -> None:
-        self._listeners.pop((host, port), None)
+        """Stop listening and tear down every live connection."""
+        key = (host, port)
+        with self._lock:
+            self._listeners.pop(key, None)
+            live = self._connections.pop(key, [])
+        for connection in list(live):
+            connection.abort()
 
     def connect(self, host: str, port: int) -> ClientConnection:
-        factory = self._listeners.get((host, port))
-        if factory is None:
+        key = (host, port)
+        with self._lock:
+            factory = self._listeners.get(key)
+            if factory is None:
+                raise TeeCommunicationError(
+                    f"connection refused: {host}:{port}")
+        # The factory may do real work (e.g. open a TA session); run it
+        # outside the registry lock so connects do not serialise on it.
+        service = factory()
+        connection = ClientConnection(
+            service, on_closed=lambda conn: self._forget(key, conn))
+        with self._lock:
+            registry = self._connections.get(key)
+            if registry is None:
+                # The listener shut down while the service was being built.
+                registry_gone = True
+            else:
+                registry_gone = False
+                registry.append(connection)
+        if registry_gone:
+            connection.abort()
             raise TeeCommunicationError(f"connection refused: {host}:{port}")
-        return ClientConnection(factory())
+        return connection
+
+    def _forget(self, key: Tuple[str, int], conn: ClientConnection) -> None:
+        with self._lock:
+            registry = self._connections.get(key)
+            if registry is not None and conn in registry:
+                registry.remove(conn)

@@ -67,11 +67,17 @@ class Verifier:
 
     def __init__(self, identity: ecdsa.KeyPair, policy: VerifierPolicy,
                  random_source: Callable[[int], bytes],
-                 recorder: Optional[protocol.CostRecorder] = None) -> None:
+                 recorder: Optional[protocol.CostRecorder] = None,
+                 appraisal_cache=None) -> None:
         self.identity = identity
         self.policy = policy
         self._random = random_source
         self.recorder = recorder or protocol.NullRecorder()
+        # Optional repro.fleet.cache.AppraisalCache: memoises successful
+        # appraisals so re-attestations by a known-genuine device skip the
+        # expensive ECDSA verify (the asymmetric-crypto dominance of
+        # Table III is what makes this worthwhile at fleet scale).
+        self.appraisal_cache = appraisal_cache
 
     @property
     def identity_bytes(self) -> bytes:
@@ -151,8 +157,17 @@ class Verifier:
             raise EndorsementError("device attestation key is not endorsed")
 
         # Hardware genuineness: the kernel-held key signed the evidence.
-        with self.recorder.phase("msg2", protocol.ASYMMETRIC):
-            message.signed_evidence.verify_signature()
+        # A warm appraisal cache lets a device that already proved key
+        # possession for this exact (key, claim, boot claim) triple —
+        # under the current policy — skip the asymmetric verify; every
+        # session-specific check (MAC, anchor, endorsement, reference
+        # values) above and below still runs unconditionally.
+        cache = self.appraisal_cache
+        cache_hit = cache is not None and cache.contains(self.policy,
+                                                         evidence)
+        if not cache_hit:
+            with self.recorder.phase("msg2", protocol.ASYMMETRIC):
+                message.signed_evidence.verify_signature()
 
         # Software trustworthiness: the measured bytecode must be known.
         if evidence.claim not in self.policy.reference_values:
@@ -170,6 +185,12 @@ class Verifier:
                 "boot-chain measurement matches no trusted value "
                 "(possibly hijacked secure boot)"
             )
+
+        # All checks passed: only now is the appraisal memoised, so a
+        # failed appraisal (unknown measurement, bad boot claim) is never
+        # cached.
+        if cache is not None and not cache_hit:
+            cache.store(self.policy, evidence)
 
         # All checks passed: provision the secret blob (paper §IV(d)).
         with self.recorder.phase("msg3", protocol.MEMORY):

@@ -164,6 +164,25 @@ class MeasurementMismatch(AttestationError):
     """The claimed code measurement matches no reference value."""
 
 
+# --- Fleet gateway --------------------------------------------------------
+
+
+class FleetError(ReproError):
+    """Base class for attestation-gateway errors."""
+
+
+class FleetOverloaded(FleetError):
+    """The gateway shed load instead of queueing without bound.
+
+    ``reason`` distinguishes token-bucket rate limiting (``"rate"``) from
+    a full accept queue (``"queue"``).
+    """
+
+    def __init__(self, message: str = "", reason: str = "queue") -> None:
+        super().__init__(message or f"gateway overloaded ({reason})")
+        self.reason = reason
+
+
 # --- Formal verification --------------------------------------------------
 
 

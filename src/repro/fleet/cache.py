@@ -1,0 +1,144 @@
+"""Appraisal cache: memoise the expensive half of evidence appraisal.
+
+Table III shows the verifier's msg2 cost is dominated by asymmetric
+crypto — one ECDSA verify over the evidence body. The evidence signature
+covers the session anchor, so its *bytes* are fresh every handshake and a
+byte-level cache would never hit; what can legitimately be memoised is
+the *appraisal decision*: once a device has proved possession of its
+attestation key by producing one valid signature over a given
+(measurement claim, boot claim) pair, re-attestations by the same device
+with the same claims skip the ECDSA verify while the cache entry is live.
+
+This is an explicit verifier-side policy relaxation (trust-on-first-proof
+per triple, bounded by TTL, LRU capacity and the policy fingerprint) —
+every session-specific check (session MAC under K_m, anchor binding,
+endorsement lookup, reference values, boot appraisal) still runs on every
+handshake, so a cache hit never weakens freshness or session binding,
+only the re-proof of key possession. Entries are keyed under a
+fingerprint of the verifier policy: endorsing a new device, trusting a
+new measurement, or any other policy change invalidates the whole cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.hashing import sha256
+
+CacheKey = Tuple[bytes, bytes, bytes]
+
+
+def policy_fingerprint(policy) -> bytes:
+    """A digest of everything the appraisal outcome depends on."""
+    hasher_input = bytearray()
+    for endorsement in sorted(policy.endorsements):
+        hasher_input += endorsement
+    hasher_input += b"|refs|"
+    for reference in sorted(policy.reference_values):
+        hasher_input += reference
+    hasher_input += b"|boot|"
+    for accumulated in sorted(policy.trusted_boot_measurements):
+        hasher_input += accumulated
+    hasher_input += b"|ver|"
+    hasher_input += bytes(policy.minimum_version)
+    return sha256(bytes(hasher_input))
+
+
+class AppraisalCache:
+    """TTL + LRU cache of successful appraisals, policy-fingerprinted."""
+
+    def __init__(self, capacity: int = 1024,
+                 ttl_s: Optional[float] = None,
+                 time_source=time.monotonic_ns) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._ttl_ns = None if ttl_s is None else int(ttl_s * 1e9)
+        self._now = time_source
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, int]" = OrderedDict()
+        self._fingerprint: Optional[bytes] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+
+    @staticmethod
+    def _key(evidence) -> CacheKey:
+        return (bytes(evidence.attestation_public_key),
+                bytes(evidence.claim), bytes(evidence.boot_claim))
+
+    def _refresh_policy(self, policy) -> None:
+        fingerprint = policy_fingerprint(policy)
+        if fingerprint != self._fingerprint:
+            if self._fingerprint is not None and self._entries:
+                self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._fingerprint = fingerprint
+
+    def _expire(self) -> None:
+        if self._ttl_ns is None:
+            return
+        deadline = self._now() - self._ttl_ns
+        while self._entries:
+            oldest_key = next(iter(self._entries))
+            if self._entries[oldest_key] > deadline:
+                break
+            del self._entries[oldest_key]
+            self.expirations += 1
+
+    def contains(self, policy, evidence) -> bool:
+        """Look up an appraisal; counts a hit or a miss."""
+        with self._lock:
+            self._refresh_policy(policy)
+            self._expire()
+            key = self._key(evidence)
+            stored_at = self._entries.get(key)
+            if stored_at is None:
+                self.misses += 1
+                return False
+            # TTL counts from the last *store* (the last real verify), not
+            # the last hit: a constantly re-attesting device must still
+            # re-prove key possession every TTL.
+            if self._ttl_ns is not None and \
+                    stored_at <= self._now() - self._ttl_ns:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return False
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+
+    def store(self, policy, evidence) -> None:
+        """Record a fully successful appraisal."""
+        with self._lock:
+            self._refresh_policy(policy)
+            self._entries[self._key(evidence)] = self._now()
+            self._entries.move_to_end(self._key(evidence))
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict counters for metrics export."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations,
+            }

@@ -1,0 +1,356 @@
+"""Load generation and capacity modelling for the fleet gateway.
+
+Two halves, split along the repo's clock discipline (DESIGN.md):
+
+* :func:`run_load` drives N concurrent attester stacks — each a fresh
+  testbed device with its own SoC, kernel attestation service and
+  protocol engine — through full RA handshakes and secret delivery over
+  real threads. Every crypto segment is measured in real
+  ``perf_counter`` seconds; every world transition lands on the
+  attester's (and the gateway device's) ``SimClock``.
+
+* :func:`model_fleet` composes those *measured* per-message costs into a
+  deterministic discrete-event model of the fleet: attesters are
+  independent boards (this single-GIL host cannot physically run them in
+  parallel, a real fleet trivially does), and the gateway's verifier TA
+  lanes serve their messages like a K-server queue. This is the same
+  composition approach the repo uses for the Fig. 3 platform latencies:
+  measure the primitives for real, let the architecture-level numbers
+  emerge from composition.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attester import Attester
+from repro.core.measurement import measure_bytes
+from repro.errors import FleetOverloaded, ReproError
+from repro.bench.harness import percentile
+
+
+@dataclass
+class AttesterStack:
+    """One attesting board: device + protocol engine + measured claim."""
+
+    index: int
+    device: object  # repro.testbed.Device
+    attester: Attester
+    claim: bytes
+
+    def sign_evidence(self, body: bytes) -> bytes:
+        """Sign through the kernel attestation service, as the runtime TA
+        would: the call only exists in the secure world, so it pays the
+        world transition on this board's own clock."""
+        with self.device.soc.enter_secure_world():
+            return self.device.kernel.attestation_service.sign_evidence(body)
+
+
+def build_attester_stacks(testbed, policy, count: int,
+                          claim: Optional[bytes] = None,
+                          trusted: bool = True) -> List[AttesterStack]:
+    """Manufacture ``count`` fresh attester boards and endorse them.
+
+    ``trusted=False`` builds stacks whose measurement is *not* added to
+    the reference values — attesters that must be rejected.
+    """
+    if claim is None:
+        label = b"fleet attested application v1" if trusted \
+            else b"fleet tampered application"
+        claim = measure_bytes(label).digest
+    if trusted:
+        policy.trust_measurement(claim)
+    stacks = []
+    for _ in range(count):
+        device = testbed.create_device()
+        policy.endorse(device.attestation_public_key)
+        if trusted:
+            policy.trust_boot_measurement(device.kernel.boot_measurement)
+        stacks.append(AttesterStack(
+            index=len(stacks),
+            device=device,
+            attester=Attester(os.urandom),
+            claim=claim,
+        ))
+    return stacks
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """What the load generator drives."""
+
+    concurrency: int = 4
+    handshakes_per_attester: int = 2
+    blob_size: int = 4 * 1024
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome and real-time breakdown of one attempted handshake."""
+
+    attester: int
+    index: int
+    ok: bool
+    rejected: bool = False
+    error: str = ""
+    secret_len: int = 0
+    #: Real perf_counter seconds per segment: client_pre (keygen + msg0),
+    #: wait_msg1 (includes the gateway's msg0 service), client_mid (msg1
+    #: checks + evidence signing + msg2 build), wait_msg3 (includes the
+    #: gateway's msg2 appraisal), client_post (msg3 decrypt), total.
+    segments: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    profile: LoadProfile
+    results: List[HandshakeResult]
+    wall_seconds: float
+
+    @property
+    def completed(self) -> List[HandshakeResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def rejected(self) -> List[HandshakeResult]:
+        return [r for r in self.results if r.rejected]
+
+    @property
+    def failed(self) -> List[HandshakeResult]:
+        return [r for r in self.results if not r.ok and not r.rejected]
+
+    @property
+    def throughput_hz(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.completed) / self.wall_seconds
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        totals = [r.segments["total"] for r in self.completed]
+        if not totals:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "p50": percentile(totals, 0.50),
+            "p95": percentile(totals, 0.95),
+            "p99": percentile(totals, 0.99),
+        }
+
+    def segment_median(self, name: str) -> float:
+        values = [r.segments[name] for r in self.completed
+                  if name in r.segments]
+        return median(values) if values else 0.0
+
+
+def run_one_handshake(network, host: str, port: int,
+                      identity_public: bytes, stack: AttesterStack,
+                      attempt: int = 0) -> HandshakeResult:
+    """Drive one full RA handshake + secret delivery over the fabric."""
+    result = HandshakeResult(attester=stack.index, index=attempt, ok=False)
+    segments = result.segments
+    total_start = time.perf_counter()
+    try:
+        connection = network.connect(host, port)
+    except ReproError as exc:
+        result.error = type(exc).__name__
+        return result
+    try:
+        started = time.perf_counter()
+        session = stack.attester.start_session(identity_public)
+        connection.send(stack.attester.make_msg0(session))
+        segments["client_pre"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        msg1 = connection.receive()
+        segments["wait_msg1"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        stack.attester.handle_msg1(session, msg1)
+        signed = stack.attester.collect_evidence(
+            session.anchor, stack.claim,
+            stack.device.attestation_public_key,
+            stack.sign_evidence,
+            boot_claim=stack.device.kernel.boot_measurement,
+        )
+        connection.send(stack.attester.make_msg2(session, signed))
+        segments["client_mid"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        msg3 = connection.receive()
+        segments["wait_msg3"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        secret = stack.attester.handle_msg3(session, msg3)
+        segments["client_post"] = time.perf_counter() - started
+
+        result.ok = True
+        result.secret_len = len(secret)
+    except FleetOverloaded:
+        result.rejected = True
+        result.error = "FleetOverloaded"
+    except ReproError as exc:
+        result.error = type(exc).__name__
+    finally:
+        segments["total"] = time.perf_counter() - total_start
+        try:
+            connection.close()
+        except ReproError:
+            pass
+    return result
+
+
+def run_load(network, host: str, port: int, identity_public: bytes,
+             stacks: Sequence[AttesterStack],
+             profile: LoadProfile) -> LoadReport:
+    """Drive every stack through its handshakes on concurrent threads."""
+    if len(stacks) < profile.concurrency:
+        raise ValueError("not enough attester stacks for the concurrency")
+    active = list(stacks)[: profile.concurrency]
+    results: List[HandshakeResult] = []
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(len(active))
+
+    def drive(stack: AttesterStack) -> None:
+        barrier.wait()
+        for attempt in range(profile.handshakes_per_attester):
+            outcome = run_one_handshake(network, host, port,
+                                        identity_public, stack, attempt)
+            with results_lock:
+                results.append(outcome)
+
+    threads = [threading.Thread(target=drive, args=(stack,), daemon=True)
+               for stack in active]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+    return LoadReport(profile=profile, results=results,
+                      wall_seconds=wall_seconds)
+
+
+# --- capacity model -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetModel:
+    """Measured per-segment costs (seconds) composing one handshake."""
+
+    client_pre_s: float
+    client_mid_s: float
+    client_post_s: float
+    server_msg0_s: float
+    server_msg2_s: float
+
+    @classmethod
+    def from_measurements(cls, report: LoadReport,
+                          records) -> "FleetModel":
+        """Medians of a live run: client segments from the load report,
+        server service times from the gateway's message records."""
+        msg0 = [r.service_s for r in records if r.kind == "msg0"]
+        msg2 = [r.service_s for r in records if r.kind == "msg2"]
+        # The wait segments contain the server service (synchronous
+        # fabric); the pure client cost is measured directly.
+        return cls(
+            client_pre_s=report.segment_median("client_pre"),
+            client_mid_s=report.segment_median("client_mid"),
+            client_post_s=report.segment_median("client_post"),
+            server_msg0_s=median(msg0) if msg0 else 0.0,
+            server_msg2_s=median(msg2) if msg2 else 0.0,
+        )
+
+
+@dataclass
+class ModelResult:
+    """Deterministic fleet-capacity projection."""
+
+    concurrency: int
+    workers: int
+    handshakes: int
+    makespan_s: float
+    throughput_hz: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+
+def model_fleet(model: FleetModel, workers: int, concurrency: int,
+                handshakes_per_attester: int,
+                arrival_interval_s: float = 0.0) -> ModelResult:
+    """Discrete-event projection of the gateway serving a fleet.
+
+    Attesters are independent boards; their client segments overlap
+    freely. Server segments (msg0 handling, msg2 appraisal) queue on
+    ``workers`` verifier TA lanes, FIFO in ready order. With
+    ``arrival_interval_s`` > 0 handshakes arrive on a fixed global
+    schedule (open loop); otherwise each attester re-attests as soon as
+    the previous handshake finishes (closed loop).
+    """
+    if workers < 1 or concurrency < 1 or handshakes_per_attester < 1:
+        raise ValueError("workers, concurrency and handshakes must be >= 1")
+
+    lanes = [0.0] * workers
+    heapq.heapify(lanes)
+    # Event = (ready_time, sequence, stage, attester, handshake_index,
+    #          handshake_start). Sequence breaks ties deterministically.
+    events = []
+    sequence = 0
+    latencies: List[float] = []
+    finish_times: List[float] = []
+
+    def arrival_of(attester: int, index: int) -> float:
+        if arrival_interval_s <= 0:
+            return 0.0
+        return (index * concurrency + attester) * arrival_interval_s
+
+    def push(ready: float, stage: str, attester: int, index: int,
+             start: float) -> None:
+        nonlocal sequence
+        sequence += 1
+        heapq.heappush(events, (ready, sequence, stage, attester, index,
+                                start))
+
+    for attester in range(concurrency):
+        start = arrival_of(attester, 0)
+        push(start + model.client_pre_s, "msg0", attester, 0, start)
+
+    while events:
+        ready, _, stage, attester, index, start = heapq.heappop(events)
+        lane_free = heapq.heappop(lanes)
+        begin = max(ready, lane_free)
+        if stage == "msg0":
+            done = begin + model.server_msg0_s
+            heapq.heappush(lanes, done)
+            push(done + model.client_mid_s, "msg2", attester, index, start)
+        else:
+            done = begin + model.server_msg2_s
+            heapq.heappush(lanes, done)
+            finished = done + model.client_post_s
+            latencies.append(finished - start)
+            finish_times.append(finished)
+            next_index = index + 1
+            if next_index < handshakes_per_attester:
+                next_start = max(finished, arrival_of(attester, next_index))
+                push(next_start + model.client_pre_s, "msg0", attester,
+                     next_index, next_start)
+
+    makespan = max(finish_times) if finish_times else 0.0
+    total = len(latencies)
+    return ModelResult(
+        concurrency=concurrency,
+        workers=workers,
+        handshakes=total,
+        makespan_s=makespan,
+        throughput_hz=(total / makespan) if makespan > 0 else 0.0,
+        p50_s=percentile(latencies, 0.50) if latencies else 0.0,
+        p95_s=percentile(latencies, 0.95) if latencies else 0.0,
+        p99_s=percentile(latencies, 0.99) if latencies else 0.0,
+    )

@@ -1,0 +1,98 @@
+"""Observability for the fleet gateway: counters and latency histograms.
+
+Everything exports as one plain-dict ``snapshot()`` so the fleet
+benchmark (and any future scraper) consumes gateway state without
+reaching into internals. Latencies are recorded in seconds of real
+``perf_counter`` time; simulated world-transition nanoseconds are
+tracked as a separate counter, never mixed into the same number
+(DESIGN.md, "Clock discipline").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.bench.harness import percentile
+
+
+class LatencyHistogram:
+    """Raw-sample histogram with interpolated percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self._samples, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": len(self._samples),
+            "mean": sum(self._samples) / len(self._samples),
+            "min": min(self._samples),
+            "max": max(self._samples),
+            "p50": percentile(self._samples, 0.50),
+            "p95": percentile(self._samples, 0.95),
+            "p99": percentile(self._samples, 0.99),
+        }
+
+
+class FleetMetrics:
+    """Thread-safe counters, gauges and histograms for the gateway."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._in_flight = 0
+        self._max_in_flight = 0
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.add(seconds)
+
+    def enter_flight(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+            self._max_in_flight = max(self._max_in_flight, self._in_flight)
+
+    def exit_flight(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Dict[str, float]:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.summary() if histogram else {"count": 0}
+
+    def snapshot(self) -> Dict[str, object]:
+        """One plain dict: counters, gauges, histogram summaries."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "in_flight": self._in_flight,
+                "max_in_flight": self._max_in_flight,
+                "latency": {name: histogram.summary()
+                            for name, histogram in self._histograms.items()},
+            }

@@ -12,6 +12,7 @@ from repro.bench import (
     measure_real,
     measure_simulated,
     paper_comparison,
+    percentile,
     ratio,
 )
 from repro.hw import SimClock
@@ -36,6 +37,39 @@ def test_summary_single_sample():
 def test_summary_rejects_empty():
     with pytest.raises(ValueError):
         Summary.of([])
+
+
+def test_summary_tail_percentiles():
+    samples = [float(value) for value in range(1, 101)]
+    summary = Summary.of(samples)
+    assert summary.p50 == pytest.approx(50.5)
+    assert summary.p95 == pytest.approx(95.05)
+    assert summary.p99 == pytest.approx(99.01)
+    assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+def test_summary_hand_built_without_percentiles_still_works():
+    # Pre-existing call sites construct Summary positionally; the tail
+    # percentiles must stay optional for them.
+    summary = Summary(median=1.0, mean=1.0, stdev=0.0, minimum=1.0,
+                      maximum=1.0, runs=1)
+    assert summary.p95 == 0.0
+
+
+def test_percentile_interpolates_linearly():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 0.0) == 10.0
+    assert percentile(samples, 1.0) == 40.0
+    assert percentile(samples, 0.5) == pytest.approx(25.0)
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([3.0, 1.0], 0.5) == pytest.approx(2.0)  # sorts first
+
+
+def test_percentile_validates_inputs():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
 
 
 def test_measure_real_counts_runs():

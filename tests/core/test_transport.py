@@ -1,0 +1,173 @@
+"""The in-process network fabric.
+
+Covers the behaviours the fleet gateway leans on: registry lifecycle
+(double listen, shutdown closing live connections), graceful vs abortive
+close semantics, and isolation between concurrently open connections.
+"""
+
+import pytest
+
+from repro.core.transport import ClientConnection, Network, Service
+from repro.errors import TeeCommunicationError
+
+
+class EchoService(Service):
+    """Replies with a tagged echo; records lifecycle events."""
+
+    def __init__(self, tag=b"echo"):
+        self.tag = tag
+        self.seen = []
+        self.closed = False
+
+    def on_message(self, data):
+        self.seen.append(bytes(data))
+        return self.tag + b":" + data
+
+    def on_close(self):
+        self.closed = True
+
+
+class SilentService(Service):
+    """Consumes messages without replying."""
+
+    def __init__(self):
+        self.seen = []
+        self.closed = False
+
+    def on_message(self, data):
+        self.seen.append(bytes(data))
+        return None
+
+    def on_close(self):
+        self.closed = True
+
+
+def test_double_listen_same_address_rejected():
+    network = Network()
+    network.listen("host", 1, EchoService)
+    with pytest.raises(TeeCommunicationError, match="already in use"):
+        network.listen("host", 1, EchoService)
+
+
+def test_connect_to_unknown_address_refused():
+    network = Network()
+    with pytest.raises(TeeCommunicationError, match="refused"):
+        network.connect("nowhere", 9)
+
+
+def test_connect_after_shutdown_refused():
+    network = Network()
+    network.listen("host", 1, EchoService)
+    network.shutdown("host", 1)
+    with pytest.raises(TeeCommunicationError, match="refused"):
+        network.connect("host", 1)
+
+
+def test_shutdown_closes_live_connections():
+    # Regression: shutdown used to remove only the listener, leaving
+    # connections serving a dead address.
+    network = Network()
+    services = []
+
+    def factory():
+        service = EchoService()
+        services.append(service)
+        return service
+
+    network.listen("host", 1, factory)
+    first = network.connect("host", 1)
+    second = network.connect("host", 1)
+    network.shutdown("host", 1)
+    assert all(service.closed for service in services)
+    for connection in (first, second):
+        with pytest.raises(TeeCommunicationError, match="closed"):
+            connection.send(b"late")
+
+
+def test_shutdown_drops_unflushed_messages():
+    # Server-initiated teardown is a reset: queued messages never reach
+    # the service (unlike a graceful client close).
+    network = Network()
+    service = SilentService()
+    network.listen("host", 1, lambda: service)
+    connection = network.connect("host", 1)
+    connection.send(b"queued")
+    network.shutdown("host", 1)
+    assert service.seen == []
+    assert service.closed
+
+
+def test_close_flushes_outbox_to_service():
+    # Regression: close used to drop the outbox, so a fire-and-forget
+    # message sent just before closing silently vanished.
+    network = Network()
+    service = SilentService()
+    network.listen("host", 1, lambda: service)
+    connection = network.connect("host", 1)
+    connection.send(b"first")
+    connection.send(b"second")
+    connection.close()
+    assert service.seen == [b"first", b"second"]
+    assert service.closed
+
+
+def test_send_and_receive_after_close_raise():
+    network = Network()
+    network.listen("host", 1, EchoService)
+    connection = network.connect("host", 1)
+    connection.close()
+    with pytest.raises(TeeCommunicationError, match="closed"):
+        connection.send(b"x")
+    with pytest.raises(TeeCommunicationError, match="closed"):
+        connection.receive()
+
+
+def test_close_is_idempotent():
+    service = EchoService()
+    connection = ClientConnection(service)
+    connection.close()
+    connection.close()
+    assert service.closed
+
+
+def test_receive_without_pending_data_raises():
+    network = Network()
+    network.listen("host", 1, SilentService)
+    connection = network.connect("host", 1)
+    connection.send(b"no reply expected")
+    with pytest.raises(TeeCommunicationError, match="no pending data"):
+        connection.receive()
+
+
+def test_interleaved_connections_are_isolated():
+    # Two live connections to one listener: each gets its own service
+    # instance, and interleaved sends/receives never cross streams.
+    network = Network()
+    services = []
+
+    def factory():
+        service = EchoService(tag=b"s%d" % len(services))
+        services.append(service)
+        return service
+
+    network.listen("host", 1, factory)
+    alpha = network.connect("host", 1)
+    beta = network.connect("host", 1)
+    alpha.send(b"a1")
+    beta.send(b"b1")
+    alpha.send(b"a2")
+    assert beta.receive() == b"s1:b1"
+    assert alpha.receive() == b"s0:a1"
+    assert alpha.receive() == b"s0:a2"
+    assert services[0].seen == [b"a1", b"a2"]
+    assert services[1].seen == [b"b1"]
+
+
+def test_closed_connection_is_forgotten_by_registry():
+    network = Network()
+    network.listen("host", 1, EchoService)
+    connection = network.connect("host", 1)
+    connection.close()
+    # Shutdown after the close must not try to abort the dead connection
+    # (it has been removed from the registry) — and must not raise.
+    network.shutdown("host", 1)

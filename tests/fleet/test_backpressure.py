@@ -1,0 +1,90 @@
+"""Backpressure: token bucket and bounded in-flight admission."""
+
+import pytest
+
+from repro.errors import FleetOverloaded
+from repro.fleet.backpressure import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self):
+        return self.ns
+
+    def advance_s(self, seconds):
+        self.ns += int(seconds * 1e9)
+
+
+def test_bucket_burst_then_starvation():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=1.0, burst=3, time_source=clock)
+    assert all(bucket.try_acquire() for _ in range(3))
+    assert not bucket.try_acquire()
+
+
+def test_bucket_refills_at_the_configured_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=2.0, burst=4, time_source=clock)
+    for _ in range(4):
+        bucket.try_acquire()
+    clock.advance_s(1.0)  # 2 tokens back
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=100.0, burst=2, time_source=clock)
+    clock.advance_s(60)
+    assert bucket.available == 2
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=-1.0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=1.0, burst=0)
+
+
+def test_admission_bounds_in_flight():
+    controller = AdmissionController(max_in_flight=2)
+    controller.admit()
+    controller.admit()
+    with pytest.raises(FleetOverloaded) as excinfo:
+        controller.admit()
+    assert excinfo.value.reason == "queue"
+    controller.release()
+    controller.admit()  # freed slot is reusable
+    assert controller.in_flight == 2
+    assert controller.rejected_queue == 1
+
+
+def test_admission_rate_rejection_carries_reason():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=0.0, burst=1, time_source=clock)
+    controller = AdmissionController(max_in_flight=10, bucket=bucket)
+    controller.admit()  # consumes the single burst token
+    with pytest.raises(FleetOverloaded) as excinfo:
+        controller.admit()
+    assert excinfo.value.reason == "rate"
+    assert controller.rejected_rate == 1
+    # The rate rejection must not leak an in-flight slot.
+    assert controller.in_flight == 1
+
+
+def test_release_without_admit_is_a_bug():
+    controller = AdmissionController(max_in_flight=1)
+    with pytest.raises(RuntimeError):
+        controller.release()
+
+
+def test_snapshot():
+    controller = AdmissionController(max_in_flight=3)
+    controller.admit()
+    assert controller.snapshot() == {
+        "in_flight": 1, "max_in_flight": 3,
+        "rejected_rate": 0, "rejected_queue": 0,
+    }

@@ -1,0 +1,200 @@
+"""The appraisal cache: hit/miss accounting, TTL, LRU, invalidation.
+
+Plus the verifier integration: a cache hit skips exactly the msg2
+asymmetric verify (Table III's dominant cost) while every session-bound
+check still runs — including the session MAC, so a forged msg2 is
+rejected even when its claims are cached.
+"""
+
+import os
+
+import pytest
+
+from repro.core import measure_bytes, protocol
+from repro.core.attester import Attester
+from repro.core.evidence import Evidence
+from repro.core.verifier import Verifier, VerifierPolicy
+from repro.crypto import ecdsa
+from repro.errors import AuthenticationError
+from repro.fleet.cache import AppraisalCache, policy_fingerprint
+
+DEVICE = ecdsa.keypair_from_private(515151)
+IDENTITY = ecdsa.keypair_from_private(616161)
+CLAIM = measure_bytes(b"cached app").digest
+
+
+def _sign(body):
+    return ecdsa.sign(DEVICE.private, body)
+
+
+def _policy():
+    policy = VerifierPolicy()
+    policy.endorse(DEVICE.public_bytes())
+    policy.trust_measurement(CLAIM)
+    return policy
+
+
+def _evidence(anchor=b"\x01" * 32, claim=CLAIM,
+              key=DEVICE.public_bytes(), boot=b"\x00" * 32):
+    return Evidence(anchor=anchor, claim=claim,
+                    attestation_public_key=key, boot_claim=boot)
+
+
+class FakeClock:
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self):
+        return self.ns
+
+    def advance_s(self, seconds):
+        self.ns += int(seconds * 1e9)
+
+
+# -- unit behaviour ----------------------------------------------------------------
+
+
+def test_miss_then_store_then_hit():
+    cache = AppraisalCache()
+    policy = _policy()
+    evidence = _evidence()
+    assert not cache.contains(policy, evidence)
+    cache.store(policy, evidence)
+    assert cache.contains(policy, evidence)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_key_binds_device_claim_and_boot():
+    cache = AppraisalCache()
+    policy = _policy()
+    cache.store(policy, _evidence())
+    other_key = ecdsa.keypair_from_private(999).public_bytes()
+    assert not cache.contains(policy, _evidence(key=other_key))
+    assert not cache.contains(policy, _evidence(claim=b"\x42" * 32))
+    assert not cache.contains(policy, _evidence(boot=b"\x42" * 32))
+    # The anchor is per-session and deliberately NOT part of the key.
+    assert cache.contains(policy, _evidence(anchor=b"\x99" * 32))
+
+
+def test_ttl_expires_from_store_time_even_when_hit(monkeypatch):
+    clock = FakeClock()
+    cache = AppraisalCache(ttl_s=10.0, time_source=clock)
+    policy = _policy()
+    evidence = _evidence()
+    cache.store(policy, evidence)
+    clock.advance_s(6)
+    assert cache.contains(policy, evidence)  # still fresh, and touched
+    clock.advance_s(6)
+    # 12 s since the store: the touch at 6 s must not have extended the
+    # TTL — the device must re-prove key possession.
+    assert not cache.contains(policy, evidence)
+    assert cache.expirations == 1
+
+
+def test_lru_capacity_evicts_oldest():
+    cache = AppraisalCache(capacity=2)
+    policy = _policy()
+    first = _evidence(boot=b"\x01" * 32)
+    second = _evidence(boot=b"\x02" * 32)
+    third = _evidence(boot=b"\x03" * 32)
+    cache.store(policy, first)
+    cache.store(policy, second)
+    assert cache.contains(policy, first)  # refresh first's recency
+    cache.store(policy, third)            # evicts second, the LRU entry
+    assert len(cache) == 2
+    assert cache.contains(policy, first)
+    assert cache.contains(policy, third)
+    assert not cache.contains(policy, second)
+
+
+def test_policy_change_invalidates_everything():
+    cache = AppraisalCache()
+    policy = _policy()
+    evidence = _evidence()
+    cache.store(policy, evidence)
+    assert cache.contains(policy, evidence)
+    policy.trust_measurement(b"\x55" * 32)  # any policy edit
+    assert not cache.contains(policy, evidence)
+    assert cache.invalidations == 1
+    assert policy_fingerprint(policy) != policy_fingerprint(_policy())
+
+
+def test_snapshot_counters():
+    cache = AppraisalCache()
+    policy = _policy()
+    evidence = _evidence()
+    cache.contains(policy, evidence)
+    cache.store(policy, evidence)
+    cache.contains(policy, evidence)
+    snapshot = cache.snapshot()
+    assert snapshot["entries"] == 1
+    assert snapshot["hits"] == 1
+    assert snapshot["misses"] == 1
+    assert snapshot["hit_rate"] == 0.5
+
+
+# -- verifier integration ----------------------------------------------------------
+
+
+def _attest_once(cache, recorder=None):
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom, recorder,
+                        appraisal_cache=cache)
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    signed = attester.collect_evidence(session.anchor, CLAIM,
+                                       DEVICE.public_bytes(), _sign)
+    msg3 = verifier.handle_msg2(verifier_session,
+                                attester.make_msg2(session, signed),
+                                b"the secret")
+    assert attester.handle_msg3(session, msg3) == b"the secret"
+    return attester, verifier
+
+
+def test_cache_hit_skips_the_asymmetric_verify():
+    cache = AppraisalCache()
+    cold = protocol.CostRecorder()
+    _attest_once(cache, cold)
+    assert cold.get("msg2", protocol.ASYMMETRIC) > 0
+    assert cache.misses == 1 and cache.hits == 0
+
+    warm = protocol.CostRecorder()
+    _attest_once(cache, warm)
+    # The hit skipped the ECDSA verify phase entirely.
+    assert warm.get("msg2", protocol.ASYMMETRIC) == 0
+    assert cache.hits == 1
+
+
+def test_cache_hit_still_enforces_session_mac():
+    cache = AppraisalCache()
+    _attest_once(cache)  # prime the cache
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom,
+                        appraisal_cache=cache)
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    signed = attester.collect_evidence(session.anchor, CLAIM,
+                                       DEVICE.public_bytes(), _sign)
+    msg2 = bytearray(attester.make_msg2(session, signed))
+    msg2[-1] ^= 0xFF  # corrupt the MAC trailer
+    with pytest.raises(AuthenticationError):
+        verifier.handle_msg2(verifier_session, bytes(msg2), b"secret")
+
+
+def test_failed_appraisal_is_never_stored():
+    cache = AppraisalCache()
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom,
+                        appraisal_cache=cache)
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    rogue_claim = measure_bytes(b"tampered app").digest
+    signed = attester.collect_evidence(session.anchor, rogue_claim,
+                                       DEVICE.public_bytes(), _sign)
+    with pytest.raises(Exception):
+        verifier.handle_msg2(verifier_session,
+                             attester.make_msg2(session, signed), b"secret")
+    assert len(cache) == 0

@@ -1,0 +1,43 @@
+"""Fleet metrics: counters, gauges and latency histograms."""
+
+from repro.fleet.metrics import FleetMetrics, LatencyHistogram
+
+
+def test_histogram_summary_percentiles():
+    histogram = LatencyHistogram()
+    for value in range(1, 101):
+        histogram.add(value / 1000.0)
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 0.001 and summary["max"] == 0.1
+    assert abs(summary["p50"] - 0.0505) < 1e-9
+    assert summary["p95"] > summary["p50"]
+    assert summary["p99"] >= summary["p95"]
+
+
+def test_empty_histogram_summary():
+    assert LatencyHistogram().summary() == {"count": 0}
+
+
+def test_counters_and_flight_gauge():
+    metrics = FleetMetrics()
+    metrics.increment("accepted")
+    metrics.increment("accepted", 2)
+    metrics.enter_flight()
+    metrics.enter_flight()
+    metrics.exit_flight()
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["accepted"] == 3
+    assert snapshot["in_flight"] == 1
+    assert snapshot["max_in_flight"] == 2
+
+
+def test_observe_builds_named_histograms():
+    metrics = FleetMetrics()
+    metrics.observe("service.msg2", 0.010)
+    metrics.observe("service.msg2", 0.030)
+    summary = metrics.histogram("service.msg2")
+    assert summary["count"] == 2
+    assert abs(summary["mean"] - 0.020) < 1e-9
+    assert metrics.histogram("never.seen") == {"count": 0}
+    assert "service.msg2" in metrics.snapshot()["latency"]

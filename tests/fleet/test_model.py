@@ -1,0 +1,82 @@
+"""The fleet capacity model: deterministic, and scaling as queueing says.
+
+The model composes *measured* per-message costs; these tests feed it
+synthetic costs so the expected queueing behaviour is exact.
+"""
+
+import pytest
+
+from repro.fleet import FleetModel, model_fleet
+
+# Client work dominates: attesters are independent boards, so adding
+# attesters should scale throughput until the lanes saturate.
+CLIENT_BOUND = FleetModel(client_pre_s=0.002, client_mid_s=0.020,
+                          client_post_s=0.008, server_msg0_s=0.001,
+                          server_msg2_s=0.002)
+# Server work dominates: throughput is capped by lanes / service time.
+SERVER_BOUND = FleetModel(client_pre_s=0.0, client_mid_s=0.0,
+                          client_post_s=0.0, server_msg0_s=0.004,
+                          server_msg2_s=0.006)
+
+
+def test_deterministic():
+    first = model_fleet(CLIENT_BOUND, workers=4, concurrency=8,
+                        handshakes_per_attester=3)
+    second = model_fleet(CLIENT_BOUND, workers=4, concurrency=8,
+                         handshakes_per_attester=3)
+    assert first == second
+
+
+def test_single_attester_latency_is_the_sum_of_segments():
+    result = model_fleet(CLIENT_BOUND, workers=4, concurrency=1,
+                         handshakes_per_attester=1)
+    expected = 0.002 + 0.001 + 0.020 + 0.002 + 0.008
+    assert result.handshakes == 1
+    assert result.p50_s == pytest.approx(expected)
+    assert result.makespan_s == pytest.approx(expected)
+
+
+def test_concurrency_scales_until_lanes_saturate():
+    single = model_fleet(CLIENT_BOUND, workers=4, concurrency=1,
+                         handshakes_per_attester=4)
+    sixteen = model_fleet(CLIENT_BOUND, workers=4, concurrency=16,
+                          handshakes_per_attester=4)
+    assert sixteen.throughput_hz > 3 * single.throughput_hz
+
+
+def test_server_bound_throughput_caps_at_lane_capacity():
+    # Each handshake needs 10 ms of lane time; K lanes sustain K/0.01.
+    result = model_fleet(SERVER_BOUND, workers=2, concurrency=32,
+                         handshakes_per_attester=4)
+    assert result.throughput_hz == pytest.approx(2 / 0.010, rel=0.05)
+    more_lanes = model_fleet(SERVER_BOUND, workers=4, concurrency=32,
+                             handshakes_per_attester=4)
+    assert more_lanes.throughput_hz == pytest.approx(4 / 0.010, rel=0.05)
+
+
+def test_queueing_inflates_latency_under_contention():
+    alone = model_fleet(SERVER_BOUND, workers=1, concurrency=1,
+                        handshakes_per_attester=1)
+    crowded = model_fleet(SERVER_BOUND, workers=1, concurrency=16,
+                          handshakes_per_attester=1)
+    assert crowded.p99_s > 5 * alone.p99_s
+
+
+def test_open_loop_arrivals_spread_the_load():
+    # With arrivals slower than the service time, nobody queues: every
+    # handshake sees the unloaded latency.
+    paced = model_fleet(SERVER_BOUND, workers=1, concurrency=8,
+                        handshakes_per_attester=1, arrival_interval_s=0.1)
+    alone = model_fleet(SERVER_BOUND, workers=1, concurrency=1,
+                        handshakes_per_attester=1)
+    assert paced.p99_s == pytest.approx(alone.p99_s)
+    assert paced.makespan_s == pytest.approx(7 * 0.1 + alone.p99_s)
+
+
+def test_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        model_fleet(CLIENT_BOUND, workers=0, concurrency=1,
+                    handshakes_per_attester=1)
+    with pytest.raises(ValueError):
+        model_fleet(CLIENT_BOUND, workers=1, concurrency=0,
+                    handshakes_per_attester=1)
