@@ -43,8 +43,9 @@ class Summary:
     """Median and spread of a series of measurements.
 
     The tail percentiles (p50/p95/p99) serve the fleet throughput
-    benchmark; they default to the median-equivalent 0.0 only for
-    hand-built instances — :meth:`of` always fills them.
+    benchmark; :meth:`of` always fills them. Hand-built instances leave
+    them ``None`` so an absent percentile can never be mistaken for a
+    measured zero.
     """
 
     median: float
@@ -53,9 +54,9 @@ class Summary:
     minimum: float
     maximum: float
     runs: int
-    p50: float = 0.0
-    p95: float = 0.0
-    p99: float = 0.0
+    p50: Optional[float] = None
+    p95: Optional[float] = None
+    p99: Optional[float] = None
 
     @classmethod
     def of(cls, samples: List[float]) -> "Summary":

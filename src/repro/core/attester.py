@@ -44,12 +44,21 @@ class AttesterSession:
 
 
 class Attester:
-    """Protocol engine; stateless apart from per-session objects."""
+    """Protocol engine; stateless apart from per-session objects.
+
+    The one piece of cross-session state is ``resumption_key``: the
+    secret a fully verified appraisal hands back inside msg3 (fleet
+    extension, :mod:`repro.fleet.cache`). Subsequent msg2s carry a CMAC
+    ticket under it so the verifier can skip the ECDSA re-verify. An
+    attester only ever talks to the verifier whose identity key is
+    hard-coded in its measured application, so one key suffices.
+    """
 
     def __init__(self, random_source: Callable[[int], bytes],
                  recorder: Optional[protocol.CostRecorder] = None) -> None:
         self._random = random_source
         self.recorder = recorder or protocol.NullRecorder()
+        self.resumption_key: Optional[bytes] = None
 
     # -- msg0 ------------------------------------------------------------------
 
@@ -153,9 +162,19 @@ class Attester:
             return protocol.encode_msg2_encrypted(session.g_a, iv, sealed,
                                                   mac)
         with self.recorder.phase("msg2", protocol.SYMMETRIC):
-            content = session.g_a + signed_evidence.encode()
+            ticket = b""
+            if self.resumption_key is not None:
+                # Prove continuity with the prior fully verified
+                # handshake: CMAC the *fresh* evidence body (which
+                # contains this session's anchor) under the resumption
+                # key, so a captured ticket cannot be transplanted into
+                # another session.
+                ticket = AesCmac(self.resumption_key).mac(
+                    signed_evidence.evidence.encode())
+            content = session.g_a + signed_evidence.encode() + ticket
             mac = AesCmac(session.keys.mac_key).mac(content)
-        return protocol.encode_msg2(session.g_a, signed_evidence, mac)
+        return protocol.encode_msg2(session.g_a, signed_evidence, mac,
+                                    ticket)
 
     def attest(self, session: AttesterSession, claim: bytes,
                attestation_public_key: bytes,
@@ -171,10 +190,20 @@ class Attester:
     # -- msg3 ------------------------------------------------------------------
 
     def handle_msg3(self, session: AttesterSession, data: bytes) -> bytes:
-        """Decrypt the secret blob with the session encryption key."""
+        """Decrypt the secret blob with the session encryption key.
+
+        The resume variant (fleet extension) prefixes the sealed payload
+        with a resumption key; it is retained for future msg2 tickets
+        and only the remaining bytes are the application secret.
+        """
         if session.keys is None:
             raise ProtocolError("session keys are not established")
         iv, sealed = protocol.decode_msg3(data)
         with self.recorder.phase("msg3", protocol.SYMMETRIC):
             plaintext = AesGcm(session.keys.enc_key).open(iv, sealed)
+        if data[0] == protocol.MSG3_RESUME:
+            if len(plaintext) < protocol.RESUMPTION_KEY_SIZE:
+                raise ProtocolError("resume msg3 too short for a key")
+            self.resumption_key = plaintext[:protocol.RESUMPTION_KEY_SIZE]
+            plaintext = plaintext[protocol.RESUMPTION_KEY_SIZE:]
         return plaintext

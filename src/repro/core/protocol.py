@@ -41,6 +41,19 @@ MSG3 = 0x03
 #: §IV extension: msg2 with the evidence protected by AES-GCM under K_e
 #: ("if the secrecy of this structure is a concern").
 MSG2_ENC = 0x12
+#: Fleet extension: msg3 whose sealed payload is prefixed with a
+#: resumption key (see :mod:`repro.fleet.cache`). The key rides inside
+#: the AES-GCM envelope, so only the attester that completed this
+#: session's key exchange — and whose evidence signature was fully
+#: verified — ever learns it.
+MSG3_RESUME = 0x13
+
+#: Secret handed out after a fully verified appraisal; presenting a CMAC
+#: under it (the msg2 *ticket*) is what authorises the verifier to skip
+#: the ECDSA re-verify on re-attestation.
+RESUMPTION_KEY_SIZE = 16
+#: The msg2 resumption ticket is one AES-CMAC tag.
+TICKET_SIZE = MAC_SIZE
 
 _MSG0_SIZE = 1 + POINT_SIZE
 _CONTENT1_SIZE = POINT_SIZE + POINT_SIZE + ecdsa.SIGNATURE_SIZE
@@ -48,6 +61,7 @@ _MSG1_SIZE = 1 + _CONTENT1_SIZE + MAC_SIZE
 # EVIDENCE_SIZE already includes SIGN_A(evidence).
 _CONTENT2_SIZE = POINT_SIZE + EVIDENCE_SIZE
 _MSG2_SIZE = 1 + _CONTENT2_SIZE + MAC_SIZE
+_MSG2_TICKET_SIZE = _MSG2_SIZE + TICKET_SIZE
 
 
 def compute_anchor(g_a: bytes, g_v: bytes) -> bytes:
@@ -99,8 +113,10 @@ def decode_msg1(data: bytes) -> Msg1:
 
 
 def encode_msg2(g_a: bytes, signed_evidence: SignedEvidence,
-                mac: bytes) -> bytes:
-    return bytes([MSG2]) + g_a + signed_evidence.encode() + mac
+                mac: bytes, ticket: bytes = b"") -> bytes:
+    """``ticket`` (optional) is the resumption CMAC; it sits inside the
+    session-MAC'd content, so it cannot be stripped or spliced."""
+    return bytes([MSG2]) + g_a + signed_evidence.encode() + ticket + mac
 
 
 _SEALED_EVIDENCE_SIZE = EVIDENCE_SIZE + 16  # GCM tag
@@ -142,30 +158,39 @@ class Msg2:
     g_a: bytes
     signed_evidence: SignedEvidence
     mac: bytes
+    #: Resumption ticket: CMAC over the evidence body under the key a
+    #: prior *fully verified* appraisal handed out (empty when absent).
+    ticket: bytes = b""
 
     @property
     def content(self) -> bytes:
-        return self.g_a + self.signed_evidence.encode()
+        return self.g_a + self.signed_evidence.encode() + self.ticket
 
 
 def decode_msg2(data: bytes) -> Msg2:
-    if len(data) != _MSG2_SIZE or data[0] != MSG2:
+    if len(data) not in (_MSG2_SIZE, _MSG2_TICKET_SIZE) or data[0] != MSG2:
         raise ProtocolError("malformed msg2")
     offset = 1
     g_a = data[offset : offset + POINT_SIZE]
     offset += POINT_SIZE
     evidence = SignedEvidence.decode(data[offset : offset + EVIDENCE_SIZE])
     offset += EVIDENCE_SIZE
+    ticket = b""
+    if len(data) == _MSG2_TICKET_SIZE:
+        ticket = data[offset : offset + TICKET_SIZE]
+        offset += TICKET_SIZE
     mac = data[offset:]
-    return Msg2(g_a, evidence, mac)
+    return Msg2(g_a, evidence, mac, ticket)
 
 
-def encode_msg3(iv: bytes, sealed: bytes) -> bytes:
-    return bytes([MSG3]) + iv + sealed
+def encode_msg3(iv: bytes, sealed: bytes, resume: bool = False) -> bytes:
+    """``resume`` tags msg3 whose sealed payload carries a leading
+    resumption key (:data:`RESUMPTION_KEY_SIZE` bytes) before the secret."""
+    return bytes([MSG3_RESUME if resume else MSG3]) + iv + sealed
 
 
 def decode_msg3(data: bytes) -> Tuple[bytes, bytes]:
-    if len(data) < 1 + IV_SIZE or data[0] != MSG3:
+    if len(data) < 1 + IV_SIZE or data[0] not in (MSG3, MSG3_RESUME):
         raise ProtocolError("malformed msg3")
     return data[1 : 1 + IV_SIZE], data[1 + IV_SIZE :]
 

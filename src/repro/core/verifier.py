@@ -157,14 +157,22 @@ class Verifier:
             raise EndorsementError("device attestation key is not endorsed")
 
         # Hardware genuineness: the kernel-held key signed the evidence.
-        # A warm appraisal cache lets a device that already proved key
-        # possession for this exact (key, claim, boot claim) triple —
-        # under the current policy — skip the asymmetric verify; every
-        # session-specific check (MAC, anchor, endorsement, reference
-        # values) above and below still runs unconditionally.
+        # The appraisal cache may stand in for the asymmetric verify, but
+        # only against proof of continuity: the msg2 ticket must be a
+        # valid CMAC over this evidence body under the resumption key a
+        # prior *fully verified* handshake sealed into its msg3. Evidence
+        # fields, MAC and anchor are all computable by an attacker from
+        # their own key exchange, so a bare msg2 — however well-formed —
+        # never skips the signature check. Every session-specific check
+        # (MAC, anchor, endorsement, reference values) above and below
+        # still runs unconditionally.
         cache = self.appraisal_cache
-        cache_hit = cache is not None and cache.contains(self.policy,
-                                                         evidence)
+        resumption_key = None
+        if cache is not None:
+            with self.recorder.phase("msg2", protocol.SYMMETRIC):
+                resumption_key = cache.redeem(self.policy, evidence,
+                                              message.ticket)
+        cache_hit = resumption_key is not None
         if not cache_hit:
             with self.recorder.phase("msg2", protocol.ASYMMETRIC):
                 message.signed_evidence.verify_signature()
@@ -188,13 +196,19 @@ class Verifier:
 
         # All checks passed: only now is the appraisal memoised, so a
         # failed appraisal (unknown measurement, bad boot claim) is never
-        # cached.
+        # cached. The freshly drawn resumption key travels to the
+        # attester inside msg3's AES-GCM envelope — only the session peer
+        # whose signature just verified can read it.
         if cache is not None and not cache_hit:
-            cache.store(self.policy, evidence)
+            resumption_key = self._random(protocol.RESUMPTION_KEY_SIZE)
+            cache.store(self.policy, evidence, resumption_key)
 
         # All checks passed: provision the secret blob (paper §IV(d)).
         with self.recorder.phase("msg3", protocol.MEMORY):
             iv = self._random(12)
         with self.recorder.phase("msg3", protocol.SYMMETRIC):
-            sealed = AesGcm(session.keys.enc_key).seal(iv, secret_blob)
-        return protocol.encode_msg3(iv, sealed)
+            payload = secret_blob if resumption_key is None \
+                else resumption_key + secret_blob
+            sealed = AesGcm(session.keys.enc_key).seal(iv, payload)
+        return protocol.encode_msg3(iv, sealed,
+                                    resume=resumption_key is not None)

@@ -10,7 +10,9 @@ Two mechanisms compose in :class:`AdmissionController`:
   lanes is finite.
 
 Both reject with :class:`~repro.errors.FleetOverloaded`, carrying the
-reason (``"rate"`` vs ``"queue"``) so metrics can tell them apart.
+reason (``"rate"`` vs ``"queue"``) so metrics can tell them apart. The
+window is consulted before the bucket, so a single rejection never
+consumes more than one admission resource.
 """
 
 from __future__ import annotations
@@ -78,17 +80,18 @@ class AdmissionController:
     def admit(self) -> None:
         """Admit one message or raise :class:`FleetOverloaded`.
 
-        Rate is checked first: a message the bucket would not sustain is
-        rejected even when the queue has room, so sustained overload is
-        shed early rather than absorbed until the window fills.
+        The in-flight window is checked first: a message the window
+        cannot hold is rejected *before* the bucket is drawn from, so
+        each rejection consumes at most one admission resource and a
+        queue rejection never burns a rate token on top.
         """
         with self._lock:
-            if self._bucket is not None and not self._bucket.try_acquire():
-                self.rejected_rate += 1
-                raise FleetOverloaded(reason="rate")
             if self._in_flight >= self._max_in_flight:
                 self.rejected_queue += 1
                 raise FleetOverloaded(reason="queue")
+            if self._bucket is not None and not self._bucket.try_acquire():
+                self.rejected_rate += 1
+                raise FleetOverloaded(reason="rate")
             self._in_flight += 1
 
     def release(self) -> None:

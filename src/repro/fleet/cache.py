@@ -4,19 +4,31 @@ Table III shows the verifier's msg2 cost is dominated by asymmetric
 crypto — one ECDSA verify over the evidence body. The evidence signature
 covers the session anchor, so its *bytes* are fresh every handshake and a
 byte-level cache would never hit; what can legitimately be memoised is
-the *appraisal decision*: once a device has proved possession of its
-attestation key by producing one valid signature over a given
-(measurement claim, boot claim) pair, re-attestations by the same device
-with the same claims skip the ECDSA verify while the cache entry is live.
+the *appraisal decision* — but only for a sender who can prove it is the
+same party that passed the full appraisal. Every field of the evidence is
+public (the endorsement key, the measurement, the boot claim), and every
+session-bound check (MAC, anchor) is computable by anyone running their
+own key exchange, so a cache keyed on those values alone would let a
+network attacker replay a genuine device's claims with a forged
+signature.
 
-This is an explicit verifier-side policy relaxation (trust-on-first-proof
-per triple, bounded by TTL, LRU capacity and the policy fingerprint) —
-every session-specific check (session MAC under K_m, anchor binding,
-endorsement lookup, reference values, boot appraisal) still runs on every
-handshake, so a cache hit never weakens freshness or session binding,
-only the re-proof of key possession. Entries are keyed under a
-fingerprint of the verifier policy: endorsing a new device, trusting a
-new measurement, or any other policy change invalidates the whole cache.
+The proof of continuity is a **resumption key**: after a fully verified
+appraisal (evidence signature included), the verifier draws a fresh
+16-byte secret, stores it in the cache entry and returns it to the
+attester *inside* msg3's AES-GCM envelope — readable only by the peer
+that completed this session's key exchange, i.e. the very party whose
+signature just verified. On re-attestation the attester includes a
+*ticket* in msg2: an AES-CMAC under the resumption key over the fresh
+evidence body (which contains the new session's anchor, so captured
+tickets cannot be transplanted). :meth:`AppraisalCache.redeem` releases a
+hit — and thereby the ECDSA skip — only when the ticket verifies against
+the entry's key; a msg2 built purely from public values always takes the
+full-verify path.
+
+Entries are bounded by TTL (counted from the last real verify), a
+capacity cap in store order, and a fingerprint of the verifier policy:
+endorsing a new device, trusting a new measurement, or any other policy
+change invalidates the whole cache.
 """
 
 from __future__ import annotations
@@ -26,7 +38,9 @@ import time
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from repro.crypto.hashing import sha256
+from repro.core.protocol import RESUMPTION_KEY_SIZE
+from repro.crypto.cmac import AesCmac
+from repro.crypto.hashing import constant_time_equal, sha256
 
 CacheKey = Tuple[bytes, bytes, bytes]
 
@@ -48,7 +62,12 @@ def policy_fingerprint(policy) -> bytes:
 
 
 class AppraisalCache:
-    """TTL + LRU cache of successful appraisals, policy-fingerprinted."""
+    """TTL + capacity-bounded cache of appraisals, policy-fingerprinted.
+
+    Entries are kept in store order (no recency reordering): the TTL
+    counts from the last full verify, so eviction order and expiry order
+    agree, and :meth:`_expire` can stop at the first live entry.
+    """
 
     def __init__(self, capacity: int = 1024,
                  ttl_s: Optional[float] = None,
@@ -59,10 +78,13 @@ class AppraisalCache:
         self._ttl_ns = None if ttl_s is None else int(ttl_s * 1e9)
         self._now = time_source
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, int]" = OrderedDict()
+        # key -> (stored_at_ns, resumption_key), ordered by store time.
+        self._entries: "OrderedDict[CacheKey, Tuple[int, bytes]]" = \
+            OrderedDict()
         self._fingerprint: Optional[bytes] = None
         self.hits = 0
         self.misses = 0
+        self.bad_tickets = 0
         self.invalidations = 0
         self.expirations = 0
 
@@ -85,40 +107,57 @@ class AppraisalCache:
         deadline = self._now() - self._ttl_ns
         while self._entries:
             oldest_key = next(iter(self._entries))
-            if self._entries[oldest_key] > deadline:
+            if self._entries[oldest_key][0] > deadline:
                 break
             del self._entries[oldest_key]
             self.expirations += 1
 
-    def contains(self, policy, evidence) -> bool:
-        """Look up an appraisal; counts a hit or a miss."""
+    def redeem(self, policy, evidence, ticket: bytes) -> Optional[bytes]:
+        """Release the entry's resumption key iff ``ticket`` proves it.
+
+        A hit requires a live entry for the evidence triple AND a valid
+        CMAC over the evidence body under the entry's resumption key —
+        the body contains this session's anchor, so neither a replayed
+        ticket nor a fabricated msg2 without the key can redeem. Anything
+        else counts a miss (an existing entry with a wrong ticket also
+        counts ``bad_tickets``) and the caller must run the full verify.
+        """
         with self._lock:
             self._refresh_policy(policy)
             self._expire()
             key = self._key(evidence)
-            stored_at = self._entries.get(key)
-            if stored_at is None:
-                self.misses += 1
-                return False
-            # TTL counts from the last *store* (the last real verify), not
-            # the last hit: a constantly re-attesting device must still
-            # re-prove key possession every TTL.
-            if self._ttl_ns is not None and \
-                    stored_at <= self._now() - self._ttl_ns:
+            entry = self._entries.get(key)
+            if entry is not None and self._ttl_ns is not None and \
+                    entry[0] <= self._now() - self._ttl_ns:
+                # TTL counts from the last *store* (the last real
+                # verify): a constantly re-attesting device must still
+                # re-prove key possession every TTL.
                 del self._entries[key]
                 self.expirations += 1
+                entry = None
+            if entry is None:
                 self.misses += 1
-                return False
-            self._entries.move_to_end(key)
+                return None
+            resumption_key = entry[1]
+            if not ticket or not constant_time_equal(
+                    AesCmac(resumption_key).mac(evidence.encode()), ticket):
+                if ticket:
+                    self.bad_tickets += 1
+                self.misses += 1
+                return None
             self.hits += 1
-            return True
+            return resumption_key
 
-    def store(self, policy, evidence) -> None:
-        """Record a fully successful appraisal."""
+    def store(self, policy, evidence, resumption_key: bytes) -> None:
+        """Record a fully successful appraisal and its resumption key."""
+        if len(resumption_key) != RESUMPTION_KEY_SIZE:
+            raise ValueError("resumption key must be "
+                             f"{RESUMPTION_KEY_SIZE} bytes")
         with self._lock:
             self._refresh_policy(policy)
-            self._entries[self._key(evidence)] = self._now()
-            self._entries.move_to_end(self._key(evidence))
+            key = self._key(evidence)
+            self._entries.pop(key, None)  # re-store resets the store order
+            self._entries[key] = (self._now(), bytes(resumption_key))
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
 
@@ -139,6 +178,7 @@ class AppraisalCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": (self.hits / total) if total else 0.0,
+                "bad_tickets": self.bad_tickets,
                 "invalidations": self.invalidations,
                 "expirations": self.expirations,
             }

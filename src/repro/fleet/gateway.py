@@ -304,26 +304,31 @@ class AttestationGateway:
         kind = self._kind(data)
         lane = self._lanes[entry.lane]
         clock = self.client.kernel.soc.clock
-        with self._device_lock:
-            # Read inside the lock: invokes serialise here, so the hits
-            # delta is unambiguously this message's.
-            hits_before = self.cache.hits if self.cache is not None else 0
-            sim_before = clock.now_ns()
-            started = time.perf_counter()
-            try:
-                result = lane.session.invoke(
-                    CMD_FLEET_MESSAGE, {"conn": conn_id, "data": data})
-            except Exception:
-                self.metrics.increment("failed_messages")
-                self.metrics.observe(f"service.{kind}",
-                                     time.perf_counter() - started)
-                self.sessions.discard(conn_id)
-                raise
-            finally:
-                service_s = time.perf_counter() - started
-                sim_delta = clock.now_ns() - sim_before
-            cache_hit = (self.cache is not None
-                         and self.cache.hits > hits_before)
+        service_s = 0.0
+        try:
+            with self._device_lock:
+                # Read inside the lock: invokes serialise here, so the
+                # hits delta is unambiguously this message's.
+                hits_before = (self.cache.hits
+                               if self.cache is not None else 0)
+                sim_before = clock.now_ns()
+                started = time.perf_counter()
+                try:
+                    result = lane.session.invoke(
+                        CMD_FLEET_MESSAGE, {"conn": conn_id, "data": data})
+                finally:
+                    service_s = time.perf_counter() - started
+                    sim_delta = clock.now_ns() - sim_before
+                cache_hit = (self.cache is not None
+                             and self.cache.hits > hits_before)
+        except Exception:
+            # Outside the device lock: discard may one day notify an
+            # evict callback that re-enters _evict_ta_state, which takes
+            # the (non-reentrant) device lock.
+            self.metrics.increment("failed_messages")
+            self.metrics.observe(f"service.{kind}", service_s)
+            self.sessions.discard(conn_id)
+            raise
         self.metrics.observe(f"service.{kind}", service_s)
         if kind == "msg2":
             suffix = "hit" if cache_hit else "miss"

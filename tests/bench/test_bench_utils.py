@@ -50,10 +50,13 @@ def test_summary_tail_percentiles():
 
 def test_summary_hand_built_without_percentiles_still_works():
     # Pre-existing call sites construct Summary positionally; the tail
-    # percentiles must stay optional for them.
+    # percentiles must stay optional for them — and absent percentiles
+    # are None, never a 0.0 that looks like a measurement.
     summary = Summary(median=1.0, mean=1.0, stdev=0.0, minimum=1.0,
                       maximum=1.0, runs=1)
-    assert summary.p95 == 0.0
+    assert summary.p50 is None
+    assert summary.p95 is None
+    assert summary.p99 is None
 
 
 def test_percentile_interpolates_linearly():

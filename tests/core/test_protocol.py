@@ -220,3 +220,41 @@ def test_protocol_message_sizes_fixed():
     # Evidence: 8B header + anchor + claim + boot claim + key + signature.
     assert EVIDENCE_SIZE == 8 + 32 + 32 + 32 + 65 + 64
     assert len(msg2) == 1 + 65 + EVIDENCE_SIZE + 16
+
+
+def test_msg2_roundtrips_with_a_resumption_ticket():
+    attester, verifier = _actors()
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    attester.resumption_key = b"\xA5" * protocol.RESUMPTION_KEY_SIZE
+    msg2 = attester.attest(session, CLAIM, DEVICE.public_bytes(), _sign)
+    assert len(msg2) == 1 + 65 + protocol.EVIDENCE_SIZE \
+        + protocol.TICKET_SIZE + 16
+    decoded = protocol.decode_msg2(msg2)
+    assert len(decoded.ticket) == protocol.TICKET_SIZE
+    # The ticket sits inside the session-MAC'd content: stripping it (or
+    # the whole trailing block) breaks the MAC, so it cannot be removed
+    # or spliced in transit.
+    assert decoded.content.endswith(decoded.ticket)
+    stripped = msg2[: 1 + 65 + protocol.EVIDENCE_SIZE] + msg2[-16:]
+    with pytest.raises(AuthenticationError):
+        verifier.handle_msg2(verifier_session, stripped, b"secret")
+
+
+def test_msg3_resume_variant_carries_the_key_to_the_attester():
+    from repro.fleet.cache import AppraisalCache
+
+    attester = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom,
+                        appraisal_cache=AppraisalCache())
+    session = attester.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    msg2 = attester.attest(session, CLAIM, DEVICE.public_bytes(), _sign)
+    msg3 = verifier.handle_msg2(verifier_session, msg2, b"fleet secret")
+    assert msg3[0] == protocol.MSG3_RESUME
+    # The key rides inside the AES-GCM envelope; the attester strips it
+    # and the application still receives exactly the secret.
+    assert attester.handle_msg3(session, msg3) == b"fleet secret"
+    assert len(attester.resumption_key) == protocol.RESUMPTION_KEY_SIZE

@@ -1,9 +1,13 @@
-"""The appraisal cache: hit/miss accounting, TTL, LRU, invalidation.
+"""The appraisal cache: ticket redemption, TTL, capacity, invalidation.
 
-Plus the verifier integration: a cache hit skips exactly the msg2
-asymmetric verify (Table III's dominant cost) while every session-bound
-check still runs — including the session MAC, so a forged msg2 is
-rejected even when its claims are cached.
+Plus the verifier integration: a cache hit — authorised by a valid
+resumption ticket — skips exactly the msg2 asymmetric verify (Table III's
+dominant cost) while every session-bound check still runs. Crucially, a
+warm cache never weakens device authentication: a msg2 fabricated from
+public values (endorsed key, trusted claims, attacker's own session MAC
+and anchor) with a forged signature is still rejected, because without
+the resumption key no valid ticket can be produced and the full ECDSA
+verify runs.
 """
 
 import os
@@ -12,15 +16,17 @@ import pytest
 
 from repro.core import measure_bytes, protocol
 from repro.core.attester import Attester
-from repro.core.evidence import Evidence
+from repro.core.evidence import Evidence, SignedEvidence
 from repro.core.verifier import Verifier, VerifierPolicy
 from repro.crypto import ecdsa
-from repro.errors import AuthenticationError
+from repro.crypto.cmac import AesCmac
+from repro.errors import AuthenticationError, SignatureError
 from repro.fleet.cache import AppraisalCache, policy_fingerprint
 
 DEVICE = ecdsa.keypair_from_private(515151)
 IDENTITY = ecdsa.keypair_from_private(616161)
 CLAIM = measure_bytes(b"cached app").digest
+KEY = b"\xA5" * protocol.RESUMPTION_KEY_SIZE
 
 
 def _sign(body):
@@ -40,6 +46,10 @@ def _evidence(anchor=b"\x01" * 32, claim=CLAIM,
                     attestation_public_key=key, boot_claim=boot)
 
 
+def _ticket(resumption_key, evidence):
+    return AesCmac(resumption_key).mac(evidence.encode())
+
+
 class FakeClock:
     def __init__(self):
         self.ns = 0
@@ -54,90 +64,140 @@ class FakeClock:
 # -- unit behaviour ----------------------------------------------------------------
 
 
-def test_miss_then_store_then_hit():
+def test_miss_then_store_then_redeem():
     cache = AppraisalCache()
     policy = _policy()
     evidence = _evidence()
-    assert not cache.contains(policy, evidence)
-    cache.store(policy, evidence)
-    assert cache.contains(policy, evidence)
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) is None
+    cache.store(policy, evidence, KEY)
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) == KEY
     assert cache.hits == 1 and cache.misses == 1
+
+
+def test_redeem_requires_a_valid_ticket():
+    # An entry alone is worthless: an attacker who knows every public
+    # field of the evidence still cannot redeem without the key.
+    cache = AppraisalCache()
+    policy = _policy()
+    evidence = _evidence()
+    cache.store(policy, evidence, KEY)
+    assert cache.redeem(policy, evidence, b"") is None
+    wrong = _ticket(b"\x5A" * protocol.RESUMPTION_KEY_SIZE, evidence)
+    assert cache.redeem(policy, evidence, wrong) is None
+    assert cache.hits == 0 and cache.misses == 2
+    assert cache.bad_tickets == 1  # only the wrong guess, not the absence
+
+
+def test_ticket_is_bound_to_the_evidence_body():
+    # A captured ticket covers the old session's anchor; presenting it
+    # with evidence for a new anchor must not redeem.
+    cache = AppraisalCache()
+    policy = _policy()
+    old = _evidence(anchor=b"\x01" * 32)
+    cache.store(policy, old, KEY)
+    captured = _ticket(KEY, old)
+    fresh = _evidence(anchor=b"\x99" * 32)
+    assert cache.redeem(policy, fresh, captured) is None
+    assert cache.bad_tickets == 1
+    # The same key over the fresh body does redeem (anchor is per-session
+    # and deliberately not part of the cache key).
+    assert cache.redeem(policy, fresh, _ticket(KEY, fresh)) == KEY
 
 
 def test_key_binds_device_claim_and_boot():
     cache = AppraisalCache()
     policy = _policy()
-    cache.store(policy, _evidence())
+    cache.store(policy, _evidence(), KEY)
     other_key = ecdsa.keypair_from_private(999).public_bytes()
-    assert not cache.contains(policy, _evidence(key=other_key))
-    assert not cache.contains(policy, _evidence(claim=b"\x42" * 32))
-    assert not cache.contains(policy, _evidence(boot=b"\x42" * 32))
-    # The anchor is per-session and deliberately NOT part of the key.
-    assert cache.contains(policy, _evidence(anchor=b"\x99" * 32))
+    for changed in (_evidence(key=other_key), _evidence(claim=b"\x42" * 32),
+                    _evidence(boot=b"\x42" * 32)):
+        assert cache.redeem(policy, changed, _ticket(KEY, changed)) is None
 
 
-def test_ttl_expires_from_store_time_even_when_hit(monkeypatch):
+def test_ttl_expires_from_store_time_even_when_redeemed():
     clock = FakeClock()
     cache = AppraisalCache(ttl_s=10.0, time_source=clock)
     policy = _policy()
     evidence = _evidence()
-    cache.store(policy, evidence)
+    cache.store(policy, evidence, KEY)
     clock.advance_s(6)
-    assert cache.contains(policy, evidence)  # still fresh, and touched
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) == KEY
     clock.advance_s(6)
-    # 12 s since the store: the touch at 6 s must not have extended the
-    # TTL — the device must re-prove key possession.
-    assert not cache.contains(policy, evidence)
+    # 12 s since the store: the redemption at 6 s must not have extended
+    # the TTL — the device must re-prove key possession.
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) is None
     assert cache.expirations == 1
 
 
-def test_lru_capacity_evicts_oldest():
+def test_capacity_evicts_in_store_order():
+    # Order is pure store time (matching the TTL-from-store semantics):
+    # a redemption does not protect an entry from capacity eviction.
     cache = AppraisalCache(capacity=2)
     policy = _policy()
     first = _evidence(boot=b"\x01" * 32)
     second = _evidence(boot=b"\x02" * 32)
     third = _evidence(boot=b"\x03" * 32)
-    cache.store(policy, first)
-    cache.store(policy, second)
-    assert cache.contains(policy, first)  # refresh first's recency
-    cache.store(policy, third)            # evicts second, the LRU entry
+    cache.store(policy, first, KEY)
+    cache.store(policy, second, KEY)
+    assert cache.redeem(policy, first, _ticket(KEY, first)) == KEY
+    cache.store(policy, third, KEY)   # evicts first, the oldest store
     assert len(cache) == 2
-    assert cache.contains(policy, first)
-    assert cache.contains(policy, third)
-    assert not cache.contains(policy, second)
+    assert cache.redeem(policy, first, _ticket(KEY, first)) is None
+    assert cache.redeem(policy, second, _ticket(KEY, second)) == KEY
+    assert cache.redeem(policy, third, _ticket(KEY, third)) == KEY
+
+
+def test_restore_resets_the_store_order():
+    cache = AppraisalCache(capacity=2)
+    policy = _policy()
+    first = _evidence(boot=b"\x01" * 32)
+    second = _evidence(boot=b"\x02" * 32)
+    third = _evidence(boot=b"\x03" * 32)
+    cache.store(policy, first, KEY)
+    cache.store(policy, second, KEY)
+    cache.store(policy, first, KEY)   # re-verified: first is newest again
+    cache.store(policy, third, KEY)   # evicts second
+    assert cache.redeem(policy, first, _ticket(KEY, first)) == KEY
+    assert cache.redeem(policy, second, _ticket(KEY, second)) is None
 
 
 def test_policy_change_invalidates_everything():
     cache = AppraisalCache()
     policy = _policy()
     evidence = _evidence()
-    cache.store(policy, evidence)
-    assert cache.contains(policy, evidence)
+    cache.store(policy, evidence, KEY)
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) == KEY
     policy.trust_measurement(b"\x55" * 32)  # any policy edit
-    assert not cache.contains(policy, evidence)
+    assert cache.redeem(policy, evidence, _ticket(KEY, evidence)) is None
     assert cache.invalidations == 1
     assert policy_fingerprint(policy) != policy_fingerprint(_policy())
+
+
+def test_store_rejects_a_malformed_key():
+    with pytest.raises(ValueError):
+        AppraisalCache().store(_policy(), _evidence(), b"short")
 
 
 def test_snapshot_counters():
     cache = AppraisalCache()
     policy = _policy()
     evidence = _evidence()
-    cache.contains(policy, evidence)
-    cache.store(policy, evidence)
-    cache.contains(policy, evidence)
+    cache.redeem(policy, evidence, b"")
+    cache.store(policy, evidence, KEY)
+    cache.redeem(policy, evidence, _ticket(KEY, evidence))
     snapshot = cache.snapshot()
     assert snapshot["entries"] == 1
     assert snapshot["hits"] == 1
     assert snapshot["misses"] == 1
     assert snapshot["hit_rate"] == 0.5
+    assert snapshot["bad_tickets"] == 0
 
 
 # -- verifier integration ----------------------------------------------------------
 
 
-def _attest_once(cache, recorder=None):
-    attester = Attester(os.urandom)
+def _attest_once(cache, recorder=None, attester=None):
+    attester = attester or Attester(os.urandom)
     verifier = Verifier(IDENTITY, _policy(), os.urandom, recorder,
                         appraisal_cache=cache)
     session = attester.start_session(IDENTITY.public_bytes())
@@ -152,24 +212,119 @@ def _attest_once(cache, recorder=None):
     return attester, verifier
 
 
-def test_cache_hit_skips_the_asymmetric_verify():
+def _start_attack_session(cache):
+    """An attacker's own handshake state: fresh ECDH, valid msg1."""
+    attacker = Attester(os.urandom)
+    verifier = Verifier(IDENTITY, _policy(), os.urandom,
+                        appraisal_cache=cache)
+    session = attacker.start_session(IDENTITY.public_bytes())
+    verifier_session, msg1 = verifier.handle_msg0(attacker.make_msg0(session))
+    attacker.handle_msg1(session, msg1)
+    return attacker, verifier, session, verifier_session
+
+
+def test_resumption_ticket_skips_the_asymmetric_verify():
     cache = AppraisalCache()
+    attester = Attester(os.urandom)
     cold = protocol.CostRecorder()
-    _attest_once(cache, cold)
+    _attest_once(cache, cold, attester)
     assert cold.get("msg2", protocol.ASYMMETRIC) > 0
+    assert attester.resumption_key is not None
     assert cache.misses == 1 and cache.hits == 0
 
     warm = protocol.CostRecorder()
-    _attest_once(cache, warm)
-    # The hit skipped the ECDSA verify phase entirely.
+    _attest_once(cache, warm, attester)  # same attester: carries a ticket
+    # The redeemed ticket skipped the ECDSA verify phase entirely.
     assert warm.get("msg2", protocol.ASYMMETRIC) == 0
     assert cache.hits == 1
 
 
+def test_warm_cache_without_a_ticket_still_verifies_the_signature():
+    cache = AppraisalCache()
+    _attest_once(cache)  # warm the entry for DEVICE's triple
+    fresh = Attester(os.urandom)  # no resumption key, no ticket
+    recorder = protocol.CostRecorder()
+    _attest_once(cache, recorder, fresh)
+    # Same device triple, warm cache — but a bare msg2 pays full ECDSA.
+    assert recorder.get("msg2", protocol.ASYMMETRIC) > 0
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_forged_signature_with_warm_cache_is_rejected():
+    # The REVIEW.md attack: after a genuine device warms the cache, a
+    # network attacker runs their own ECDH session (valid MAC and anchor)
+    # and fabricates msg2 with the victim's endorsed key, the trusted
+    # claims and a forged signature. Without the resumption key there is
+    # no valid ticket, the full verify runs, and the forgery dies there.
+    cache = AppraisalCache()
+    _attest_once(cache)
+    attacker, verifier, session, verifier_session = \
+        _start_attack_session(cache)
+    forged = SignedEvidence(
+        Evidence(anchor=session.anchor, claim=CLAIM,
+                 attestation_public_key=DEVICE.public_bytes()),
+        signature=b"\x01" * ecdsa.SIGNATURE_SIZE,
+    )
+    with pytest.raises(SignatureError):
+        verifier.handle_msg2(verifier_session,
+                             attacker.make_msg2(session, forged), b"secret")
+    assert cache.hits == 0
+
+
+def test_forged_signature_with_guessed_ticket_is_rejected():
+    cache = AppraisalCache()
+    _attest_once(cache)
+    attacker, verifier, session, verifier_session = \
+        _start_attack_session(cache)
+    attacker.resumption_key = os.urandom(protocol.RESUMPTION_KEY_SIZE)
+    forged = SignedEvidence(
+        Evidence(anchor=session.anchor, claim=CLAIM,
+                 attestation_public_key=DEVICE.public_bytes()),
+        signature=b"\x01" * ecdsa.SIGNATURE_SIZE,
+    )
+    with pytest.raises(SignatureError):
+        verifier.handle_msg2(verifier_session,
+                             attacker.make_msg2(session, forged), b"secret")
+    assert cache.hits == 0 and cache.bad_tickets == 1
+
+
+def test_forged_signature_with_captured_ticket_is_rejected():
+    # The ticket travels in clear inside msg2, so assume the attacker
+    # captured the genuine device's ticket. It MACs the *old* evidence
+    # body (old anchor); over the attacker's evidence it cannot verify.
+    cache = AppraisalCache()
+    genuine = Attester(os.urandom)
+    _attest_once(cache, attester=genuine)
+    victim_session = genuine.start_session(IDENTITY.public_bytes())
+    verifier = Verifier(IDENTITY, _policy(), os.urandom,
+                        appraisal_cache=cache)
+    verifier_session, msg1 = verifier.handle_msg0(
+        genuine.make_msg0(victim_session))
+    genuine.handle_msg1(victim_session, msg1)
+    signed = genuine.collect_evidence(victim_session.anchor, CLAIM,
+                                      DEVICE.public_bytes(), _sign)
+    captured = protocol.decode_msg2(
+        genuine.make_msg2(victim_session, signed)).ticket
+    assert captured  # the genuine re-attestation does carry a ticket
+
+    attacker, verifier2, session, verifier_session2 = \
+        _start_attack_session(cache)
+    forged = SignedEvidence(
+        Evidence(anchor=session.anchor, claim=CLAIM,
+                 attestation_public_key=DEVICE.public_bytes()),
+        signature=b"\x01" * ecdsa.SIGNATURE_SIZE,
+    )
+    content = session.g_a + forged.encode() + captured
+    mac = AesCmac(session.keys.mac_key).mac(content)
+    msg2 = protocol.encode_msg2(session.g_a, forged, mac, captured)
+    with pytest.raises(SignatureError):
+        verifier2.handle_msg2(verifier_session2, msg2, b"secret")
+    assert cache.hits == 0 and cache.bad_tickets == 1
+
+
 def test_cache_hit_still_enforces_session_mac():
     cache = AppraisalCache()
-    _attest_once(cache)  # prime the cache
-    attester = Attester(os.urandom)
+    attester, _ = _attest_once(cache)  # prime the cache + the ticket key
     verifier = Verifier(IDENTITY, _policy(), os.urandom,
                         appraisal_cache=cache)
     session = attester.start_session(IDENTITY.public_bytes())
