@@ -23,11 +23,12 @@ from __future__ import annotations
 
 from statistics import median
 
-from repro.bench import format_table, save_report
+from repro.bench import format_table, save_report, save_trace
 from repro.core.verifier import VerifierPolicy
 from repro.fleet import (FleetConfig, FleetModel, LoadProfile,
                          build_attester_stacks, model_fleet, run_load,
                          start_fleet_gateway)
+from repro.obs import TraceAnalyzer, Tracer, flame_summary
 
 HOST, PORT_BASE = "fleet.bench", 7800
 
@@ -38,16 +39,29 @@ MODEL_WORKERS = 16
 
 
 def _run_live(testbed, identity, port, concurrency, enable_cache=True,
-              rate_per_s=None, rate_burst=32, handshakes=HANDSHAKES_EACH):
-    """One fresh gateway + fleet of attesters, driven to completion."""
+              rate_per_s=None, rate_burst=32, handshakes=HANDSHAKES_EACH,
+              traced=False):
+    """One fresh gateway + fleet of attesters, driven to completion.
+
+    ``traced=True`` attaches a dual-clock tracer to the gateway board
+    (and routes a tracing recorder through the verifier); the default
+    keeps the production fast path, where every hook is one attribute
+    test against ``None``.
+    """
     secret = bytes(range(256)) * (BLOB_SIZE // 256)
     policy = VerifierPolicy()
     gateway_device = testbed.create_device()
     config = FleetConfig(workers=4, enable_cache=enable_cache,
                          rate_per_s=rate_per_s, rate_burst=rate_burst)
+    tracer = None
+    recorder = None
+    if traced:
+        tracer = Tracer(sim_now=gateway_device.soc.clock.now_ns)
+        recorder = tracer.recorder()
     gateway = start_fleet_gateway(
         testbed.network, HOST, port, gateway_device.client,
-        testbed.vendor_key, identity, policy, lambda: secret, config)
+        testbed.vendor_key, identity, policy, lambda: secret, config,
+        recorder=recorder, tracer=tracer)
     try:
         stacks = build_attester_stacks(testbed, policy, concurrency)
         report = run_load(testbed.network, HOST, port,
@@ -59,7 +73,7 @@ def _run_live(testbed, identity, port, concurrency, enable_cache=True,
         snapshot = gateway.snapshot()
     finally:
         gateway.stop()
-    return report, records, snapshot
+    return report, records, snapshot, tracer
 
 
 def test_fleet_throughput(testbed, verifier_identity):
@@ -68,7 +82,7 @@ def test_fleet_throughput(testbed, verifier_identity):
     # -- live sweep over concurrency ------------------------------------------
     live = {}
     for offset, concurrency in enumerate(CONCURRENCIES):
-        report, records, snapshot = _run_live(
+        report, records, snapshot, _ = _run_live(
             testbed, identity, PORT_BASE + offset, concurrency)
         expected = concurrency * HANDSHAKES_EACH
         assert len(report.completed) == expected, \
@@ -118,7 +132,7 @@ def test_fleet_throughput(testbed, verifier_identity):
     assert hit_summary["p50"] < miss_summary["p50"], (hit_summary,
                                                       miss_summary)
 
-    report_nc, records_nc, _ = _run_live(
+    report_nc, records_nc, _, _ = _run_live(
         testbed, identity, PORT_BASE + 10, 16, enable_cache=False)
     assert len(report_nc.completed) == 16 * HANDSHAKES_EACH
     nc_msg2 = median(r.service_s for r in records_nc if r.kind == "msg2")
@@ -185,4 +199,27 @@ def test_fleet_throughput(testbed, verifier_identity):
     save_report("fleet_throughput", "\n".join([
         sweep_table, "", model_line, "", cache_table, cache_line, "",
         *overload_lines,
+    ]))
+
+    # -- trace artifacts: one traced run, exported for Perfetto ---------------
+    # A separate small run with the tracer attached; the sweep above runs
+    # the production fast path (tracer is None at every hook).
+    report_tr, _, _, tracer = _run_live(
+        testbed, identity, PORT_BASE + 12, 2, traced=True)
+    assert len(report_tr.completed) == 2 * HANDSHAKES_EACH
+    assert tracer.dropped == 0
+    spans = tracer.drain()
+    analyzer = TraceAnalyzer(spans)
+    # The Table-IV property on live data: per-phase virtual-ns self times
+    # under the request spans account for the requests' full totals.
+    request_rows = analyzer.breakdown("fleet.request")
+    assert sum(row.sim_ns for row in request_rows) == \
+        sum(span.sim_ns for span in analyzer.named("fleet.request"))
+    save_trace("fleet_throughput_trace", spans,
+               process_name="watz-fleet-gateway")
+    save_report("fleet_throughput_phases", "\n\n".join([
+        analyzer.format_breakdown(
+            "fleet.request",
+            "gateway per-message phases (derived from spans only)"),
+        flame_summary(spans),
     ]))

@@ -14,6 +14,7 @@ from repro.bench.reporting import (
     paper_comparison,
     print_block,
     save_report,
+    save_trace,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "paper_comparison",
     "print_block",
     "save_report",
+    "save_trace",
 ]

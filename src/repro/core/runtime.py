@@ -35,6 +35,7 @@ CMD_INVOKE = 2
 CMD_STDOUT = 3
 CMD_MEASUREMENT = 4
 CMD_UNLOAD = 5
+CMD_HOSTCALLS = 6
 
 #: Observed by the paper (§VI-B): loading an AOT module roughly doubles the
 #: resident size because WAMR allocates a structure per relocation entry.
@@ -88,6 +89,8 @@ class LoadedApp:
     breakdown: StartupBreakdown
     allocated_bytes: int = 0
     executable_region: object = None
+    #: repro.obs.record.HostCallLog when loaded with record_hostcalls.
+    hostcall_log: object = None
 
 
 class WatzRuntime(TrustedApplication):
@@ -115,6 +118,12 @@ class WatzRuntime(TrustedApplication):
             return {"measurement": self._app(params).measurement.hex}
         if command == CMD_UNLOAD:
             return self._cmd_unload(params)
+        if command == CMD_HOSTCALLS:
+            app = self._app(params)
+            if app.hostcall_log is None:
+                raise TeeBadParameters(
+                    "application was not loaded with record_hostcalls")
+            return {"log": app.hostcall_log.to_json()}
         raise TeeBadParameters(f"unknown runtime command {command}")
 
     def _app(self, params: dict) -> LoadedApp:
@@ -165,6 +174,7 @@ class WatzRuntime(TrustedApplication):
             random_bytes=api.generate_random,
             wasi_dispatch=lambda: api.charge_ns(api.costs.wasi_dispatch_ns),
             filesystem=filesystem,
+            tracer=api.tracer,
         )
         imports = build_wasi_imports(wasi_env)
         breakdown.runtime_init_s = time.perf_counter() - started
@@ -193,6 +203,14 @@ class WatzRuntime(TrustedApplication):
                          Attester(api.generate_random,
                                   params.get("recorder")))
         imports.update(build_wasi_ra_imports(wasi_ra))
+
+        # Optional host-call recording (repro.obs): the log replays the
+        # execution as a standalone deterministic benchmark.
+        hostcall_log = None
+        if params.get("record_hostcalls"):
+            from repro.obs.record import record_host_calls
+
+            imports, hostcall_log = record_host_calls(imports)
 
         # Phase 5: instantiation — memory/table/global setup and linking.
         # The engine's per-function lowering is charged to the load phase,
@@ -225,6 +243,7 @@ class WatzRuntime(TrustedApplication):
             breakdown=breakdown,
             allocated_bytes=allocated,
             executable_region=executable_region,
+            hostcall_log=hostcall_log,
         )
         self._apps[handle] = app
 

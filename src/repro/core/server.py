@@ -93,7 +93,13 @@ def make_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
         def invoke(self, command: int, params: dict) -> dict:
             if command != CMD_HANDLE_MESSAGE:
                 raise TeeBadParameters(f"unknown verifier command {command}")
-            return {"reply": self._state.handle(params["data"])}
+            data = params["data"]
+            tracer = self.api.tracer
+            if tracer is None:
+                return {"reply": self._state.handle(data)}
+            kind = f"msg{data[0] & 0x0F}" if data else "empty"
+            with tracer.span(f"core.protocol.{kind}", world="secure"):
+                return {"reply": self._state.handle(data)}
 
     return VerifierTa
 

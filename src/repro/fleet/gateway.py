@@ -97,6 +97,15 @@ def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
             )
             self._states: Dict[int, VerifierProtocolState] = {}
 
+        def _handle(self, state: VerifierProtocolState,
+                    data: bytes) -> bytes:
+            tracer = self.api.tracer
+            if tracer is None:
+                return state.handle(data)
+            kind = AttestationGateway._kind(data)
+            with tracer.span(f"core.protocol.{kind}", world="secure"):
+                return state.handle(data)
+
         def invoke(self, command: int, params: dict) -> dict:
             if command == CMD_FLEET_MESSAGE:
                 conn_id = params["conn"]
@@ -107,7 +116,7 @@ def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
                                                   secret_provider)
                     self._states[conn_id] = state
                 try:
-                    reply = state.handle(data)
+                    reply = self._handle(state, data)
                 except Exception:
                     # A protocol violation burns the connection's state;
                     # the attester must reconnect and start over.
@@ -174,7 +183,8 @@ class AttestationGateway:
                  secret_provider: SecretProvider,
                  config: FleetConfig = FleetConfig(),
                  recorder: Optional[protocol.CostRecorder] = None,
-                 time_source=time.monotonic_ns) -> None:
+                 time_source=time.monotonic_ns,
+                 tracer=None) -> None:
         if config.workers < 1:
             raise ValueError("fleet gateway needs at least one worker lane")
         self.network = network
@@ -187,6 +197,9 @@ class AttestationGateway:
         self.secret_provider = secret_provider
         self.config = config
         self.recorder = recorder
+        #: Optional repro.obs.Tracer; request lifecycles, protocol phases
+        #: and the device's world transitions all emit spans into it.
+        self.tracer = tracer
         self.metrics = FleetMetrics()
         self.cache: Optional[AppraisalCache] = None
         if config.enable_cache:
@@ -229,6 +242,10 @@ class AttestationGateway:
         image = sign_ta(manifest, b"watz fleet verifier ta", ta_class,
                         self.vendor_key)
         self.client.kernel.install_ta(image)
+        if self.tracer is not None and self.client.kernel.soc.tracer is None:
+            # One tracer observes the whole gateway board: the device's
+            # world transitions land next to the request lifecycles.
+            self.client.kernel.soc.attach_tracer(self.tracer)
         self._lanes = [
             _Lane(index, self.client.open_session(FLEET_VERIFIER_UUID))
             for index in range(self.config.workers)
@@ -264,10 +281,14 @@ class AttestationGateway:
         lane = conn_id % self.config.workers
         self.sessions.open(conn_id, lane)
         self.metrics.increment("connections")
+        if self.tracer is not None:
+            self.tracer.instant("fleet.conn.open", conn=conn_id, lane=lane)
         return _GatewayConnection(self, conn_id)
 
     def _connection_closed(self, conn_id: int) -> None:
         entry = self.sessions.discard(conn_id)
+        if self.tracer is not None:
+            self.tracer.instant("fleet.conn.close", conn=conn_id)
         if entry is not None:
             self._evict_ta_state(entry)
 
@@ -314,8 +335,18 @@ class AttestationGateway:
                 sim_before = clock.now_ns()
                 started = time.perf_counter()
                 try:
-                    result = lane.session.invoke(
-                        CMD_FLEET_MESSAGE, {"conn": conn_id, "data": data})
+                    if self.tracer is None:
+                        result = lane.session.invoke(
+                            CMD_FLEET_MESSAGE,
+                            {"conn": conn_id, "data": data})
+                    else:
+                        with self.tracer.span(
+                                "fleet.request", lane=entry.lane,
+                                conn=conn_id, kind=kind) as span:
+                            result = lane.session.invoke(
+                                CMD_FLEET_MESSAGE,
+                                {"conn": conn_id, "data": data})
+                            span.attrs["done"] = bool(result.get("done"))
                 finally:
                     service_s = time.perf_counter() - started
                     sim_delta = clock.now_ns() - sim_before
@@ -376,10 +407,10 @@ def start_fleet_gateway(network: Network, host: str, port: int,
                         identity: ecdsa.KeyPair, policy: VerifierPolicy,
                         secret_provider: SecretProvider,
                         config: FleetConfig = FleetConfig(),
-                        recorder: Optional[protocol.CostRecorder] = None
-                        ) -> AttestationGateway:
+                        recorder: Optional[protocol.CostRecorder] = None,
+                        tracer=None) -> AttestationGateway:
     """Convenience mirror of :func:`repro.core.server.start_verifier`."""
     gateway = AttestationGateway(network, host, port, client, vendor_key,
                                  identity, policy, secret_provider,
-                                 config, recorder)
+                                 config, recorder, tracer=tracer)
     return gateway.start()

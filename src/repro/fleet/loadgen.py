@@ -25,6 +25,7 @@ import heapq
 import os
 import threading
 import time
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 from statistics import median
 from typing import Dict, List, Optional, Sequence
@@ -152,42 +153,63 @@ class LoadReport:
 def run_one_handshake(network, host: str, port: int,
                       identity_public: bytes, stack: AttesterStack,
                       attempt: int = 0) -> HandshakeResult:
-    """Drive one full RA handshake + secret delivery over the fabric."""
+    """Drive one full RA handshake + secret delivery over the fabric.
+
+    With a tracer attached to the attester board's SoC, every client
+    segment is mirrored as a ``core.protocol.msg*`` span under one
+    ``fleet.handshake`` root (the attester-side view of the handshake).
+    """
     result = HandshakeResult(attester=stack.index, index=attempt, ok=False)
     segments = result.segments
+    tracer = stack.device.soc.tracer
+
+    def traced(name):
+        return nullcontext() if tracer is None \
+            else tracer.span(name, world="normal")
+
     total_start = time.perf_counter()
     try:
         connection = network.connect(host, port)
     except ReproError as exc:
         result.error = type(exc).__name__
         return result
+    root = ExitStack()
     try:
+        if tracer is not None:
+            root.enter_context(tracer.span(
+                "fleet.handshake", world="normal",
+                attester=stack.index, attempt=attempt))
         started = time.perf_counter()
-        session = stack.attester.start_session(identity_public)
-        connection.send(stack.attester.make_msg0(session))
+        with traced("core.protocol.msg0"):
+            session = stack.attester.start_session(identity_public)
+            connection.send(stack.attester.make_msg0(session))
         segments["client_pre"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        msg1 = connection.receive()
+        with traced("net.wait_msg1"):
+            msg1 = connection.receive()
         segments["wait_msg1"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        stack.attester.handle_msg1(session, msg1)
-        signed = stack.attester.collect_evidence(
-            session.anchor, stack.claim,
-            stack.device.attestation_public_key,
-            stack.sign_evidence,
-            boot_claim=stack.device.kernel.boot_measurement,
-        )
-        connection.send(stack.attester.make_msg2(session, signed))
+        with traced("core.protocol.msg2"):
+            stack.attester.handle_msg1(session, msg1)
+            signed = stack.attester.collect_evidence(
+                session.anchor, stack.claim,
+                stack.device.attestation_public_key,
+                stack.sign_evidence,
+                boot_claim=stack.device.kernel.boot_measurement,
+            )
+            connection.send(stack.attester.make_msg2(session, signed))
         segments["client_mid"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        msg3 = connection.receive()
+        with traced("net.wait_msg3"):
+            msg3 = connection.receive()
         segments["wait_msg3"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        secret = stack.attester.handle_msg3(session, msg3)
+        with traced("core.protocol.msg3"):
+            secret = stack.attester.handle_msg3(session, msg3)
         segments["client_post"] = time.perf_counter() - started
 
         result.ok = True
@@ -198,6 +220,7 @@ def run_one_handshake(network, host: str, port: int,
     except ReproError as exc:
         result.error = type(exc).__name__
     finally:
+        root.close()  # end the fleet.handshake span, if one was opened
         segments["total"] = time.perf_counter() - total_start
         try:
             connection.close()

@@ -10,6 +10,7 @@ tracked as a separate counter, never mixed into the same number
 
 from __future__ import annotations
 
+import random
 import threading
 from collections import defaultdict
 from typing import Dict, List
@@ -18,33 +19,70 @@ from repro.bench.harness import percentile
 
 
 class LatencyHistogram:
-    """Raw-sample histogram with interpolated percentiles."""
+    """Bounded reservoir histogram with interpolated percentiles.
 
-    def __init__(self) -> None:
+    ``add()`` is thread-safe and O(1): exact accumulators (count, sum,
+    min, max) are always updated, while the raw samples backing the
+    percentiles live in a fixed-size reservoir (Vitter's Algorithm R,
+    seeded deterministically so snapshots are reproducible). A gateway
+    left running for days therefore keeps exact count/mean/min/max and
+    statistically representative percentiles without growing without
+    bound, which is what the old unbounded-and-unlocked sample list did.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0x0B5) -> None:
+        if capacity < 1:
+            raise ValueError("histogram capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._capacity = capacity
+        self._random = random.Random(seed)
         self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def add(self, seconds: float) -> None:
-        self._samples.append(seconds)
+        with self._lock:
+            self._count += 1
+            self._sum += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._samples) < self._capacity:
+                self._samples.append(seconds)
+                return
+            slot = self._random.randrange(self._count)
+            if slot < self._capacity:
+                self._samples[slot] = seconds
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def percentile(self, fraction: float) -> float:
-        return percentile(self._samples, fraction)
+        with self._lock:
+            return percentile(self._samples, fraction)
 
     def summary(self) -> Dict[str, float]:
-        if not self._samples:
-            return {"count": 0}
-        return {
-            "count": len(self._samples),
-            "mean": sum(self._samples) / len(self._samples),
-            "min": min(self._samples),
-            "max": max(self._samples),
-            "p50": percentile(self._samples, 0.50),
-            "p95": percentile(self._samples, 0.95),
-            "p99": percentile(self._samples, 0.99),
-        }
+        with self._lock:
+            if not self._count:
+                return {"count": 0}
+            return {
+                "count": self._count,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "max": self._max,
+                "p50": percentile(self._samples, 0.50),
+                "p95": percentile(self._samples, 0.95),
+                "p99": percentile(self._samples, 0.99),
+            }
 
 
 class FleetMetrics:

@@ -1,0 +1,166 @@
+"""Derive latency decompositions from recorded spans — and nothing else.
+
+The repo's rule is that derived quantities are never hardcoded: Fig. 3's
+world-transition split and Table IV's per-phase breakdown must *emerge*
+from what actually ran. :class:`TraceAnalyzer` therefore consumes only
+:class:`~repro.obs.tracer.Span` records; no constant from
+``repro.hw.costs`` appears here. If an instrumentation hook is missing,
+the gap shows up honestly as ``(unattributed)`` instead of being papered
+over.
+
+Self-time discipline: a span's *self* time is its duration minus the
+durations of its direct children, so summing self times over any subtree
+equals the subtree root's total — decompositions add up by construction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import Span
+
+UNATTRIBUTED = "(unattributed)"
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One line of a per-phase breakdown."""
+
+    name: str
+    count: int
+    wall_s: float
+    sim_ns: int
+
+
+class TraceAnalyzer:
+    """Span-only analysis: phase breakdowns, WASI indirection, totals."""
+
+    def __init__(self, spans: Sequence[Span]) -> None:
+        self.spans = list(spans)
+        self._by_id: Dict[int, Span] = {s.span_id: s for s in self.spans}
+        self._children: Dict[int, List[Span]] = defaultdict(list)
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id in self._by_id:
+                self._children[span.parent_id].append(span)
+
+    # -- primitives -------------------------------------------------------------
+
+    def children(self, span: Span) -> List[Span]:
+        return self._children.get(span.span_id, [])
+
+    def self_wall_s(self, span: Span) -> float:
+        return max(0.0, span.wall_s
+                   - sum(child.wall_s for child in self.children(span)))
+
+    def self_sim_ns(self, span: Span) -> int:
+        return max(0, span.sim_ns
+                   - sum(child.sim_ns for child in self.children(span)))
+
+    def named(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def prefixed(self, prefix: str) -> List[Span]:
+        return [span for span in self.spans
+                if span.name == prefix or span.name.startswith(prefix + ".")]
+
+    def total_sim_ns(self, prefix: Optional[str] = None) -> int:
+        """Summed *self* sim time — equals wall-to-wall clock movement
+        when every ``clock.advance`` happened inside some span."""
+        spans = self.prefixed(prefix) if prefix else self.spans
+        return sum(self.self_sim_ns(span) for span in spans)
+
+    def total_wall_s(self, prefix: Optional[str] = None) -> float:
+        spans = self.prefixed(prefix) if prefix else self.spans
+        return sum(self.self_wall_s(span) for span in spans)
+
+    # -- decompositions ----------------------------------------------------------
+
+    def phase_totals(self) -> List[PhaseRow]:
+        """Self time per span name, largest simulated cost first."""
+        counts: Dict[str, int] = defaultdict(int)
+        wall: Dict[str, float] = defaultdict(float)
+        sim: Dict[str, int] = defaultdict(int)
+        for span in self.spans:
+            counts[span.name] += 1
+            wall[span.name] += self.self_wall_s(span)
+            sim[span.name] += self.self_sim_ns(span)
+        rows = [PhaseRow(name, counts[name], wall[name], sim[name])
+                for name in counts]
+        rows.sort(key=lambda row: (-row.sim_ns, -row.wall_s, row.name))
+        return rows
+
+    def _descendants(self, span: Span) -> List[Span]:
+        out: List[Span] = []
+        frontier = list(self.children(span))
+        while frontier:
+            node = frontier.pop()
+            out.append(node)
+            frontier.extend(self.children(node))
+        return out
+
+    def breakdown(self, root_name: str) -> List[PhaseRow]:
+        """Decompose spans named ``root_name`` into descendant phases.
+
+        Every descendant contributes its *self* time, keyed by span name;
+        whatever the roots spent outside any child span is reported as
+        ``(unattributed)``. The rows sum exactly to the roots' totals —
+        the Table-IV property, derived purely from the trace.
+        """
+        roots = self.named(root_name)
+        counts: Dict[str, int] = defaultdict(int)
+        wall: Dict[str, float] = defaultdict(float)
+        sim: Dict[str, int] = defaultdict(int)
+        root_wall = 0.0
+        root_sim = 0
+        for root in roots:
+            root_wall += root.wall_s
+            root_sim += root.sim_ns
+            counts[UNATTRIBUTED] += 0
+            wall[UNATTRIBUTED] += self.self_wall_s(root)
+            sim[UNATTRIBUTED] += self.self_sim_ns(root)
+            for node in self._descendants(root):
+                counts[node.name] += 1
+                wall[node.name] += self.self_wall_s(node)
+                sim[node.name] += self.self_sim_ns(node)
+        rows = [PhaseRow(name, counts[name], wall[name], sim[name])
+                for name in counts]
+        rows.sort(key=lambda row: (row.name == UNATTRIBUTED,
+                                   -row.sim_ns, -row.wall_s, row.name))
+        return rows
+
+    def wasi_indirection(self) -> PhaseRow:
+        """Cost of crossing the WASI shim (Table IV's indirection column)."""
+        spans = self.prefixed("wasi")
+        return PhaseRow(
+            name="wasi",
+            count=len(spans),
+            wall_s=sum(self.self_wall_s(span) for span in spans),
+            sim_ns=sum(self.self_sim_ns(span) for span in spans),
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def format_breakdown(self, root_name: str, title: str = "") -> str:
+        """The Table-IV-style text block for spans named ``root_name``."""
+        from repro.bench.reporting import format_table
+
+        rows = self.breakdown(root_name)
+        total_sim = sum(row.sim_ns for row in rows)
+        total_wall = sum(row.wall_s for row in rows)
+        rendered = []
+        for row in rows:
+            share = (row.sim_ns / total_sim) if total_sim else 0.0
+            rendered.append((
+                row.name, row.count, f"{row.sim_ns / 1e3:.1f}",
+                f"{share * 100:.1f}%", f"{row.wall_s * 1e3:.3f}",
+            ))
+        rendered.append(("total", len(self.named(root_name)),
+                         f"{total_sim / 1e3:.1f}", "100.0%",
+                         f"{total_wall * 1e3:.3f}"))
+        return format_table(
+            title or f"per-phase breakdown of {root_name!r} (from spans)",
+            ["phase", "count", "sim us", "sim share", "wall ms"],
+            rendered,
+        )

@@ -1,0 +1,240 @@
+"""Host-call recording and deterministic replay (Wasm-R3 style).
+
+A Wasm execution inside WaTZ is deterministic *except* for what crosses
+the host boundary: WASI and WASI-RA calls read clocks, randomness and
+sockets. Recording every host call — arguments, results, and the bytes
+the host wrote into linear memory — therefore captures the execution's
+entire environment. Replaying the log against the interpreter reproduces
+the run bit-for-bit with no TEE, no device and no network: a standalone
+deterministic benchmark of pure Wasm execution (Baek et al., Wasm-R3,
+OOPSLA 2024 use the same observation to snapshot real workloads).
+
+The recorder wraps an import namespace; the replayer rebuilds one from a
+log. Logs serialise to JSON so ``bench_results/`` artifacts double as
+portable benchmark inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, TrapError
+from repro.wasi.api import ProcExit
+from repro.wasm.runtime import HostFunction, Imports
+from repro.wasm.types import FuncType, ValType
+
+
+class ReplayMismatch(ReproError):
+    """The replayed execution diverged from the recorded one."""
+
+
+@dataclass
+class HostCall:
+    """One recorded host-boundary crossing."""
+
+    module: str
+    name: str
+    args: Tuple[object, ...]
+    result: object = None
+    #: Bytes the host wrote into linear memory: (address, payload).
+    writes: List[Tuple[int, bytes]] = field(default_factory=list)
+    #: Recorded exceptional outcome: ("ProcExit", code) or
+    #: ("TrapError", message); None for a normal return.
+    raised: Optional[Tuple[str, object]] = None
+
+
+def _signature_json(func_type: FuncType) -> Dict[str, List[str]]:
+    return {"params": [t.mnemonic for t in func_type.params],
+            "results": [t.mnemonic for t in func_type.results]}
+
+
+def _signature_from_json(blob: Dict[str, List[str]]) -> FuncType:
+    lookup = {t.mnemonic: t for t in ValType}
+    return FuncType(tuple(lookup[p] for p in blob["params"]),
+                    tuple(lookup[r] for r in blob["results"]))
+
+
+class HostCallLog:
+    """An ordered host-call trace plus the declared import surface."""
+
+    def __init__(self) -> None:
+        self.calls: List[HostCall] = []
+        #: module -> name -> FuncType for every import the original run
+        #: linked, so a replay namespace satisfies the same link checks.
+        self.declared: Dict[str, Dict[str, FuncType]] = {}
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "declared": {
+                module: {name: _signature_json(sig)
+                         for name, sig in names.items()}
+                for module, names in self.declared.items()
+            },
+            "calls": [{
+                "module": call.module,
+                "name": call.name,
+                "args": list(call.args),
+                "result": list(call.result)
+                if isinstance(call.result, tuple) else call.result,
+                "result_is_tuple": isinstance(call.result, tuple),
+                "writes": [[address, payload.hex()]
+                           for address, payload in call.writes],
+                "raised": list(call.raised) if call.raised else None,
+            } for call in self.calls],
+        }, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HostCallLog":
+        blob = json.loads(text)
+        log = cls()
+        log.declared = {
+            module: {name: _signature_from_json(sig)
+                     for name, sig in names.items()}
+            for module, names in blob["declared"].items()
+        }
+        for entry in blob["calls"]:
+            result = entry["result"]
+            if entry.get("result_is_tuple") and isinstance(result, list):
+                result = tuple(result)
+            raised = entry.get("raised")
+            log.calls.append(HostCall(
+                module=entry["module"],
+                name=entry["name"],
+                args=tuple(entry["args"]),
+                result=result,
+                writes=[(address, bytes.fromhex(payload))
+                        for address, payload in entry["writes"]],
+                raised=(raised[0], raised[1]) if raised else None,
+            ))
+        return log
+
+
+def record_host_calls(imports: Imports,
+                      log: Optional[HostCallLog] = None
+                      ) -> Tuple[Imports, HostCallLog]:
+    """Wrap an import namespace so every call lands in ``log``.
+
+    Memory writes performed by the host are captured by shadowing the
+    memory's ``write`` method for the duration of the call — the bytes
+    still land in linear memory, and the log keeps a copy.
+    """
+    log = log or HostCallLog()
+    wrapped: Imports = {}
+    for module, names in imports.items():
+        log.declared.setdefault(module, {})
+        wrapped_names: Dict[str, HostFunction] = {}
+        for name, host in names.items():
+            log.declared[module][name] = host.func_type
+            wrapped_names[name] = HostFunction(
+                host.func_type,
+                _recording_fn(module, name, host, log),
+                name,
+            )
+        wrapped[module] = wrapped_names
+    return wrapped, log
+
+
+def _recording_fn(module: str, name: str, host: HostFunction,
+                  log: HostCallLog):
+    def call(instance, *args):
+        record = HostCall(module=module, name=name, args=tuple(args))
+        memory = instance.memory
+        if memory is not None:
+            original_write = memory.write
+
+            def spy_write(address: int, payload: bytes) -> None:
+                original_write(address, payload)
+                record.writes.append((address, bytes(payload)))
+
+            memory.write = spy_write  # instance attr shadows the method
+        try:
+            result = host.fn(instance, *args)
+        except ProcExit as exit_request:
+            record.raised = ("ProcExit", exit_request.code)
+            log.calls.append(record)
+            raise
+        except TrapError as trap:
+            record.raised = ("TrapError", str(trap))
+            log.calls.append(record)
+            raise
+        finally:
+            if memory is not None:
+                del memory.write
+        record.result = result
+        log.calls.append(record)
+        return result
+
+    return call
+
+
+def replay_imports(log: HostCallLog, check_args: bool = True) -> Imports:
+    """Build an import namespace that replays ``log`` instead of a host.
+
+    Calls must arrive in recorded order with the recorded arguments
+    (divergence raises :class:`ReplayMismatch`); each replayed call
+    re-applies the recorded memory writes and returns the recorded
+    result, so the guest observes an environment identical to the
+    original run's.
+    """
+    cursor = {"index": 0}
+
+    def replaying_fn(module: str, name: str):
+        def call(instance, *args):
+            index = cursor["index"]
+            if index >= len(log.calls):
+                raise ReplayMismatch(
+                    f"{module}.{name} called after the recorded log "
+                    f"({len(log.calls)} calls) was exhausted")
+            record = log.calls[index]
+            cursor["index"] = index + 1
+            if (record.module, record.name) != (module, name):
+                raise ReplayMismatch(
+                    f"call #{index}: recorded {record.module}.{record.name}, "
+                    f"replay invoked {module}.{name}")
+            if check_args and tuple(args) != record.args:
+                raise ReplayMismatch(
+                    f"call #{index} ({name}): recorded args {record.args}, "
+                    f"replay passed {tuple(args)}")
+            for address, payload in record.writes:
+                instance.memory.write(address, payload)
+            if record.raised is not None:
+                kind, detail = record.raised
+                if kind == "ProcExit":
+                    raise ProcExit(int(detail))
+                raise TrapError(str(detail))
+            return record.result
+
+        return call
+
+    return {
+        module: {
+            name: HostFunction(sig, replaying_fn(module, name), name)
+            for name, sig in names.items()
+        }
+        for module, names in log.declared.items()
+    }
+
+
+def replay_run(bytecode: bytes, log: HostCallLog, function: str,
+               args: Sequence[object] = (), check_args: bool = True):
+    """Replay a recorded execution against the interpreter, standalone.
+
+    Returns the invoked function's result (or the recorded exit code if
+    the run ended in ``proc_exit``). Each call replays from the start of
+    the log, so it can be repeated as a deterministic benchmark body.
+    """
+    from repro.wasm.interpreter import Interpreter
+
+    instance = Interpreter().instantiate(
+        bytecode, replay_imports(log, check_args=check_args))
+    try:
+        return instance.invoke(function, *args)
+    except ProcExit as exit_request:
+        return exit_request.code

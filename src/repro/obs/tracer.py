@@ -1,0 +1,182 @@
+"""The cross-world tracer: nested spans stamped with both clocks.
+
+Every span records *two* durations, one per time source, and never mixes
+them (DESIGN.md, "Clock discipline"):
+
+* **virtual nanoseconds** from the board's :class:`~repro.hw.clock.SimClock`
+  — architectural latencies (world transitions, driver round-trips, WASI
+  dispatch) that only exist on hardware;
+* **wall seconds** from ``time.perf_counter`` — genuine computation done
+  by this repo's code (crypto, Wasm execution, appraisal logic).
+
+Spans nest per thread; the tracer keeps a bounded flight-recorder ring
+buffer (oldest spans fall off) and is safe for concurrent emit from the
+gateway's worker threads. Instrumentation sites throughout the stack hold
+an ``Optional[Tracer]`` and skip *all* of this when it is ``None`` — the
+hot path stays one attribute test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.core.protocol import CostRecorder
+
+#: Worlds a span can be attributed to (mirrors repro.hw.caam.World values,
+#: without importing hardware into the observability layer).
+NORMAL = "normal"
+SECURE = "secure"
+
+
+@dataclass
+class Span:
+    """One completed region of work, stamped with both clocks."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    #: "normal" / "secure" / "" when the world is not meaningful.
+    world: str
+    #: Verifier TA lane index (fleet gateway), or None.
+    lane: Optional[int]
+    start_wall_s: float
+    end_wall_s: float
+    start_sim_ns: int
+    end_sim_ns: int
+    thread_id: int
+    thread_name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        return self.end_wall_s - self.start_wall_s
+
+    @property
+    def sim_ns(self) -> int:
+        return self.end_sim_ns - self.start_sim_ns
+
+
+class Tracer:
+    """Thread-safe dual-clock tracer with a bounded ring buffer.
+
+    ``sim_now`` must be a *pure* read of the virtual clock (for a board,
+    ``soc.clock.now_ns`` — never ``soc.read_monotonic_ns``, which charges
+    the cross-world fetch cost and would perturb what it measures).
+    """
+
+    def __init__(self, sim_now: Optional[Callable[[], int]] = None,
+                 capacity: int = 65536,
+                 wall_now: Callable[[], float] = time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._sim_now = sim_now or (lambda: 0)
+        self._wall_now = wall_now
+        self._buffer: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._emitted = 0
+        self._stacks = threading.local()
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, world: str = "", lane: Optional[int] = None,
+             **attrs: object) -> Iterator[Span]:
+        """Open a nested span; it is recorded when the block exits."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent_id = stack[-1] if stack else None
+        thread = threading.current_thread()
+        record = Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            world=world,
+            lane=lane,
+            start_wall_s=self._wall_now(),
+            end_wall_s=0.0,
+            start_sim_ns=self._sim_now(),
+            end_sim_ns=0,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            attrs=dict(attrs),
+        )
+        stack.append(span_id)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.end_wall_s = self._wall_now()
+            record.end_sim_ns = self._sim_now()
+            with self._lock:
+                self._buffer.append(record)
+                self._emitted += 1
+
+    def instant(self, name: str, world: str = "", **attrs: object) -> Span:
+        """Emit a zero-duration marker span."""
+        with self.span(name, world=world, **attrs) as record:
+            pass
+        return record
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total spans ever emitted (including ones the ring dropped)."""
+        with self._lock:
+            return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Spans pushed out of the flight recorder by newer ones."""
+        with self._lock:
+            return self._emitted - len(self._buffer)
+
+    def spans(self) -> List[Span]:
+        """A snapshot of the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def drain(self) -> List[Span]:
+        """Return the buffered spans and clear the ring."""
+        with self._lock:
+            spans = list(self._buffer)
+            self._buffer.clear()
+            return spans
+
+    def recorder(self) -> "TracingRecorder":
+        """A protocol :class:`CostRecorder` that mirrors phases as spans."""
+        return TracingRecorder(self)
+
+
+class TracingRecorder(CostRecorder):
+    """A :class:`CostRecorder` that also emits ``crypto.*`` spans.
+
+    Attester/verifier wrap every cryptographic phase through their
+    recorder (Table III); routing one of these through them makes the
+    same phases show up in the trace without touching protocol code.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        super().__init__()
+        self._tracer = tracer
+
+    @contextmanager
+    def phase(self, message: str, category: str) -> Iterator[None]:
+        with self._tracer.span(f"crypto.{category}", message=message):
+            with super().phase(message, category):
+                yield

@@ -1,0 +1,38 @@
+"""CLI schema gate for trace artifacts: ``python -m repro.obs.validate``.
+
+CI runs this on every exported Chrome-trace JSON; a file Perfetto's
+importer would reject fails the build (ISSUE 2 satellite). Exit code 0
+means every argument validated.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+            validate_chrome_trace(trace)
+        except (OSError, ValueError) as problem:
+            print(f"{path}: INVALID — {problem}", file=sys.stderr)
+            status = 1
+            continue
+        events = len(trace["traceEvents"])
+        print(f"{path}: ok ({events} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

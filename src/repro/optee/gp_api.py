@@ -94,6 +94,11 @@ class GpInternalApi:
     def costs(self):
         return self._kernel.soc.costs
 
+    @property
+    def tracer(self):
+        """The board's attached tracer, or None (tracing disabled)."""
+        return self._kernel.soc.tracer
+
     # -- time ----------------------------------------------------------------------
 
     def get_system_time_ns(self) -> int:
@@ -149,10 +154,21 @@ class GpInternalApi:
     def _socket_rpc(self, operation, payload_size: int = 0):
         soc = self._kernel.soc
         soc.require_world(World.SECURE)
-        soc.clock.advance(soc.costs.shared_copy_ns(payload_size))
-        with soc.rpc_to_normal_world():
-            soc.clock.advance(soc.costs.socket_roundtrip_ns)
-            result = operation()
+        tracer = soc.tracer
+        if tracer is None:
+            soc.clock.advance(soc.costs.shared_copy_ns(payload_size))
+            with soc.rpc_to_normal_world():
+                soc.clock.advance(soc.costs.socket_roundtrip_ns)
+                result = operation()
+            return result
+        with tracer.span("optee.socket_rpc", world="secure",
+                         payload=payload_size):
+            with tracer.span("optee.shared_copy", world="secure"):
+                soc.clock.advance(soc.costs.shared_copy_ns(payload_size))
+            with soc.rpc_to_normal_world():
+                with tracer.span("net.socket_roundtrip", world="normal"):
+                    soc.clock.advance(soc.costs.socket_roundtrip_ns)
+                    result = operation()
         return result
 
     def tcp_connect(self, host: str, port: int) -> int:
@@ -172,9 +188,13 @@ class GpInternalApi:
         supplicant = self._kernel.require_supplicant()
         remote = self._socket_handle(handle)
         data = self._socket_rpc(lambda: supplicant.receive(remote))
-        self._kernel.soc.clock.advance(
-            self._kernel.soc.costs.shared_copy_ns(len(data))
-        )
+        soc = self._kernel.soc
+        if soc.tracer is None:
+            soc.clock.advance(soc.costs.shared_copy_ns(len(data)))
+        else:
+            with soc.tracer.span("optee.shared_copy", world="secure",
+                                 payload=len(data)):
+                soc.clock.advance(soc.costs.shared_copy_ns(len(data)))
         return data
 
     def tcp_close(self, handle: int) -> None:
@@ -205,17 +225,31 @@ class TaSession:
         if not self._open:
             raise TeeAccessDenied("session is closed")
         soc = self._client.kernel.soc
-        with soc.enter_secure_world():
-            result = self.ta.invoke(command, params or {})
+        tracer = soc.tracer
+        if tracer is None:
+            with soc.enter_secure_world():
+                result = self.ta.invoke(command, params or {})
+            return result
+        with tracer.span("optee.ta.invoke", ta=self.api.manifest.name,
+                         command=command):
+            with soc.enter_secure_world():
+                result = self.ta.invoke(command, params or {})
         return result
 
     def close(self) -> None:
         if not self._open:
             return
         soc = self._client.kernel.soc
-        with soc.enter_secure_world():
-            self.ta.close_session()
-            self.api.release()
+        tracer = soc.tracer
+        if tracer is None:
+            with soc.enter_secure_world():
+                self.ta.close_session()
+                self.api.release()
+        else:
+            with tracer.span("optee.ta.close", ta=self.api.manifest.name):
+                with soc.enter_secure_world():
+                    self.ta.close_session()
+                    self.api.release()
         self._open = False
 
 
@@ -235,9 +269,18 @@ class OpTeeClient:
         self.kernel.soc.require_world(World.NORMAL)
         image = self.kernel.ta_image(uuid)
         soc = self.kernel.soc
-        with soc.enter_secure_world():
-            api = GpInternalApi(self.kernel, image.manifest)
-            ta = image.factory()
-            ta.manifest = image.manifest
-            ta.open_session(api)
+        tracer = soc.tracer
+        if tracer is None:
+            with soc.enter_secure_world():
+                api = GpInternalApi(self.kernel, image.manifest)
+                ta = image.factory()
+                ta.manifest = image.manifest
+                ta.open_session(api)
+            return TaSession(self, ta, api)
+        with tracer.span("optee.ta.open", ta=image.manifest.name):
+            with soc.enter_secure_world():
+                api = GpInternalApi(self.kernel, image.manifest)
+                ta = image.factory()
+                ta.manifest = image.manifest
+                ta.open_session(api)
         return TaSession(self, ta, api)

@@ -9,8 +9,10 @@ from repro.hw import (
     DEFAULT_COSTS,
     CostModel,
     EFuses,
+    SimClock,
     SoC,
     StageImage,
+    StopWatch,
     World,
     sign_stage,
 )
@@ -181,6 +183,53 @@ def test_clock_monotonicity():
     soc = SoC()
     with pytest.raises(ValueError):
         soc.clock.advance(-1)
+
+
+def test_clock_advance_zero_is_a_noop():
+    clock = SimClock()
+    clock.advance(5)
+    clock.advance(0)
+    assert clock.now_ns() == 5
+
+
+def test_stopwatch_nesting_attributes_inner_time_to_both():
+    clock = SimClock()
+    with StopWatch(clock) as outer:
+        clock.advance(100)
+        with StopWatch(clock) as inner:
+            clock.advance(40)
+        clock.advance(10)
+    assert inner.elapsed_ns == 40
+    assert outer.elapsed_ns == 150
+    # The outer watch includes the inner region exactly once.
+    assert outer.elapsed_ns - inner.elapsed_ns == 110
+
+
+def test_secure_read_charges_fetch_cost_exactly_once_per_call():
+    soc = _provisioned_soc()
+    soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    before = soc.clock.now_ns()
+    soc.read_monotonic_ns()
+    first = soc.clock.now_ns()
+    soc.read_monotonic_ns()
+    second = soc.clock.now_ns()
+    # Each secure-world read pays kernel RPC + clock read, once — the
+    # cost does not accumulate or get double-charged across calls.
+    assert first - before == DEFAULT_COSTS.secure_time_fetch_ns
+    assert second - first == DEFAULT_COSTS.secure_time_fetch_ns
+    assert DEFAULT_COSTS.secure_time_fetch_ns == \
+        DEFAULT_COSTS.kernel_rpc_ns + DEFAULT_COSTS.clock_read_ns
+
+
+def test_secure_read_returns_post_charge_timestamp():
+    soc = _provisioned_soc()
+    soc.secure_boot(_VENDOR.public_bytes(), _stages())
+    reading = soc.read_monotonic_ns()
+    # The returned timestamp is taken while still in the normal world,
+    # i.e. after the fetch cost has been charged, and the CPU is back in
+    # the secure world afterwards.
+    assert reading == soc.clock.now_ns()
+    assert soc.current_world == World.SECURE
 
 
 # -- cost model composition ------------------------------------------------------
