@@ -108,9 +108,11 @@ def test_table4_wasi_ra(benchmark, testbed, device, verifier_identity):
     ))
 
     # Shape: the handshake is the most expensive call; sending the quote
-    # is marginal; receiving absorbs the verifier's verification and
-    # grows with the blob.
+    # is the cheapest (fire-and-forget — with the fast EC paths the
+    # evidence signature is now sub-millisecond, so the margin over it is
+    # narrower than the paper's mbedTLS-era 5x); receiving absorbs the
+    # verifier's verification and grows with the blob.
     assert small["handshake"] > small["collect_quote"]
-    assert small["send_quote"] < small["collect_quote"] / 5
+    assert small["send_quote"] < small["collect_quote"]
     assert small["send_quote"] < small["receive_data"] / 5
     assert large["receive_data"] > small["receive_data"]

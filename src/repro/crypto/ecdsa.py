@@ -115,7 +115,9 @@ def verify(public: ec.Point, message: bytes, signature: bytes) -> None:
     s_inv = pow(s, ec.N - 2, ec.N)
     u1 = z * s_inv % ec.N
     u2 = r * s_inv % ec.N
-    point = ec.add(ec.scalar_base_mult(u1), ec.scalar_mult(u2, public))
+    # Shamir's trick: one joint double-scalar multiplication instead of
+    # two full multiplications plus an addition.
+    point = ec.double_scalar_base_mult(u1, u2, public)
     if point.is_infinity or point.x % ec.N != r:
         raise SignatureError("signature does not verify")
 

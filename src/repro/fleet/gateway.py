@@ -37,7 +37,7 @@ from repro.core import protocol
 from repro.core.server import SecretProvider, VerifierProtocolState
 from repro.core.transport import Network, Service
 from repro.core.verifier import Verifier, VerifierPolicy
-from repro.crypto import ecdsa
+from repro.crypto import ec, ecdsa
 from repro.errors import FleetOverloaded, TeeBadParameters
 from repro.fleet.backpressure import AdmissionController, TokenBucket
 from repro.fleet.cache import AppraisalCache
@@ -74,6 +74,11 @@ class FleetConfig:
     #: Declared heap of each verifier TA lane. Lanes hold only protocol
     #: state, so they stay far under the paper's 10 MB single verifier.
     lane_heap_size: int = 256 * 1024
+    #: Build the evidence key's EC tables in the worker thread *before*
+    #: taking the secure-monitor lock, so concurrent lanes overlap the
+    #: table construction and the in-lock ECDSA verify runs on warm
+    #: tables (the critical-section shrink of the perf tentpole).
+    prewarm_crypto: bool = True
 
 
 def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
@@ -326,6 +331,13 @@ class AttestationGateway:
         lane = self._lanes[entry.lane]
         clock = self.client.kernel.soc.clock
         service_s = 0.0
+        if self.config.prewarm_crypto and kind == "msg2":
+            # Critical-section shrink: the appraisal's expensive EC table
+            # construction happens here, in the worker thread, before the
+            # single secure-monitor lock serialises us. It is pure,
+            # idempotent math over *public* bytes, so the simulation
+            # contract (every world transition under the lock) is intact.
+            self._prewarm_crypto(data)
         try:
             with self._device_lock:
                 # Read inside the lock: invokes serialise here, so the
@@ -373,6 +385,25 @@ class AttestationGateway:
                 sim_transition_ns=sim_delta, cache_hit=cache_hit,
             ))
         return result.get("reply")
+
+    def _prewarm_crypto(self, data: bytes) -> None:
+        """Precompute the evidence key's EC tables outside the device lock.
+
+        Only plain (unsealed) msg2 carries the attestation public key in
+        the clear; encrypted evidence is prewarmed implicitly by earlier
+        plain handshakes from the same attester. Malformed input is
+        ignored here — the locked protocol path reports the real error.
+        """
+        if not data or data[0] != protocol.MSG2:
+            return
+        try:
+            message = protocol.decode_msg2(data)
+            evidence = message.signed_evidence.evidence
+            public = ec.decode_point(evidence.attestation_public_key)
+            ec.precompute_public_key(public)
+        except Exception:
+            return
+        self.metrics.increment("crypto_prewarms")
 
     @staticmethod
     def _kind(data: bytes) -> str:

@@ -11,7 +11,7 @@ private scalar never leaves the kernel.
 
 from __future__ import annotations
 
-from repro.crypto import ecdsa
+from repro.crypto import ec, ecdsa
 from repro.crypto.fortuna import seeded_fortuna
 from repro.errors import TeeAccessDenied
 from repro.hw.caam import World
@@ -27,6 +27,13 @@ class AttestationService:
         seed = kernel.huk_subkey_derive(ATTESTATION_KEY_USAGE, 32)
         generator = seeded_fortuna(seed)
         self.__key_pair = ecdsa.keypair_from_seed_stream(generator.random_bytes)
+        # Boot-time warm-up: signing uses the generator's comb tables, and
+        # any local verification of our own evidence (tests, loopback
+        # appraisals) uses the per-key table. Both are pure precomputation
+        # over public values, paid once here rather than on the first
+        # attestation's critical path.
+        ec.warm_generator_tables()
+        ec.precompute_public_key(self.__key_pair.public)
 
     @property
     def public_key_bytes(self) -> bytes:

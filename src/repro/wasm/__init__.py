@@ -7,6 +7,7 @@ and an ahead-of-time engine that lowers Wasm to Python closures.
 
 from repro.wasm.aot import AotCompiler
 from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.codecache import DEFAULT_CACHE, CodeCache
 from repro.wasm.decoder import decode_module
 from repro.wasm.interpreter import Interpreter
 from repro.wasm.module import Module
@@ -24,6 +25,8 @@ __all__ = [
     "AotCompiler",
     "Interpreter",
     "Engine",
+    "CodeCache",
+    "DEFAULT_CACHE",
     "ModuleBuilder",
     "FunctionBuilder",
     "decode_module",

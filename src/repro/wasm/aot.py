@@ -845,21 +845,41 @@ class AotCompiler(Engine):
 
     name = "aot"
 
-    def compile_function(self, module: Module, instance: Instance,
-                         func_index: int) -> Callable:
+    #: The Wasm -> Python lowering and CPython bytecode compilation depend
+    #: only on the module content, so the resulting top-level code object
+    #: (plus its source) is a reusable artifact; only the ``exec`` into a
+    #: per-instance namespace is instance-specific.
+    supports_code_artifacts = True
+
+    def compile_artifact(self, module: Module, func_index: int) -> tuple:
+        """Lower one function to a (code object, source) artifact."""
         func = module.functions[func_index - len(module.imported_funcs)]
         compiler = _FunctionCompiler(module, func, func_index)
         source = compiler.compile()
-        namespace = self._namespace(module, instance)
         code = compile(source, f"<wasm-aot f{func_index}>", "exec")
+        return (code, source)
+
+    def link_artifact(self, module: Module, instance: Instance,
+                      func_index: int, artifact: object) -> Callable:
+        """Bind a compiled artifact to an instance's fresh namespace."""
+        code, source = artifact
+        namespace = self._namespace(module, instance)
         exec(code, namespace)
         compiled = namespace[f"_wasm_f{func_index}"]
         compiled.__wasm_source__ = source  # aid debugging and tests
         # Internal Wasm->Wasm calls skip the coercing wrapper: values
         # produced inside the sandbox are already canonical.
         namespace["_f"].append(compiled)
+        func = module.functions[func_index - len(module.imported_funcs)]
         param_types = module.types[func.type_index].params
         return _wrap_entry(compiled, param_types)
+
+    def compile_function(self, module: Module, instance: Instance,
+                         func_index: int) -> Callable:
+        artifact = self.compile_artifact(module, func_index)
+        entry = self.link_artifact(module, instance, func_index, artifact)
+        entry.code_artifact = artifact
+        return entry
 
     def _namespace(self, module: Module, instance: Instance) -> dict:
         cached = getattr(instance, "_aot_namespace", None)

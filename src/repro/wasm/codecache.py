@@ -1,0 +1,171 @@
+"""Content-addressed code cache for compiled Wasm modules.
+
+The paper's startup breakdown (Fig. 4) is dominated by the load phase —
+parsing, validation and AOT processing of the module. In the fleet steady
+state (and in every benchmark repeat) the *same* module binary is
+instantiated over and over, so that work is pure waste after the first
+load. This cache keys it by content: ``sha256(module binary)`` plus the
+engine name addresses
+
+* the decoded, validated :class:`~repro.wasm.module.Module` (both
+  engines), and
+* per-function AOT artifacts — the compiled top-level code object and its
+  generated source (AOT engine only).
+
+Artifacts are *code*, never *state*: the AOT artifact is the module-level
+code object of the generated ``def``, which each instantiation ``exec``\\ s
+into its own fresh namespace. Instances therefore share compiled code
+objects but never memories, tables or globals.
+
+The cache is a bounded LRU (never grows past ``capacity`` modules) with an
+explicit bypass: pass ``code_cache=None`` to
+:meth:`~repro.wasm.runtime.Engine.instantiate` (or ``code_cache=False`` to
+the runtime TA's ``CMD_LOAD``) to force a full recompile, and
+:meth:`CodeCache.invalidate` / :meth:`CodeCache.clear` to drop entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.wasm.module import Module
+
+
+class _Sentinel:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<use the process-wide default code cache>"
+
+
+#: Default argument for ``instantiate(code_cache=...)``: use the
+#: process-wide cache. ``None`` means bypass.
+DEFAULT = _Sentinel()
+
+
+class CacheEntry:
+    """Cached compilation products of one (module binary, engine) pair."""
+
+    __slots__ = ("module", "artifacts")
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        #: func_index -> engine-specific artifact (opaque to the cache).
+        self.artifacts: Dict[int, object] = {}
+
+
+class CodeCache:
+    """A thread-safe, bounded, content-addressed module cache."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("code cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def module_key(binary: bytes) -> str:
+        """The content address of a module binary."""
+        return hashlib.sha256(binary).hexdigest()
+
+    def lookup(self, key: str, engine_name: str) -> Optional[CacheEntry]:
+        """Fetch the entry for a content key, counting hit/miss."""
+        with self._lock:
+            entry = self._entries.get((key, engine_name))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((key, engine_name))
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str, engine_name: str) -> Optional[CacheEntry]:
+        """Like :meth:`lookup` but without touching hit/miss counters.
+
+        Used when the caller already did (and counted) the lookup for this
+        load and hands the engine a decoded module plus its key."""
+        with self._lock:
+            entry = self._entries.get((key, engine_name))
+            if entry is not None:
+                self._entries.move_to_end((key, engine_name))
+            return entry
+
+    def store(self, key: str, engine_name: str, module: Module) -> CacheEntry:
+        """Insert a decoded module, evicting LRU entries past capacity."""
+        entry = CacheEntry(module)
+        with self._lock:
+            existing = self._entries.get((key, engine_name))
+            if existing is not None:
+                # Same content hash: the module is identical; keep the
+                # entry that may already hold compiled artifacts.
+                self._entries.move_to_end((key, engine_name))
+                return existing
+            self._entries[(key, engine_name)] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def store_artifact(self, entry: CacheEntry, func_index: int,
+                       artifact: object) -> None:
+        with self._lock:
+            entry.artifacts.setdefault(func_index, artifact)
+
+    def invalidate(self, key: str, engine_name: Optional[str] = None) -> int:
+        """Drop the entries for a content key; returns how many were dropped."""
+        dropped = 0
+        with self._lock:
+            for existing in list(self._entries):
+                if existing[0] == key and engine_name in (None, existing[1]):
+                    del self._entries[existing]
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss/eviction counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: The process-wide default cache, shared by every engine the way the
+#: generator tables in :mod:`repro.crypto.ec` are shared: module binaries
+#: are immutable content, so sharing is always sound.
+DEFAULT_CACHE = CodeCache()
+
+
+def resolve(code_cache) -> Optional[CodeCache]:
+    """Map an ``instantiate(code_cache=...)`` argument to a cache or None."""
+    if code_cache is DEFAULT:
+        return DEFAULT_CACHE
+    if code_cache is None or code_cache is False:
+        return None
+    if code_cache is True:
+        return DEFAULT_CACHE
+    if isinstance(code_cache, CodeCache):
+        return code_cache
+    raise TypeError(
+        "code_cache must be a CodeCache, None/False (bypass), True or "
+        "codecache.DEFAULT"
+    )

@@ -12,6 +12,7 @@ import struct
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import LinkError, TrapError, ValidationError
+from repro.wasm import codecache
 from repro.wasm.decoder import decode_module
 from repro.wasm.module import Module
 from repro.wasm.types import PAGE_SIZE, FuncType, ValType
@@ -157,25 +158,74 @@ class Engine:
     #: Human-readable engine name, used in benchmark labels.
     name = "abstract"
 
+    #: True when :meth:`compile_function` produces an instance-independent
+    #: artifact (exposed via a ``code_artifact`` attribute on the returned
+    #: callable) that :meth:`link_artifact` can re-link into a fresh
+    #: instance. The interpreter builds per-instance closures, so only the
+    #: decoded module is cacheable for it.
+    supports_code_artifacts = False
+
     def compile_function(self, module: Module, instance: Instance,
                          func_index: int) -> Callable:
+        raise NotImplementedError
+
+    def link_artifact(self, module: Module, instance: Instance,
+                      func_index: int, artifact: object) -> Callable:
+        """Turn a cached artifact into a callable bound to ``instance``."""
         raise NotImplementedError
 
     # -- shared instantiation -------------------------------------------------
 
     def instantiate(self, module_or_binary, imports: Optional[Imports] = None,
-                    memory_cap_bytes: Optional[int] = None) -> Instance:
+                    memory_cap_bytes: Optional[int] = None,
+                    code_cache=codecache.DEFAULT,
+                    cache_key: Optional[str] = None) -> Instance:
         """Validate and instantiate a module (binary or decoded).
 
         ``memory_cap_bytes`` lets the embedding platform (OP-TEE's secure
         heap in this reproduction) cap the linear memory irrespective of the
         module's own limits.
+
+        ``code_cache`` selects the content-addressed code cache:
+        :data:`repro.wasm.codecache.DEFAULT` (or ``True``) uses the
+        process-wide cache, ``None``/``False`` bypasses caching entirely, a
+        :class:`~repro.wasm.codecache.CodeCache` uses that instance. On a
+        hit, decoding, validation and per-function compilation are all
+        skipped; runtime state (memory, table, globals) is always built
+        fresh. ``cache_key`` supplies the content address when the caller
+        already decoded the binary itself (a decoded module without a key
+        cannot be content-addressed and is never cached).
         """
+        cache = codecache.resolve(code_cache)
+        cache_entry = None
         if isinstance(module_or_binary, (bytes, bytearray)):
-            module = decode_module(bytes(module_or_binary))
+            binary = bytes(module_or_binary)
+            if cache is not None:
+                if cache_key is None:
+                    cache_key = codecache.CodeCache.module_key(binary)
+                cache_entry = cache.lookup(cache_key, self.name)
+            if cache_entry is not None:
+                module = cache_entry.module
+            else:
+                module = decode_module(binary)
+                validate_module(module)
+                if cache is not None:
+                    cache_entry = cache.store(cache_key, self.name, module)
         else:
             module = module_or_binary
-        validate_module(module)
+            if cache is not None and cache_key is not None:
+                # The caller decoded (and content-addressed) the binary
+                # itself and already accounted the hit/miss for this load.
+                cache_entry = cache.peek(cache_key, self.name)
+                if cache_entry is None:
+                    validate_module(module)
+                    cache_entry = cache.store(cache_key, self.name, module)
+                elif cache_entry.module is not module:
+                    # Adopt the cached decode so artifacts and module stay
+                    # consistent (same content hash => same module).
+                    module = cache_entry.module
+            else:
+                validate_module(module)
         imports = imports or {}
 
         instance = Instance(module)
@@ -230,11 +280,24 @@ class Engine:
             instance.memory.write(segment.offset, segment.data)
 
         local_base = len(module.imported_funcs)
+        reusable = (cache_entry is not None and self.supports_code_artifacts)
         for local_index in range(len(module.functions)):
             func_index = local_base + local_index
-            instance.funcs.append(
-                self.compile_function(module, instance, func_index)
-            )
+            artifact = cache_entry.artifacts.get(func_index) \
+                if reusable else None
+            if artifact is not None:
+                # Cache hit: re-link the compiled code object into this
+                # instance's fresh namespace — no recompilation.
+                fn = self.link_artifact(module, instance, func_index,
+                                        artifact)
+            else:
+                fn = self.compile_function(module, instance, func_index)
+                if reusable:
+                    produced = getattr(fn, "code_artifact", None)
+                    if produced is not None:
+                        cache.store_artifact(cache_entry, func_index,
+                                             produced)
+            instance.funcs.append(fn)
             instance.func_types.append(module.func_type(func_index))
 
         if module.start is not None:

@@ -9,6 +9,19 @@ from repro.testbed import Device, Testbed
 from repro.wasm import AotCompiler, Interpreter
 
 
+@pytest.fixture(autouse=True)
+def _fresh_code_cache():
+    """Each test starts with a cold process-wide code cache.
+
+    The cache is content-addressed and process-wide by design; clearing it
+    between tests keeps cold-start assertions (e.g. the Fig. 4 breakdown
+    shape) independent of test execution order."""
+    from repro.wasm.codecache import DEFAULT_CACHE
+
+    DEFAULT_CACHE.clear()
+    yield
+
+
 @pytest.fixture(params=["interpreter", "aot"])
 def engine(request):
     """Both execution engines; spec-behaviour tests run on each."""

@@ -1,0 +1,146 @@
+"""The fast crypto paths must be invisible to the cost model.
+
+The wNAF/comb/Shamir fast paths change *wall-clock* time only. Everything
+the simulation observes — the protocol transcript, the CostRecorder phase
+sequence (Table III), the TracingRecorder span stream, and the SimClock
+totals of a full on-device attestation — must be byte-for-byte identical
+between the fast paths and the retained naive reference.
+"""
+
+import hashlib
+from contextlib import contextmanager
+
+from repro.core import VerifierPolicy, measure_bytes, start_verifier
+from repro.core import protocol
+from repro.core.attester import Attester
+from repro.core.verifier import Verifier
+from repro.crypto import ec, ecdsa
+from repro.obs import Tracer
+from repro.testbed import Testbed
+from repro.workloads.attested import build_attested_app
+
+_SECRET = b"the attested payload" * 10
+_ATTESTATION_PRIVATE = 0xA77E57 + 99
+_VERIFIER_PRIVATE = 0x5EC2E7 + 7
+
+
+def _deterministic_random(label: str):
+    state = {"n": 0}
+
+    def random_bytes(size: int) -> bytes:
+        state["n"] += 1
+        out = b""
+        while len(out) < size:
+            out += hashlib.sha256(
+                f"{label}/{state['n']}/{len(out)}".encode()).digest()
+        return out[:size]
+
+    return random_bytes
+
+
+class _SequenceRecorder(protocol.CostRecorder):
+    """Records the exact order of phases, not just their accumulated time."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sequence = []
+
+    @contextmanager
+    def phase(self, message, category):
+        self.sequence.append((message, category))
+        with super().phase(message, category):
+            yield
+
+
+def _run_handshake(recorder_a, recorder_v):
+    """Full msg0..msg3 exchange; returns the transcript and the secret."""
+    attestation_pair = ecdsa.keypair_from_private(_ATTESTATION_PRIVATE)
+    identity = ecdsa.keypair_from_private(_VERIFIER_PRIVATE)
+    claim = hashlib.sha256(b"trusted module").digest()
+
+    policy = VerifierPolicy()
+    policy.endorse(attestation_pair.public_bytes())
+    policy.trust_measurement(claim)
+
+    attester = Attester(_deterministic_random("attester"), recorder_a)
+    verifier = Verifier(identity, policy,
+                        _deterministic_random("verifier"), recorder_v)
+
+    session = attester.start_session(identity.public_bytes())
+    msg0 = attester.make_msg0(session)
+    vsession, msg1 = verifier.handle_msg0(msg0)
+    attester.handle_msg1(session, msg1)
+    signed = attester.collect_evidence(
+        session.anchor, claim, attestation_pair.public_bytes(),
+        lambda body: ecdsa.sign(attestation_pair.private, body))
+    msg2 = attester.make_msg2(session, signed)
+    msg3 = verifier.handle_msg2(vsession, msg2, _SECRET)
+    secret = attester.handle_msg3(session, msg3)
+    return (msg0, msg1, msg2, msg3), secret
+
+
+def test_transcript_and_phase_sequence_identical_on_both_paths():
+    recorder_fast_a, recorder_fast_v = _SequenceRecorder(), _SequenceRecorder()
+    transcript_fast, secret_fast = _run_handshake(recorder_fast_a,
+                                                  recorder_fast_v)
+
+    with ec.reference_paths():
+        recorder_ref_a, recorder_ref_v = (_SequenceRecorder(),
+                                          _SequenceRecorder())
+        transcript_ref, secret_ref = _run_handshake(recorder_ref_a,
+                                                    recorder_ref_v)
+
+    assert secret_fast == secret_ref == _SECRET
+    # Deterministic randomness + RFC 6979 signing: the wire bytes must not
+    # depend on which scalar-multiplication algorithm produced them.
+    assert transcript_fast == transcript_ref
+    # The recorders saw the same phases in the same order on both sides.
+    assert recorder_fast_a.sequence == recorder_ref_a.sequence
+    assert recorder_fast_v.sequence == recorder_ref_v.sequence
+    assert set(recorder_fast_a.seconds) == set(recorder_ref_a.seconds)
+    assert set(recorder_fast_v.seconds) == set(recorder_ref_v.seconds)
+    # Every Table III (message, category) cell the bench prints is present.
+    assert ("msg1", protocol.ASYMMETRIC) in recorder_fast_a.sequence
+    assert ("msg2", protocol.ASYMMETRIC) in recorder_fast_v.sequence
+
+
+def test_tracing_recorder_spans_identical_on_both_paths():
+    tracer_fast = Tracer()
+    _run_handshake(tracer_fast.recorder(), tracer_fast.recorder())
+
+    tracer_ref = Tracer()
+    with ec.reference_paths():
+        _run_handshake(tracer_ref.recorder(), tracer_ref.recorder())
+
+    def shape(tracer):
+        return [(s.name, s.attrs.get("message")) for s in tracer.spans()]
+
+    fast_shape = shape(tracer_fast)
+    assert fast_shape == shape(tracer_ref)
+    assert ("crypto.asymmetric", "msg2") in fast_shape
+
+
+def _attested_device_clock_ns() -> int:
+    """Run a full on-device attestation; return the final SimClock time."""
+    host, port = "invariance.local", 7100
+    testbed = Testbed(deterministic_rng=True)
+    device = testbed.create_device()
+    identity = ecdsa.keypair_from_private(_VERIFIER_PRIVATE)
+    app = build_attested_app(identity.public_bytes(), host, port,
+                             secret_capacity=1 << 12)
+    policy = VerifierPolicy()
+    policy.endorse(device.attestation_public_key)
+    policy.trust_measurement(measure_bytes(app).digest)
+    start_verifier(testbed.network, host, port, device.client,
+                   testbed.vendor_key, identity, policy, lambda: _SECRET)
+    session = device.open_watz(heap_size=17 * 1024 * 1024)
+    loaded = device.load_wasm(session, app)
+    assert device.run_wasm(session, loaded["app"], "attest") == len(_SECRET)
+    return device.soc.clock.now_ns()
+
+
+def test_simclock_totals_identical_on_both_paths():
+    fast_ns = _attested_device_clock_ns()
+    with ec.reference_paths():
+        reference_ns = _attested_device_clock_ns()
+    assert fast_ns == reference_ns

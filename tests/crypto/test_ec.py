@@ -110,3 +110,65 @@ def test_dh_commutativity(scalar):
     shared_one = ec.scalar_mult(scalar, ec.scalar_base_mult(other))
     shared_two = ec.scalar_mult(other, ec.scalar_base_mult(scalar))
     assert shared_one == shared_two
+
+
+# -- dedicated rejection messages (decode_point / validate_public_key) --------
+
+
+def test_decode_rejects_infinity_encoding_with_dedicated_error():
+    with pytest.raises(CryptoError, match="point at infinity"):
+        ec.decode_point(b"\x00")
+
+
+def test_decode_rejects_off_curve_with_dedicated_error():
+    p = ec.scalar_base_mult(3)
+    bad = b"\x04" + p.x.to_bytes(32, "big") \
+        + ((p.y + 1) % ec.P).to_bytes(32, "big")
+    with pytest.raises(CryptoError, match="not on secp256r1"):
+        ec.decode_point(bad)
+
+
+def test_decode_rejects_non_canonical_coordinate():
+    # x == P is a non-canonical field element even though x mod P would
+    # put the point on the curve.
+    y = ec.GENERATOR.y
+    bad = b"\x04" + ec.P.to_bytes(32, "big") + y.to_bytes(32, "big")
+    with pytest.raises(CryptoError, match="canonical field element"):
+        ec.decode_point(bad)
+
+
+def test_decode_rejects_malformed_length():
+    with pytest.raises(CryptoError, match="malformed uncompressed point"):
+        ec.decode_point(b"\x04" + b"\x01" * 63)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_validate_public_key_rejections_on_both_paths(fast):
+    previous = ec.use_fast_paths(fast)
+    try:
+        with pytest.raises(CryptoError, match="point at infinity"):
+            ec.validate_public_key(ec.INFINITY)
+        off_curve = ec.Point(ec.GENERATOR.x, (ec.GENERATOR.y + 1) % ec.P)
+        with pytest.raises(CryptoError, match="not on secp256r1"):
+            ec.validate_public_key(off_curve)
+        # Same accept set: every on-curve non-infinity point passes
+        # (secp256r1 has cofactor 1, so there is no small subgroup).
+        ec.validate_public_key(ec.scalar_base_mult(42))
+    finally:
+        ec.use_fast_paths(previous)
+
+
+def test_precompute_rejects_infinity():
+    with pytest.raises(CryptoError, match="point at infinity"):
+        ec.precompute_public_key(ec.INFINITY)
+
+
+def test_key_table_cache_is_bounded():
+    ec.clear_key_table_cache()
+    capacity = ec.key_table_cache_info()["capacity"]
+    for seed in range(1, capacity + 10):
+        ec.precompute_public_key(ec.scalar_base_mult(seed))
+    info = ec.key_table_cache_info()
+    assert info["entries"] == capacity
+    ec.clear_key_table_cache()
+    assert ec.key_table_cache_info()["entries"] == 0

@@ -1,0 +1,161 @@
+"""Known-answer vectors for the P-256 stack, run on BOTH crypto paths.
+
+Scalar multiplication vectors are the classic NIST point-multiplication
+test values; ECDSA vectors are RFC 6979 appendix A.2.5 (P-256, SHA-256);
+ECDH vectors are RFC 5903 section 8.1. Every vector is exercised against
+the fast (wNAF/comb/Shamir) path and the retained naive reference, so a
+regression in either — or any divergence between them — fails here
+against *external* ground truth, not just self-consistency.
+"""
+
+import pytest
+
+from repro.crypto import ec, ecdh, ecdsa
+from repro.errors import SignatureError
+
+
+@pytest.fixture(params=["fast", "naive"])
+def crypto_path(request):
+    previous = ec.use_fast_paths(request.param == "fast")
+    yield request.param
+    ec.use_fast_paths(previous)
+
+
+# -- NIST P-256 point multiplication: k * G -----------------------------------
+
+_SCALAR_MULT_VECTORS = [
+    (1,
+     0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+     0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5),
+    (2,
+     0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978,
+     0x07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1),
+    (3,
+     0x5ECBE4D1A6330A44C8F7EF951D4BF165E6C6B721EFADA985FB41661BC6E7FD6C,
+     0x8734640C4998FF7E374B06CE1A64A2ECD82AB036384FB83D9A79B127A27D5032),
+    (4,
+     0xE2534A3532D08FBBA02DDE659EE62BD0031FE2DB785596EF509302446B030852,
+     0xE0F1575A4C633CC719DFEE5FDA862D764EFC96C3F30EE0055C42C23F184ED8C6),
+    (5,
+     0x51590B7A515140D2D784C85608668FDFEF8C82FD1F5BE52421554A0DC3D033ED,
+     0xE0C17DA8904A727D8AE1BF36BF8A79260D012F00D4D80888D1D0BB44FDA16DA4),
+    (112233445566778899,
+     0x339150844EC15234807FE862A86BE77977DBFB3AE3D96F4C22795513AEAAB82F,
+     0xB1C14DDFDC8EC1B2583F51E85A5EB3A155840F2034730E9B5ADA38B674336A21),
+]
+
+
+@pytest.mark.parametrize("k, x, y", _SCALAR_MULT_VECTORS)
+def test_scalar_base_mult_known_answers(crypto_path, k, x, y):
+    assert ec.scalar_base_mult(k) == ec.Point(x, y)
+
+
+@pytest.mark.parametrize("k, x, y", _SCALAR_MULT_VECTORS)
+def test_scalar_mult_of_generator_known_answers(crypto_path, k, x, y):
+    assert ec.scalar_mult(k, ec.GENERATOR) == ec.Point(x, y)
+
+
+@pytest.mark.parametrize("k, x, y", _SCALAR_MULT_VECTORS)
+def test_scalar_mult_cached_key_known_answers(crypto_path, k, x, y):
+    # Precomputing 2G installs the split table; (k * 2) * G == k * (2G)
+    # cross-checks the cached-table code path against the same vectors.
+    two_g = ec.scalar_base_mult(2)
+    ec.precompute_public_key(two_g)
+    assert ec.scalar_mult(k, two_g) == ec.scalar_base_mult(2 * k)
+
+
+def test_order_times_generator_is_infinity(crypto_path):
+    assert ec.scalar_mult(ec.N, ec.GENERATOR).is_infinity
+    assert ec.scalar_base_mult(ec.N).is_infinity
+
+
+# -- RFC 6979 A.2.5: deterministic ECDSA on P-256 with SHA-256 ----------------
+
+_RFC6979_PRIVATE = \
+    0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+_RFC6979_PUB_X = \
+    0x60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6
+_RFC6979_PUB_Y = \
+    0x7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299
+
+_RFC6979_VECTORS = [
+    (b"sample",
+     0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716,
+     0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8),
+    (b"test",
+     0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367,
+     0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083),
+]
+
+
+def test_rfc6979_public_key(crypto_path):
+    pair = ecdsa.keypair_from_private(_RFC6979_PRIVATE)
+    assert pair.public == ec.Point(_RFC6979_PUB_X, _RFC6979_PUB_Y)
+
+
+@pytest.mark.parametrize("message, r, s", _RFC6979_VECTORS)
+def test_rfc6979_deterministic_signatures(crypto_path, message, r, s):
+    pair = ecdsa.keypair_from_private(_RFC6979_PRIVATE)
+    signature = ecdsa.sign(pair.private, message)
+    got_r = int.from_bytes(signature[:32], "big")
+    got_s = int.from_bytes(signature[32:], "big")
+    assert got_r == r
+    # Our sign() applies low-s normalisation (malleability defence); the
+    # RFC's s may be the high representative of the same signature class.
+    assert got_s == min(s, ec.N - s)
+
+
+@pytest.mark.parametrize("message, r, s", _RFC6979_VECTORS)
+def test_rfc6979_signatures_verify(crypto_path, message, r, s):
+    public = ec.Point(_RFC6979_PUB_X, _RFC6979_PUB_Y)
+    # The RFC's exact (r, s) — including a high s — must verify.
+    signature = r.to_bytes(32, "big") + s.to_bytes(32, "big")
+    ecdsa.verify(public, message, signature)
+    with pytest.raises(SignatureError):
+        ecdsa.verify(public, message + b"?", signature)
+
+
+def test_rfc6979_verify_with_precomputed_key(crypto_path):
+    public = ec.Point(_RFC6979_PUB_X, _RFC6979_PUB_Y)
+    ec.precompute_public_key(public)
+    message, r, s = _RFC6979_VECTORS[0]
+    signature = r.to_bytes(32, "big") + s.to_bytes(32, "big")
+    ecdsa.verify(public, message, signature)
+
+
+# -- RFC 5903 section 8.1: ECDH on P-256 --------------------------------------
+
+_IKE_I_PRIV = \
+    0xC88F01F510D9AC3F70A292DAA2316DE544E9AAB8AFE84049C62A9C57862D1433
+_IKE_GI_X = \
+    0xDAD0B65394221CF9B051E1FECA5787D098DFE637FC90B9EF945D0C3772581180
+_IKE_GI_Y = \
+    0x5271A0461CDB8252D61F1C456FA3E59AB1F45B33ACCF5F58389E0577B8990BB3
+_IKE_R_PRIV = \
+    0xC6EF9C5D78AE012A011164ACB397CE2088685D8F06BF9BE0B283AB46476BEE53
+_IKE_GR_X = \
+    0xD12DFB5289C8D4F81208B70270398C342296970A0BCCB74C736FC7554494BF63
+_IKE_GR_Y = \
+    0x56FBF3CA366CC23E8157854C13C58D6AAC23F046ADA30F8353E74F33039872AB
+_IKE_SHARED = \
+    0xD6840F6B42F6EDAFD13116E0E12565202FEF8E9ECE7DCE03812464D04B9442DE
+
+
+def test_rfc5903_public_values(crypto_path):
+    assert ec.scalar_base_mult(_IKE_I_PRIV) == ec.Point(_IKE_GI_X, _IKE_GI_Y)
+    assert ec.scalar_base_mult(_IKE_R_PRIV) == ec.Point(_IKE_GR_X, _IKE_GR_Y)
+
+
+def test_rfc5903_shared_secret(crypto_path):
+    expected = _IKE_SHARED.to_bytes(32, "big")
+    gi = ec.Point(_IKE_GI_X, _IKE_GI_Y)
+    gr = ec.Point(_IKE_GR_X, _IKE_GR_Y)
+    assert ecdh.shared_secret(_IKE_I_PRIV, gr) == expected
+    assert ecdh.shared_secret(_IKE_R_PRIV, gi) == expected
+
+
+def test_rfc5903_shared_secret_with_precomputed_peer(crypto_path):
+    gr = ec.Point(_IKE_GR_X, _IKE_GR_Y)
+    ec.precompute_public_key(gr)
+    expected = _IKE_SHARED.to_bytes(32, "big")
+    assert ecdh.shared_secret(_IKE_I_PRIV, gr) == expected

@@ -256,3 +256,45 @@ def test_cache_accelerates_reattestation(fleet):
     msg2 = [record for record in records if record.kind == "msg2"]
     assert [record.cache_hit for record in msg2] == [False, True]
     assert gateway.cache.snapshot()["hits"] == 1
+
+
+# -- crypto prewarm: appraisal precompute outside the device lock -------------
+
+
+def test_msg2_prewarm_runs_before_appraisal(fleet):
+    testbed, gateway, policy, identity = fleet
+    stack = build_attester_stacks(testbed, policy, 1)[0]
+    result = run_one_handshake(testbed.network, HOST, PORT,
+                               identity.public_bytes(), stack)
+    assert result.ok, result.error
+    # One msg2 arrived, so the worker built the evidence key's wNAF table
+    # before taking the secure-monitor lock.
+    assert gateway.metrics.counter("crypto_prewarms") == 1
+    assert gateway.metrics.counter("handshakes_completed") == 1
+
+
+def test_prewarm_can_be_disabled(testbed, verifier_identity):
+    device = testbed.create_device()
+    policy = VerifierPolicy()
+    gateway = start_fleet_gateway(
+        testbed.network, HOST, PORT + 1, device.client, testbed.vendor_key,
+        verifier_identity, policy, lambda: SECRET,
+        FleetConfig(workers=1, prewarm_crypto=False),
+    )
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        result = run_one_handshake(testbed.network, HOST, PORT + 1,
+                                   verifier_identity.public_bytes(), stack)
+        assert result.ok, result.error
+        assert gateway.metrics.counter("crypto_prewarms") == 0
+    finally:
+        gateway.stop()
+
+
+def test_prewarm_swallows_malformed_msg2(fleet):
+    _, gateway, _, _ = fleet
+    # Prewarming is a pure optimisation over untrusted bytes: garbage must
+    # neither raise nor count as a prewarm — appraisal rejects it later.
+    gateway._prewarm_crypto(b"\x02" + b"\xff" * 40)
+    gateway._prewarm_crypto(b"")
+    assert gateway.metrics.counter("crypto_prewarms") == 0
