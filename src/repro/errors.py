@@ -183,6 +183,15 @@ class FleetOverloaded(FleetError):
         self.reason = reason
 
 
+class FleetShardCrashed(FleetError):
+    """A verifier shard died (or wedged) while serving a message.
+
+    The in-flight handshake cannot be salvaged — its protocol state lived
+    in the dead shard — so it fails cleanly and the attester restarts
+    from msg0 against the respawned worker.
+    """
+
+
 # --- Formal verification --------------------------------------------------
 
 

@@ -32,6 +32,12 @@ from repro.fleet.loadgen import (
 )
 from repro.fleet.metrics import FleetMetrics, LatencyHistogram
 from repro.fleet.sessions import SessionEntry, SessionTable
+from repro.fleet.shards import (
+    CRASH_EVICT_REASON,
+    ShardedGateway,
+    ShardSpec,
+    start_sharded_gateway,
+)
 
 __all__ = [
     "AdmissionController",
@@ -58,4 +64,8 @@ __all__ = [
     "LatencyHistogram",
     "SessionEntry",
     "SessionTable",
+    "CRASH_EVICT_REASON",
+    "ShardedGateway",
+    "ShardSpec",
+    "start_sharded_gateway",
 ]

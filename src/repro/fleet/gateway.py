@@ -52,6 +52,27 @@ CMD_FLEET_EVICT = 2
 FLEET_VERIFIER_UUID = "watz-fleet-verifier"
 
 
+def prewarm_msg2_tables(data: bytes) -> bool:
+    """Precompute the evidence key's EC tables for a plain msg2.
+
+    Pure, idempotent math over *public* bytes, safe to run outside any
+    device lock (threaded gateway) or before the TA invoke (shard
+    worker). Only plain msg2 carries the attestation public key in the
+    clear; malformed input is ignored here — the protocol path reports
+    the real error. Returns True when tables were (re)warmed.
+    """
+    if not data or data[0] != protocol.MSG2:
+        return False
+    try:
+        message = protocol.decode_msg2(data)
+        evidence = message.signed_evidence.evidence
+        public = ec.decode_point(evidence.attestation_public_key)
+        ec.precompute_public_key(public)
+    except Exception:
+        return False
+    return True
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """Gateway sizing knobs."""
@@ -79,6 +100,31 @@ class FleetConfig:
     #: table construction and the in-lock ECDSA verify runs on warm
     #: tables (the critical-section shrink of the perf tentpole).
     prewarm_crypto: bool = True
+    #: Process shards (:mod:`repro.fleet.shards`). ``0`` keeps the
+    #: in-process thread-pool gateway above; ``n >= 1`` runs ``n``
+    #: verifier shard *processes*, each booting its own simulated board
+    #: and owning a slice of the session space, so verifier work scales
+    #: with host cores instead of serialising on the GIL.
+    shards: int = 0
+    #: Bounded per-shard in-flight window; a message that finds its
+    #: shard's queue full is shed with ``FleetOverloaded("queue")``.
+    #: ``None`` sizes it as ``max_in_flight`` (the global window then
+    #: bounds first).
+    shard_queue_depth: Optional[int] = None
+    #: Supervisor cadence: how often each shard is liveness-checked.
+    heartbeat_interval_s: float = 0.25
+    #: A shard that cannot answer a heartbeat within this window is
+    #: declared wedged, killed and respawned.
+    heartbeat_timeout_s: float = 2.0
+    #: Upper bound a router thread waits for a shard's reply before the
+    #: message fails with ``FleetShardCrashed``.
+    shard_request_timeout_s: float = 30.0
+    #: Board serial of shard 0 (shard ``i`` gets ``base + i``). With
+    #: ``shard_deterministic_rng`` this pins the shard board's entropy
+    #: stream — the lever the behaviour-invariance tests use to make a
+    #: sharded gateway draw the very bytes the threaded one would.
+    shard_base_serial: int = 1
+    shard_deterministic_rng: bool = False
 
 
 def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
@@ -391,19 +437,10 @@ class AttestationGateway:
 
         Only plain (unsealed) msg2 carries the attestation public key in
         the clear; encrypted evidence is prewarmed implicitly by earlier
-        plain handshakes from the same attester. Malformed input is
-        ignored here — the locked protocol path reports the real error.
+        plain handshakes from the same attester.
         """
-        if not data or data[0] != protocol.MSG2:
-            return
-        try:
-            message = protocol.decode_msg2(data)
-            evidence = message.signed_evidence.evidence
-            public = ec.decode_point(evidence.attestation_public_key)
-            ec.precompute_public_key(public)
-        except Exception:
-            return
-        self.metrics.increment("crypto_prewarms")
+        if prewarm_msg2_tables(data):
+            self.metrics.increment("crypto_prewarms")
 
     @staticmethod
     def _kind(data: bytes) -> str:
@@ -439,8 +476,20 @@ def start_fleet_gateway(network: Network, host: str, port: int,
                         secret_provider: SecretProvider,
                         config: FleetConfig = FleetConfig(),
                         recorder: Optional[protocol.CostRecorder] = None,
-                        tracer=None) -> AttestationGateway:
-    """Convenience mirror of :func:`repro.core.server.start_verifier`."""
+                        tracer=None):
+    """Convenience mirror of :func:`repro.core.server.start_verifier`.
+
+    With ``config.shards >= 1`` this starts the process-sharded gateway
+    (:mod:`repro.fleet.shards`) instead of the in-process thread pool;
+    ``client`` is then unused — every shard boots its own board.
+    """
+    if config.shards:
+        from repro.fleet.shards import ShardedGateway
+
+        sharded = ShardedGateway(network, host, port, vendor_key, identity,
+                                 policy, secret_provider, config,
+                                 recorder=recorder, tracer=tracer)
+        return sharded.start()
     gateway = AttestationGateway(network, host, port, client, vendor_key,
                                  identity, policy, secret_provider,
                                  config, recorder, tracer=tracer)

@@ -11,12 +11,18 @@ Two halves, split along the repo's clock discipline (DESIGN.md):
 
 * :func:`model_fleet` composes those *measured* per-message costs into a
   deterministic discrete-event model of the fleet: attesters are
-  independent boards (this single-GIL host cannot physically run them in
-  parallel, a real fleet trivially does), and the gateway's verifier TA
-  lanes serve their messages like a K-server queue. This is the same
-  composition approach the repo uses for the Fig. 3 platform latencies:
-  measure the primitives for real, let the architecture-level numbers
-  emerge from composition.
+  independent boards, and the gateway's verifier TA lanes serve their
+  messages like a K-server queue. This is the same composition approach
+  the repo uses for the Fig. 3 platform latencies: measure the
+  primitives for real, let the architecture-level numbers emerge from
+  composition.
+
+With the process-sharded gateway (:mod:`repro.fleet.shards`) the live
+numbers scale with host cores too — each shard is its own process with
+its own GIL — so the model is no longer the only way to see scaling: the
+fleet benchmark reports the live-vs-model gap per shard count, and the
+model remains the reference for projecting beyond the cores this host
+has (its lanes are *ideal* serial servers with zero routing cost).
 """
 
 from __future__ import annotations

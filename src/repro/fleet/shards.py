@@ -1,0 +1,930 @@
+"""Process-sharded verifier pool: the fleet gateway that scales with cores.
+
+The thread-pool gateway (:mod:`repro.fleet.gateway`) multiplexes many
+attesters onto verifier TA lanes, but every lane is a thread of *one*
+Python process: the GIL serialises all verifier crypto, so throughput is
+flat in the worker count (the flat "live hs/s" column of the PR 3 fleet
+bench). This module moves the lanes into *processes*, the way the
+paper's deployment scales across independent TrustZone boards:
+
+* **Shards.** Each shard is a forked worker that boots its own verifier
+  stack — a fresh simulated board (SoC, secure boot, OP-TEE kernel,
+  attestation service), the fleet verifier TA, a per-shard appraisal
+  cache, and prewarmed EC tables. Shards never share Python state with
+  the router; everything crosses a length-prefixed binary IPC channel as
+  bytes (no pickling of live TAs, sessions or sockets).
+
+* **Session affinity.** The router (:class:`ShardedGateway`) owns the
+  session table and pins each connection to ``conn_id % shards`` for its
+  whole handshake, so msg0→msg2 always land on the shard holding that
+  connection's protocol state. Admission control (token bucket + global
+  in-flight window) is unchanged; a bounded *per-shard* queue adds one
+  more shed point, surfacing ``FleetOverloaded("queue")`` exactly like
+  the thread-pool gateway.
+
+* **Supervision.** A heartbeat thread pings every shard over a separate
+  control channel. A dead worker (EOF, ``is_alive()`` false), a wedged
+  one (no pong within the timeout), or a stuck one (data loop making no
+  progress while requests are outstanding) is killed and respawned; its
+  sessions are evicted with the distinct reason ``"shard_crash"``,
+  in-flight messages fail with
+  :class:`~repro.errors.FleetShardCrashed`, and ``shard_respawns``
+  counts the event. The attester retries from msg0 on the fresh worker.
+
+* **Clock discipline.** Each shard's board has its own ``SimClock``;
+  every forwarded message still pays the Fig. 3b world-transition costs
+  on *its* shard's clock, and the per-message virtual-nanosecond delta
+  travels back in the reply frame. Real service seconds are measured in
+  the shard around the TA invoke, exactly where the threaded gateway
+  measures them. The two time bases never mix.
+
+* **Mergeable metrics.** Shards keep their own ``FleetMetrics``; the
+  router's :meth:`ShardedGateway.snapshot` pulls JSON state snapshots
+  over the control channel and folds them through
+  :meth:`~repro.fleet.metrics.FleetMetrics.from_states` into one
+  aggregate view shaped like the threaded gateway's.
+
+Behaviour invariance with the threaded gateway — protocol transcripts,
+``FleetOverloaded`` semantics, per-message SimClock nanoseconds — is
+asserted by ``tests/fleet/test_shards.py``, using deterministic board
+entropy (``FleetConfig.shard_base_serial`` + ``shard_deterministic_rng``)
+to make both gateways draw identical bytes.
+
+Worker processes are created with the ``fork`` start method: the shard
+spec carries the ``secret_provider`` callable by inheritance, and only
+bytes ever cross the channel afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.server import SecretProvider
+from repro.core.transport import Network
+from repro.core.verifier import VerifierPolicy
+from repro.crypto import ec, ecdsa
+from repro.errors import (
+    FleetOverloaded,
+    FleetShardCrashed,
+    TeeBadParameters,
+)
+from repro.fleet.backpressure import AdmissionController, TokenBucket
+from repro.fleet.cache import AppraisalCache, policy_fingerprint
+from repro.fleet.gateway import (
+    CMD_FLEET_EVICT,
+    CMD_FLEET_MESSAGE,
+    FLEET_VERIFIER_UUID,
+    AttestationGateway,
+    FleetConfig,
+    MessageRecord,
+    _GatewayConnection,
+    make_fleet_verifier_ta,
+    prewarm_msg2_tables,
+)
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.sessions import SessionEntry, SessionTable
+from repro.optee.ta import TaManifest, sign_ta
+
+#: Eviction reason for sessions orphaned by a dead shard — distinct from
+#: ``"ttl"``/``"lru"`` so metrics (and tests) can tell a crash apart.
+CRASH_EVICT_REASON = "shard_crash"
+
+# -- wire format ---------------------------------------------------------------
+#
+# Every frame is ``u32 length | u8 opcode | u64 request-id | body``; the
+# body is opcode-specific packed binary (bytes in, bytes out). Requests
+# travel parent->shard, responses shard->parent with the same request-id.
+
+_FRAME_HEADER = struct.Struct(">I")
+_FRAME_PREFIX = struct.Struct(">BQ")
+_CONN_ID = struct.Struct(">Q")
+#: Message response head: done, cache_hit, sim-transition ns, service s.
+_MESSAGE_RESP = struct.Struct(">BBQd")
+_PONG = struct.Struct(">Q")
+
+OP_MESSAGE = 0x01
+OP_EVICT = 0x02
+OP_POLICY = 0x03
+OP_PING = 0x04
+OP_SNAPSHOT = 0x05
+OP_SHUTDOWN = 0x06
+OP_OK = 0x40
+OP_ERR = 0x41
+
+
+def _send_frame(sock: socket.socket, lock: threading.Lock, opcode: int,
+                req_id: int, body: bytes = b"") -> None:
+    frame = (_FRAME_HEADER.pack(_FRAME_PREFIX.size + len(body))
+             + _FRAME_PREFIX.pack(opcode, req_id) + body)
+    with lock:
+        sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    while size:
+        try:
+            chunk = sock.recv(size)
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[Tuple[int, int, bytes]]:
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None or len(payload) < _FRAME_PREFIX.size:
+        return None
+    opcode, req_id = _FRAME_PREFIX.unpack_from(payload)
+    return opcode, req_id, payload[_FRAME_PREFIX.size:]
+
+
+def encode_policy(policy: VerifierPolicy) -> bytes:
+    """Serialise a policy as deterministic length-prefixed binary."""
+    parts = [struct.pack(">II", policy.minimum_version[0],
+                         policy.minimum_version[1])]
+    for group in (policy.endorsements, policy.reference_values,
+                  policy.trusted_boot_measurements):
+        members = sorted(group)
+        parts.append(struct.pack(">I", len(members)))
+        for item in members:
+            parts.append(struct.pack(">I", len(item)))
+            parts.append(bytes(item))
+    return b"".join(parts)
+
+
+def decode_policy_into(policy: VerifierPolicy, blob: bytes) -> None:
+    """Replace ``policy``'s contents in place (verifiers hold references)."""
+    major, minor = struct.unpack_from(">II", blob, 0)
+    offset = 8
+    groups = []
+    for _ in range(3):
+        (count,) = struct.unpack_from(">I", blob, offset)
+        offset += 4
+        items = set()
+        for _ in range(count):
+            (length,) = struct.unpack_from(">I", blob, offset)
+            offset += 4
+            items.add(bytes(blob[offset:offset + length]))
+            offset += length
+        groups.append(items)
+    policy.minimum_version = (major, minor)
+    for target, items in zip((policy.endorsements, policy.reference_values,
+                              policy.trusted_boot_measurements), groups):
+        target.clear()
+        target.update(items)
+
+
+def _encode_error(exc: BaseException) -> bytes:
+    name = type(exc).__name__.encode()
+    message = str(exc).encode()
+    return (struct.pack(">I", len(name)) + name
+            + struct.pack(">I", len(message)) + message)
+
+
+def _decode_error(body: bytes) -> Tuple[str, str]:
+    (name_len,) = struct.unpack_from(">I", body, 0)
+    name = body[4:4 + name_len].decode()
+    (msg_len,) = struct.unpack_from(">I", body, 4 + name_len)
+    start = 8 + name_len
+    return name, body[start:start + msg_len].decode()
+
+
+def _resolve_error(name: str, message: str) -> Exception:
+    """Rebuild the shard's exception so callers see the same type the
+    threaded gateway would raise (ProtocolError, EndorsementError, ...)."""
+    from repro import errors as errors_module
+
+    cls = getattr(errors_module, name, None)
+    if isinstance(cls, type) and issubclass(cls, errors_module.ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return errors_module.FleetError(f"{name}: {message}")
+
+
+def _encode_message_response(done: bool, cache_hit: bool, sim_ns: int,
+                             service_s: float,
+                             reply: Optional[bytes]) -> bytes:
+    head = _MESSAGE_RESP.pack(1 if done else 0, 1 if cache_hit else 0,
+                              sim_ns, service_s)
+    if reply is None:
+        return head + b"\x00"
+    return head + b"\x01" + reply
+
+
+def _decode_message_response(body: bytes
+                             ) -> Tuple[bool, bool, int, float,
+                                        Optional[bytes]]:
+    done, cache_hit, sim_ns, service_s = _MESSAGE_RESP.unpack_from(body)
+    rest = body[_MESSAGE_RESP.size:]
+    reply = rest[1:] if rest[:1] == b"\x01" else None
+    return bool(done), bool(cache_hit), sim_ns, service_s, reply
+
+
+# -- the shard worker (child process) ------------------------------------------
+
+
+@dataclass
+class ShardSpec:
+    """Everything a shard needs to boot its verifier stack.
+
+    Shipped into the fork, never over the wire. ``secret_provider`` is a
+    callable carried by fork inheritance; every later exchange with the
+    worker is pure bytes on the IPC channel.
+    """
+
+    index: int
+    serial: int
+    vendor_private: int
+    identity_private: int
+    policy_blob: bytes
+    secret_provider: SecretProvider
+    config: FleetConfig
+    deterministic_rng: bool = False
+
+
+def shard_main(spec: ShardSpec, data_sock: socket.socket,
+               ctrl_sock: socket.socket,
+               inherited: Tuple[socket.socket, ...] = ()) -> None:
+    """Entry point of one verifier shard process.
+
+    Boots a fresh board, installs the fleet verifier TA, then serves the
+    data channel sequentially (one frame at a time — parallelism lives
+    *across* shards). A tiny control thread answers heartbeats and
+    metric-snapshot requests so supervision never queues behind verifier
+    work.
+    """
+    # Forked children inherit every parent fd: drop the other shards'
+    # channel ends so their EOFs stay meaningful to the router.
+    for stale in inherited:
+        try:
+            stale.close()
+        except OSError:
+            pass
+
+    from repro.testbed import Testbed
+
+    config = spec.config
+    testbed = Testbed(deterministic_rng=spec.deterministic_rng,
+                      first_serial=spec.serial)
+    testbed.vendor_key = ecdsa.keypair_from_private(spec.vendor_private)
+    device = testbed.create_device()
+    identity = ecdsa.keypair_from_private(spec.identity_private)
+    policy = VerifierPolicy()
+    decode_policy_into(policy, spec.policy_blob)
+    cache = None
+    if config.enable_cache:
+        cache = AppraisalCache(capacity=config.cache_capacity,
+                               ttl_s=config.cache_ttl_s)
+    metrics = FleetMetrics()
+    manifest = TaManifest(uuid=FLEET_VERIFIER_UUID,
+                          name="watz-fleet-verifier",
+                          heap_size=config.lane_heap_size)
+    ta_class = make_fleet_verifier_ta(identity, policy, spec.secret_provider,
+                                      None, appraisal_cache=cache)
+    image = sign_ta(manifest, b"watz fleet verifier ta", ta_class,
+                    testbed.vendor_key)
+    device.kernel.install_ta(image)
+    session = device.client.open_session(FLEET_VERIFIER_UUID)
+    clock = device.soc.clock
+    if config.prewarm_crypto:
+        # Boot-time prewarm: the generator comb (msg1 signing) and the
+        # identity key's tables, so the first handshake served by a
+        # respawned shard does not pay table construction.
+        ec.scalar_base_mult(2)
+        ec.precompute_public_key(identity.public)
+
+    data_lock = threading.Lock()
+    ctrl_lock = threading.Lock()
+    #: Data-loop progress counter, reported in pongs so the supervisor
+    #: can tell "busy but alive" from "stuck on one frame".
+    progress = {"frames": 0}
+
+    def control_loop() -> None:
+        while True:
+            frame = _recv_frame(ctrl_sock)
+            if frame is None:
+                return
+            opcode, req_id, _body = frame
+            try:
+                if opcode == OP_PING:
+                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
+                                _PONG.pack(progress["frames"]))
+                elif opcode == OP_SNAPSHOT:
+                    state = {
+                        "metrics": metrics.state(),
+                        "cache": (cache.snapshot()
+                                  if cache is not None else None),
+                        "live_states": session.ta.live_states,
+                    }
+                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
+                                json.dumps(state).encode())
+                else:
+                    raise TeeBadParameters(
+                        f"unknown control opcode {opcode:#x}")
+            except Exception as exc:
+                _send_frame(ctrl_sock, ctrl_lock, OP_ERR, req_id,
+                            _encode_error(exc))
+
+    threading.Thread(target=control_loop, daemon=True,
+                     name=f"shard-{spec.index}-control").start()
+
+    def serve_message(body: bytes) -> bytes:
+        (conn_id,) = _CONN_ID.unpack_from(body)
+        data = body[_CONN_ID.size:]
+        kind = AttestationGateway._kind(data)
+        if config.prewarm_crypto and kind == "msg2" and \
+                prewarm_msg2_tables(data):
+            metrics.increment("crypto_prewarms")
+        hits_before = cache.hits if cache is not None else 0
+        sim_before = clock.now_ns()
+        started = time.perf_counter()
+        try:
+            result = session.invoke(CMD_FLEET_MESSAGE,
+                                    {"conn": conn_id, "data": data})
+        finally:
+            service_s = time.perf_counter() - started
+            metrics.observe(f"service.{kind}", service_s)
+        sim_delta = clock.now_ns() - sim_before
+        cache_hit = cache is not None and cache.hits > hits_before
+        if kind == "msg2":
+            suffix = "hit" if cache_hit else "miss"
+            metrics.observe(f"service.msg2_{suffix}", service_s)
+        metrics.increment("messages")
+        return _encode_message_response(bool(result.get("done")), cache_hit,
+                                        sim_delta, service_s,
+                                        result.get("reply"))
+
+    running = True
+    while running:
+        frame = _recv_frame(data_sock)
+        if frame is None:
+            break
+        opcode, req_id, body = frame
+        progress["frames"] += 1
+        try:
+            if opcode == OP_MESSAGE:
+                _send_frame(data_sock, data_lock, OP_OK, req_id,
+                            serve_message(body))
+            elif opcode == OP_EVICT:
+                (conn_id,) = _CONN_ID.unpack_from(body)
+                session.invoke(CMD_FLEET_EVICT, {"conn": conn_id})
+                _send_frame(data_sock, data_lock, OP_OK, req_id)
+            elif opcode == OP_POLICY:
+                decode_policy_into(policy, body)
+                metrics.increment("policy_syncs")
+                _send_frame(data_sock, data_lock, OP_OK, req_id)
+            elif opcode == OP_SHUTDOWN:
+                _send_frame(data_sock, data_lock, OP_OK, req_id)
+                running = False
+            else:
+                raise TeeBadParameters(f"unknown data opcode {opcode:#x}")
+        except Exception as exc:
+            _send_frame(data_sock, data_lock, OP_ERR, req_id,
+                        _encode_error(exc))
+    try:
+        session.close()
+    except Exception:
+        pass
+    for sock in (data_sock, ctrl_sock):
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# -- the router (parent process) -----------------------------------------------
+
+
+class _Pending:
+    """One outstanding request awaiting its response frame."""
+
+    __slots__ = ("event", "response", "failure", "sent_at")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[Tuple[int, bytes]] = None
+        self.failure: Optional[Exception] = None
+        self.sent_at = time.monotonic()
+
+
+class _ShardChannel:
+    """One generation of a shard worker: process, sockets, reader threads."""
+
+    def __init__(self, spec: ShardSpec, context,
+                 siblings: List[socket.socket]) -> None:
+        self.spec = spec
+        data_parent, data_child = socket.socketpair()
+        ctrl_parent, ctrl_child = socket.socketpair()
+        self.data_sock = data_parent
+        self.ctrl_sock = ctrl_parent
+        self.data_lock = threading.Lock()
+        self.ctrl_lock = threading.Lock()
+        self.pending: Dict[int, _Pending] = {}
+        self.pending_lock = threading.Lock()
+        self._next_req = 1
+        self.down = threading.Event()
+        # Supervisor bookkeeping for stuck-detection.
+        self.progress_frames = -1
+        self.progress_stalled_since: Optional[float] = None
+        self.process = context.Process(
+            target=shard_main,
+            args=(spec, data_child, ctrl_child, tuple(siblings)),
+            daemon=True,
+            name=f"fleet-shard-{spec.index}",
+        )
+        self.process.start()
+        data_child.close()
+        ctrl_child.close()
+        for sock in (data_parent, ctrl_parent):
+            threading.Thread(target=self._read_loop, args=(sock,),
+                             daemon=True,
+                             name=f"fleet-shard-{spec.index}-reader").start()
+
+    def request(self, opcode: int, body: bytes, timeout: float,
+                control: bool = False) -> Tuple[int, bytes]:
+        pending = _Pending()
+        with self.pending_lock:
+            if self.down.is_set():
+                raise FleetShardCrashed(
+                    f"verifier shard {self.spec.index} is down")
+            req_id = self._next_req
+            self._next_req += 1
+            self.pending[req_id] = pending
+        sock, lock = ((self.ctrl_sock, self.ctrl_lock) if control
+                      else (self.data_sock, self.data_lock))
+        try:
+            _send_frame(sock, lock, opcode, req_id, body)
+        except OSError:
+            with self.pending_lock:
+                self.pending.pop(req_id, None)
+            self.mark_down()
+            raise FleetShardCrashed(
+                f"verifier shard {self.spec.index} channel is down")
+        if not pending.event.wait(timeout):
+            with self.pending_lock:
+                self.pending.pop(req_id, None)
+            raise FleetShardCrashed(
+                f"verifier shard {self.spec.index} did not answer "
+                f"within {timeout:.1f}s")
+        if pending.failure is not None:
+            raise pending.failure
+        return pending.response
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        while True:
+            frame = _recv_frame(sock)
+            if frame is None:
+                break
+            opcode, req_id, body = frame
+            with self.pending_lock:
+                pending = self.pending.pop(req_id, None)
+            if pending is not None:
+                pending.response = (opcode, body)
+                pending.event.set()
+        self.mark_down()
+
+    def mark_down(self) -> None:
+        """Fail every outstanding request; idempotent."""
+        with self.pending_lock:
+            if self.down.is_set():
+                drained = []
+            else:
+                self.down.set()
+                drained = list(self.pending.values())
+                self.pending.clear()
+        for pending in drained:
+            pending.failure = FleetShardCrashed(
+                f"verifier shard {self.spec.index} died mid-request")
+            pending.event.set()
+
+    def busy(self) -> bool:
+        with self.pending_lock:
+            return bool(self.pending)
+
+    def kill(self) -> None:
+        """Tear this generation down: wake readers, reap the process."""
+        for sock in (self.data_sock, self.ctrl_sock):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self.mark_down()
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        else:
+            process.join(timeout=0.5)
+        for sock in (self.data_sock, self.ctrl_sock):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class _ShardHandle:
+    """Stable per-shard slot; survives respawns (channels do not)."""
+
+    def __init__(self, index: int, queue_depth: int) -> None:
+        self.index = index
+        self.channel: Optional[_ShardChannel] = None
+        self.policy_fp: Optional[bytes] = None
+        self.policy_lock = threading.Lock()
+        self.respawns = 0
+        self._queue = threading.BoundedSemaphore(queue_depth)
+
+    def try_enter(self) -> bool:
+        return self._queue.acquire(blocking=False)
+
+    def leave(self) -> None:
+        self._queue.release()
+
+
+class ShardedGateway:
+    """Session-affinity router in front of a pool of verifier shards.
+
+    Same observable surface as :class:`AttestationGateway` — ``start`` /
+    ``stop`` / ``snapshot`` / ``drain_records`` / ``metrics`` /
+    ``sessions`` — but verifier work runs in ``config.shards`` worker
+    processes, so aggregate throughput scales with host cores instead of
+    pinning on the GIL.
+    """
+
+    def __init__(self, network: Network, host: str, port: int,
+                 vendor_key: ecdsa.KeyPair, identity: ecdsa.KeyPair,
+                 policy: VerifierPolicy, secret_provider: SecretProvider,
+                 config: FleetConfig, recorder=None, tracer=None,
+                 time_source=time.monotonic_ns) -> None:
+        if config.shards < 1:
+            raise ValueError("sharded gateway needs at least one shard")
+        if recorder is not None or tracer is not None:
+            raise ValueError(
+                "cost recording and tracing are in-process facilities; "
+                "use the thread-pool gateway (config.shards = 0) to trace")
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise RuntimeError(
+                "process shards require the fork start method") from exc
+        self.network = network
+        self.host = host
+        self.port = port
+        self.vendor_key = vendor_key
+        self.identity = identity
+        self.policy = policy
+        self.secret_provider = secret_provider
+        self.config = config
+        self.metrics = FleetMetrics()
+        bucket = None
+        if config.rate_per_s is not None:
+            bucket = TokenBucket(config.rate_per_s, config.rate_burst,
+                                 time_source=time_source)
+        self._admission = AdmissionController(config.max_in_flight, bucket)
+        self.sessions = SessionTable(capacity=config.max_sessions,
+                                     ttl_s=config.session_ttl_s,
+                                     time_source=time_source,
+                                     on_evict=self._session_evicted)
+        self.records: List[MessageRecord] = []
+        self._records_lock = threading.Lock()
+        self._conn_counter = 0
+        self._conn_lock = threading.Lock()
+        self._shards: List[_ShardHandle] = []
+        self._respawn_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "ShardedGateway":
+        """Fork the shard pool, start supervision, listen."""
+        if self._running:
+            raise RuntimeError("gateway already started")
+        depth = self.config.shard_queue_depth or self.config.max_in_flight
+        self._shards = [_ShardHandle(index, depth)
+                        for index in range(self.config.shards)]
+        for handle in self._shards:
+            self._spawn(handle)
+        self._stop_event.clear()
+        self._running = True
+        self._supervisor = threading.Thread(target=self._supervise,
+                                            daemon=True,
+                                            name="fleet-shard-supervisor")
+        self._supervisor.start()
+        self.network.listen(self.host, self.port, self._new_connection)
+        return self
+
+    def stop(self) -> None:
+        """Stop listening, drain connections, shut the shard pool down."""
+        if not self._running:
+            return
+        self._running = False
+        self._stop_event.set()
+        self.network.shutdown(self.host, self.port)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
+        for handle in self._shards:
+            channel = handle.channel
+            if channel is None:
+                continue
+            try:
+                channel.request(OP_SHUTDOWN, b"", timeout=2.0)
+            except FleetShardCrashed:
+                pass
+            channel.kill()
+            handle.channel = None
+
+    def _spawn(self, handle: _ShardHandle) -> None:
+        # Fingerprint *before* encoding: if the policy mutates between
+        # the two, the stale fingerprint forces a (redundant but safe)
+        # resync on the next message instead of missing one.
+        fingerprint = policy_fingerprint(self.policy)
+        spec = ShardSpec(
+            index=handle.index,
+            serial=self.config.shard_base_serial + handle.index,
+            vendor_private=self.vendor_key.private,
+            identity_private=self.identity.private,
+            policy_blob=encode_policy(self.policy),
+            secret_provider=self.secret_provider,
+            config=self.config,
+            deterministic_rng=self.config.shard_deterministic_rng,
+        )
+        siblings = [sock for other in self._shards
+                    if other.channel is not None
+                    for sock in (other.channel.data_sock,
+                                 other.channel.ctrl_sock)]
+        handle.channel = _ShardChannel(spec, self._context, siblings)
+        handle.policy_fp = fingerprint
+
+    # -- supervision ------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop_event.wait(self.config.heartbeat_interval_s):
+            for handle in self._shards:
+                if self._stop_event.is_set():
+                    return
+                channel = handle.channel
+                if channel is None:
+                    continue
+                reason = self._probe(channel)
+                if reason is not None and self._running:
+                    self._respawn(handle, reason)
+
+    def _probe(self, channel: _ShardChannel) -> Optional[str]:
+        """Classify a shard's health; a non-None reason demands respawn."""
+        if channel.down.is_set() or not channel.process.is_alive():
+            return "death"
+        try:
+            _opcode, body = channel.request(
+                OP_PING, b"", timeout=self.config.heartbeat_timeout_s,
+                control=True)
+        except FleetShardCrashed:
+            return "wedged" if channel.process.is_alive() else "death"
+        (frames,) = _PONG.unpack_from(body)
+        if channel.busy() and frames == channel.progress_frames:
+            # Requests outstanding, yet the data loop read nothing new
+            # since the last probe: the worker is stuck inside one frame.
+            now = time.monotonic()
+            if channel.progress_stalled_since is None:
+                channel.progress_stalled_since = now
+            elif now - channel.progress_stalled_since > \
+                    self.config.shard_request_timeout_s:
+                return "stuck"
+        else:
+            channel.progress_frames = frames
+            channel.progress_stalled_since = None
+        return None
+
+    def _respawn(self, handle: _ShardHandle, reason: str) -> None:
+        """Replace a dead/wedged worker and invalidate its sessions."""
+        with self._respawn_lock:
+            if not self._running:
+                return
+            channel = handle.channel
+            if channel is not None:
+                channel.kill()
+            # The shard's protocol state died with it: every session it
+            # owned is evicted (distinct reason), and the attesters'
+            # retries start from msg0 on the fresh worker.
+            self.sessions.evict_lane(handle.index, CRASH_EVICT_REASON)
+            self._spawn(handle)
+            handle.respawns += 1
+            self.metrics.increment("shard_respawns")
+            self.metrics.increment(f"shard_respawns_{reason}")
+
+    # -- connection plumbing -----------------------------------------------------
+
+    def _new_connection(self) -> _GatewayConnection:
+        with self._conn_lock:
+            self._conn_counter += 1
+            conn_id = self._conn_counter
+        # Session affinity: the shard owns this connection's protocol
+        # state for the whole handshake.
+        shard = conn_id % self.config.shards
+        self.sessions.open(conn_id, shard)
+        self.metrics.increment("connections")
+        return _GatewayConnection(self, conn_id)
+
+    def _connection_closed(self, conn_id: int) -> None:
+        entry = self.sessions.discard(conn_id)
+        if entry is not None:
+            self._evict_shard_state(entry)
+
+    def _session_evicted(self, entry: SessionEntry, reason: str) -> None:
+        self.metrics.increment(f"sessions_evicted_{reason}")
+        if reason != CRASH_EVICT_REASON:
+            # On a crash the TA state is already gone — never ask the
+            # fresh worker to evict connections it has never seen.
+            self._evict_shard_state(entry)
+
+    def _evict_shard_state(self, entry: SessionEntry) -> None:
+        if not self._running or entry.lane >= len(self._shards):
+            return
+        handle = self._shards[entry.lane]
+        try:
+            self._request(handle, OP_EVICT, _CONN_ID.pack(entry.conn_id),
+                          timeout=5.0)
+        except FleetShardCrashed:
+            pass  # the supervisor owns the respawn; state died anyway
+
+    # -- the message path --------------------------------------------------------
+
+    def _request(self, handle: _ShardHandle, opcode: int, body: bytes,
+                 timeout: float, control: bool = False) -> Tuple[int, bytes]:
+        channel = handle.channel
+        if channel is None or channel.down.is_set():
+            raise FleetShardCrashed(
+                f"verifier shard {handle.index} is down")
+        return channel.request(opcode, body, timeout, control=control)
+
+    def _sync_policy(self, handle: _ShardHandle) -> None:
+        """Lazily mirror parent-side policy mutations into the shard.
+
+        The policy fingerprint (the same one that scopes the appraisal
+        cache) is compared per message; only a change ships the policy
+        over the channel, ordered on the data stream ahead of the
+        message that needed it.
+        """
+        fingerprint = policy_fingerprint(self.policy)
+        if handle.policy_fp == fingerprint:
+            return
+        with handle.policy_lock:
+            if handle.policy_fp == fingerprint:
+                return
+            self._request(handle, OP_POLICY, encode_policy(self.policy),
+                          timeout=self.config.shard_request_timeout_s)
+            handle.policy_fp = fingerprint
+            self.metrics.increment("shard_policy_syncs")
+
+    def _dispatch(self, conn_id: int, data: bytes) -> Optional[bytes]:
+        try:
+            self._admission.admit()
+        except FleetOverloaded as rejection:
+            self.metrics.increment(f"rejected_{rejection.reason}")
+            raise
+        self.metrics.increment("accepted")
+        self.metrics.enter_flight()
+        try:
+            return self._serve(conn_id, data)
+        finally:
+            self.metrics.exit_flight()
+            self._admission.release()
+
+    def _serve(self, conn_id: int, data: bytes) -> Optional[bytes]:
+        entry = self.sessions.touch(conn_id)
+        kind = AttestationGateway._kind(data)
+        handle = self._shards[entry.lane]
+        if not handle.try_enter():
+            self.metrics.increment("rejected_queue")
+            self.metrics.increment("rejected_shard_queue")
+            raise FleetOverloaded(reason="queue")
+        try:
+            self._sync_policy(handle)
+            opcode, body = self._request(
+                handle, OP_MESSAGE, _CONN_ID.pack(conn_id) + data,
+                timeout=self.config.shard_request_timeout_s)
+        except FleetShardCrashed:
+            self.metrics.increment("failed_messages")
+            self.sessions.discard(conn_id)
+            raise
+        finally:
+            handle.leave()
+        if opcode == OP_ERR:
+            name, message = _decode_error(body)
+            self.metrics.increment("failed_messages")
+            self.sessions.discard(conn_id)
+            raise _resolve_error(name, message)
+        done, cache_hit, sim_ns, service_s, reply = \
+            _decode_message_response(body)
+        if done:
+            self.metrics.increment("handshakes_completed")
+            self.sessions.discard(conn_id)
+        with self._records_lock:
+            self.records.append(MessageRecord(
+                conn_id=conn_id, kind=kind, service_s=service_s,
+                sim_transition_ns=sim_ns, cache_hit=cache_hit,
+            ))
+        return reply
+
+    # -- introspection -----------------------------------------------------------
+
+    def drain_records(self) -> List[MessageRecord]:
+        """Return and clear the accumulated per-message records."""
+        with self._records_lock:
+            records, self.records = self.records, []
+        return records
+
+    def shard_snapshots(self) -> List[Optional[dict]]:
+        """Fetch each live shard's state over its control channel."""
+        snapshots: List[Optional[dict]] = []
+        for handle in self._shards:
+            channel = handle.channel
+            state = None
+            if channel is not None and not channel.down.is_set():
+                try:
+                    opcode, body = channel.request(OP_SNAPSHOT, b"",
+                                                   timeout=5.0,
+                                                   control=True)
+                    if opcode == OP_OK:
+                        state = json.loads(body.decode())
+                except FleetShardCrashed:
+                    pass
+            snapshots.append(state)
+        return snapshots
+
+    def snapshot(self) -> Dict[str, object]:
+        """One aggregate dict across the router and every live shard.
+
+        Shaped like the threaded gateway's snapshot (counters /
+        in_flight / latency / sessions / admission / cache) plus a
+        ``shards`` section. Metrics of a shard that died since the last
+        respawn are gone with it — the respawn counter records that.
+        """
+        shard_states = self.shard_snapshots()
+        merged = FleetMetrics.from_states(
+            [self.metrics.state()]
+            + [state["metrics"] for state in shard_states if state])
+        snapshot = merged.snapshot()
+        snapshot["sessions"] = self.sessions.snapshot()
+        snapshot["admission"] = self._admission.snapshot()
+        snapshot["cache"] = self._merge_cache(
+            [state.get("cache") for state in shard_states if state])
+        snapshot["shards"] = {
+            "count": len(self._shards),
+            "respawns": sum(handle.respawns for handle in self._shards),
+            "per_shard": [
+                {
+                    "index": handle.index,
+                    "respawns": handle.respawns,
+                    "alive": bool(state),
+                    "live_states": (state.get("live_states")
+                                    if state else None),
+                }
+                for handle, state in zip(self._shards, shard_states)
+            ],
+        }
+        return snapshot
+
+    @staticmethod
+    def _merge_cache(states: List[Optional[dict]]) -> Optional[dict]:
+        states = [state for state in states if state]
+        if not states:
+            return None
+        merged = {key: sum(state[key] for state in states)
+                  for key in ("entries", "hits", "misses", "bad_tickets",
+                              "invalidations", "expirations")}
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = merged["hits"] / total if total else 0.0
+        return merged
+
+
+def start_sharded_gateway(network: Network, host: str, port: int,
+                          vendor_key: ecdsa.KeyPair,
+                          identity: ecdsa.KeyPair, policy: VerifierPolicy,
+                          secret_provider: SecretProvider,
+                          config: FleetConfig) -> ShardedGateway:
+    """Convenience mirror of :func:`repro.fleet.gateway.start_fleet_gateway`."""
+    gateway = ShardedGateway(network, host, port, vendor_key, identity,
+                             policy, secret_provider, config)
+    return gateway.start()

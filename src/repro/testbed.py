@@ -123,11 +123,17 @@ class Testbed:
     __test__ = False  # not a pytest collection target
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS,
-                 deterministic_rng: bool = False) -> None:
+                 deterministic_rng: bool = False,
+                 first_serial: int = 1) -> None:
         self.network = Network()
         self.costs = costs
         self.vendor_key = ecdsa.keypair_from_private(VENDOR_PRIVATE)
-        self._next_serial = 1
+        # ``first_serial`` pins the serial (and, with deterministic_rng,
+        # the entropy stream) of the next manufactured board. A verifier
+        # shard process (repro.fleet.shards) uses it to rebuild a board
+        # identical to the one a single-process gateway would have used,
+        # which is what makes threaded-vs-sharded transcripts comparable.
+        self._next_serial = first_serial
         self._deterministic = deterministic_rng
 
     def _entropy_source(self, serial: int):
