@@ -12,13 +12,18 @@ WAMR vs WaTZ differ by under 0.02% — TrustZone adds no compute penalty.
 The second finding is the architectural one and must reproduce exactly in
 shape; the first reproduces in direction (the magnitude depends on the
 substituted toolchains — see EXPERIMENTS.md).
+
+A fourth configuration, AOT at ``opt_level=0`` (the reference codegen,
+byte-identical to the pre-optimisation tier), measures what the optimiser
+buys: the ``BENCH_polybench.json`` artifact records per-kernel ratios at
+both opt levels so future PRs can diff the compute-speed trajectory.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.bench import format_table, geometric_mean, save_report
+from repro.bench import format_table, geometric_mean, save_json, save_report
 from repro.core.runtime import NormalWorldRuntime
 from repro.walc import compile_source
 from repro.workloads.polybench import all_kernels
@@ -39,12 +44,17 @@ def _median_seconds(operation, runs=_RUNS):
 def _measure_all(device):
     session = device.open_watz(heap_size=12 * 1024 * 1024)
     normal_world = NormalWorldRuntime()
+    reference_world = NormalWorldRuntime(opt_level=0)
     results = []
     for kernel in all_kernels():
         size = kernel.default_size
         binary = compile_source(kernel.walc_source(size))
 
         native_s = _median_seconds(lambda: kernel.native(size))
+
+        baseline_app = reference_world.load(binary)
+        baseline_s = _median_seconds(
+            lambda: reference_world.invoke(baseline_app, "run"))
 
         wamr_app = normal_world.load(binary)
         wamr_s = _median_seconds(
@@ -54,10 +64,11 @@ def _measure_all(device):
         app = session.ta._apps[loaded["app"]]
         watz_s = _median_seconds(lambda: app.instance.invoke("run"))
 
-        # Cross-check: all three computed the same checksum.
+        # Cross-check: all four computed the same checksum.
         assert normal_world.invoke(wamr_app, "run") == kernel.native(size) \
-            == app.instance.invoke("run")
-        results.append((kernel.name, native_s, wamr_s, watz_s))
+            == app.instance.invoke("run") \
+            == reference_world.invoke(baseline_app, "run")
+        results.append((kernel.name, native_s, baseline_s, wamr_s, watz_s))
     session.close()
     return results
 
@@ -66,24 +77,55 @@ def test_fig5_polybench(benchmark, device):
     results = benchmark.pedantic(lambda: _measure_all(device),
                                  rounds=1, iterations=1)
     rows = []
-    wamr_ratios, watz_ratios, pair_deltas = [], [], []
-    for name, native_s, wamr_s, watz_s in results:
+    wamr_ratios, watz_ratios, pair_deltas, opt_speedups = [], [], [], []
+    kernels_json = {}
+    for name, native_s, baseline_s, wamr_s, watz_s in results:
+        baseline_ratio = baseline_s / native_s
         wamr_ratio = wamr_s / native_s
         watz_ratio = watz_s / native_s
+        opt_speedup = baseline_s / wamr_s
         wamr_ratios.append(wamr_ratio)
         watz_ratios.append(watz_ratio)
+        opt_speedups.append(opt_speedup)
         pair_deltas.append(abs(watz_s - wamr_s) / wamr_s)
+        kernels_json[name] = {
+            "native_s": native_s,
+            "aot_o0_s": baseline_s,
+            "aot_o2_s": wamr_s,
+            "watz_s": watz_s,
+            "o0_vs_native": baseline_ratio,
+            "o2_vs_native": wamr_ratio,
+            "opt_speedup": opt_speedup,
+        }
         rows.append((name, f"{native_s * 1000:.1f} ms",
-                     f"{wamr_ratio:.2f}x", f"{watz_ratio:.2f}x"))
+                     f"{baseline_ratio:.2f}x",
+                     f"{wamr_ratio:.2f}x", f"{watz_ratio:.2f}x",
+                     f"{opt_speedup:.2f}x"))
+    opt_geo = geometric_mean(opt_speedups)
+    baseline_geo = geometric_mean(
+        [k["o0_vs_native"] for k in kernels_json.values()])
     rows.append(("geo-mean (paper: 1.34x / 1.34x)", "-",
+                 f"{baseline_geo:.2f}x",
                  f"{geometric_mean(wamr_ratios):.2f}x",
-                 f"{geometric_mean(watz_ratios):.2f}x"))
+                 f"{geometric_mean(watz_ratios):.2f}x",
+                 f"{opt_geo:.2f}x"))
     save_report("fig5_polybench", format_table(
         "Fig. 5 — PolyBench/C normalised to native "
         f"(median of {_RUNS} runs)",
-        ["kernel", "native", "WAMR (normal world)", "WaTZ (secure world)"],
+        ["kernel", "native", "AOT o0", "WAMR (normal world)",
+         "WaTZ (secure world)", "o2 vs o0"],
         rows,
     ))
+    save_json("BENCH_polybench", {
+        "runs": _RUNS,
+        "kernels": kernels_json,
+        "geomean": {
+            "o0_vs_native": baseline_geo,
+            "o2_vs_native": geometric_mean(wamr_ratios),
+            "watz_vs_native": geometric_mean(watz_ratios),
+            "opt_speedup": opt_geo,
+        },
+    })
 
     # Headline shape 1: Wasm is slower than native for every kernel.
     assert all(ratio > 1.0 for ratio in watz_ratios)
@@ -91,3 +133,52 @@ def test_fig5_polybench(benchmark, device):
     # no computational slowdown (paper: <0.02%; we allow scheduler noise).
     median_delta = sorted(pair_deltas)[len(pair_deltas) // 2]
     assert median_delta < 0.10, median_delta
+    # Acceptance floor for the optimisation tier: opt_level=2 improves the
+    # geo-mean by >= 1.3x over the reference codegen.
+    assert opt_geo >= 1.3, opt_geo
+
+
+# -- CI perf smoke: a 3-kernel subset at both opt levels ----------------------
+
+_SMOKE_KERNELS = ["gemm", "atax", "jacobi-1d"]
+
+
+def test_polybench_opt_smoke():
+    """CI gate: the optimising tier must never be slower than the
+    reference codegen on a representative subset (dense matmul, sparse-ish
+    vector kernel, stencil). Writes ``BENCH_polybench_smoke.json``."""
+    from repro.wasm import AotCompiler
+    from repro.workloads.polybench import get_kernel
+
+    kernels_json = {}
+    speedups = []
+    for name in _SMOKE_KERNELS:
+        kernel = get_kernel(name)
+        size = kernel.default_size
+        binary = compile_source(kernel.walc_source(size))
+        seconds = {}
+        results = {}
+        for level in (0, 2):
+            instance = AotCompiler(opt_level=level).instantiate(binary)
+            instance.invoke("run")  # warm the caches and the allocator
+            fresh = AotCompiler(opt_level=level).instantiate(binary)
+            started = time.perf_counter()
+            results[level] = fresh.invoke("run")
+            seconds[level] = time.perf_counter() - started
+        assert results[0] == results[2] == kernel.native(size)
+        speedup = seconds[0] / seconds[2]
+        speedups.append(speedup)
+        kernels_json[name] = {
+            "aot_o0_s": seconds[0],
+            "aot_o2_s": seconds[2],
+            "opt_speedup": speedup,
+        }
+    geo = geometric_mean(speedups)
+    save_json("BENCH_polybench_smoke", {
+        "kernels": kernels_json,
+        "geomean_opt_speedup": geo,
+    })
+    # The gate: opt_level=2 may never lose to opt_level=0 on the subset
+    # (small head-room for scheduler noise on shared CI runners).
+    assert geo >= 0.95, kernels_json
+    assert all(s >= 0.85 for s in speedups), kernels_json

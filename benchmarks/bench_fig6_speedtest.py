@@ -22,7 +22,7 @@ from __future__ import annotations
 import statistics
 import time
 
-from repro.bench import format_table, save_report
+from repro.bench import format_table, save_json, save_report
 from repro.core.runtime import NormalWorldRuntime
 from repro.workloads.minidb.engine import connect
 from repro.workloads.minidb.speedtest import (
@@ -109,6 +109,21 @@ def test_fig6_speedtest(benchmark, device):
                  f"{read_avg:.2f}x"))
     rows.append(("", "write-test average (paper 2.23x)", "write", "-", "-",
                  "-", f"{write_avg:.2f}x"))
+    save_json("BENCH_speedtest", {
+        "scale": SCALE,
+        "runs": _RUNS,
+        "tests": {
+            test.name: {
+                "kind": test.kind,
+                "native_s": native_s,
+                "wamr_s": wamr_s,
+                "watz_s": watz_s,
+            }
+            for test, native_s, wamr_s, watz_s in results
+        },
+        "read_avg_vs_native": read_avg,
+        "write_avg_vs_native": write_avg,
+    })
     save_report("fig6_speedtest", format_table(
         f"Fig. 6 — Speedtest1 (scale {SCALE}) normalised to native NW, "
         f"median of {_RUNS}",

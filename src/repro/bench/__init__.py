@@ -13,6 +13,7 @@ from repro.bench.reporting import (
     format_table,
     paper_comparison,
     print_block,
+    save_json,
     save_report,
     save_trace,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "format_duration",
     "paper_comparison",
     "print_block",
+    "save_json",
     "save_report",
     "save_trace",
 ]

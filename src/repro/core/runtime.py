@@ -48,6 +48,19 @@ _ENGINES = {
 }
 
 
+def _make_engine(engine_name: str, opt_level=None, tracer=None):
+    """Construct an execution engine, forwarding AOT-only options.
+
+    ``opt_level`` selects the AOT optimisation tier (``None`` keeps the
+    process default, see :func:`repro.wasm.default_opt_level`); the
+    interpreter has no tiers and ignores both knobs.
+    """
+    factory = _ENGINES[engine_name]
+    if factory is AotCompiler:
+        return factory(opt_level=opt_level, tracer=tracer)
+    return factory()
+
+
 @dataclass
 class StartupBreakdown:
     """Fig. 4's phases. Real seconds, except the simulated transition."""
@@ -158,7 +171,8 @@ class WatzRuntime(TrustedApplication):
         # Phase 2: runtime initialisation — engine construction and native
         # symbol registration (the WASI and WASI-RA bindings).
         started = time.perf_counter()
-        engine = _ENGINES[engine_name]()
+        engine = _make_engine(engine_name, opt_level=params.get("opt_level"),
+                              tracer=api.tracer)
         filesystem = None
         if params.get("filesystem"):
             # The WASI-FS extension (paper future work): files live in the
@@ -199,14 +213,14 @@ class WatzRuntime(TrustedApplication):
         cache_entry = None
         if cache is not None:
             cache_key = codecache.CodeCache.module_key(bytecode)
-            cache_entry = cache.lookup(cache_key, engine.name)
+            cache_entry = cache.lookup(cache_key, engine.cache_identity)
         if cache_entry is not None:
             module = cache_entry.module
         else:
             module = decode_module(bytecode)
             validate_module(module)
             if cache is not None:
-                cache.store(cache_key, engine.name, module)
+                cache.store(cache_key, engine.cache_identity, module)
         breakdown.load_s = time.perf_counter() - started
 
         # Phase 4: measurement (the hash later embedded in evidence).
@@ -309,9 +323,11 @@ def watz_manifest(heap_size: int, stack_size: int = 3 * 1024,
 class NormalWorldRuntime:
     """WAMR running in the normal world (the unshielded baseline)."""
 
-    def __init__(self, soc=None, engine_name: str = "aot") -> None:
+    def __init__(self, soc=None, engine_name: str = "aot",
+                 opt_level: Optional[int] = None) -> None:
         self._soc = soc
         self.engine_name = engine_name
+        self.opt_level = opt_level
 
     def load(self, bytecode: bytes,
              args: Optional[List[str]] = None,
@@ -327,7 +343,7 @@ class NormalWorldRuntime:
                                    random_bytes=os.urandom,
                                    filesystem=filesystem)
         imports = build_wasi_imports(wasi_env)
-        engine = _ENGINES[self.engine_name]()
+        engine = _make_engine(self.engine_name, opt_level=self.opt_level)
         started = time.perf_counter()
         instance = engine.instantiate(bytecode, imports,
                                       code_cache=code_cache)

@@ -5,7 +5,12 @@ encoder (builder), the spec validation algorithm, an interpreting engine
 and an ahead-of-time engine that lowers Wasm to Python closures.
 """
 
-from repro.wasm.aot import AotCompiler
+from repro.wasm.aot import (
+    AotCompiler,
+    default_opt_level,
+    reference_codegen,
+    set_default_opt_level,
+)
 from repro.wasm.builder import FunctionBuilder, ModuleBuilder
 from repro.wasm.codecache import DEFAULT_CACHE, CodeCache
 from repro.wasm.decoder import decode_module
@@ -23,6 +28,9 @@ from repro.wasm.validation import validate_module
 
 __all__ = [
     "AotCompiler",
+    "default_opt_level",
+    "set_default_opt_level",
+    "reference_codegen",
     "Interpreter",
     "Engine",
     "CodeCache",

@@ -33,14 +33,17 @@ Compilation strategy:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, FrozenSet, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import TrapError, WasmError
+from repro.wasm import aotopt
 from repro.wasm import numerics as num
 from repro.wasm import opcodes as op
 from repro.wasm.interpreter import _fdiv
 from repro.wasm.module import Function, Module
-from repro.wasm.runtime import Engine, Instance, S_F32, S_F64, S_I16, S_I32, S_I64
+from repro.wasm.runtime import (Engine, Instance, Memory, S_F32, S_F64, S_I16,
+                                S_I32, S_I64)
 from repro.wasm.types import ValType
 
 _MASK32 = "0xFFFFFFFF"
@@ -49,6 +52,51 @@ _MASK64 = "0xFFFFFFFFFFFFFFFF"
 #: Expressions larger than this many fused operations are spilled to a
 #: variable; keeps generated lines (and CPython's expression stack) sane.
 _MAX_FUSED_OPS = 16
+
+# ---------------------------------------------------------------------------
+# Optimisation-level knob (mirrors repro.crypto.ec.use_fast_paths).
+#
+# Level 0 is the original lowering, kept byte-identical as the reference
+# codegen; level 1 adds the value-range / purity passes (mask elimination,
+# signed-compare elision, loop-invariant code motion); level 2 — the default
+# — additionally emits typed-memory-plane accesses and loop versioning with
+# hoisted bounds checks. The interpreter remains the semantic oracle at
+# every level: results and trap type/ordering/messages are identical.
+# ---------------------------------------------------------------------------
+
+#: The opt level used when an :class:`AotCompiler` is built without one.
+DEFAULT_OPT_LEVEL = 2
+
+_OPT_LEVELS = (0, 1, 2)
+
+
+def default_opt_level() -> int:
+    """The process-wide default AOT optimisation level."""
+    return DEFAULT_OPT_LEVEL
+
+
+def set_default_opt_level(level: int) -> int:
+    """Set the default opt level; returns the previous one."""
+    global DEFAULT_OPT_LEVEL
+    if level not in _OPT_LEVELS:
+        raise WasmError(f"unknown aot opt level: {level!r}")
+    previous = DEFAULT_OPT_LEVEL
+    DEFAULT_OPT_LEVEL = level
+    return previous
+
+
+@contextmanager
+def reference_codegen() -> Iterator[None]:
+    """Force the reference (opt level 0) lowering within the block.
+
+    The differential tests run every program through this and through the
+    default level and require identical results and traps.
+    """
+    previous = set_default_opt_level(0)
+    try:
+        yield
+    finally:
+        set_default_opt_level(previous)
 
 
 def _trap(message: str):
@@ -253,19 +301,94 @@ _STORES: Dict[int, tuple] = {
     op.I64_STORE32: (4, "_pkI32({m}, {a}, ({v}) & " + _MASK32 + ")"),
 }
 
+# Typed-memory-plane templates: when the compiler proves an access aligned
+# to its width (every affine coefficient and the constant offset divisible
+# by the width), it indexes a `memoryview(..).cast(fmt)` plane directly
+# instead of going through struct pack/unpack. ``{i}`` is the *element*
+# index (byte address // width). 8-bit accesses already index the
+# bytearray directly and need no plane.
+_PLANE_LOADS: Dict[int, str] = {
+    op.I32_LOAD: "_pI[{i}]",
+    op.I64_LOAD: "_pQ[{i}]",
+    op.F32_LOAD: "_pF[{i}]",
+    op.F64_LOAD: "_pD[{i}]",
+    op.I32_LOAD16_U: "_pH[{i}]",
+    op.I64_LOAD16_U: "_pH[{i}]",
+    op.I32_LOAD16_S: "_ext(_pH[{i}], 16, 32)",
+    op.I64_LOAD16_S: "_ext(_pH[{i}], 16, 64)",
+    op.I64_LOAD32_U: "_pI[{i}]",
+    op.I64_LOAD32_S: "_ext(_pI[{i}], 32, 64)",
+}
+
+_PLANE_STORES: Dict[int, str] = {
+    op.I32_STORE: "_pI[{i}] = {v}",
+    op.I64_STORE: "_pQ[{i}] = {v}",
+    op.F32_STORE: "_pF[{i}] = {v}",
+    op.F64_STORE: "_pD[{i}] = {v}",
+    op.I32_STORE16: "_pH[{i}] = ({v}) & 0xFFFF",
+    op.I64_STORE16: "_pH[{i}] = ({v}) & 0xFFFF",
+    op.I64_STORE32: "_pI[{i}] = ({v}) & " + _MASK32,
+}
+
+#: The plane names the instance namespace must provide, by format code.
+_PLANE_NAMES = {"H": "_pH", "I": "_pI", "Q": "_pQ", "f": "_pF", "d": "_pD"}
+
+#: Proven result ranges of zero-extending loads.
+_LOAD_RANGES: Dict[int, tuple] = {
+    op.I32_LOAD8_U: (0, 0xFF),
+    op.I64_LOAD8_U: (0, 0xFF),
+    op.I32_LOAD16_U: (0, 0xFFFF),
+    op.I64_LOAD16_U: (0, 0xFFFF),
+    op.I32_LOAD: (0, 0xFFFFFFFF),
+    op.I64_LOAD32_U: (0, 0xFFFFFFFF),
+}
+
+# Integer binops the range pass understands (kind, bit width).
+_RANGE_BINOPS: Dict[int, tuple] = {
+    op.I32_ADD: ("add", 32), op.I64_ADD: ("add", 64),
+    op.I32_SUB: ("sub", 32), op.I64_SUB: ("sub", 64),
+    op.I32_MUL: ("mul", 32), op.I64_MUL: ("mul", 64),
+    op.I32_AND: ("and", 32), op.I64_AND: ("and", 64),
+    op.I32_OR: ("or", 32), op.I64_OR: ("or", 64),
+    op.I32_XOR: ("xor", 32), op.I64_XOR: ("xor", 64),
+    op.I32_SHL: ("shl", 32), op.I64_SHL: ("shl", 64),
+    op.I32_SHR_U: ("shru", 32), op.I64_SHR_U: ("shru", 64),
+}
+
 _EMPTY: FrozenSet[int] = frozenset()
+_NO_TEMPS: FrozenSet[str] = frozenset()
 
 
 class _Value:
-    """One compile-time stack slot: a deferred expression or a variable."""
+    """One compile-time stack slot: a deferred expression or a variable.
+
+    Beyond the purity facts the spiller needs, each slot optionally carries
+    the optimiser's value metadata:
+
+    * ``lo``/``hi`` — a proven inclusive range of the (canonical,
+      non-negative) integer value; ``None`` when unknown. The passes use
+      it to drop ``& MASK``s on values already in range and to elide
+      ``_s32``/``_s64`` on signed compares of values below the sign bit.
+    * ``affine`` — the *real-arithmetic* (unwrapped) form of the value as
+      ``{local_index: coefficient, -1: constant}`` with all coefficients
+      non-negative, or ``None``. ``expr`` may wrap (masks); ``affine``
+      never does — versioned loops bound it symbolically for the hoisted
+      preflight check and rebuild addresses from it mask-free.
+    * ``temps`` — generated variable names the expression references
+      (``t``/``s``/``h`` vars); an expression is only hoistable to a loop
+      preheader when every such name was itself hoisted there.
+    """
 
     __slots__ = ("expr", "locals_read", "reads_global", "reads_memory",
-                 "ops", "is_var", "bool_expr")
+                 "ops", "is_var", "bool_expr", "lo", "hi", "affine", "temps")
 
     def __init__(self, expr: str, locals_read: FrozenSet[int] = _EMPTY,
                  reads_global: bool = False, reads_memory: bool = False,
                  ops: int = 1, is_var: bool = False,
-                 bool_expr: Optional[str] = None) -> None:
+                 bool_expr: Optional[str] = None,
+                 lo: Optional[int] = None, hi: Optional[int] = None,
+                 affine: Optional[Dict[int, int]] = None,
+                 temps: FrozenSet[str] = _NO_TEMPS) -> None:
         self.expr = expr
         self.locals_read = locals_read
         self.reads_global = reads_global
@@ -275,10 +398,26 @@ class _Value:
         # For i32 booleans produced by comparisons/eqz: the raw Python
         # condition, so branches can test it without the 1/0 round trip.
         self.bool_expr = bool_expr
+        self.lo = lo
+        self.hi = hi
+        self.affine = affine
+        self.temps = temps
 
     @classmethod
     def var(cls, name: str) -> "_Value":
-        return cls(name, ops=0, is_var=True)
+        return cls(name, ops=0, is_var=True, temps=frozenset((name,)))
+
+    @classmethod
+    def var_like(cls, name: str, value: "_Value") -> "_Value":
+        """A variable slot that keeps ``value``'s range/affine metadata.
+
+        The range still holds (the variable holds the same value). The
+        affine form stays usable as a *bound*: materialisation captured
+        the locals at some loop point, and the preflight substitutes each
+        local's loop-wide maximum, which dominates any captured value.
+        """
+        return cls(name, ops=0, is_var=True, lo=value.lo, hi=value.hi,
+                   affine=value.affine, temps=frozenset((name,)))
 
     @property
     def paren(self) -> str:
@@ -334,10 +473,73 @@ class _Frame:
         self.top_level = top_level
 
 
+class _LoopCtx:
+    """Optimiser state for one loop currently being compiled."""
+
+    __slots__ = ("index", "info", "frame", "emitter", "insert_at", "indent",
+                 "hoisted", "ind_local", "ind_lo", "ind_hi")
+
+    def __init__(self, index: int, info: aotopt.LoopInfo, frame: _Frame,
+                 emitter: _Emitter, insert_at: int, indent: int) -> None:
+        self.index = index
+        self.info = info
+        self.frame = frame
+        self.emitter = emitter
+        #: Line index in ``emitter`` where preheader statements land.
+        self.insert_at = insert_at
+        self.indent = indent
+        #: expr -> hoisted variable name (dedup within this preheader).
+        self.hoisted: Dict[str, str] = {}
+        induction = info.induction
+        self.ind_local = induction.local if induction else None
+        self.ind_lo: int = 0
+        self.ind_hi: Optional[int] = None
+        if induction is not None and induction.loop_hi is not None \
+                and (not induction.signed or induction.fast_path_sound()[0]):
+            self.ind_hi = induction.loop_hi
+            # The init is a lower bound only when the masked step add can
+            # never wrap past 2^32 (it always holds for sound signed
+            # loops; unsigned loops need the explicit ceiling check).
+            if induction.max_numeric + induction.step <= num.MASK32:
+                self.ind_lo = induction.loop_lo
+
+
+class _FastCtx:
+    """Collects preflight requirements while probing a versioned loop."""
+
+    __slots__ = ("root", "reqs", "numeric", "failed")
+
+    def __init__(self, root: aotopt.LoopInfo) -> None:
+        self.root = root
+        self.reqs: List[str] = []
+        #: Max over fully-constant address bounds: one combined check.
+        self.numeric: Optional[int] = None
+        self.failed = False
+
+    def require(self, condition: str) -> None:
+        if condition not in self.reqs:
+            self.reqs.append(condition)
+
+    def require_numeric(self, bound: int) -> None:
+        if self.numeric is None or bound > self.numeric:
+            self.numeric = bound
+
+    def conditions(self) -> List[str]:
+        conditions = []
+        if self.numeric is not None:
+            conditions.append(f"{self.numeric} <= _ml")
+        return conditions + self.reqs
+
+
+#: Preflight checks beyond this count cost more than they save.
+_MAX_PREFLIGHT = 8
+
+
 class _FunctionCompiler:
     """Compiles one decoded function body into Python source."""
 
-    def __init__(self, module: Module, func: Function, func_index: int) -> None:
+    def __init__(self, module: Module, func: Function, func_index: int,
+                 opt_level: int = 0, use_planes: bool = False) -> None:
         self.module = module
         self.func = func
         self.func_index = func_index
@@ -346,7 +548,20 @@ class _FunctionCompiler:
         self.frames: List[_Frame] = []
         self.next_label = 0
         self.next_temp = 0
+        self.next_hoist = 0
         self.stack: List[_Value] = []
+        self.opt = opt_level
+        self.use_planes = use_planes and opt_level >= 2
+        self.local_types: List[ValType] = \
+            list(self.func_type.params) + list(func.locals)
+        self.analysis: Dict[int, aotopt.LoopInfo] = \
+            aotopt.analyze(func) if opt_level >= 1 else {}
+        self.loop_ctxs: List[_LoopCtx] = []
+        self.fast: Optional[_FastCtx] = None
+        #: Depth of versioned-region recompilation (no nested versioning).
+        self.version_depth = 0
+        #: Loops whose version probe failed; compiled plainly thereafter.
+        self.no_version: set = set()
 
     # -- stack management ---------------------------------------------------------
     #
@@ -360,19 +575,64 @@ class _FunctionCompiler:
 
     def _push(self, expr: str, locals_read: FrozenSet[int] = _EMPTY,
               reads_global: bool = False, reads_memory: bool = False,
-              ops: int = 1, bool_expr: Optional[str] = None) -> None:
-        self.stack.append(
-            _Value(expr, locals_read, reads_global, reads_memory, ops,
-                   bool_expr=bool_expr))
-        if ops > _MAX_FUSED_OPS:
+              ops: int = 1, bool_expr: Optional[str] = None,
+              lo: Optional[int] = None, hi: Optional[int] = None,
+              affine: Optional[Dict[int, int]] = None,
+              temps: FrozenSet[str] = _NO_TEMPS) -> None:
+        value = _Value(expr, locals_read, reads_global, reads_memory, ops,
+                       bool_expr=bool_expr, lo=lo, hi=hi, affine=affine,
+                       temps=temps)
+        self._push_value(value)
+
+    def _push_value(self, value: _Value) -> None:
+        if self.opt >= 1 and self._try_hoist(value):
+            return
+        self.stack.append(value)
+        if value.ops > _MAX_FUSED_OPS:
             self._materialize(len(self.stack) - 1)
 
-    def _push_var(self, expr: str) -> None:
+    def _try_hoist(self, value: _Value) -> bool:
+        """Loop-invariant code motion: move ``value`` to the preheader.
+
+        Eligible when a loop is open, the expression is pure (deferred
+        expressions always are), big enough to be worth a variable, reads
+        no state the loop region writes, and references only variables
+        that were themselves hoisted to an enclosing preheader.
+        """
+        if not self.loop_ctxs or value.is_var or value.bool_expr is not None:
+            return False
+        if value.ops < 2 or value.reads_global or value.reads_memory:
+            return False
+        ctx = self.loop_ctxs[-1]
+        if value.locals_read & ctx.info.writes:
+            return False
+        if value.temps:
+            hoisted_names = set()
+            for open_ctx in self.loop_ctxs:
+                hoisted_names.update(open_ctx.hoisted.values())
+            if not value.temps <= hoisted_names:
+                return False
+        name = ctx.hoisted.get(value.expr)
+        if name is None:
+            name = f"h{self.next_hoist}"
+            self.next_hoist += 1
+            ctx.hoisted[value.expr] = name
+            line = " " * ctx.indent + f"{name} = {value.expr}"
+            ctx.emitter.lines.insert(ctx.insert_at, line)
+            ctx.insert_at += 1
+        self.stack.append(_Value.var_like(name, value))
+        return True
+
+    def _push_var(self, expr: str, lo: Optional[int] = None,
+                  hi: Optional[int] = None,
+                  affine: Optional[Dict[int, int]] = None) -> None:
         """Materialise ``expr`` into a fresh temporary immediately."""
         name = f"t{self.next_temp}"
         self.next_temp += 1
         self.out.emit(f"{name} = {expr}")
-        self.stack.append(_Value.var(name))
+        self.stack.append(
+            _Value(name, ops=0, is_var=True, lo=lo, hi=hi, affine=affine,
+                   temps=frozenset((name,))))
 
     def _pop(self) -> _Value:
         return self.stack.pop()
@@ -385,7 +645,7 @@ class _FunctionCompiler:
         name = f"t{self.next_temp}"
         self.next_temp += 1
         self.out.emit(f"{name} = {value.expr}")
-        self.stack[position] = _Value.var(name)
+        self.stack[position] = _Value.var_like(name, value)
 
     def _spill(self, position: int) -> None:
         """Place a stack entry into its canonical boundary variable."""
@@ -394,7 +654,7 @@ class _FunctionCompiler:
         if value.is_var and value.expr == name:
             return
         self.out.emit(f"{name} = {value.expr}")
-        self.stack[position] = _Value.var(name)
+        self.stack[position] = _Value.var_like(name, value)
 
     def _spill_all(self) -> None:
         for position in range(len(self.stack)):
@@ -507,7 +767,7 @@ class _FunctionCompiler:
             zero = "0" if valtype.is_integer else "0.0"
             self.out.emit(f"l{index} = {zero}")
         self.out.emit("_br = -1")
-        self._compile_body()
+        self._compile_range(0, len(self.func.body))
         self.out.indent -= 1
         self.out.emit("finally:")
         self.out.indent += 1
@@ -516,14 +776,30 @@ class _FunctionCompiler:
         self.out.indent -= 1
         return self.out.source()
 
-    def _compile_body(self) -> None:
+    def _pop_loop_ctx(self, frame: _Frame) -> None:
+        if self.loop_ctxs and self.loop_ctxs[-1].frame is frame:
+            self.loop_ctxs.pop()
+
+    def _compile_range(self, start: int, stop: int) -> None:
+        """Compile the instruction range ``[start, stop)``.
+
+        The whole function body is one range; a versioned loop compiles
+        its own ``[loop, end]`` sub-range twice (fast probe + safe copy)
+        through the same machinery.
+        """
         module = self.module
+        body = self.func.body
         out = self.out
         dead = False
         dead_depth = 0
+        skip_until = -1
 
-        for instr in self.func.body:
+        for index in range(start, stop):
+            if index < skip_until:
+                continue
+            instr = body[index]
             code = instr.opcode
+            out = self.out
 
             if dead:
                 if code in (op.BLOCK, op.LOOP, op.IF):
@@ -543,6 +819,7 @@ class _FunctionCompiler:
                         dead = False
                     else:
                         frame = self.frames.pop()
+                        self._pop_loop_ctx(frame)
                         if frame.kind == op.IF:
                             out.indent -= 1  # close if/else suite
                         self._reset_stack(frame.entry_height + frame.arity)
@@ -569,11 +846,20 @@ class _FunctionCompiler:
                 out.indent += 1
                 out.emit("pass")
             elif code == op.LOOP:
+                if self._can_version(index):
+                    skip_until = self._compile_versioned_loop(index)
+                    continue
                 self._spill_all()
                 frame = _Frame(code, self.next_label, len(self.stack),
                                instr.arg.arity, not self.frames)
                 self.next_label += 1
                 self.frames.append(frame)
+                if self.opt >= 1:
+                    info = self.analysis.get(index)
+                    if info is not None:
+                        self.loop_ctxs.append(
+                            _LoopCtx(index, info, frame, out,
+                                     len(out.lines), out.indent))
                 out.emit(f"while True:  # loop L{frame.label}")
                 out.indent += 1
                 out.emit("while True:")
@@ -605,6 +891,7 @@ class _FunctionCompiler:
                     out.emit(f"return {self._result_expr()}")
                     continue
                 frame = self.frames.pop()
+                self._pop_loop_ctx(frame)
                 if frame.kind == op.IF:
                     out.indent -= 1  # close if (or else) suite
                 self._reset_stack(frame.entry_height + frame.arity)
@@ -694,8 +981,7 @@ class _FunctionCompiler:
                 out.indent -= 1
                 self._pop()
             elif code == op.LOCAL_GET:
-                self._push(f"l{instr.arg}",
-                           locals_read=frozenset((instr.arg,)), ops=1)
+                self._push_local(instr.arg)
             elif code == op.LOCAL_SET:
                 value = self._pop()
                 self._spill_local_readers(instr.arg)
@@ -704,8 +990,7 @@ class _FunctionCompiler:
                 value = self._pop()
                 self._spill_local_readers(instr.arg)
                 out.emit(f"l{instr.arg} = {value.expr}")
-                self._push(f"l{instr.arg}",
-                           locals_read=frozenset((instr.arg,)), ops=1)
+                self._push_local(instr.arg)
             elif code == op.GLOBAL_GET:
                 self._push(f"_g[{instr.arg}].value", reads_global=True, ops=1)
             elif code == op.GLOBAL_SET:
@@ -713,7 +998,13 @@ class _FunctionCompiler:
                 self._spill_global_readers()
                 out.emit(f"_g[{instr.arg}].value = {value.expr}")
             elif code in (op.I32_CONST, op.I64_CONST):
-                self._push(str(instr.arg), ops=0)
+                literal = instr.arg
+                if literal >= 0:
+                    affine = {-1: literal} if code == op.I32_CONST else None
+                    self._push(str(literal), ops=0, lo=literal, hi=literal,
+                               affine=affine)
+                else:
+                    self._push(str(literal), ops=0)
             elif code in (op.F32_CONST, op.F64_CONST):
                 value = instr.arg
                 if math.isnan(value):
@@ -726,21 +1017,59 @@ class _FunctionCompiler:
             elif code in _LOADS:
                 width, template = _LOADS[code]
                 address = self._pop()
-                offset = f" + {instr.arg}" if instr.arg else ""
-                out.emit(f"_a = {address.paren}{offset}")
+                offset = instr.arg or 0
+                lo, hi = _LOAD_RANGES.get(code, (None, None))
+                if self.fast is not None:
+                    access = self._fast_access(address, offset, width)
+                    if access is not None:
+                        addr, plane = access
+                        if plane is not None and code in _PLANE_LOADS:
+                            expr = _PLANE_LOADS[code].format(i=plane)
+                        else:
+                            expr = template.format(m="_m", a=addr)
+                        self._push_var(expr, lo=lo, hi=hi)
+                        continue
+                offset_text = f" + {instr.arg}" if instr.arg else ""
+                out.emit(f"_a = {address.paren}{offset_text}")
                 out.emit(f"if _a + {width} > len(_m): "
                          "_trap('out-of-bounds memory access')")
-                self._push_var(template.format(m="_m", a="_a"))
+                shift = self._plane_shift(code, _PLANE_LOADS, address,
+                                          offset, width)
+                if shift is not None:
+                    self._push_var(
+                        _PLANE_LOADS[code].format(i=f"_a >> {shift}"),
+                        lo=lo, hi=hi)
+                else:
+                    self._push_var(template.format(m="_m", a="_a"),
+                                   lo=lo, hi=hi)
             elif code in _STORES:
                 width, template = _STORES[code]
                 value = self._pop()
                 address = self._pop()
                 self._spill_memory_readers()
-                offset = f" + {instr.arg}" if instr.arg else ""
-                out.emit(f"_a = {address.paren}{offset}")
+                offset = instr.arg or 0
+                if self.fast is not None:
+                    access = self._fast_access(address, offset, width)
+                    if access is not None:
+                        addr, plane = access
+                        if plane is not None and code in _PLANE_STORES:
+                            out.emit(_PLANE_STORES[code].format(
+                                i=plane, v=value.expr))
+                        else:
+                            out.emit(template.format(m="_m", a=addr,
+                                                     v=value.expr))
+                        continue
+                offset_text = f" + {instr.arg}" if instr.arg else ""
+                out.emit(f"_a = {address.paren}{offset_text}")
                 out.emit(f"if _a + {width} > len(_m): "
                          "_trap('out-of-bounds memory access')")
-                out.emit(template.format(m="_m", a="_a", v=value.expr))
+                shift = self._plane_shift(code, _PLANE_STORES, address,
+                                          offset, width)
+                if shift is not None:
+                    out.emit(_PLANE_STORES[code].format(i=f"_a >> {shift}",
+                                                        v=value.expr))
+                else:
+                    out.emit(template.format(m="_m", a="_a", v=value.expr))
             elif code == op.MEMORY_SIZE:
                 self._push("_mem.size_pages", reads_memory=True, ops=1)
             elif code == op.MEMORY_GROW:
@@ -762,6 +1091,7 @@ class _FunctionCompiler:
                     reads_memory=operand.reads_memory,
                     ops=operand.ops + 2,
                     bool_expr=raw,
+                    lo=0, hi=1, temps=operand.temps,
                 )
             elif code in _BINOPS:
                 rhs = self._pop()
@@ -772,7 +1102,16 @@ class _FunctionCompiler:
                         _BINOPS[code].format(a=lhs.expr, b=rhs.expr),
                         dict(_FOLD_NAMESPACE),
                     )
-                    self._push(str(folded), ops=0)
+                    if self.opt >= 1 and folded >= 0:
+                        self._push(str(folded), ops=0, lo=folded, hi=folded,
+                                   affine={-1: folded}
+                                   if _RANGE_BINOPS.get(code, ("", 0))[1] == 32
+                                   else None)
+                    else:
+                        self._push(str(folded), ops=0)
+                    continue
+                if self.opt >= 1 and code in _RANGE_BINOPS:
+                    self._push_value(self._range_binop(code, lhs, rhs))
                     continue
                 self._push(
                     _BINOPS[code].format(a=lhs.paren, b=rhs.paren),
@@ -780,6 +1119,7 @@ class _FunctionCompiler:
                     reads_global=lhs.reads_global or rhs.reads_global,
                     reads_memory=lhs.reads_memory or rhs.reads_memory,
                     ops=lhs.ops + rhs.ops + 1,
+                    temps=lhs.temps | rhs.temps,
                 )
             elif code in _TRAPPING_BINOPS:
                 rhs = self._pop()
@@ -800,8 +1140,11 @@ class _FunctionCompiler:
                     lhs = self._pop()
                 if code in _SIGNED_RELOPS:
                     bits = _SIGNED_RELOPS[code]
+                    sign_bit = 1 << (bits - 1)
                     raw = _RELOPS[code].format(a=lhs.paren, b=rhs.paren)
-                    # Fold _sNN(literal) operands into signed literals.
+                    # Fold _sNN(literal) operands into signed literals, and
+                    # elide _sNN entirely on values proven below the sign
+                    # bit (their signed and raw readings coincide).
                     for operand in (lhs, rhs):
                         literal = operand.literal
                         if literal is not None:
@@ -809,6 +1152,11 @@ class _FunctionCompiler:
                                 else num.s64(literal)
                             raw = raw.replace(
                                 f"_s{bits}({operand.paren})", str(signed), 1)
+                        elif (self.opt >= 1 and operand.hi is not None
+                                and operand.hi < sign_bit):
+                            raw = raw.replace(
+                                f"_s{bits}({operand.paren})",
+                                operand.paren, 1)
                 else:
                     raw = _RELOPS[code].format(a=lhs.paren, b=rhs.paren)
                 self._push(
@@ -818,26 +1166,331 @@ class _FunctionCompiler:
                     reads_memory=lhs.reads_memory or rhs.reads_memory,
                     ops=lhs.ops + rhs.ops + 2,
                     bool_expr=raw,
+                    lo=0, hi=1, temps=lhs.temps | rhs.temps,
                 )
             elif code in _UNOPS:
                 operand = self._pop()
                 template = _UNOPS[code]
-                expression = template.format(a=operand.paren)
                 if template == "{a}":
                     self.stack.append(operand)
-                else:
-                    self._push(
-                        expression,
-                        locals_read=operand.locals_read,
-                        reads_global=operand.reads_global,
-                        reads_memory=operand.reads_memory,
-                        ops=operand.ops + 1,
-                    )
+                    continue
+                if self.opt >= 1 and operand.hi is not None:
+                    # Conversions that are identities on proven-in-range
+                    # values: the wrap/sign-extension cannot fire.
+                    if (code == op.I32_WRAP_I64
+                            and operand.hi <= num.MASK32) or \
+                       (code == op.I64_EXTEND_I32_S
+                            and operand.hi < (1 << 31)):
+                        self.stack.append(operand)
+                        continue
+                self._push(
+                    template.format(a=operand.paren),
+                    locals_read=operand.locals_read,
+                    reads_global=operand.reads_global,
+                    reads_memory=operand.reads_memory,
+                    ops=operand.ops + 1,
+                    temps=operand.temps,
+                )
             elif code in _TRAPPING_UNOPS:
                 operand = self._pop()
                 self._push_var(_TRAPPING_UNOPS[code].format(a=operand.expr))
             else:
                 raise WasmError(f"AOT: unimplemented opcode {op.name(code)}")
+
+    # -- optimisation passes ------------------------------------------------------
+
+    def _push_local(self, local: int) -> None:
+        """local.get / the re-read half of local.tee, with metadata."""
+        lo = hi = None
+        affine = None
+        if self.opt >= 1 and self.local_types[local] == ValType.I32:
+            affine = {local: 1}
+            for ctx in reversed(self.loop_ctxs):
+                if ctx.ind_local == local and ctx.ind_hi is not None:
+                    lo, hi = ctx.ind_lo, ctx.ind_hi
+                    break
+        self._push(f"l{local}", locals_read=frozenset((local,)), ops=1,
+                   lo=lo, hi=hi, affine=affine)
+
+    def _range_binop(self, code: int, lhs: _Value, rhs: _Value) -> _Value:
+        """An integer binop through the value-range lattice.
+
+        Emits the mask-free form whenever the result provably fits the
+        type's range (the ``& MASK`` would be the identity); tracks the
+        real-arithmetic affine form for i32 address computations.
+        """
+        kind, bits = _RANGE_BINOPS[code]
+        mask = num.MASK32 if bits == 32 else num.MASK64
+        is32 = bits == 32
+        a_lo, a_hi = (lhs.lo, lhs.hi) if lhs.hi is not None else (0, mask)
+        b_lo, b_hi = (rhs.lo, rhs.hi) if rhs.hi is not None else (0, mask)
+        expr = None
+        lo = hi = None
+        affine = None
+        if kind == "add":
+            if a_hi + b_hi <= mask:
+                expr = f"{lhs.paren} + {rhs.paren}"
+                lo, hi = a_lo + b_lo, a_hi + b_hi
+            if is32 and lhs.affine is not None and rhs.affine is not None:
+                affine = dict(lhs.affine)
+                for key, coeff in rhs.affine.items():
+                    affine[key] = affine.get(key, 0) + coeff
+        elif kind == "sub":
+            if a_lo >= b_hi:
+                expr = f"{lhs.paren} - {rhs.paren}"
+                lo, hi = a_lo - b_hi, a_hi - b_lo
+                # Borrow-free subtraction of a constant keeps the value
+                # affine (only the constant term may go negative).
+                if is32 and rhs.literal is not None \
+                        and lhs.affine is not None:
+                    affine = dict(lhs.affine)
+                    affine[-1] = affine.get(-1, 0) - rhs.literal
+        elif kind == "mul":
+            if a_hi * b_hi <= mask:
+                expr = f"{lhs.paren} * {rhs.paren}"
+                lo, hi = a_lo * b_lo, a_hi * b_hi
+            if is32:
+                if rhs.literal is not None and lhs.affine is not None:
+                    affine = {key: coeff * rhs.literal
+                              for key, coeff in lhs.affine.items()}
+                elif lhs.literal is not None and rhs.affine is not None:
+                    affine = {key: coeff * lhs.literal
+                              for key, coeff in rhs.affine.items()}
+        elif kind == "and":
+            literal = rhs.literal if rhs.literal is not None else lhs.literal
+            other = lhs if rhs.literal is not None else rhs
+            other_hi = a_hi if other is lhs else b_hi
+            if literal is not None and (literal + 1) & literal == 0 \
+                    and other_hi <= literal:
+                return other  # the mask is the identity: drop it
+            lo, hi = 0, min(a_hi, b_hi)
+        elif kind in ("or", "xor"):
+            lo = 0
+            hi = (1 << max(a_hi.bit_length(), b_hi.bit_length())) - 1
+        elif kind == "shl":
+            if rhs.literal is not None:
+                count = rhs.literal % bits
+                if a_hi << count <= mask:
+                    expr = f"{lhs.paren} << {count}"
+                    lo, hi = a_lo << count, a_hi << count
+                if is32 and lhs.affine is not None:
+                    affine = {key: coeff << count
+                              for key, coeff in lhs.affine.items()}
+        elif kind == "shru":
+            if rhs.literal is not None:
+                count = rhs.literal % bits
+                expr = f"{lhs.paren} >> {count}"
+                lo, hi = a_lo >> count, a_hi >> count
+        if expr is None:
+            expr = _BINOPS[code].format(a=lhs.paren, b=rhs.paren)
+        return _Value(
+            expr,
+            locals_read=lhs.locals_read | rhs.locals_read,
+            reads_global=lhs.reads_global or rhs.reads_global,
+            reads_memory=lhs.reads_memory or rhs.reads_memory,
+            ops=lhs.ops + rhs.ops + 1,
+            lo=lo, hi=hi, affine=affine,
+            temps=lhs.temps | rhs.temps,
+        )
+
+    def _plane_shift(self, code: int, table: Dict[int, str], address: _Value,
+                     offset: int, width: int) -> Optional[int]:
+        """The plane shift when the access is provably width-aligned.
+
+        An affine address with every coefficient and the total constant
+        offset divisible by the width is aligned — masking preserves that
+        (2^32 is a multiple of every plane width), so the proof needs no
+        wrap analysis.
+        """
+        if not self.use_planes or code not in table or width not in (2, 4, 8):
+            return None
+        if address.affine is None:
+            return None
+        constant = address.affine.get(-1, 0) + offset
+        if constant % width:
+            return None
+        for key, coeff in address.affine.items():
+            if key >= 0 and coeff % width:
+                return None
+        return width.bit_length() - 1
+
+    # -- loop versioning ----------------------------------------------------------
+
+    def _can_version(self, index: int) -> bool:
+        if self.opt < 2 or self.version_depth > 0 \
+                or index in self.no_version:
+            return False
+        info = self.analysis.get(index)
+        return (info is not None and info.versionable
+                and self.func.body[index].arg.arity == 0)
+
+    def _fast_bound(self, local: int) -> Optional[tuple]:
+        """``(numeric, symbolic)`` loop-wide max of a local read by an
+        address inside the versioned region, or None when unboundable.
+
+        A local the region never writes is its own (runtime) bound. A
+        local written inside the region is only boundable when it is the
+        induction variable of a loop the access is structurally inside
+        (its ctx is still open): there the guard has passed, so the value
+        is at most the guard bound.
+        """
+        fast = self.fast
+        if local not in fast.root.writes:
+            return None, f"l{local}"
+        for ctx in reversed(self.loop_ctxs):
+            induction = ctx.info.induction
+            if induction is None or induction.local != local \
+                    or ctx.index < fast.root.start:
+                continue
+            ok, conjunct = induction.fast_path_sound()
+            if not ok:
+                return None
+            if conjunct:
+                fast.require(conjunct)
+            if induction.max_numeric is not None:
+                return max(induction.max_numeric, 0), None
+            part, reads = induction.max_parts()
+            if reads & fast.root.writes:
+                return None
+            return None, part
+        return None
+
+    def _fast_access(self, address: _Value, offset: int,
+                     width: int) -> Optional[tuple]:
+        """Hoist one access's bounds check into the loop preflight.
+
+        Returns ``(address_expr, plane_index_expr_or_None)`` and records
+        the requirement ``max_address + width <= _ml``, or None (probe
+        failure) when the address cannot be bounded at loop entry.
+        """
+        fast = self.fast
+        if address.affine is None:
+            fast.failed = True
+            return None
+        effective = dict(address.affine)
+        effective[-1] = effective.get(-1, 0) + offset
+        numeric = effective[-1] + width
+        symbolic: List[str] = []
+        for local, coeff in sorted(effective.items()):
+            if local < 0 or coeff == 0:
+                continue
+            bound = self._fast_bound(local)
+            if bound is None:
+                fast.failed = True
+                return None
+            bound_numeric, bound_symbolic = bound
+            if bound_numeric is not None:
+                numeric += coeff * bound_numeric
+            elif coeff == 1:
+                symbolic.append(bound_symbolic)
+            else:
+                symbolic.append(f"{coeff} * {bound_symbolic}")
+        if symbolic:
+            fast.require(" + ".join(symbolic + [str(numeric)]) + " <= _ml")
+        else:
+            fast.require_numeric(numeric)
+        # The emitted address: a materialised variable is its own (proven
+        # unwrapped) value; a deferred expression is rebuilt mask-free
+        # from the affine form.
+        if address.is_var:
+            addr = f"{address.expr} + {offset}" if offset else address.expr
+        else:
+            addr = _affine_expr(effective, 1)
+        plane = None
+        if self.use_planes and width in (2, 4, 8) \
+                and effective.get(-1, 0) % width == 0 \
+                and all(coeff % width == 0
+                        for key, coeff in effective.items() if key >= 0):
+            shift = width.bit_length() - 1
+            if address.is_var:
+                base = f"({addr})" if offset else addr
+                plane = f"{base} >> {shift}"
+            else:
+                plane = _affine_expr(effective, width)
+        return addr, plane
+
+    def _compile_versioned_loop(self, index: int) -> int:
+        """Emit a fast/safe versioned pair for the loop at ``index``.
+
+        The fast copy elides every per-access bounds check (and computes
+        addresses mask-free, through planes when aligned) under a single
+        preflight conjunction evaluated at loop entry; the safe copy is
+        the plain lowering, taken whenever the preflight cannot prove the
+        whole iteration space in bounds — including every program that
+        would trap, which therefore traps with the byte-identical message
+        at the identical point.
+        """
+        info = self.analysis[index]
+        stop = info.end + 1
+        self._spill_all()
+        height = len(self.stack)
+        frames_len = len(self.frames)
+        snapshot = (self.next_label, self.next_temp, self.next_hoist)
+        outer = self.out
+
+        self.version_depth += 1
+        fast = _FastCtx(info)
+        _ok, conjunct = info.induction.fast_path_sound()
+        if conjunct:
+            fast.require(conjunct)
+        self.fast = fast
+        fast_out = _Emitter()
+        fast_out.indent = outer.indent + 1
+        self.out = fast_out
+        self._compile_range(index, stop)
+        self.fast = None
+        fast_counters = (self.next_label, self.next_temp, self.next_hoist)
+
+        del self.frames[frames_len:]
+        self._reset_stack(height)
+        self.next_label, self.next_temp, self.next_hoist = snapshot
+
+        conditions = fast.conditions()
+        if fast.failed or not conditions or len(conditions) > _MAX_PREFLIGHT:
+            # Probe failed: compile this loop in place, unversioned —
+            # but let its inner loops try their own versions.
+            self.no_version.add(index)
+            self.version_depth -= 1
+            self.out = outer
+            self._compile_range(index, stop)
+            return stop
+
+        safe_out = _Emitter()
+        safe_out.indent = outer.indent + 1
+        self.out = safe_out
+        self._compile_range(index, stop)
+        self.version_depth -= 1
+        self.out = outer
+
+        self.next_label = max(fast_counters[0], self.next_label)
+        self.next_temp = max(fast_counters[1], self.next_temp)
+        self.next_hoist = max(fast_counters[2], self.next_hoist)
+
+        outer.emit("_ml = len(_m)")
+        outer.emit(f"if {' and '.join(conditions)}:")
+        outer.lines.extend(fast_out.lines)
+        outer.emit("else:")
+        outer.lines.extend(safe_out.lines)
+
+        del self.frames[frames_len:]
+        self._reset_stack(height)
+        return stop
+
+
+def _affine_expr(affine: Dict[int, int], scale: int) -> str:
+    """Rebuild an affine form as real-arithmetic source, divided by
+    ``scale`` (1 for byte addresses; the access width for plane indices,
+    only called when every term is divisible)."""
+    terms = []
+    for local, coeff in sorted(affine.items()):
+        if local < 0 or coeff == 0:
+            continue
+        scaled = coeff // scale
+        terms.append(f"l{local}" if scaled == 1 else f"l{local} * {scaled}")
+    constant = affine.get(-1, 0) // scale
+    if constant or not terms:
+        terms.append(str(constant))
+    return " + ".join(terms)
 
 
 class AotCompiler(Engine):
@@ -851,12 +1504,40 @@ class AotCompiler(Engine):
     #: per-instance namespace is instance-specific.
     supports_code_artifacts = True
 
+    def __init__(self, opt_level: Optional[int] = None,
+                 tracer: Optional[object] = None) -> None:
+        level = DEFAULT_OPT_LEVEL if opt_level is None else opt_level
+        if level not in _OPT_LEVELS:
+            raise WasmError(f"unknown aot opt level: {level!r}")
+        self.opt_level = level
+        self.tracer = tracer
+
+    @property
+    def cache_identity(self) -> str:
+        """Cache key component: the opt level changes the artifact."""
+        return f"{self.name}@o{self.opt_level}"
+
     def compile_artifact(self, module: Module, func_index: int) -> tuple:
         """Lower one function to a (code object, source) artifact."""
         func = module.functions[func_index - len(module.imported_funcs)]
-        compiler = _FunctionCompiler(module, func, func_index)
-        source = compiler.compile()
-        code = compile(source, f"<wasm-aot f{func_index}>", "exec")
+        tracer = self.tracer
+        if tracer is None:
+            compiler = _FunctionCompiler(
+                module, func, func_index, opt_level=self.opt_level,
+                use_planes=Memory.planes_supported)
+            source = compiler.compile()
+            code = compile(source, f"<wasm-aot f{func_index}>", "exec")
+            return (code, source)
+        with tracer.span("aot.compile", func=func_index,
+                         opt=self.opt_level):
+            with tracer.span("aot.analyze"):
+                compiler = _FunctionCompiler(
+                    module, func, func_index, opt_level=self.opt_level,
+                    use_planes=Memory.planes_supported)
+            with tracer.span("aot.codegen"):
+                source = compiler.compile()
+            with tracer.span("aot.pycompile"):
+                code = compile(source, f"<wasm-aot f{func_index}>", "exec")
         return (code, source)
 
     def link_artifact(self, module: Module, instance: Instance,
@@ -938,6 +1619,16 @@ class AotCompiler(Engine):
             "_pkF32": S_F32.pack_into,
             "_pkF64": S_F64.pack_into,
         }
+        memory = instance.memory
+        if memory is not None and memory.planes_supported:
+            # Typed planes over the linear memory. `memory.grow` swaps
+            # the backing buffer, so the namespace re-requests them on
+            # every grow; generated code reads the names per access.
+            def _refresh_planes(space=namespace, memory=memory) -> None:
+                for fmt, plane_name in _PLANE_NAMES.items():
+                    space[plane_name] = memory.plane(fmt)
+            _refresh_planes()
+            memory.add_plane_listener(_refresh_planes)
         for type_index, func_type in enumerate(module.types):
             namespace[f"_sig{type_index}"] = func_type
         instance._aot_namespace = namespace  # type: ignore[attr-defined]

@@ -1,0 +1,307 @@
+"""Static analyses feeding the AOT engine's optimisation passes.
+
+The AOT lowering (:mod:`repro.wasm.aot`) runs a pre-pass over each decoded
+function body before generating code. For every ``loop`` construct it
+records
+
+* the set of locals written anywhere in the loop region (the base fact for
+  loop-invariant code motion: an expression reading none of them computes
+  the same value on every iteration);
+* whether the region contains calls or ``memory.grow`` (either one makes
+  the memory length loop-variant, ruling out bounds-check hoisting);
+* a **monotone induction pattern**, when the loop matches the canonical
+  counted shape the walc compiler emits::
+
+      i32.const C ; local.set $i          ; init (immediately before)
+      block
+        loop
+          local.get $i
+          (i32.const N | local.get $n)    ; loop-invariant bound
+          i32.lt_s / lt_u / le_s / le_u
+          i32.eqz
+          br_if 1                         ; exit to the enclosing block
+          ...body...
+          local.get $i ; i32.const S ; i32.add ; local.set $i ; br <loop>
+        end
+      end
+
+  with *every* write to ``$i`` inside the region being that exact
+  ``+= S``-then-branch-to-loop-header step (``continue`` statements
+  duplicate it mid-body) and no ``local.tee $i`` anywhere.
+
+Soundness of the induction claim (the basis for bounds-check hoisting and
+mask elimination in :mod:`repro.wasm.aot`):
+
+* whenever the loop *body* executes, the guard has just passed, so the
+  induction local is at most ``max`` (``N-1`` for ``lt``, ``N`` for
+  ``le``); every step is immediately followed by an unconditional branch,
+  so no memory access can observe a post-step value;
+* for **unsigned** guards this bounds the raw (canonical, non-negative)
+  value directly;
+* for **signed** guards the raw value equals the signed value only while
+  it stays below 2^31. The init constant is required and must be in
+  ``[0, 2^31)``; the compiler additionally requires ``max + step < 2^31``
+  (a compile-time check for constant bounds, a preflight conjunct for
+  local bounds) before entering an unchecked fast path, which inductively
+  pins the raw value below 2^31 for the whole loop.
+
+Everything here is shape matching over the flat instruction list — the
+decoder already resolved each ``block``/``loop``/``if`` to its matching
+``end`` index (``Instr.target``), so regions are index ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.wasm import numerics as num
+from repro.wasm import opcodes as op
+from repro.wasm.module import Function, Instr
+
+#: Opcodes that touch linear memory (loads and stores of every width).
+ACCESS_OPS = frozenset((
+    op.I32_LOAD, op.I64_LOAD, op.F32_LOAD, op.F64_LOAD,
+    op.I32_LOAD8_U, op.I32_LOAD8_S, op.I32_LOAD16_U, op.I32_LOAD16_S,
+    op.I64_LOAD8_U, op.I64_LOAD8_S, op.I64_LOAD16_U, op.I64_LOAD16_S,
+    op.I64_LOAD32_U, op.I64_LOAD32_S,
+    op.I32_STORE, op.I64_STORE, op.F32_STORE, op.F64_STORE,
+    op.I32_STORE8, op.I32_STORE16, op.I64_STORE8, op.I64_STORE16,
+    op.I64_STORE32,
+))
+
+_GUARD_RELOPS = {
+    op.I32_LT_S: (True, False),
+    op.I32_LT_U: (False, False),
+    op.I32_LE_S: (True, True),
+    op.I32_LE_U: (False, True),
+}
+
+#: Binops we constant-fold inside a guard's bound expression. walc emits
+#: ``i < N - 1`` literally (CONST N; CONST 1; SUB), so a strict two-token
+#: bound match would miss the stencil kernels' trip counts.
+_BOUND_FOLD_OPS = {
+    op.I32_ADD: lambda a, b: a + b,
+    op.I32_SUB: lambda a, b: a - b,
+    op.I32_MUL: lambda a, b: a * b,
+}
+
+_SIGN_BIT32 = 1 << 31
+
+
+class Induction:
+    """The counted-loop pattern: ``for i = C; i < N; i += S``."""
+
+    __slots__ = ("local", "init", "step", "bound_const", "bound_local",
+                 "signed", "inclusive")
+
+    def __init__(self, local: int, init: Optional[int], step: int,
+                 bound_const: Optional[int], bound_local: Optional[int],
+                 signed: bool, inclusive: bool) -> None:
+        self.local = local
+        self.init = init
+        self.step = step
+        self.bound_const = bound_const
+        self.bound_local = bound_local
+        self.signed = signed
+        self.inclusive = inclusive
+
+    @property
+    def max_numeric(self) -> Optional[int]:
+        """Largest value the local can hold at a body access point, when
+        the bound is a compile-time constant. May be negative (the loop
+        then never runs and every derived claim is vacuous)."""
+        if self.bound_const is None:
+            return None
+        bound = num.s32(self.bound_const) if self.signed else self.bound_const
+        return bound if self.inclusive else bound - 1
+
+    def max_parts(self) -> Tuple[Optional[str], Set[int]]:
+        """A real-arithmetic Python expression for the access-point max
+        when the bound is a local, plus the locals it reads."""
+        if self.bound_local is None:
+            return None, set()
+        name = f"l{self.bound_local}"
+        bound = f"_s32({name})" if self.signed else name
+        if self.inclusive:
+            return bound, {self.bound_local}
+        return f"({bound} - 1)", {self.bound_local}
+
+    @property
+    def loop_lo(self) -> int:
+        """Loop-wide lower bound on the raw local value."""
+        return self.init if self.init is not None else 0
+
+    @property
+    def loop_hi(self) -> Optional[int]:
+        """Loop-wide upper bound on the raw local value, or None if
+        unknowable at compile time. Covers every point in the region —
+        including the first guard evaluation, which is why a known init
+        and a constant bound are both required: body points are bounded
+        by ``max`` (guard just passed), the guard itself sees either the
+        init or a post-step value ``<= max + step``."""
+        maximum = self.max_numeric
+        if maximum is None or self.init is None:
+            return None
+        return max(self.init, maximum + self.step)
+
+    def fast_path_sound(self) -> Tuple[bool, Optional[str]]:
+        """Whether the induction claim may back an *unchecked* fast path.
+
+        Returns ``(ok, conjunct)``: ``conjunct`` is an extra preflight
+        condition string to emit (signed loops with a local bound), or
+        None when the claim holds unconditionally / by compile-time check.
+        """
+        if not self.signed:
+            return True, None
+        if self.init is None or not 0 <= self.init < _SIGN_BIT32:
+            return False, None
+        if self.bound_const is not None:
+            maximum = self.max_numeric
+            return maximum + self.step < _SIGN_BIT32, None
+        # Local bound: require max + step < 2^31 at loop entry.
+        ceiling = _SIGN_BIT32 - self.step - (1 if self.inclusive else 0)
+        return True, f"_s32(l{self.bound_local}) <= {ceiling}"
+
+
+class LoopInfo:
+    """Per-``loop`` facts: region extent, written locals, eligibility."""
+
+    __slots__ = ("start", "end", "writes", "has_call", "has_grow",
+                 "has_access", "induction", "versionable")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start          #: index of the LOOP instruction
+        self.end = end              #: index of its matching END
+        self.writes: Set[int] = set()
+        self.has_call = False
+        self.has_grow = False
+        self.has_access = False
+        self.induction: Optional[Induction] = None
+        self.versionable = False
+
+
+def analyze(func: Function) -> Dict[int, LoopInfo]:
+    """Analyse every loop in ``func``; keyed by LOOP instruction index."""
+    body = func.body
+    loops: Dict[int, LoopInfo] = {}
+    for index, instr in enumerate(body):
+        if instr.opcode == op.LOOP:
+            loops[index] = _analyze_loop(body, index, instr.target)
+    return loops
+
+
+def _analyze_loop(body: List[Instr], start: int, end: int) -> LoopInfo:
+    info = LoopInfo(start, end)
+    for index in range(start + 1, end):
+        code = body[index].opcode
+        if code in (op.LOCAL_SET, op.LOCAL_TEE):
+            info.writes.add(body[index].arg)
+        elif code in (op.CALL, op.CALL_INDIRECT):
+            info.has_call = True
+        elif code == op.MEMORY_GROW:
+            info.has_grow = True
+        elif code in ACCESS_OPS:
+            info.has_access = True
+    info.induction = _match_induction(body, start, end, info)
+    info.versionable = (
+        info.induction is not None
+        and not info.has_call
+        and not info.has_grow
+        and info.has_access
+        and info.induction.fast_path_sound()[0]
+    )
+    return info
+
+
+def _match_induction(body: List[Instr], start: int, end: int,
+                     info: LoopInfo) -> Optional[Induction]:
+    # The loop must sit directly inside a dedicated exit block whose end
+    # immediately follows ours — the shape `block { loop { .. } }` that
+    # both walc and the test builder produce for counted loops.
+    if start < 1 or body[start - 1].opcode != op.BLOCK \
+            or body[start - 1].target != end + 1:
+        return None
+    if end - start < 6:
+        return None
+    if body[start + 1].opcode != op.LOCAL_GET:
+        return None
+    local = body[start + 1].arg
+    bound_const = bound_local = None
+    cursor = start + 2
+    if body[cursor].opcode == op.I32_CONST:
+        # Allow a constant-folded bound: `i < N - 1` style guards reach
+        # us as CONST N; CONST 1; SUB (walc does not pre-fold).
+        bound_const = body[cursor].arg
+        cursor += 1
+        while (cursor + 1 < end
+                and body[cursor].opcode == op.I32_CONST
+                and body[cursor + 1].opcode in _BOUND_FOLD_OPS):
+            bound_const = _BOUND_FOLD_OPS[body[cursor + 1].opcode](
+                bound_const, body[cursor].arg) & num.MASK32
+            cursor += 2
+    elif body[cursor].opcode == op.LOCAL_GET and body[cursor].arg != local:
+        bound_local = body[cursor].arg
+        cursor += 1
+    else:
+        return None
+    if cursor + 2 >= end:
+        return None
+    relop = _GUARD_RELOPS.get(body[cursor].opcode)
+    if relop is None:
+        return None
+    signed, inclusive = relop
+    if body[cursor + 1].opcode != op.I32_EQZ:
+        return None
+    if body[cursor + 2].opcode != op.BR_IF or body[cursor + 2].arg != 1:
+        return None
+    # A bound read from a local must be invariant across the region.
+    if bound_local is not None and bound_local in info.writes:
+        return None
+
+    # Optional init immediately before the exit block.
+    init = None
+    if (start >= 3 and body[start - 2].opcode == op.LOCAL_SET
+            and body[start - 2].arg == local
+            and body[start - 3].opcode == op.I32_CONST):
+        init = body[start - 3].arg
+    if signed and (init is None or not 0 <= init < _SIGN_BIT32):
+        return None
+
+    # Every write to the induction local must be the canonical step
+    # followed by an unconditional branch back to this loop's header.
+    step = None
+    saw_step = False
+    depth = 0  # labels opened since the loop header
+    index = start + 1
+    while index < end:
+        instr = body[index]
+        code = instr.opcode
+        if code == op.LOCAL_TEE and instr.arg == local:
+            return None
+        if code == op.LOCAL_SET and instr.arg == local:
+            if (index < 3 + start
+                    or body[index - 3].opcode != op.LOCAL_GET
+                    or body[index - 3].arg != local
+                    or body[index - 2].opcode != op.I32_CONST
+                    or body[index - 1].opcode != op.I32_ADD):
+                return None
+            increment = body[index - 2].arg
+            if not 1 <= increment < _SIGN_BIT32:
+                return None
+            if step is not None and step != increment:
+                return None
+            step = increment
+            following = body[index + 1] if index + 1 < end else None
+            if following is None or following.opcode != op.BR \
+                    or following.arg != depth:
+                return None
+            saw_step = True
+        if code in (op.BLOCK, op.LOOP, op.IF):
+            depth += 1
+        elif code == op.END:
+            depth -= 1
+        index += 1
+    if not saw_step:
+        return None
+    return Induction(local, init, step, bound_const, bound_local,
+                     signed, inclusive)

@@ -627,10 +627,6 @@ def _branch(stack: List, labels: List, depth: int) -> int:
     return continuation
 
 
-def _fdiv(lhs: float, rhs: float) -> float:
-    if rhs == 0.0:
-        if lhs == 0.0 or math.isnan(lhs):
-            return math.nan
-        sign = math.copysign(1.0, lhs) * math.copysign(1.0, rhs)
-        return math.inf if sign > 0 else -math.inf
-    return lhs / rhs
+#: Backwards-compatible alias: the helper moved to ``numerics`` so the
+#: AOT engine shares it without importing the interpreter internals.
+_fdiv = num.fdiv

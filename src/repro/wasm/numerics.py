@@ -160,6 +160,20 @@ def fmax(lhs: float, rhs: float) -> float:
     return lhs if lhs > rhs else rhs
 
 
+def fdiv(lhs: float, rhs: float) -> float:
+    """IEEE division with Wasm's zero-divisor semantics (no Python trap).
+
+    Shared by the interpreter and the AOT engine so both lower ``f32.div``
+    and ``f64.div`` through the exact same helper.
+    """
+    if rhs == 0.0:
+        if lhs == 0.0 or math.isnan(lhs):
+            return math.nan
+        sign = math.copysign(1.0, lhs) * math.copysign(1.0, rhs)
+        return math.inf if sign > 0 else -math.inf
+    return lhs / rhs
+
+
 def ftrunc(value: float) -> float:
     if math.isnan(value) or math.isinf(value):
         return value

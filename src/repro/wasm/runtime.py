@@ -9,6 +9,7 @@ local functions. Engines differ only in how they turn a decoded
 from __future__ import annotations
 
 import struct
+import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import LinkError, TrapError, ValidationError
@@ -28,7 +29,28 @@ class Memory:
 
     The backing buffer grows in place (``bytearray.extend``) so references
     captured by compiled code stay valid across ``memory.grow``.
+
+    Besides raw byte access through ``data``, the memory exposes *typed
+    planes*: ``memoryview(data).cast(fmt)`` views reinterpreting the whole
+    buffer as an array of 2/4/8-byte elements. The AOT engine indexes these
+    directly for accesses it proves naturally aligned, skipping the
+    ``struct`` pack/unpack layer. Wasm values are little-endian, so planes
+    are only available on little-endian hosts (``planes_supported``);
+    callers must fall back to the struct path otherwise.
+
+    ``bytearray.extend`` raises ``BufferError`` while any view is exported,
+    so :meth:`grow` releases every plane first and notifies registered
+    listeners afterwards; holders (the AOT instance namespaces) re-request
+    their planes, which lazily rebuilds them over the grown buffer.
     """
+
+    #: Plane element formats and widths; linear memory is always a whole
+    #: number of 64 KiB pages, so every cast divides the buffer exactly.
+    PLANE_FORMATS = {"H": 2, "I": 4, "Q": 8, "f": 4, "d": 8}
+
+    #: Typed planes alias the raw bytes, so they are only meaningful where
+    #: host element order matches Wasm's little-endian layout.
+    planes_supported = sys.byteorder == "little"
 
     def __init__(self, min_pages: int, max_pages: Optional[int] = None,
                  hard_cap_bytes: Optional[int] = None) -> None:
@@ -37,10 +59,33 @@ class Memory:
         if hard_cap_bytes is not None and min_pages * PAGE_SIZE > hard_cap_bytes:
             raise TrapError("initial memory exceeds the platform heap cap")
         self.data = bytearray(min_pages * PAGE_SIZE)
+        self._planes: Dict[str, memoryview] = {}
+        self._plane_listeners: List[Callable[[], None]] = []
 
     @property
     def size_pages(self) -> int:
         return len(self.data) // PAGE_SIZE
+
+    def plane(self, fmt: str) -> memoryview:
+        """The buffer viewed as an array of ``fmt`` elements (cached)."""
+        if not self.planes_supported:
+            raise BufferError("typed planes need a little-endian host")
+        view = self._planes.get(fmt)
+        if view is None:
+            if fmt not in self.PLANE_FORMATS:
+                raise ValueError(f"unsupported plane format {fmt!r}")
+            view = memoryview(self.data).cast(fmt)
+            self._planes[fmt] = view
+        return view
+
+    def add_plane_listener(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired after ``grow`` remaps the buffer."""
+        self._plane_listeners.append(callback)
+
+    def _release_planes(self) -> None:
+        planes, self._planes = self._planes, {}
+        for view in planes.values():
+            view.release()
 
     def grow(self, delta_pages: int) -> int:
         """Grow by ``delta_pages``; returns old size in pages, or -1."""
@@ -53,7 +98,12 @@ class Memory:
         if (self.hard_cap_bytes is not None
                 and new * PAGE_SIZE > self.hard_cap_bytes):
             return -1
+        # Exported memoryviews pin the buffer; drop them for the resize and
+        # let listeners re-request planes over the grown buffer.
+        self._release_planes()
         self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        for callback in self._plane_listeners:
+            callback()
         return old
 
     # -- typed access (used by hosts and the interpreter) ---------------------
@@ -165,6 +215,18 @@ class Engine:
     #: decoded module is cacheable for it.
     supports_code_artifacts = False
 
+    @property
+    def cache_identity(self) -> str:
+        """The code-cache key component for this engine configuration.
+
+        Must distinguish every engine option that changes the *compiled
+        artifact* (not just runtime state): an AOT compiler at
+        ``opt_level=2`` produces different code objects than at 0, so the
+        two must never share cache entries. Engines without such options
+        just use their name.
+        """
+        return self.name
+
     def compile_function(self, module: Module, instance: Instance,
                          func_index: int) -> Callable:
         raise NotImplementedError
@@ -203,23 +265,25 @@ class Engine:
             if cache is not None:
                 if cache_key is None:
                     cache_key = codecache.CodeCache.module_key(binary)
-                cache_entry = cache.lookup(cache_key, self.name)
+                cache_entry = cache.lookup(cache_key, self.cache_identity)
             if cache_entry is not None:
                 module = cache_entry.module
             else:
                 module = decode_module(binary)
                 validate_module(module)
                 if cache is not None:
-                    cache_entry = cache.store(cache_key, self.name, module)
+                    cache_entry = cache.store(cache_key, self.cache_identity,
+                                              module)
         else:
             module = module_or_binary
             if cache is not None and cache_key is not None:
                 # The caller decoded (and content-addressed) the binary
                 # itself and already accounted the hit/miss for this load.
-                cache_entry = cache.peek(cache_key, self.name)
+                cache_entry = cache.peek(cache_key, self.cache_identity)
                 if cache_entry is None:
                     validate_module(module)
-                    cache_entry = cache.store(cache_key, self.name, module)
+                    cache_entry = cache.store(cache_key, self.cache_identity,
+                                              module)
                 elif cache_entry.module is not module:
                     # Adopt the cached decode so artifacts and module stay
                     # consistent (same content hash => same module).

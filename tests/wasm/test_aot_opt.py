@@ -1,0 +1,256 @@
+"""The AOT optimisation tier: knob, generated-code shape, plane coherence.
+
+The differential suite (test_opt_differential.py) pins *behaviour*; this
+file pins the *mechanism* — that the optimiser actually emits what it
+promises (plane indexing, a hoisted preflight, mask-free induction
+arithmetic, loop-invariant hoists) and that the knob and plane machinery
+behave: ``opt_level=0`` keeps the reference codegen, planes track
+``memory.grow``, and traps fall back to the byte-identical safe path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrapError, WasmError
+from repro.wasm import (
+    AotCompiler,
+    Interpreter,
+    Memory,
+    ModuleBuilder,
+    default_opt_level,
+    reference_codegen,
+    set_default_opt_level,
+)
+from repro.wasm import opcodes as op
+from repro.wasm.decoder import decode_module
+from repro.wasm.types import F64, I32
+
+
+def _f64_stream_kernel() -> bytes:
+    """for (i = 0; i < 64; i++) mem_f64[i*8] = mem_f64[i*8] * 2.0 + p0*3.0
+
+    Affine aligned f64 traffic plus a loop-invariant float expression —
+    the shape every optimisation pass fires on.
+    """
+    builder = ModuleBuilder()
+    builder.add_memory(1, 1)
+    f = builder.add_function(builder.add_type([F64], []))
+    f.add_local(I32)  # i = local 1
+    f.i32_const(0).local_set(1)
+    f.block()
+    f.loop()
+    f.local_get(1).i32_const(64).emit(op.I32_LT_S)
+    f.emit(op.I32_EQZ).br_if(1)
+    f.local_get(1).i32_const(8).emit(op.I32_MUL)       # address
+    f.local_get(1).i32_const(8).emit(op.I32_MUL)
+    f.emit(op.F64_LOAD, 0)
+    f.f64_const(2.0).emit(op.F64_MUL)
+    f.local_get(0).f64_const(3.0).emit(op.F64_MUL).emit(op.F64_ADD)
+    f.emit(op.F64_STORE, 0)
+    f.local_get(1).i32_const(1).emit(op.I32_ADD).local_set(1)
+    f.br(0)
+    f.end()
+    f.end()
+    builder.export_function("f", f.index)
+    return builder.build()
+
+
+def _source(binary: bytes, opt_level: int) -> str:
+    module = decode_module(binary)
+    compiler = AotCompiler(opt_level=opt_level)
+    _, source = compiler.compile_artifact(module, 0)
+    return source
+
+
+def _loop_body(source: str) -> str:
+    """The lines emitted after the preflight branch (the fast region)."""
+    lines = source.splitlines()
+    for index, line in enumerate(lines):
+        if line.strip().startswith("if ") and "_ml" in line:
+            return "\n".join(lines[index:])
+    raise AssertionError(f"no preflight found in:\n{source}")
+
+
+# -- the opt_level knob -------------------------------------------------------
+
+
+def test_default_opt_level_is_two():
+    assert default_opt_level() == 2
+    assert AotCompiler().opt_level == 2
+
+
+def test_set_default_opt_level_round_trips():
+    previous = set_default_opt_level(0)
+    try:
+        assert AotCompiler().opt_level == 0
+    finally:
+        set_default_opt_level(previous)
+    assert AotCompiler().opt_level == previous
+
+
+def test_reference_codegen_context_manager():
+    with reference_codegen():
+        assert default_opt_level() == 0
+        assert AotCompiler().cache_identity == "aot@o0"
+    assert default_opt_level() == 2
+
+
+def test_invalid_opt_level_rejected():
+    with pytest.raises(WasmError):
+        AotCompiler(opt_level=7)
+    with pytest.raises(WasmError):
+        set_default_opt_level("fast")
+
+
+def test_cache_identity_includes_opt_level():
+    assert AotCompiler(opt_level=0).cache_identity == "aot@o0"
+    assert AotCompiler(opt_level=2).cache_identity == "aot@o2"
+    assert Interpreter().cache_identity == Interpreter.name
+
+
+# -- generated-code shape -----------------------------------------------------
+
+
+@pytest.mark.skipif(not Memory.planes_supported,
+                    reason="typed planes need a little-endian host")
+def test_opt2_emits_planes_preflight_and_no_masks():
+    source = _source(_f64_stream_kernel(), 2)
+    # One hoisted bounds check per loop entry...
+    assert "_ml = len(_m)" in source
+    fast = _loop_body(source)
+    fast_region, _, safe_region = fast.partition("else:")
+    # ...direct f64 plane indexing in the fast region, with no per-access
+    # bounds checks and no masks on the induction arithmetic...
+    assert "_pD[" in fast_region
+    assert "out-of-bounds" not in fast_region
+    assert "& 0xFFFFFFFF" not in fast_region
+    # ...while the safe copy keeps the reference per-access checks
+    # (planes and range-proven mask drops may appear there too — those
+    # passes are sound without the preflight).
+    assert "out-of-bounds" in safe_region
+
+
+def test_opt2_hoists_loop_invariant_expression():
+    source = _source(_f64_stream_kernel(), 2)
+    # p0 * 3.0 is pure and loop-invariant: computed once in a preheader
+    # (once per loop version — fast and safe copies each hoist it).
+    assert "h0 = " in source
+    for line in source.splitlines():
+        if "3.0" in line:
+            assert line.strip().startswith("h"), line
+
+
+def test_opt0_is_reference_codegen():
+    source = _source(_f64_stream_kernel(), 0)
+    assert "_ml" not in source
+    assert "_pD[" not in source
+    assert "h0" not in source
+    assert "& 0xFFFFFFFF" in source
+
+
+def test_opt_levels_produce_distinct_sources():
+    binary = _f64_stream_kernel()
+    assert _source(binary, 0) != _source(binary, 2)
+    # Determinism at each level (the artifact is cacheable).
+    assert _source(binary, 2) == _source(binary, 2)
+
+
+# -- typed memory planes ------------------------------------------------------
+
+
+@pytest.mark.skipif(not Memory.planes_supported,
+                    reason="typed planes need a little-endian host")
+def test_memory_planes_alias_data():
+    memory = Memory(1, 2)
+    plane = memory.plane("I")
+    memory.data[0:4] = (0x44332211).to_bytes(4, "little")
+    assert plane[0] == 0x44332211
+    plane[1] = 0xDEADBEEF
+    assert memory.data[4:8] == (0xDEADBEEF).to_bytes(4, "little")
+
+
+@pytest.mark.skipif(not Memory.planes_supported,
+                    reason="typed planes need a little-endian host")
+def test_memory_planes_track_grow():
+    memory = Memory(1, 4)
+    seen = []
+    memory.add_plane_listener(lambda: seen.append(len(memory.data)))
+    plane = memory.plane("Q")
+    plane[0] = 123
+    assert memory.grow(1) == 1
+    assert seen, "grow must notify plane listeners"
+    fresh = memory.plane("Q")
+    assert len(fresh) == len(memory.data) // 8
+    assert fresh[0] == 123  # contents carried over
+
+
+def test_grow_inside_loop_stays_coherent_with_interpreter():
+    """A loop that grows memory then writes into the new pages: planes are
+    re-requested after every grow, so both engines see the stores."""
+    builder = ModuleBuilder()
+    builder.add_memory(1, 4)
+    f = builder.add_function(builder.add_type([], [I32]))
+    f.add_local(I32)  # i
+    f.i32_const(0).local_set(0)
+    f.block()
+    f.loop()
+    f.local_get(0).i32_const(3).emit(op.I32_LT_U)
+    f.emit(op.I32_EQZ).br_if(1)
+    f.i32_const(1).emit(op.MEMORY_GROW).emit(op.DROP)
+    # Store into the page that just appeared.
+    f.local_get(0).i32_const(65_536).emit(op.I32_MUL)
+    f.local_get(0).i32_const(7).emit(op.I32_ADD)
+    f.emit(op.I32_STORE, 65_536)
+    f.local_get(0).i32_const(1).emit(op.I32_ADD).local_set(0)
+    f.br(0)
+    f.end()
+    f.end()
+    # Checksum the three stores.
+    f.i32_const(65_536).emit(op.I32_LOAD, 0)
+    f.i32_const(131_072).emit(op.I32_LOAD, 0)
+    f.emit(op.I32_ADD)
+    f.i32_const(196_608).emit(op.I32_LOAD, 0)
+    f.emit(op.I32_ADD)
+    builder.export_function("f", f.index)
+    binary = builder.build()
+
+    expected = Interpreter().instantiate(binary).invoke("f")
+    assert AotCompiler(opt_level=0).instantiate(binary).invoke("f") == expected
+    assert AotCompiler(opt_level=2).instantiate(binary).invoke("f") == expected
+
+
+# -- trap fallback ------------------------------------------------------------
+
+
+def test_preflight_failure_takes_safe_path_and_traps_identically():
+    """An OOB loop fails the preflight, runs the safe copy, and traps with
+    the reference message at the reference iteration."""
+    builder = ModuleBuilder()
+    builder.add_memory(1, 1)
+    f = builder.add_function(builder.add_type([], [I32]))
+    f.add_local(I32)
+    f.i32_const(0).local_set(0)
+    f.block()
+    f.loop()
+    f.local_get(0).i32_const(20_000).emit(op.I32_LT_U)
+    f.emit(op.I32_EQZ).br_if(1)
+    f.local_get(0).i32_const(4).emit(op.I32_MUL)
+    f.local_get(0).emit(op.I32_STORE, 0)
+    f.local_get(0).i32_const(1).emit(op.I32_ADD).local_set(0)
+    f.br(0)
+    f.end()
+    f.end()
+    f.local_get(0)
+    builder.export_function("f", f.index)
+    binary = builder.build()
+
+    memories = []
+    for engine in (Interpreter(), AotCompiler(opt_level=0),
+                   AotCompiler(opt_level=2)):
+        instance = engine.instantiate(binary)
+        with pytest.raises(TrapError) as info:
+            instance.invoke("f")
+        assert str(info.value) == "out-of-bounds memory access"
+        memories.append(bytes(instance.memory.data))
+    assert memories[0] == memories[1] == memories[2]

@@ -151,7 +151,7 @@ def test_aot_warm_instantiate_skips_decode_and_compile():
     cold_compiles = len(calls)
     assert cold_compiles >= 1
     key = CodeCache.module_key(binary)
-    entry = cache.peek(key, engine.name)
+    entry = cache.peek(key, engine.cache_identity)
     assert entry is not None
     assert len(entry.artifacts) == cold_compiles
 
@@ -275,3 +275,58 @@ def test_cmd_load_simclock_charges_identical_cached_vs_uncached(testbed):
     warm = charge()
     bypass = charge(code_cache=False)
     assert cold == warm == bypass
+
+
+# -- opt-level keying: an artifact is bound to the level that built it --------
+
+
+def test_opt_levels_never_share_cache_entries():
+    """A cached opt_level=2 artifact must not be served to an opt_level=0
+    instantiation (and vice versa): the cache keys on the engine's
+    cache_identity, which folds in the opt level."""
+    cache = CodeCache()
+    binary = _counter_module()
+
+    optimised = AotCompiler(opt_level=2)
+    reference = AotCompiler(opt_level=0)
+    assert optimised.cache_identity != reference.cache_identity
+
+    optimised.instantiate(binary, code_cache=cache)
+    # The second engine sees a cold cache under its own identity and
+    # compiles from scratch...
+    calls = _count_compiles(reference)
+    instance = reference.instantiate(binary, code_cache=cache)
+    assert calls, "opt_level=0 must not reuse the opt_level=2 artifact"
+    assert instance.invoke("f") == 1
+    # ...and both levels now hold distinct entries with distinct sources.
+    key = CodeCache.module_key(binary)
+    entry_o2 = cache.peek(key, optimised.cache_identity)
+    entry_o0 = cache.peek(key, reference.cache_identity)
+    assert entry_o2 is not None and entry_o0 is not None
+    assert entry_o2 is not entry_o0
+
+
+def test_same_opt_level_still_shares_artifacts():
+    cache = CodeCache()
+    binary = _counter_module()
+    first = AotCompiler(opt_level=2)
+    first.instantiate(binary, code_cache=cache)
+    second = AotCompiler(opt_level=2)
+    calls = _count_compiles(second)
+    second.instantiate(binary, code_cache=cache)
+    assert not calls, "same identity must reuse the cached artifact"
+
+
+def test_cmd_load_opt_level_param_selects_tier(device):
+    """CMD_LOAD threads opt_level through to the engine, and warm loads
+    at a different level never alias the cached module entry."""
+    from repro.wasm.codecache import DEFAULT_CACHE
+
+    session = device.open_watz(heap_size=1 << 20)
+    loaded_o2 = _load_counter(device, session)
+    loaded_o0 = _load_counter(device, session, opt_level=0)
+    assert device.run_wasm(session, loaded_o2["app"], "f") == 1
+    assert device.run_wasm(session, loaded_o0["app"], "f") == 1
+    key = CodeCache.module_key(_counter_module())
+    assert DEFAULT_CACHE.peek(key, "aot@o2") is not None
+    assert DEFAULT_CACHE.peek(key, "aot@o0") is not None
