@@ -1,0 +1,29 @@
+"""Per-TEE evidence codecs for the multi-TEE appraisal envelope.
+
+Three built-ins (see the sibling modules):
+
+* :mod:`~repro.appraisal.codecs.trustzone` — the native WaTZ claims
+  structure, byte-for-byte the format of :mod:`repro.core.evidence`;
+* :mod:`~repro.appraisal.codecs.sgx` — an SGX-style quote (MRENCLAVE /
+  MRSIGNER measurement pair, ISV SVN, debug flag), as carried by
+  Twine-style SGX Wasm runtimes;
+* :mod:`~repro.appraisal.codecs.tdx` — a TDX-style quote (MRTD plus four
+  runtime-extendable RTMRs).
+
+Each module exports its evidence dataclass, a ``build()`` helper that
+signs through a caller-supplied signer, and the codec class registered
+into :class:`repro.appraisal.envelope.CodecRegistry`.
+"""
+
+from repro.appraisal.codecs.sgx import SgxCodec, SgxEvidence
+from repro.appraisal.codecs.tdx import TdxCodec, TdxEvidence
+from repro.appraisal.codecs.trustzone import TrustZoneCodec, TrustZoneView
+
+__all__ = [
+    "SgxCodec",
+    "SgxEvidence",
+    "TdxCodec",
+    "TdxEvidence",
+    "TrustZoneCodec",
+    "TrustZoneView",
+]

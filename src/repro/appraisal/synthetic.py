@@ -1,0 +1,157 @@
+"""Synthetic SGX/TDX attester stacks for driving mixed-TEE fleets.
+
+The repo's simulated hardware is TrustZone (the paper's platform); these
+classes stand in for the *other* side of a heterogeneous fleet — a
+Twine-style SGX enclave or a TDX domain attesting the same Wasm module.
+Each holds a deterministic P-256 attestation key pair and a fixed set of
+measurement registers, and produces signed evidence for a session anchor
+through the matching codec's ``build()``. The protocol driving (ECDH,
+session keys, msg0/1/2/3) reuses :class:`repro.core.attester.Attester`
+unchanged — the multi-TEE message variants are backend-agnostic.
+
+Determinism matters here: the load generator and the tests derive every
+enclave from an integer index, so populations are reproducible and the
+verifier-side policy can be provisioned without carrying key material
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.appraisal.codecs import sgx, tdx
+from repro.appraisal.envelope import TEE_SGX, TEE_TDX
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+
+
+def _seed_stream(seed: bytes):
+    """A deterministic byte stream: sha256 in counter mode over the seed."""
+    state = {"counter": 0, "pool": b""}
+
+    def read(n: int) -> bytes:
+        while len(state["pool"]) < n:
+            state["pool"] += sha256(
+                seed + state["counter"].to_bytes(8, "big"))
+            state["counter"] += 1
+        out, state["pool"] = state["pool"][:n], state["pool"][n:]
+        return out
+
+    return read
+
+
+def _derive_keypair(seed: bytes) -> ecdsa.KeyPair:
+    return ecdsa.keypair_from_seed_stream(_seed_stream(seed))
+
+
+@dataclass
+class SyntheticSgxEnclave:
+    """An SGX-shaped device: measurement pair, SVN, debug flag, quote key."""
+
+    keypair: ecdsa.KeyPair
+    mrenclave: bytes
+    mrsigner: bytes
+    isv_svn: int = 1
+    debug: bool = False
+
+    tee_type = TEE_SGX
+
+    @property
+    def attestation_public_key(self) -> bytes:
+        return self.keypair.public_bytes()
+
+    def collect_evidence(self, anchor: bytes) -> sgx.SgxEvidence:
+        """Issue a signed quote binding this session's anchor."""
+        return sgx.build(
+            anchor=anchor,
+            mrenclave=self.mrenclave,
+            mrsigner=self.mrsigner,
+            isv_svn=self.isv_svn,
+            debug=self.debug,
+            attestation_public_key=self.attestation_public_key,
+            sign=lambda body: ecdsa.sign(self.keypair.private, body),
+        )
+
+
+@dataclass
+class SyntheticTdxDomain:
+    """A TDX-shaped device: MRTD plus four RTMRs, quote key."""
+
+    keypair: ecdsa.KeyPair
+    mrtd: bytes
+    rtmrs: Tuple[bytes, ...]
+
+    tee_type = TEE_TDX
+
+    @property
+    def attestation_public_key(self) -> bytes:
+        return self.keypair.public_bytes()
+
+    def collect_evidence(self, anchor: bytes) -> tdx.TdxEvidence:
+        return tdx.build(
+            anchor=anchor,
+            mrtd=self.mrtd,
+            rtmrs=self.rtmrs,
+            attestation_public_key=self.attestation_public_key,
+            sign=lambda body: ecdsa.sign(self.keypair.private, body),
+        )
+
+
+def _register(label: str, seed: bytes, width: int) -> bytes:
+    digest = sha256(label.encode() + b"|" + seed)
+    while len(digest) < width:
+        digest += sha256(digest)
+    return digest[:width]
+
+
+def sgx_enclave(index: int, claim: bytes, isv_svn: int = 1,
+                debug: bool = False,
+                mrsigner: bytes = None) -> SyntheticSgxEnclave:
+    """A reproducible SGX-shaped device for fleet index ``index``.
+
+    ``claim`` becomes the MRENCLAVE, so a TrustZone board and an SGX
+    enclave attesting the same Wasm module present the same primary
+    measurement to the policy. All enclaves share one vendor MRSIGNER
+    unless overridden.
+    """
+    seed = b"sgx-enclave|" + index.to_bytes(8, "big")
+    return SyntheticSgxEnclave(
+        keypair=_derive_keypair(seed),
+        mrenclave=bytes(claim),
+        mrsigner=mrsigner if mrsigner is not None else vendor_mrsigner(),
+        isv_svn=isv_svn,
+        debug=debug,
+    )
+
+
+def tdx_domain(index: int, claim: bytes) -> SyntheticTdxDomain:
+    """A reproducible TDX-shaped device for fleet index ``index``.
+
+    ``claim`` becomes the MRTD (widened to the 48-byte register) and the
+    RTMRs accumulate a fixed reference boot sequence, identical across
+    the fleet, so one policy entry covers every domain.
+    """
+    seed = b"tdx-domain|" + index.to_bytes(8, "big")
+    return SyntheticTdxDomain(
+        keypair=_derive_keypair(seed),
+        mrtd=reference_mrtd(claim),
+        rtmrs=reference_rtmrs(),
+    )
+
+
+def reference_mrtd(claim: bytes) -> bytes:
+    """The MRTD a genuine domain running ``claim`` presents."""
+    return _register("tdx-mrtd", bytes(claim), tdx.REGISTER_SIZE)
+
+
+def reference_rtmrs() -> Tuple[bytes, ...]:
+    """The RTMR values of the reference boot sequence."""
+    return tuple(
+        _register(f"tdx-rtmr-{i}", b"reference-boot", tdx.REGISTER_SIZE)
+        for i in range(tdx.RTMR_COUNT))
+
+
+def vendor_mrsigner() -> bytes:
+    """The shared MRSIGNER of :func:`sgx_enclave` populations."""
+    return _register("sgx-vendor-signer", b"", sgx.MEASUREMENT_SIZE)

@@ -37,6 +37,9 @@ class AttesterSession:
     g_v: Optional[bytes] = None
     keys: Optional[SessionKeys] = None
     anchor: Optional[bytes] = None
+    #: Evidence backend declared in a multi-TEE msg0 (``None`` for the
+    #: legacy single-TEE handshake).
+    tee_type: Optional[int] = None
 
     @property
     def g_a(self) -> bytes:
@@ -73,12 +76,33 @@ class Attester:
             message = protocol.encode_msg0(session.g_a)
         return message
 
+    def make_msg0_multi(self, session: AttesterSession,
+                        tee_type: int) -> bytes:
+        """Open a multi-TEE handshake, declaring the evidence backend."""
+        session.tee_type = tee_type
+        with self.recorder.phase("msg0", protocol.MEMORY):
+            message = protocol.encode_msg0_multi(tee_type, session.g_a)
+        return message
+
     # -- msg1 ------------------------------------------------------------------
 
     def handle_msg1(self, session: AttesterSession, data: bytes) -> None:
-        """All attester-side checks of paper §IV(c)."""
-        with self.recorder.phase("msg1", protocol.MEMORY):
-            message = protocol.decode_msg1(data)
+        """All attester-side checks of paper §IV(c).
+
+        Accepts both the legacy msg1 and the multi-TEE variant; the
+        latter must echo the ``tee_type`` this session declared in its
+        msg0 (the echo sits inside the MAC'd content, so once the MAC is
+        checked the negotiation is tamper-proof).
+        """
+        if data and data[0] == protocol.MSG1_MULTI:
+            with self.recorder.phase("msg1", protocol.MEMORY):
+                message = protocol.decode_msg1_multi(data)
+            if message.tee_type != session.tee_type:
+                raise ProtocolError(
+                    "msg1 echoes a tee_type this session did not declare")
+        else:
+            with self.recorder.phase("msg1", protocol.MEMORY):
+                message = protocol.decode_msg1(data)
 
         # The verifier identity must match the key hard-coded in the Wasm
         # application; because that key is part of the code measurement, an
@@ -175,6 +199,34 @@ class Attester:
             mac = AesCmac(session.keys.mac_key).mac(content)
         return protocol.encode_msg2(session.g_a, signed_evidence, mac,
                                     ticket)
+
+    def make_msg2_multi(self, session: AttesterSession, view) -> bytes:
+        """Wrap an evidence *view* (any codec) into a multi-TEE msg2.
+
+        ``view`` is a decoded-evidence object from
+        :mod:`repro.appraisal.codecs` — native TrustZone evidence wrapped
+        in a ``TrustZoneView``, or a synthetic SGX/TDX quote. The
+        resumption ticket MACs the full envelope bytes, tag header
+        included, so a ticket earned under one backend can never be
+        redeemed under another.
+        """
+        if session.anchor is None or session.keys is None:
+            raise ProtocolError("msg1 has not been processed yet")
+        if view.anchor != session.anchor:
+            raise ProtocolError("evidence anchor does not match this session")
+        if session.tee_type is not None and view.tee_type != session.tee_type:
+            raise ProtocolError(
+                "evidence backend differs from the negotiated one")
+        with self.recorder.phase("msg2", protocol.MEMORY):
+            envelope = view.envelope()
+        with self.recorder.phase("msg2", protocol.SYMMETRIC):
+            ticket = b""
+            if self.resumption_key is not None:
+                ticket = AesCmac(self.resumption_key).mac(envelope)
+            content = (session.g_a + len(envelope).to_bytes(4, "little")
+                       + envelope + ticket)
+            mac = AesCmac(session.keys.mac_key).mac(content)
+        return protocol.encode_msg2_multi(session.g_a, envelope, mac, ticket)
 
     def attest(self, session: AttesterSession, claim: bytes,
                attestation_public_key: bytes,

@@ -19,6 +19,7 @@ categories.
 
 from __future__ import annotations
 
+import struct
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -47,6 +48,15 @@ MSG2_ENC = 0x12
 #: session's key exchange — and whose evidence signature was fully
 #: verified — ever learns it.
 MSG3_RESUME = 0x13
+#: Multi-TEE extension (:mod:`repro.appraisal`): the attester opens by
+#: declaring its evidence shape (``tee_type`` tag); the verifier echoes
+#: the accepted tag inside msg1's MAC'd content, and msg2 carries a
+#: self-describing evidence *envelope* instead of the bare TrustZone
+#: structure. Distinct tags keep the legacy transcript byte-identical:
+#: a legacy attester never sees — and never emits — these.
+MSG0_MULTI = 0x20
+MSG1_MULTI = 0x21
+MSG2_MULTI = 0x22
 
 #: Secret handed out after a fully verified appraisal; presenting a CMAC
 #: under it (the msg2 *ticket*) is what authorises the verifier to skip
@@ -181,6 +191,114 @@ def decode_msg2(data: bytes) -> Msg2:
         offset += TICKET_SIZE
     mac = data[offset:]
     return Msg2(g_a, evidence, mac, ticket)
+
+
+# --- multi-TEE envelope variants (repro.appraisal) ---------------------------
+#
+# msg0_multi := tag || u8 tee_type || G_a
+# msg1_multi := tag || u8 tee_type || content1 || MAC_Km(tee_type || content1)
+# msg2_multi := tag || content2m || MAC_Km(content2m)
+#               content2m := G_a || u32 env_len || envelope || [ticket]
+#
+# The negotiated ``tee_type`` rides *inside* msg1's MAC'd bytes, so a
+# man-in-the-middle cannot downgrade or redirect the negotiation once the
+# session keys exist; the envelope's own header carries the tag inside
+# msg2's MAC'd content (and inside the ticket CMAC) for the same reason.
+
+_MSG0_MULTI_SIZE = 2 + POINT_SIZE
+_MSG1_MULTI_SIZE = 2 + _CONTENT1_SIZE + MAC_SIZE
+
+
+def encode_msg0_multi(tee_type: int, g_a: bytes) -> bytes:
+    return bytes([MSG0_MULTI, tee_type]) + g_a
+
+
+def decode_msg0_multi(data: bytes) -> Tuple[int, bytes]:
+    if len(data) != _MSG0_MULTI_SIZE or data[0] != MSG0_MULTI:
+        raise ProtocolError("malformed multi-TEE msg0")
+    return data[1], data[2:]
+
+
+def encode_msg1_multi(tee_type: int, g_v: bytes, verifier_key: bytes,
+                      signature: bytes, mac: bytes) -> bytes:
+    return (bytes([MSG1_MULTI, tee_type]) + g_v + verifier_key + signature
+            + mac)
+
+
+@dataclass(frozen=True)
+class Msg1Multi:
+    tee_type: int
+    g_v: bytes
+    verifier_key: bytes
+    signature: bytes
+    mac: bytes
+
+    @property
+    def content(self) -> bytes:
+        """The MAC'd bytes — the negotiated tag is covered."""
+        return (bytes([self.tee_type]) + self.g_v + self.verifier_key
+                + self.signature)
+
+
+def decode_msg1_multi(data: bytes) -> Msg1Multi:
+    if len(data) != _MSG1_MULTI_SIZE or data[0] != MSG1_MULTI:
+        raise ProtocolError("malformed multi-TEE msg1")
+    offset = 1
+    tee_type = data[offset]
+    offset += 1
+    g_v = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    verifier_key = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    signature = data[offset : offset + ecdsa.SIGNATURE_SIZE]
+    offset += ecdsa.SIGNATURE_SIZE
+    return Msg1Multi(tee_type, g_v, verifier_key, signature, data[offset:])
+
+
+def encode_msg2_multi(g_a: bytes, envelope: bytes, mac: bytes,
+                      ticket: bytes = b"") -> bytes:
+    return (bytes([MSG2_MULTI]) + g_a + struct.pack("<I", len(envelope))
+            + envelope + ticket + mac)
+
+
+@dataclass(frozen=True)
+class Msg2Multi:
+    g_a: bytes
+    envelope: bytes
+    mac: bytes
+    #: CMAC over the *envelope* bytes (tag header included) under the
+    #: resumption key — see :mod:`repro.fleet.cache`.
+    ticket: bytes = b""
+
+    @property
+    def content(self) -> bytes:
+            return (self.g_a + struct.pack("<I", len(self.envelope))
+                + self.envelope + self.ticket)
+
+
+def decode_msg2_multi(data: bytes) -> Msg2Multi:
+    fixed = 1 + POINT_SIZE + 4
+    if len(data) < fixed + MAC_SIZE or data[0] != MSG2_MULTI:
+        raise ProtocolError("malformed multi-TEE msg2")
+    offset = 1
+    g_a = data[offset : offset + POINT_SIZE]
+    offset += POINT_SIZE
+    (env_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if len(data) < offset + env_len + MAC_SIZE:
+        raise ProtocolError("multi-TEE msg2 truncates its envelope")
+    envelope = data[offset : offset + env_len]
+    offset += env_len
+    trailer = len(data) - offset - MAC_SIZE
+    if trailer == 0:
+        ticket = b""
+    elif trailer == TICKET_SIZE:
+        ticket = data[offset : offset + TICKET_SIZE]
+        offset += TICKET_SIZE
+    else:
+        raise ProtocolError("multi-TEE msg2 carries a malformed ticket")
+    return Msg2Multi(bytes(g_a), bytes(envelope), bytes(data[offset:]),
+                     bytes(ticket))
 
 
 def encode_msg3(iv: bytes, sealed: bytes, resume: bool = False) -> bytes:

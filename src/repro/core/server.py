@@ -59,10 +59,23 @@ class VerifierProtocolState:
                 raise ProtocolError("msg0 after the handshake started")
             self._session, reply = self._verifier.handle_msg0(data)
             return reply
+        if kind == protocol.MSG0_MULTI:
+            if self._session is not None:
+                raise ProtocolError("msg0 after the handshake started")
+            self._session, reply = self._verifier.handle_msg0_multi(data)
+            return reply
         if kind in (protocol.MSG2, protocol.MSG2_ENC):
             if self._session is None or self._done:
                 raise ProtocolError("msg2 without a handshake")
             reply = self._verifier.handle_msg2(
+                self._session, data, self._secret_provider()
+            )
+            self._done = True
+            return reply
+        if kind == protocol.MSG2_MULTI:
+            if self._session is None or self._done:
+                raise ProtocolError("msg2 without a handshake")
+            reply = self._verifier.handle_msg2_multi(
                 self._session, data, self._secret_provider()
             )
             self._done = True

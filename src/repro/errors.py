@@ -164,6 +164,43 @@ class MeasurementMismatch(AttestationError):
     """The claimed code measurement matches no reference value."""
 
 
+# --- Multi-TEE appraisal (repro.appraisal) --------------------------------
+
+
+class EnvelopeError(EvidenceError):
+    """A multi-TEE evidence envelope or codec body failed to parse.
+
+    Raised for truncated bodies, bad magic, unknown ``tee_type`` tags and
+    non-canonical field encodings — codec parsing never leaks raw
+    ``struct.error``/``IndexError`` to callers.
+    """
+
+
+class PolicyDenied(AttestationError):
+    """The declarative appraisal policy denied otherwise-valid evidence.
+
+    ``reason_code`` carries the stable machine-readable verdict reason
+    (see :class:`repro.appraisal.policy.Reason`); it is embedded in the
+    message as a ``[reason]`` suffix so the code survives the fleet
+    shards' name+message IPC error hop.
+    """
+
+    def __init__(self, message: str = "", reason: str = None) -> None:
+        if reason is None:
+            # Recover the code from a message that crossed the IPC hop.
+            start, end = message.rfind("["), message.rfind("]")
+            reason = message[start + 1:end] if 0 <= start < end else "denied"
+            super().__init__(message or f"appraisal denied [{reason}]")
+        else:
+            suffix = f"[{reason}]"
+            if not message:
+                message = f"appraisal denied {suffix}"
+            elif not message.endswith(suffix):
+                message = f"{message} {suffix}"
+            super().__init__(message)
+        self.reason_code = reason
+
+
 # --- Fleet gateway --------------------------------------------------------
 
 

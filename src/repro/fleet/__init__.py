@@ -25,10 +25,13 @@ from repro.fleet.loadgen import (
     LoadProfile,
     LoadReport,
     ModelResult,
+    MultiTeeStack,
     build_attester_stacks,
+    build_mixed_stacks,
     model_fleet,
     run_load,
     run_one_handshake,
+    run_one_handshake_multi,
 )
 from repro.fleet.metrics import FleetMetrics, LatencyHistogram
 from repro.fleet.sessions import SessionEntry, SessionTable
@@ -56,10 +59,13 @@ __all__ = [
     "HandshakeResult",
     "FleetModel",
     "ModelResult",
+    "MultiTeeStack",
     "build_attester_stacks",
+    "build_mixed_stacks",
     "model_fleet",
     "run_load",
     "run_one_handshake",
+    "run_one_handshake_multi",
     "FleetMetrics",
     "LatencyHistogram",
     "SessionEntry",

@@ -42,7 +42,7 @@ from repro.core.protocol import RESUMPTION_KEY_SIZE
 from repro.crypto.cmac import AesCmac
 from repro.crypto.hashing import constant_time_equal, sha256
 
-CacheKey = Tuple[bytes, bytes, bytes]
+CacheKey = Tuple[int, bytes, bytes, bytes]
 
 
 def policy_fingerprint(policy) -> bytes:
@@ -90,11 +90,32 @@ class AppraisalCache:
 
     @staticmethod
     def _key(evidence) -> CacheKey:
-        return (bytes(evidence.attestation_public_key),
-                bytes(evidence.claim), bytes(evidence.boot_claim))
+        # The key binds the evidence *backend* alongside every appraised
+        # field: ``tee_type`` plus ``cache_extra`` (boot chain for
+        # TrustZone, MRSIGNER/SVN/debug for SGX, RTMRs for TDX) keep an
+        # entry minted for one backend or configuration from ever being
+        # redeemed under another.
+        return (int(evidence.tee_type), bytes(evidence.identity),
+                bytes(evidence.claim), bytes(evidence.cache_extra))
+
+    @staticmethod
+    def _ticket_body(evidence) -> bytes:
+        # Multi-TEE views MAC their full envelope — the tee_type tag sits
+        # inside the MAC'd header, so a ticket cannot cross backends.
+        # Legacy Evidence keeps MACing its bare body: the attester-side
+        # bytes are unchanged from the seed protocol.
+        if hasattr(evidence, "envelope"):
+            return evidence.envelope()
+        return evidence.encode()
 
     def _refresh_policy(self, policy) -> None:
-        fingerprint = policy_fingerprint(policy)
+        # ``policy`` is either a legacy ``VerifierPolicy`` or an already
+        # combined fingerprint (bytes) from a verifier that also holds an
+        # appraisal engine — see ``Verifier._policy_scope``.
+        if isinstance(policy, (bytes, bytearray)):
+            fingerprint = bytes(policy)
+        else:
+            fingerprint = policy_fingerprint(policy)
         if fingerprint != self._fingerprint:
             if self._fingerprint is not None and self._entries:
                 self.invalidations += len(self._entries)
@@ -140,7 +161,8 @@ class AppraisalCache:
                 return None
             resumption_key = entry[1]
             if not ticket or not constant_time_equal(
-                    AesCmac(resumption_key).mac(evidence.encode()), ticket):
+                    AesCmac(resumption_key).mac(self._ticket_body(evidence)),
+                    ticket):
                 if ticket:
                     self.bad_tickets += 1
                 self.misses += 1

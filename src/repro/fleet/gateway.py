@@ -52,22 +52,40 @@ CMD_FLEET_EVICT = 2
 FLEET_VERIFIER_UUID = "watz-fleet-verifier"
 
 
+#: Lazily built codec registry for prewarming multi-TEE msg2s; decoding
+#: here is advisory (pure math over public bytes), so one shared default
+#: registry is fine even when the verifier runs a restricted one.
+_prewarm_registry = None
+
+
 def prewarm_msg2_tables(data: bytes) -> bool:
     """Precompute the evidence key's EC tables for a plain msg2.
 
     Pure, idempotent math over *public* bytes, safe to run outside any
     device lock (threaded gateway) or before the TA invoke (shard
-    worker). Only plain msg2 carries the attestation public key in the
-    clear; malformed input is ignored here — the protocol path reports
-    the real error. Returns True when tables were (re)warmed.
+    worker). Plain msg2 and the multi-TEE envelope variant both carry
+    the attestation public key in the clear; malformed input is ignored
+    here — the protocol path reports the real error. Returns True when
+    tables were (re)warmed.
     """
-    if not data or data[0] != protocol.MSG2:
+    global _prewarm_registry
+    if not data:
         return False
     try:
-        message = protocol.decode_msg2(data)
-        evidence = message.signed_evidence.evidence
-        public = ec.decode_point(evidence.attestation_public_key)
-        ec.precompute_public_key(public)
+        if data[0] == protocol.MSG2:
+            message = protocol.decode_msg2(data)
+            public_bytes = \
+                message.signed_evidence.evidence.attestation_public_key
+        elif data[0] == protocol.MSG2_MULTI:
+            if _prewarm_registry is None:
+                from repro.appraisal.envelope import default_registry
+
+                _prewarm_registry = default_registry()
+            multi = protocol.decode_msg2_multi(data)
+            public_bytes = _prewarm_registry.decode(multi.envelope).identity
+        else:
+            return False
+        ec.precompute_public_key(ec.decode_point(public_bytes))
     except Exception:
         return False
     return True
@@ -130,8 +148,8 @@ class FleetConfig:
 def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
                            secret_provider: SecretProvider,
                            recorder: Optional[protocol.CostRecorder] = None,
-                           appraisal_cache: Optional[AppraisalCache] = None
-                           ) -> type:
+                           appraisal_cache: Optional[AppraisalCache] = None,
+                           engine=None) -> type:
     """A verifier TA that serves many connections from one session.
 
     Unlike the single-session TA of :mod:`repro.core.server`, protocol
@@ -144,7 +162,7 @@ def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
             super().open_session(api)
             self.verifier = Verifier(
                 identity, policy, api.generate_random, recorder,
-                appraisal_cache=appraisal_cache,
+                appraisal_cache=appraisal_cache, engine=engine,
             )
             self._states: Dict[int, VerifierProtocolState] = {}
 
@@ -235,7 +253,7 @@ class AttestationGateway:
                  config: FleetConfig = FleetConfig(),
                  recorder: Optional[protocol.CostRecorder] = None,
                  time_source=time.monotonic_ns,
-                 tracer=None) -> None:
+                 tracer=None, engine=None) -> None:
         if config.workers < 1:
             raise ValueError("fleet gateway needs at least one worker lane")
         self.network = network
@@ -251,6 +269,15 @@ class AttestationGateway:
         #: Optional repro.obs.Tracer; request lifecycles, protocol phases
         #: and the device's world transitions all emit spans into it.
         self.tracer = tracer
+        #: Optional repro.appraisal.AppraisalEngine, shared by every lane
+        #: verifier: enables the multi-TEE envelope handshake, audits all
+        #: appraisals, and is the handle the revocation killswitch
+        #: mutates (the combined policy fingerprint then invalidates the
+        #: appraisal cache and every outstanding resumption ticket).
+        self.engine = engine
+        if engine is not None and tracer is not None and \
+                engine.tracer is None:
+            engine.tracer = tracer
         self.metrics = FleetMetrics()
         self.cache: Optional[AppraisalCache] = None
         if config.enable_cache:
@@ -288,7 +315,7 @@ class AttestationGateway:
                               heap_size=self.config.lane_heap_size)
         ta_class = make_fleet_verifier_ta(
             self.identity, self.policy, self.secret_provider,
-            self.recorder, appraisal_cache=self.cache,
+            self.recorder, appraisal_cache=self.cache, engine=self.engine,
         )
         image = sign_ta(manifest, b"watz fleet verifier ta", ta_class,
                         self.vendor_key)
@@ -446,11 +473,36 @@ class AttestationGateway:
     def _kind(data: bytes) -> str:
         if not data:
             return "empty"
-        if data[0] == protocol.MSG0:
+        if data[0] in (protocol.MSG0, protocol.MSG0_MULTI):
             return "msg0"
-        if data[0] in (protocol.MSG2, protocol.MSG2_ENC):
+        if data[0] in (protocol.MSG2, protocol.MSG2_ENC,
+                       protocol.MSG2_MULTI):
             return "msg2"
         return f"kind_{data[0]:#x}"
+
+    # -- the revocation killswitch ------------------------------------------------
+
+    def revoke_measurement(self, digest: bytes) -> None:
+        """Deny a measurement fleet-wide, effective from the next message.
+
+        The engine's policy epoch bumps, so the combined fingerprint
+        scoping the appraisal cache changes: cached appraisals clear and
+        every outstanding resumption ticket is dead (its entry is gone),
+        without touching per-lane state eagerly.
+        """
+        self._require_engine().revoke_measurement(digest)
+        self.metrics.increment("revocations")
+
+    def revoke_identity(self, identity_key: bytes) -> None:
+        """Deny an attestation identity fleet-wide; see above."""
+        self._require_engine().revoke_identity(identity_key)
+        self.metrics.increment("revocations")
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise ValueError(
+                "the revocation killswitch needs an appraisal engine")
+        return self.engine
 
     # -- introspection -----------------------------------------------------------
 
@@ -467,6 +519,8 @@ class AttestationGateway:
         snapshot["admission"] = self._admission.snapshot()
         snapshot["cache"] = (self.cache.snapshot()
                              if self.cache is not None else None)
+        snapshot["audit"] = (self.engine.audit.counts_by_reason()
+                             if self.engine is not None else None)
         return snapshot
 
 
@@ -476,21 +530,26 @@ def start_fleet_gateway(network: Network, host: str, port: int,
                         secret_provider: SecretProvider,
                         config: FleetConfig = FleetConfig(),
                         recorder: Optional[protocol.CostRecorder] = None,
-                        tracer=None):
+                        tracer=None, engine=None):
     """Convenience mirror of :func:`repro.core.server.start_verifier`.
 
     With ``config.shards >= 1`` this starts the process-sharded gateway
     (:mod:`repro.fleet.shards`) instead of the in-process thread pool;
     ``client`` is then unused — every shard boots its own board.
+    ``engine`` (a :class:`repro.appraisal.AppraisalEngine`) arms the
+    multi-TEE envelope path and the revocation killswitch on either
+    gateway flavour.
     """
     if config.shards:
         from repro.fleet.shards import ShardedGateway
 
         sharded = ShardedGateway(network, host, port, vendor_key, identity,
                                  policy, secret_provider, config,
-                                 recorder=recorder, tracer=tracer)
+                                 recorder=recorder, tracer=tracer,
+                                 engine=engine)
         return sharded.start()
     gateway = AttestationGateway(network, host, port, client, vendor_key,
                                  identity, policy, secret_provider,
-                                 config, recorder, tracer=tracer)
+                                 config, recorder, tracer=tracer,
+                                 engine=engine)
     return gateway.start()

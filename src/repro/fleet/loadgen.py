@@ -88,6 +88,101 @@ def build_attester_stacks(testbed, policy, count: int,
     return stacks
 
 
+@dataclass
+class MultiTeeStack:
+    """One heterogeneous-fleet attester: an evidence backend + protocol.
+
+    The protocol engine is the unchanged :class:`Attester` — the
+    multi-TEE message variants are backend-agnostic — while the evidence
+    itself comes from either a TrustZone testbed board (``device``) or a
+    synthetic SGX/TDX device (``enclave``). Exactly one of the two is
+    set.
+    """
+
+    index: int
+    tee_type: int
+    attester: Attester
+    claim: bytes
+    device: object = None   # repro.testbed.Device (TrustZone)
+    enclave: object = None  # repro.appraisal.synthetic device (SGX/TDX)
+    tracer: object = None   # enclave stacks have no SoC to carry one
+
+    def collect_view(self, anchor: bytes):
+        """Produce this backend's evidence view for a session anchor."""
+        if self.enclave is not None:
+            return self.enclave.collect_evidence(anchor)
+        from repro.appraisal.codecs.trustzone import TrustZoneView
+
+        signed = self.attester.collect_evidence(
+            anchor, self.claim, self.device.attestation_public_key,
+            self._sign_evidence,
+            boot_claim=self.device.kernel.boot_measurement,
+        )
+        return TrustZoneView(signed)
+
+    def _sign_evidence(self, body: bytes) -> bytes:
+        with self.device.soc.enter_secure_world():
+            return self.device.kernel.attestation_service.sign_evidence(body)
+
+
+def build_mixed_stacks(testbed, appraisal, population: Sequence[int],
+                       claim: Optional[bytes] = None,
+                       trusted: bool = True) -> List["MultiTeeStack"]:
+    """Manufacture a heterogeneous attester population and provision it.
+
+    ``population`` is a sequence of envelope TEE tags (one stack per
+    entry); ``appraisal`` is the :class:`repro.appraisal.AppraisalPolicy`
+    the fleet's engine enforces, which this provisions in place: every
+    backend presents the *same* Wasm measurement (``claim``; the MRTD is
+    its fixed widening), so one logical reference value covers the whole
+    fleet. ``trusted=False`` skips the provisioning — attesters the
+    policy must deny.
+    """
+    from repro.appraisal import synthetic
+    from repro.appraisal.envelope import TEE_SGX, TEE_TDX, TEE_TRUSTZONE
+
+    if claim is None:
+        label = b"fleet attested application v1" if trusted \
+            else b"fleet tampered application"
+        claim = measure_bytes(label).digest
+    stacks: List[MultiTeeStack] = []
+    for tee_type in population:
+        index = len(stacks)
+        device = None
+        enclave = None
+        if tee_type == TEE_TRUSTZONE:
+            device = testbed.create_device()
+            if trusted:
+                tee = appraisal.accept_tee(TEE_TRUSTZONE)
+                tee.trust_measurement(claim)
+                tee.endorse(device.attestation_public_key)
+                tee.trust_boot_measurement(device.kernel.boot_measurement)
+        elif tee_type == TEE_SGX:
+            enclave = synthetic.sgx_enclave(index, claim)
+            if trusted:
+                tee = appraisal.accept_tee(TEE_SGX)
+                tee.trust_measurement(enclave.mrenclave)
+                tee.endorse(enclave.attestation_public_key)
+                tee.trust_signer(enclave.mrsigner)
+        elif tee_type == TEE_TDX:
+            enclave = synthetic.tdx_domain(index, claim)
+            if trusted:
+                tee = appraisal.accept_tee(TEE_TDX)
+                tee.trust_measurement(enclave.mrtd)
+                tee.endorse(enclave.attestation_public_key)
+        else:
+            raise ValueError(f"unknown tee_type {tee_type:#04x}")
+        stacks.append(MultiTeeStack(
+            index=index,
+            tee_type=tee_type,
+            attester=Attester(os.urandom),
+            claim=claim,
+            device=device,
+            enclave=enclave,
+        ))
+    return stacks
+
+
 @dataclass(frozen=True)
 class LoadProfile:
     """What the load generator drives."""
@@ -235,10 +330,92 @@ def run_one_handshake(network, host: str, port: int,
     return result
 
 
+def run_one_handshake_multi(network, host: str, port: int,
+                            identity_public: bytes, stack: MultiTeeStack,
+                            attempt: int = 0) -> HandshakeResult:
+    """One multi-TEE handshake: envelope-framed evidence, any backend.
+
+    Same segment breakdown as :func:`run_one_handshake`; the transcript
+    differs only in the message variants (msg0/1/2 carry the negotiated
+    ``tee_type``, the evidence travels in a self-describing envelope).
+    """
+    result = HandshakeResult(attester=stack.index, index=attempt, ok=False)
+    segments = result.segments
+    tracer = stack.tracer
+    if tracer is None and stack.device is not None:
+        tracer = stack.device.soc.tracer
+
+    def traced(name):
+        return nullcontext() if tracer is None \
+            else tracer.span(name, world="normal")
+
+    total_start = time.perf_counter()
+    try:
+        connection = network.connect(host, port)
+    except ReproError as exc:
+        result.error = type(exc).__name__
+        return result
+    root = ExitStack()
+    try:
+        if tracer is not None:
+            root.enter_context(tracer.span(
+                "fleet.handshake", world="normal",
+                attester=stack.index, attempt=attempt,
+                tee_type=stack.tee_type))
+        started = time.perf_counter()
+        with traced("core.protocol.msg0"):
+            session = stack.attester.start_session(identity_public)
+            connection.send(stack.attester.make_msg0_multi(
+                session, stack.tee_type))
+        segments["client_pre"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with traced("net.wait_msg1"):
+            msg1 = connection.receive()
+        segments["wait_msg1"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with traced("core.protocol.msg2"):
+            stack.attester.handle_msg1(session, msg1)
+            view = stack.collect_view(session.anchor)
+            connection.send(stack.attester.make_msg2_multi(session, view))
+        segments["client_mid"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with traced("net.wait_msg3"):
+            msg3 = connection.receive()
+        segments["wait_msg3"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with traced("core.protocol.msg3"):
+            secret = stack.attester.handle_msg3(session, msg3)
+        segments["client_post"] = time.perf_counter() - started
+
+        result.ok = True
+        result.secret_len = len(secret)
+    except FleetOverloaded:
+        result.rejected = True
+        result.error = "FleetOverloaded"
+    except ReproError as exc:
+        result.error = type(exc).__name__
+    finally:
+        root.close()
+        segments["total"] = time.perf_counter() - total_start
+        try:
+            connection.close()
+        except ReproError:
+            pass
+    return result
+
+
 def run_load(network, host: str, port: int, identity_public: bytes,
              stacks: Sequence[AttesterStack],
              profile: LoadProfile) -> LoadReport:
-    """Drive every stack through its handshakes on concurrent threads."""
+    """Drive every stack through its handshakes on concurrent threads.
+
+    Accepts legacy :class:`AttesterStack` and :class:`MultiTeeStack`
+    entries in the same population — mixed fleets are one run.
+    """
     if len(stacks) < profile.concurrency:
         raise ValueError("not enough attester stacks for the concurrency")
     active = list(stacks)[: profile.concurrency]
@@ -246,11 +423,13 @@ def run_load(network, host: str, port: int, identity_public: bytes,
     results_lock = threading.Lock()
     barrier = threading.Barrier(len(active))
 
-    def drive(stack: AttesterStack) -> None:
+    def drive(stack) -> None:
+        runner = run_one_handshake_multi \
+            if isinstance(stack, MultiTeeStack) else run_one_handshake
         barrier.wait()
         for attempt in range(profile.handshakes_per_attester):
-            outcome = run_one_handshake(network, host, port,
-                                        identity_public, stack, attempt)
+            outcome = runner(network, host, port,
+                             identity_public, stack, attempt)
             with results_lock:
                 results.append(outcome)
 

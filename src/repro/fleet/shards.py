@@ -167,6 +167,24 @@ def encode_policy(policy: VerifierPolicy) -> bytes:
     return b"".join(parts)
 
 
+def encode_policy_bundle(policy: VerifierPolicy,
+                         appraisal_blob: bytes = b"") -> bytes:
+    """OP_POLICY body: the legacy policy plus the declarative one.
+
+    ``u32 vp_len || encode_policy(vp) || appraisal_policy_blob`` — the
+    appraisal part is empty for engine-less deployments, so the legacy
+    codecs (:func:`encode_policy` / :func:`decode_policy_into`) keep
+    their pinned formats untouched.
+    """
+    vp_blob = encode_policy(policy)
+    return struct.pack(">I", len(vp_blob)) + vp_blob + appraisal_blob
+
+
+def decode_policy_bundle(body: bytes) -> Tuple[bytes, bytes]:
+    (vp_len,) = struct.unpack_from(">I", body, 0)
+    return body[4:4 + vp_len], body[4 + vp_len:]
+
+
 def decode_policy_into(policy: VerifierPolicy, blob: bytes) -> None:
     """Replace ``policy``'s contents in place (verifiers hold references)."""
     major, minor = struct.unpack_from(">II", blob, 0)
@@ -257,6 +275,10 @@ class ShardSpec:
     secret_provider: SecretProvider
     config: FleetConfig
     deterministic_rng: bool = False
+    #: Serialised :class:`repro.appraisal.AppraisalPolicy`; non-empty
+    #: arms a per-shard appraisal engine (multi-TEE envelopes, audit
+    #: log, revocation killswitch).
+    appraisal_blob: bytes = b""
 
 
 def shard_main(spec: ShardSpec, data_sock: socket.socket,
@@ -288,6 +310,11 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
     identity = ecdsa.keypair_from_private(spec.identity_private)
     policy = VerifierPolicy()
     decode_policy_into(policy, spec.policy_blob)
+    engine = None
+    if spec.appraisal_blob:
+        from repro.appraisal import AppraisalEngine, AppraisalPolicy
+
+        engine = AppraisalEngine(AppraisalPolicy.decode(spec.appraisal_blob))
     cache = None
     if config.enable_cache:
         cache = AppraisalCache(capacity=config.cache_capacity,
@@ -297,7 +324,8 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                           name="watz-fleet-verifier",
                           heap_size=config.lane_heap_size)
     ta_class = make_fleet_verifier_ta(identity, policy, spec.secret_provider,
-                                      None, appraisal_cache=cache)
+                                      None, appraisal_cache=cache,
+                                      engine=engine)
     image = sign_ta(manifest, b"watz fleet verifier ta", ta_class,
                     testbed.vendor_key)
     device.kernel.install_ta(image)
@@ -332,6 +360,8 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                         "cache": (cache.snapshot()
                                   if cache is not None else None),
                         "live_states": session.ta.live_states,
+                        "audit": (engine.audit.counts_by_reason()
+                                  if engine is not None else None),
                     }
                     _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
                                 json.dumps(state).encode())
@@ -387,7 +417,12 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                 session.invoke(CMD_FLEET_EVICT, {"conn": conn_id})
                 _send_frame(data_sock, data_lock, OP_OK, req_id)
             elif opcode == OP_POLICY:
-                decode_policy_into(policy, body)
+                vp_blob, ap_blob = decode_policy_bundle(body)
+                decode_policy_into(policy, vp_blob)
+                if engine is not None and ap_blob:
+                    from repro.appraisal import AppraisalPolicy
+
+                    engine.replace_policy(AppraisalPolicy.decode(ap_blob))
                 metrics.increment("policy_syncs")
                 _send_frame(data_sock, data_lock, OP_OK, req_id)
             elif opcode == OP_SHUTDOWN:
@@ -574,7 +609,7 @@ class ShardedGateway:
                  vendor_key: ecdsa.KeyPair, identity: ecdsa.KeyPair,
                  policy: VerifierPolicy, secret_provider: SecretProvider,
                  config: FleetConfig, recorder=None, tracer=None,
-                 time_source=time.monotonic_ns) -> None:
+                 time_source=time.monotonic_ns, engine=None) -> None:
         if config.shards < 1:
             raise ValueError("sharded gateway needs at least one shard")
         if recorder is not None or tracer is not None:
@@ -594,6 +629,13 @@ class ShardedGateway:
         self.policy = policy
         self.secret_provider = secret_provider
         self.config = config
+        #: Router-side appraisal engine: the single source of truth for
+        #: the declarative policy. Shards hold decoded *replicas*, synced
+        #: lazily whenever the combined fingerprint moves (exactly the
+        #: legacy policy-sync discipline); its audit log records only
+        #: router-side decisions — per-shard logs live in the workers and
+        #: surface through :meth:`snapshot`.
+        self.engine = engine
         self.metrics = FleetMetrics()
         bucket = None
         if config.rate_per_s is not None:
@@ -655,11 +697,26 @@ class ShardedGateway:
             channel.kill()
             handle.channel = None
 
+    def _combined_fingerprint(self) -> bytes:
+        """What shard policy replicas are versioned by.
+
+        Folds the declarative policy's fingerprint (epoch included) into
+        the legacy one, so a revocation on the router's engine is a
+        policy change to every shard — synced lazily, ahead of the next
+        message each shard serves.
+        """
+        fingerprint = policy_fingerprint(self.policy)
+        if self.engine is not None:
+            from repro.crypto.hashing import sha256
+
+            fingerprint = sha256(fingerprint + self.engine.fingerprint())
+        return fingerprint
+
     def _spawn(self, handle: _ShardHandle) -> None:
         # Fingerprint *before* encoding: if the policy mutates between
         # the two, the stale fingerprint forces a (redundant but safe)
         # resync on the next message instead of missing one.
-        fingerprint = policy_fingerprint(self.policy)
+        fingerprint = self._combined_fingerprint()
         spec = ShardSpec(
             index=handle.index,
             serial=self.config.shard_base_serial + handle.index,
@@ -669,6 +726,8 @@ class ShardedGateway:
             secret_provider=self.secret_provider,
             config=self.config,
             deterministic_rng=self.config.shard_deterministic_rng,
+            appraisal_blob=(self.engine.policy.encode()
+                            if self.engine is not None else b""),
         )
         siblings = [sock for other in self._shards
                     if other.channel is not None
@@ -786,13 +845,16 @@ class ShardedGateway:
         over the channel, ordered on the data stream ahead of the
         message that needed it.
         """
-        fingerprint = policy_fingerprint(self.policy)
+        fingerprint = self._combined_fingerprint()
         if handle.policy_fp == fingerprint:
             return
         with handle.policy_lock:
             if handle.policy_fp == fingerprint:
                 return
-            self._request(handle, OP_POLICY, encode_policy(self.policy),
+            appraisal_blob = (self.engine.policy.encode()
+                              if self.engine is not None else b"")
+            self._request(handle, OP_POLICY,
+                          encode_policy_bundle(self.policy, appraisal_blob),
                           timeout=self.config.shard_request_timeout_s)
             handle.policy_fp = fingerprint
             self.metrics.increment("shard_policy_syncs")
@@ -904,7 +966,45 @@ class ShardedGateway:
                 for handle, state in zip(self._shards, shard_states)
             ],
         }
+        snapshot["audit"] = self._merge_audit(
+            [state.get("audit") for state in shard_states if state])
         return snapshot
+
+    @staticmethod
+    def _merge_audit(states: List[Optional[dict]]) -> Optional[dict]:
+        states = [state for state in states if state]
+        if not states:
+            return None
+        merged: Dict[str, int] = {}
+        for state in states:
+            for reason, count in state.items():
+                merged[reason] = merged.get(reason, 0) + int(count)
+        return merged
+
+    # -- revocation killswitch ---------------------------------------------------
+
+    def revoke_measurement(self, claim: bytes) -> None:
+        """Blocklist a code measurement fleet-wide, effective lazily.
+
+        The revocation bumps the engine's policy epoch, which moves the
+        combined fingerprint; every shard picks the new policy replica up
+        ahead of the *next* message it serves, and the fingerprint shift
+        also evicts the shards' appraisal-cache entries and outstanding
+        resumption tickets.
+        """
+        self._require_engine().revoke_measurement(claim)
+        self.metrics.increment("revocations")
+
+    def revoke_identity(self, identity: bytes) -> None:
+        """Blocklist a device attestation key fleet-wide (see above)."""
+        self._require_engine().revoke_identity(identity)
+        self.metrics.increment("revocations")
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise ValueError(
+                "the revocation killswitch needs an appraisal engine")
+        return self.engine
 
     @staticmethod
     def _merge_cache(states: List[Optional[dict]]) -> Optional[dict]:
@@ -923,8 +1023,9 @@ def start_sharded_gateway(network: Network, host: str, port: int,
                           vendor_key: ecdsa.KeyPair,
                           identity: ecdsa.KeyPair, policy: VerifierPolicy,
                           secret_provider: SecretProvider,
-                          config: FleetConfig) -> ShardedGateway:
+                          config: FleetConfig,
+                          engine=None) -> ShardedGateway:
     """Convenience mirror of :func:`repro.fleet.gateway.start_fleet_gateway`."""
     gateway = ShardedGateway(network, host, port, vendor_key, identity,
-                             policy, secret_provider, config)
+                             policy, secret_provider, config, engine=engine)
     return gateway.start()

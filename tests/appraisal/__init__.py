@@ -1,0 +1,1 @@
+"""The multi-TEE appraisal subsystem: codecs, policy engine, audit."""

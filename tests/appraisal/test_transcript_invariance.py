@@ -1,0 +1,178 @@
+"""The refactored TrustZone path is observably identical to the seed.
+
+PR 6 moved the verifier's inline appraisal checks into
+``repro.appraisal.codecs.trustzone`` and threaded an optional engine
+through the verifier. None of that may change the legacy single-TEE
+deployment: with the same RNG stream, every wire byte of the handshake
+is identical with and without an engine attached, and every rejection
+raises the seed's exact exception type and message.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.appraisal import AppraisalEngine, AppraisalPolicy
+from repro.core import protocol
+from repro.core.attester import Attester
+from repro.core.evidence import EVIDENCE_SIZE, Evidence, SignedEvidence
+from repro.core.measurement import measure_bytes
+from repro.core.verifier import Verifier, VerifierPolicy
+from repro.crypto import ecdsa
+from repro.errors import EndorsementError, MeasurementMismatch
+from repro.fleet.cache import AppraisalCache
+
+IDENTITY = ecdsa.keypair_from_private(525252)
+DEVICE = ecdsa.keypair_from_private(535353)
+CLAIM = measure_bytes(b"invariance app").digest
+SECRET = b"invariant secret blob"
+BOOT = b"\x0B" * 32
+
+
+def _drbg(label: bytes):
+    """A deterministic byte source: replayable RNG for both actors."""
+    state = {"counter": 0, "pool": b""}
+
+    def read(n: int) -> bytes:
+        while len(state["pool"]) < n:
+            block = hashlib.sha256(
+                label + state["counter"].to_bytes(8, "big")).digest()
+            state["pool"] += block
+            state["counter"] += 1
+        out, state["pool"] = state["pool"][:n], state["pool"][n:]
+        return out
+
+    return read
+
+
+def _policy():
+    policy = VerifierPolicy()
+    policy.endorse(DEVICE.public_bytes())
+    policy.trust_measurement(CLAIM)
+    policy.trust_boot_measurement(BOOT)
+    return policy
+
+
+def _transcript(engine, cache=None, rerun=0):
+    """All legacy handshake bytes, under a fixed RNG stream."""
+    attester = Attester(_drbg(b"attester"))
+    verifier = Verifier(IDENTITY, _policy(), _drbg(b"verifier"),
+                        appraisal_cache=cache, engine=engine)
+    wire = []
+    for _ in range(1 + rerun):
+        session = attester.start_session(IDENTITY.public_bytes())
+        msg0 = attester.make_msg0(session)
+        vsession, msg1 = verifier.handle_msg0(msg0)
+        attester.handle_msg1(session, msg1)
+        signed = attester.collect_evidence(
+            session.anchor, CLAIM, DEVICE.public_bytes(),
+            lambda body: ecdsa.sign(DEVICE.private, body), boot_claim=BOOT)
+        msg2 = attester.make_msg2(session, signed)
+        msg3 = verifier.handle_msg2(vsession, msg2, SECRET)
+        secret = attester.handle_msg3(session, msg3)
+        assert secret == SECRET
+        wire += [msg0, msg1, msg2, msg3]
+    return wire
+
+
+def _engine():
+    return AppraisalEngine(AppraisalPolicy.from_verifier_policy(_policy()))
+
+
+def test_legacy_wire_bytes_are_engine_invariant():
+    assert _transcript(engine=None) == _transcript(engine=_engine())
+
+
+def test_legacy_ticket_path_is_engine_invariant():
+    # With a cache, the second handshake rides a resumption ticket whose
+    # MAC covers the *bare* evidence bytes — the seed's ticket body, not
+    # the new envelope (that one is only MAC'd on the multi path). The
+    # whole two-handshake transcript must still match byte for byte.
+    plain = _transcript(engine=None, cache=AppraisalCache(), rerun=1)
+    armed = _transcript(engine=_engine(), cache=AppraisalCache(), rerun=1)
+    assert plain == armed
+    # and the ticket actually rode along (msg2 of the re-attestation is
+    # TICKET_SIZE longer than the first one)
+    assert len(plain[6]) == len(plain[2]) + protocol.TICKET_SIZE
+
+
+def _failing_handshake(mutate_policy=None, claim=CLAIM, boot=BOOT,
+                       engine=None):
+    attester = Attester(os.urandom)
+    policy = _policy()
+    if mutate_policy:
+        mutate_policy(policy)
+    verifier = Verifier(IDENTITY, policy, os.urandom, engine=engine)
+    session = attester.start_session(IDENTITY.public_bytes())
+    vsession, msg1 = verifier.handle_msg0(attester.make_msg0(session))
+    attester.handle_msg1(session, msg1)
+    signed = attester.collect_evidence(
+        session.anchor, claim, DEVICE.public_bytes(),
+        lambda body: ecdsa.sign(DEVICE.private, body), boot_claim=boot)
+    verifier.handle_msg2(vsession, attester.make_msg2(session, signed),
+                         SECRET)
+
+
+SEED_FAILURES = [
+    (
+        "version",
+        dict(mutate_policy=lambda p: setattr(p, "minimum_version", (9, 9))),
+        EndorsementError,
+        r"runtime version \(1, 0\) is below the accepted minimum \(9, 9\)",
+    ),
+    (
+        "endorsement",
+        dict(mutate_policy=lambda p: p.endorsements.clear()),
+        EndorsementError,
+        r"device attestation key is not endorsed",
+    ),
+    (
+        "claim",
+        dict(claim=b"\xEE" * 32),
+        MeasurementMismatch,
+        r"code measurement " + b"\xEE".hex() * 8 +
+        r"\.\.\. matches no reference value",
+    ),
+    (
+        "boot",
+        dict(boot=b"\xEF" * 32),
+        MeasurementMismatch,
+        r"boot-chain measurement matches no trusted value "
+        r"\(possibly hijacked secure boot\)",
+    ),
+]
+
+
+@pytest.mark.parametrize("name,kwargs,exc_type,message",
+                         SEED_FAILURES, ids=[f[0] for f in SEED_FAILURES])
+def test_rejections_raise_the_seed_exact_exceptions(name, kwargs, exc_type,
+                                                    message):
+    # Without an engine (the seed configuration)...
+    with pytest.raises(exc_type, match=f"^{message}$"):
+        _failing_handshake(**kwargs)
+    # ...and with one: same type, same message, plus an audit record.
+    engine = _engine()
+    with pytest.raises(exc_type, match=f"^{message}$"):
+        _failing_handshake(engine=engine, **kwargs)
+    (entry,) = engine.audit.entries()
+    assert not entry.accepted
+
+
+def test_native_evidence_bytes_are_unchanged():
+    # The codec body IS the seed serialisation: anchor || claim ||
+    # pubkey || boot_claim || version, then the signature.
+    evidence = Evidence(anchor=b"\x01" * 32, claim=b"\x02" * 32,
+                        attestation_public_key=DEVICE.public_bytes(),
+                        boot_claim=b"\x03" * 32)
+    encoded = evidence.encode()
+    signed = SignedEvidence(evidence=evidence, signature=b"\x04" * 64)
+    assert signed.encode() == encoded + b"\x04" * 64
+    assert len(signed.encode()) == EVIDENCE_SIZE
+
+    from repro.appraisal.codecs.trustzone import TrustZoneCodec
+
+    codec = TrustZoneCodec()
+    view = codec.decode(signed.encode())
+    assert view.encode() == signed.encode()
+    assert codec.body_size == EVIDENCE_SIZE
