@@ -1,0 +1,232 @@
+"""Fabric churn: cross-shard resumption hit-rate and storm drain cost.
+
+The replicated appraisal fabric exists for one workload: a large fleet
+of device identities reconnecting on a Zipf schedule against shards the
+devices do not choose. This benchmark measures that workload three ways,
+all landing in ``bench_results/BENCH_fabric.json``:
+
+* **live** — a real 2-shard gateway driven through a deterministic Zipf
+  reconnect schedule, once partitioned (``fabric=False``, the pathology:
+  every shard bounce invalidates the previous shard's ticket) and once
+  with the replication bus on, against a single-shard baseline. The
+  acceptance gate is the ISSUE's: the fabric's hit-rate recovers to
+  within 10% of the single-shard baseline, and cross-shard hits appear
+  *only* when the fabric is enabled.
+* **modeled** — the discrete-event churn model run on the identical
+  sequence (it mirrors the gateway's mechanics: global connection
+  numbering, ``conn % shards`` affinity, fresh-key-per-miss), so the
+  live-vs-model gap is reported per mode; then the same model at the
+  million-identity scale no live run could touch.
+* **storm** — a live mass-eviction through the coalescing evictor
+  (O(shards) batched frames) against the per-device projection, plus
+  the million-device storm drain-time model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench import format_table, save_report
+from repro.core.verifier import VerifierPolicy
+from repro.fleet import (ChurnProfile, FleetConfig, build_attester_stacks,
+                         model_churn, model_revocation_storm, run_churn,
+                         start_fleet_gateway)
+from repro.fleet.fabric.churn import zipf_sequence
+
+HOST, PORT_BASE = "fleet.bench", 7880
+
+#: Live smoke scale: big enough for the partitioned pathology to cost
+#: a visible fraction of the hit-rate, small enough for CI seconds.
+LIVE_IDENTITIES = 16
+LIVE_RECONNECTS = 96
+ZIPF_S = 1.1
+STORM_SESSIONS = 500
+#: ISSUE acceptance: fabric hit-rate within 10% of the 1-shard baseline.
+FABRIC_RECOVERY = 0.9
+#: The DES model mirrors the live mechanics; the gap is measurement
+#: noise (TTL clocking), not structure.
+MODEL_GAP_MAX = 0.1
+
+MILLION = ChurnProfile(identities=1_000_000, reconnects=100_000,
+                       zipf_s=ZIPF_S, shards=4)
+
+
+def _save_bench_json(payload: dict) -> str:
+    directory = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_fabric.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _live_churn(testbed, identity, port, shards, fabric, sequence):
+    """One fresh gateway + device fleet driven through ``sequence``."""
+    policy = VerifierPolicy()
+    gateway = start_fleet_gateway(
+        testbed.network, HOST, port, None, testbed.vendor_key, identity,
+        policy, lambda: b"fabric bench secret blob" * 8,
+        FleetConfig(shards=shards, fabric=fabric))
+    try:
+        stacks = build_attester_stacks(testbed, policy, LIVE_IDENTITIES)
+        report = run_churn(testbed.network, HOST, port,
+                           identity.public_bytes(), stacks, sequence)
+        records = gateway.drain_records()
+        counters = gateway.snapshot()["counters"]
+    finally:
+        gateway.stop()
+    assert report.failed == 0 and report.rejected == 0, report.errors
+    msg2 = [r for r in records if r.kind == "msg2"]
+    hits = sum(1 for r in msg2 if r.cache_hit)
+    return {
+        "shards": shards,
+        "fabric": fabric,
+        "reconnects": len(sequence),
+        "hit_rate": round(hits / len(msg2), 4) if msg2 else 0.0,
+        "cross_shard_hits": counters.get("fabric_cross_shard_hits", 0),
+        "fabric_mints": counters.get("fabric_mints", 0),
+        "throughput_hz": round(report.throughput_hz, 2),
+    }
+
+
+def _wait_for(probe, timeout_s=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if probe():
+            return True
+        time.sleep(0.01)
+    return probe()
+
+
+def test_fabric_churn_smoke(testbed, verifier_identity):
+    identity = verifier_identity
+    sequence = zipf_sequence(LIVE_IDENTITIES, LIVE_RECONNECTS, s=ZIPF_S)
+
+    # -- live: baseline, partitioned pathology, fabric recovery ---------------
+    baseline = _live_churn(testbed, identity, PORT_BASE, 1, False, sequence)
+    split = _live_churn(testbed, identity, PORT_BASE + 1, 2, False, sequence)
+    fabric = _live_churn(testbed, identity, PORT_BASE + 2, 2, True, sequence)
+
+    # Cross-shard hits exist exactly when the fabric is enabled.
+    assert fabric["cross_shard_hits"] > 0
+    assert split["cross_shard_hits"] == 0 and \
+        baseline["cross_shard_hits"] == 0
+    # The pathology is real and the fabric recovers the baseline.
+    assert baseline["hit_rate"] > 0
+    assert split["hit_rate"] < baseline["hit_rate"]
+    assert fabric["hit_rate"] >= FABRIC_RECOVERY * baseline["hit_rate"], \
+        (fabric, baseline)
+
+    # -- model: same sequence, same mechanics ---------------------------------
+    profile = ChurnProfile(identities=LIVE_IDENTITIES,
+                           reconnects=LIVE_RECONNECTS, zipf_s=ZIPF_S,
+                           shards=2)
+    predictions = {
+        "baseline": model_churn(
+            ChurnProfile(identities=LIVE_IDENTITIES,
+                         reconnects=LIVE_RECONNECTS, zipf_s=ZIPF_S,
+                         shards=1), fabric=False, sequence=sequence),
+        "split": model_churn(profile, fabric=False, sequence=sequence),
+        "fabric": model_churn(profile, fabric=True, sequence=sequence),
+    }
+    live_by_name = {"baseline": baseline, "split": split, "fabric": fabric}
+    for name, predicted in predictions.items():
+        gap = abs(predicted.hit_rate - live_by_name[name]["hit_rate"])
+        assert gap <= MODEL_GAP_MAX, (name, predicted.hit_rate,
+                                      live_by_name[name])
+        live_by_name[name]["model_hit_rate"] = round(predicted.hit_rate, 4)
+        live_by_name[name]["model_gap"] = round(gap, 4)
+
+    # -- storm: live coalesced fan-out vs the per-device projection -----------
+    policy = VerifierPolicy()
+    storm_gateway = start_fleet_gateway(
+        testbed.network, HOST, PORT_BASE + 3, None, testbed.vendor_key,
+        identity, policy, lambda: b"fabric bench secret blob" * 8,
+        FleetConfig(shards=2, evict_coalesce_s=0.05,
+                    max_sessions=2 * STORM_SESSIONS))
+    try:
+        for conn in range(1, STORM_SESSIONS + 1):
+            storm_gateway.sessions.open(conn, conn % 2)
+        for lane in (0, 1):
+            storm_gateway.sessions.evict_lane(lane, "storm")
+        assert _wait_for(lambda: storm_gateway.metrics.counter(
+            "evict_coalesced") >= STORM_SESSIONS)
+        storm_frames = storm_gateway.metrics.counter("evict_batched")
+    finally:
+        storm_gateway.stop()
+    storm_batched = model_revocation_storm(STORM_SESSIONS, 2, batched=True)
+    storm_naive = model_revocation_storm(STORM_SESSIONS, 2, batched=False)
+    # O(shards x windows) frames, never O(devices).
+    assert storm_frames < STORM_SESSIONS / 10
+    assert storm_naive.frames == STORM_SESSIONS
+
+    # -- model: the million-identity fleet no live smoke can touch ------------
+    million_sequence = MILLION.sequence()
+    million = {
+        mode: model_churn(MILLION, fabric=is_fabric,
+                          sequence=million_sequence)
+        for mode, is_fabric in (("partitioned", False), ("fabric", True))
+    }
+    assert million["fabric"].hit_rate > million["partitioned"].hit_rate
+    assert million["fabric"].cross_shard_hits > 0
+    million_storm = {
+        "batched": model_revocation_storm(MILLION.identities,
+                                          MILLION.shards, batched=True),
+        "naive": model_revocation_storm(MILLION.identities,
+                                        MILLION.shards, batched=False),
+    }
+    assert million_storm["batched"].frames == MILLION.shards
+
+    # -- report ---------------------------------------------------------------
+    rows = [(name, stats["shards"], "on" if stats["fabric"] else "off",
+             f"{stats['hit_rate']:.3f}", f"{stats['model_hit_rate']:.3f}",
+             stats["cross_shard_hits"])
+            for name, stats in live_by_name.items()]
+    churn_table = format_table(
+        f"Fabric churn — live {LIVE_RECONNECTS} Zipf({ZIPF_S}) reconnects "
+        f"over {LIVE_IDENTITIES} devices vs the DES model",
+        ["run", "shards", "fabric", "live hit-rate", "model hit-rate",
+         "x-shard hits"], rows)
+    storm_line = (
+        f"storm: {STORM_SESSIONS} sessions drained in {storm_frames} "
+        f"batched frames live (model: {storm_batched.frames} batched / "
+        f"{storm_naive.frames} per-device)")
+    million_line = (
+        f"million-scale model ({MILLION.identities} ids, "
+        f"{MILLION.reconnects} reconnects, {MILLION.shards} shards): "
+        f"partitioned {million['partitioned'].hit_rate:.3f} vs fabric "
+        f"{million['fabric'].hit_rate:.3f} hit-rate; storm drain "
+        f"{million_storm['batched'].drain_s:.2f}s batched vs "
+        f"{million_storm['naive'].drain_s:.2f}s per-device")
+    save_report("fabric_churn", "\n".join([churn_table, "", storm_line,
+                                           million_line]))
+
+    _save_bench_json({
+        "mode": "smoke",
+        "zipf_s": ZIPF_S,
+        "live": live_by_name,
+        "storm": {
+            "sessions": STORM_SESSIONS,
+            "live_batched_frames": storm_frames,
+            "model_batched_frames": storm_batched.frames,
+            "model_naive_frames": storm_naive.frames,
+            "model_batched_drain_s": round(storm_batched.drain_s, 6),
+            "model_naive_drain_s": round(storm_naive.drain_s, 6),
+        },
+        "million_model": {
+            "identities": MILLION.identities,
+            "reconnects": MILLION.reconnects,
+            "shards": MILLION.shards,
+            "partitioned_hit_rate": round(
+                million["partitioned"].hit_rate, 4),
+            "fabric_hit_rate": round(million["fabric"].hit_rate, 4),
+            "fabric_cross_shard_hits": million["fabric"].cross_shard_hits,
+            "storm_batched_drain_s": round(
+                million_storm["batched"].drain_s, 4),
+            "storm_naive_drain_s": round(million_storm["naive"].drain_s, 4),
+        },
+    })

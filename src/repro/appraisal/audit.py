@@ -51,6 +51,7 @@ class AuditEntry:
         return {
             "sequence": self.sequence,
             "tee": self.tee,
+            "tee_type": self.tee_type,
             "accepted": self.accepted,
             "reason": self.reason,
             "policy_fingerprint": self.policy_fingerprint.hex(),
@@ -120,6 +121,18 @@ class AuditLog:
         with self._lock:
             return list(self._entries)[-count:]
 
+    def entries_since(self, sequence: int) -> List[AuditEntry]:
+        """Retained entries with ``sequence >= sequence``, oldest first.
+
+        The incremental-export surface the verifier hierarchy drains:
+        an edge relay remembers the last sequence it forwarded and asks
+        only for what is new. Entries that already fell off the bounded
+        ring are gone — the root detects the resulting chain gap.
+        """
+        with self._lock:
+            return [entry for entry in self._entries
+                    if entry.sequence >= sequence]
+
     def denials(self) -> List[AuditEntry]:
         return [entry for entry in self.entries() if not entry.accepted]
 
@@ -131,6 +144,23 @@ class AuditLog:
 
     def export(self) -> List[Dict[str, object]]:
         return [entry.to_dict() for entry in self.entries()]
+
+
+def entry_from_dict(data: Dict[str, object]) -> AuditEntry:
+    """Rebuild an entry exported by :meth:`AuditEntry.to_dict`.
+
+    The inverse the hierarchy needs to verify chains that crossed a
+    process boundary as JSON (the sharded gateway's ``OP_AUDIT``).
+    """
+    return AuditEntry(
+        sequence=int(data["sequence"]),
+        tee_type=int(data["tee_type"]),
+        accepted=bool(data["accepted"]),
+        reason=str(data["reason"]),
+        policy_fingerprint=bytes.fromhex(str(data["policy_fingerprint"])),
+        detail=str(data["detail"]),
+        digest=bytes.fromhex(str(data["digest"])),
+    )
 
 
 def verify_chain(entries: List[AuditEntry],

@@ -9,6 +9,18 @@ and observable metrics. See DESIGN.md, "Fleet gateway".
 
 from repro.fleet.backpressure import AdmissionController, TokenBucket
 from repro.fleet.cache import AppraisalCache
+from repro.fleet.fabric import (
+    AuditRelay,
+    ChurnProfile,
+    FabricStore,
+    HashRing,
+    ReplicaState,
+    RootAuditor,
+    model_churn,
+    model_revocation_storm,
+    run_churn,
+    zipf_sequence,
+)
 from repro.fleet.gateway import (
     CMD_FLEET_EVICT,
     CMD_FLEET_MESSAGE,
@@ -74,4 +86,14 @@ __all__ = [
     "ShardedGateway",
     "ShardSpec",
     "start_sharded_gateway",
+    "AuditRelay",
+    "ChurnProfile",
+    "FabricStore",
+    "HashRing",
+    "ReplicaState",
+    "RootAuditor",
+    "model_churn",
+    "model_revocation_storm",
+    "run_churn",
+    "zipf_sequence",
 ]

@@ -1,0 +1,81 @@
+"""repro.fleet.fabric: the replicated resumption-ticket tier.
+
+PR 4 sharded the gateway but left appraisal caches partitioned per
+shard: a device that reconnects to a different shard always pays the
+full msg2 ECDSA verify — exactly the cost the paper's resumption
+tickets exist to amortise. This package makes any shard able to resume
+any device:
+
+* :mod:`~repro.fleet.fabric.ring` — deterministic consistent-hash
+  ownership of ticket keys across shard members, so rebalancing on
+  shard death/respawn moves only the dead member's slice.
+* :mod:`~repro.fleet.fabric.store` — the router-side replicated store
+  (epoch/sequence-versioned so late or reordered replication can never
+  resurrect a revoked or stale ticket), the shard-side replica
+  bookkeeping, and the wire codecs for the ``OP_TICKET_*`` opcodes.
+* :mod:`~repro.fleet.fabric.hierarchy` — hierarchical verification:
+  edge gateways appraise and seal tickets; a root auditor ingests
+  batched, hash-chained audit digests and pushes fleet-wide
+  revocations down.
+* :mod:`~repro.fleet.fabric.churn` — million-identity synthetic
+  populations with Zipf-distributed reconnects, the churn/storm
+  extension of the DES capacity model, and the live churn driver.
+
+The fabric is off by default (``FleetConfig.fabric=False``); disabled,
+the gateways are byte-identical in transcript and SimClock behaviour to
+the pre-fabric code. See DESIGN.md §13.
+"""
+
+from repro.fleet.fabric.churn import (
+    ChurnProfile,
+    ChurnResult,
+    ChurnRunReport,
+    StormResult,
+    model_churn,
+    model_revocation_storm,
+    run_churn,
+    zipf_sequence,
+)
+from repro.fleet.fabric.hierarchy import AuditBatch, AuditRelay, RootAuditor
+from repro.fleet.fabric.ring import HashRing
+from repro.fleet.fabric.store import (
+    FabricStore,
+    FabricTicket,
+    ReplicaState,
+    decode_ticket_evict,
+    decode_ticket_key,
+    decode_ticket_mint,
+    decode_ticket_put,
+    encode_ticket_evict,
+    encode_ticket_key,
+    encode_ticket_mint,
+    encode_ticket_put,
+    ticket_key_from_message,
+)
+
+__all__ = [
+    "AuditBatch",
+    "AuditRelay",
+    "ChurnProfile",
+    "ChurnResult",
+    "ChurnRunReport",
+    "FabricStore",
+    "FabricTicket",
+    "HashRing",
+    "ReplicaState",
+    "RootAuditor",
+    "StormResult",
+    "decode_ticket_evict",
+    "decode_ticket_key",
+    "decode_ticket_mint",
+    "decode_ticket_put",
+    "encode_ticket_evict",
+    "encode_ticket_key",
+    "encode_ticket_mint",
+    "encode_ticket_put",
+    "model_churn",
+    "model_revocation_storm",
+    "run_churn",
+    "ticket_key_from_message",
+    "zipf_sequence",
+]

@@ -1,0 +1,265 @@
+"""Churn-scale load: Zipf reconnect populations, storms, and their model.
+
+The fabric's claim is about *churn*: a fleet of many device identities
+whose reconnects are heavily skewed (a hot head re-attests constantly, a
+long tail shows up rarely), served by shards the devices do not choose.
+This module provides the three pieces needed to test that claim at the
+million-identity scale the paper's relying party would face:
+
+* :func:`zipf_sequence` — a deterministic Zipf(s) reconnect schedule
+  over ``identities`` devices (seeded, CDF + bisect; no platform RNG
+  variance).
+
+* :func:`model_churn` — a discrete-event model of the appraisal-cache
+  hit-rate under that schedule, in both fabric and partitioned modes.
+  It reproduces the partitioned pathology exactly: every full verify
+  mints a *new* resumption key, so a device bouncing between shards
+  invalidates the entry its previous shard holds — same-shard affinity
+  is the only way a partitioned cache ever hits, while the fabric
+  replicates the freshest key everywhere. The model runs millions of
+  identities in seconds; live runs validate it at small scale and
+  ``BENCH_fabric.json`` records the gap.
+
+* :func:`model_revocation_storm` — drain-time projection for a mass
+  eviction: O(shards) frames with the batched/coalesced evict path
+  versus O(devices) frames with the per-device RPC it replaces.
+
+:func:`run_churn` is the live half: it drives a real gateway through a
+reconnect schedule, one handshake at a time (closed loop — resumption
+state must settle before the same device reconnects).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.loadgen import run_one_handshake
+
+DEFAULT_SEED = 0x5EED_FAB
+
+
+def zipf_sequence(identities: int, count: int, s: float = 1.1,
+                  seed: int = DEFAULT_SEED) -> List[int]:
+    """``count`` device indices drawn Zipf(s) over ``identities`` ranks.
+
+    Deterministic for a given ``(identities, count, s, seed)`` on every
+    platform: the CDF is explicit and the draws come from a seeded
+    :class:`random.Random`. Rank 0 is the hottest device.
+    """
+    if identities < 1 or count < 0:
+        raise ValueError("need at least one identity and count >= 0")
+    cdf: List[float] = []
+    total = 0.0
+    for rank in range(1, identities + 1):
+        total += 1.0 / (rank ** s)
+        cdf.append(total)
+    rng = Random(seed)
+    return [bisect_right(cdf, rng.random() * total) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """One churn workload: the population and the serving fleet."""
+
+    identities: int = 1_000_000
+    reconnects: int = 200_000
+    zipf_s: float = 1.1
+    shards: int = 2
+    #: Per-shard appraisal-cache capacity (and, in fabric mode, the
+    #: replicated store is sized ``capacity * shards``).
+    cache_capacity: int = 65_536
+    cache_ttl_s: Optional[float] = 300.0
+    #: Virtual seconds between consecutive reconnects (drives TTL decay).
+    mean_interarrival_s: float = 0.001
+    seed: int = DEFAULT_SEED
+
+    def sequence(self) -> List[int]:
+        return zipf_sequence(self.identities, self.reconnects,
+                             s=self.zipf_s, seed=self.seed)
+
+
+@dataclass
+class ChurnResult:
+    """Predicted cache behaviour of one modelled churn run."""
+
+    mode: str  # "fabric" | "partitioned"
+    shards: int
+    reconnects: int
+    hits: int = 0
+    misses: int = 0
+    cross_shard_hits: int = 0
+    full_verifies: int = 0
+    expirations: int = 0
+    distinct_devices: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def model_churn(profile: ChurnProfile, fabric: bool,
+                sequence: Optional[Sequence[int]] = None) -> ChurnResult:
+    """Discrete-event hit-rate projection of a Zipf reconnect workload.
+
+    Mirrors the live gateway's mechanics exactly: connections are
+    numbered globally from 1 and land on ``conn % shards`` (session
+    affinity), a redeem hits only if the serving shard's entry holds the
+    device's *current* resumption key, and every miss is a full verify
+    that mints a fresh key (invalidating whatever other shards hold).
+    With ``fabric=True`` the freshest entry is visible to every shard —
+    the replication bus at zero modelled cost, its upper bound.
+    """
+    if sequence is None:
+        sequence = profile.sequence()
+    result = ChurnResult(mode="fabric" if fabric else "partitioned",
+                         shards=profile.shards, reconnects=len(sequence))
+    ttl = profile.cache_ttl_s
+    #: device -> generation of its current resumption key.
+    key_generation: Dict[int, int] = {}
+    if fabric:
+        # One replicated view: device -> (stored_t, generation, origin).
+        store: "OrderedDict[int, Tuple[float, int, int]]" = OrderedDict()
+        capacity = profile.cache_capacity * profile.shards
+    else:
+        # Partitioned: each shard sees only what it verified itself.
+        caches: List["OrderedDict[int, Tuple[float, int]]"] = [
+            OrderedDict() for _ in range(profile.shards)]
+        capacity = profile.cache_capacity
+
+    for conn, device in enumerate(sequence, start=1):
+        now = conn * profile.mean_interarrival_s
+        shard = conn % profile.shards
+        generation = key_generation.get(device)
+        hit = False
+        if fabric:
+            entry = store.get(device)
+            if entry is not None:
+                stored_t, entry_generation, origin = entry
+                if ttl is not None and stored_t <= now - ttl:
+                    del store[device]
+                    result.expirations += 1
+                elif generation is not None and \
+                        entry_generation == generation:
+                    hit = True
+                    if origin != shard:
+                        result.cross_shard_hits += 1
+        else:
+            cache = caches[shard]
+            entry = cache.get(device)
+            if entry is not None:
+                stored_t, entry_generation = entry
+                if ttl is not None and stored_t <= now - ttl:
+                    del cache[device]
+                    result.expirations += 1
+                elif generation is not None and \
+                        entry_generation == generation:
+                    hit = True
+        if hit:
+            result.hits += 1
+            continue
+        # Full verify: a fresh resumption key supersedes every copy.
+        result.misses += 1
+        result.full_verifies += 1
+        generation = (generation or 0) + 1
+        key_generation[device] = generation
+        if fabric:
+            store.pop(device, None)
+            store[device] = (now, generation, shard)
+            while len(store) > capacity:
+                store.popitem(last=False)
+        else:
+            cache = caches[shard]
+            cache.pop(device, None)
+            cache[device] = (now, generation)
+            while len(cache) > capacity:
+                cache.popitem(last=False)
+    result.distinct_devices = len(key_generation)
+    return result
+
+
+@dataclass
+class StormResult:
+    """Projected cost of a mass-revocation / mass-evict fan-out."""
+
+    revoked: int
+    shards: int
+    batched: bool
+    frames: int
+    drain_s: float
+
+
+def model_revocation_storm(revoked: int, shards: int, batched: bool,
+                           per_frame_s: float = 50e-6,
+                           per_entry_s: float = 2e-6) -> StormResult:
+    """Drain-time projection of evicting ``revoked`` devices' state.
+
+    The per-device evict RPC issues one frame per device; the coalesced
+    path issues one batched frame per shard carrying all of that shard's
+    victims. Per-entry work (the TA dropping its state) is identical —
+    the frames, and the round-trips they serialise, are the difference.
+    """
+    if revoked < 0 or shards < 1:
+        raise ValueError("revoked must be >= 0 and shards >= 1")
+    frames = min(shards, revoked) if batched else revoked
+    return StormResult(
+        revoked=revoked,
+        shards=shards,
+        batched=batched,
+        frames=frames,
+        drain_s=frames * per_frame_s + revoked * per_entry_s,
+    )
+
+
+@dataclass
+class ChurnRunReport:
+    """Outcome of one live churn drive."""
+
+    reconnects: int
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    errors: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_hz(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+
+def run_churn(network, host: str, port: int, identity_public: bytes,
+              stacks: Sequence, sequence: Sequence[int]) -> ChurnRunReport:
+    """Drive a live gateway through a reconnect schedule, closed-loop.
+
+    ``sequence`` indexes into ``stacks`` (one stack per device
+    identity); each reconnect is a full handshake on a fresh connection,
+    serially — the device's resumption key from handshake *n* is what
+    makes handshake *n+1* a candidate cache hit, so overlap within one
+    device would be a different workload, not an optimisation.
+    """
+    report = ChurnRunReport(reconnects=len(sequence))
+    attempts: Dict[int, int] = {}
+    started = time.perf_counter()
+    for device in sequence:
+        stack = stacks[device]
+        attempt = attempts.get(device, 0)
+        attempts[device] = attempt + 1
+        outcome = run_one_handshake(network, host, port, identity_public,
+                                    stack, attempt)
+        if outcome.ok:
+            report.completed += 1
+        elif outcome.rejected:
+            report.rejected += 1
+        else:
+            report.failed += 1
+            report.errors[outcome.error] = \
+                report.errors.get(outcome.error, 0) + 1
+    report.wall_seconds = time.perf_counter() - started
+    return report

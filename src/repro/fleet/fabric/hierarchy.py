@@ -1,0 +1,243 @@
+"""Hierarchical verification: edge gateways appraise, a root audits.
+
+Ménétrey et al.'s distributed-TEE follow-up argues that fleet-scale
+attestation cannot run through one verifier: appraisal must happen at
+the *edge* (close to the devices, where the gateways already hold the
+policy and the resumption tickets), while accountability and the
+revocation authority concentrate at a *root*. This module is that
+second tier:
+
+* :class:`AuditRelay` lives beside one edge gateway and drains its
+  hash-chained audit streams (PR 6's :class:`~repro.appraisal.audit.
+  AuditLog`) into bounded, chain-verified batches — one stream per log:
+  the router's engine plus, on a sharded gateway, one per shard
+  *generation* (a respawned shard restarts its log at the genesis, so
+  the stream key changes rather than the chain silently forking).
+
+* :class:`RootAuditor` ingests those batches, re-verifying every hash
+  chain against the per-stream cursor it keeps, folds the verdict
+  counts into a fleet-wide view, and records one chained digest entry
+  per accepted batch in its *own* audit log — the root's log is the
+  court record over the edges' records. A batch whose chain does not
+  extend the cursor (tampered, reordered, or gapped past the bounded
+  ring) is rejected and counted, never ingested.
+
+* Revocations flow the other way: :meth:`RootAuditor.revoke_measurement`
+  / :meth:`revoke_identity` fan the killswitch out to every attached
+  edge, each of which propagates it to its shards through the existing
+  lazy policy-sync path. One call, fleet-wide effect.
+
+The relay pulls (the root polls the edges through :meth:`RootAuditor.
+pump`); nothing here owns threads — cadence belongs to the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.appraisal.audit import (
+    AuditEntry,
+    AuditLog,
+    verify_chain,
+)
+
+#: Audit reason the root records per accepted batch digest.
+BATCH_REASON = "audit-batch"
+
+#: Default per-stream batch bound: small enough to stay far under the
+#: bounded ring, large enough to amortise a pump over a busy edge.
+DEFAULT_BATCH_LIMIT = 512
+
+
+@dataclass
+class AuditBatch:
+    """One contiguous, chain-verified slice of an edge audit stream."""
+
+    edge_id: str
+    stream: str
+    #: Digest preceding ``entries[0]`` — ``None`` means the slice starts
+    #: at the stream's genesis (sequence 0).
+    previous: Optional[bytes]
+    entries: List[AuditEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class AuditRelay:
+    """Edge-side drain: turns an edge gateway's logs into batches.
+
+    Works against either gateway flavour by capability, not type: a
+    gateway with ``shard_audit``/``shard_generations`` (the sharded
+    router) contributes one stream per live shard generation next to
+    its router-side engine log; a threaded gateway contributes just its
+    engine's log. Gateways without an engine have no audit streams.
+    """
+
+    def __init__(self, edge_id: str, gateway,
+                 batch_limit: int = DEFAULT_BATCH_LIMIT) -> None:
+        if batch_limit < 1:
+            raise ValueError("batch limit must be positive")
+        self.edge_id = edge_id
+        self.gateway = gateway
+        self._batch_limit = batch_limit
+        #: stream -> (next sequence to forward, digest of the last
+        #: forwarded entry or None at genesis).
+        self._cursors: Dict[str, Tuple[int, Optional[bytes]]] = {}
+
+    def _slice(self, stream: str,
+               entries: List[AuditEntry]) -> Optional[AuditBatch]:
+        next_seq, previous = self._cursors.get(stream, (0, None))
+        fresh = [entry for entry in entries
+                 if entry.sequence >= next_seq][: self._batch_limit]
+        if not fresh:
+            return None
+        batch = AuditBatch(edge_id=self.edge_id, stream=stream,
+                           previous=previous, entries=fresh)
+        self._cursors[stream] = (fresh[-1].sequence + 1, fresh[-1].digest)
+        return batch
+
+    def collect(self) -> List[AuditBatch]:
+        """Everything new since the last collect, across all streams."""
+        batches: List[AuditBatch] = []
+        engine = getattr(self.gateway, "engine", None)
+        if engine is not None:
+            batch = self._slice("router", engine.audit.entries())
+            if batch is not None:
+                batches.append(batch)
+        shard_audit = getattr(self.gateway, "shard_audit", None)
+        if shard_audit is not None:
+            for index, generation in self.gateway.shard_generations():
+                # The generation is part of the stream key: a respawned
+                # shard's log restarts at the genesis, which must read
+                # as a *new* stream, not a rewind of the old one.
+                stream = f"shard-{index}#{generation}"
+                batch = self._slice(stream, shard_audit(index))
+                if batch is not None:
+                    batches.append(batch)
+        return batches
+
+
+class RootAuditor:
+    """Fleet root: verifies edge audit digests, owns fleet revocation."""
+
+    def __init__(self, audit: Optional[AuditLog] = None) -> None:
+        self._lock = threading.Lock()
+        self._relays: Dict[str, AuditRelay] = {}
+        #: (edge, stream) -> digest the next batch must chain from.
+        self._cursors: Dict[Tuple[str, str], Optional[bytes]] = {}
+        self.audit = audit or AuditLog()
+        self.batches_accepted = 0
+        self.batches_rejected = 0
+        self.entries_ingested = 0
+        self.revocations_pushed = 0
+        self.accepts = 0
+        self.denials = 0
+        self.denials_by_reason: Dict[str, int] = {}
+
+    # -- edges ------------------------------------------------------------------
+
+    def attach(self, edge_id: str, gateway,
+               batch_limit: int = DEFAULT_BATCH_LIMIT) -> AuditRelay:
+        """Register an edge gateway; returns its relay."""
+        with self._lock:
+            if edge_id in self._relays:
+                raise ValueError(f"edge {edge_id!r} is already attached")
+            relay = AuditRelay(edge_id, gateway, batch_limit=batch_limit)
+            self._relays[edge_id] = relay
+            return relay
+
+    @property
+    def edges(self) -> List[str]:
+        with self._lock:
+            return sorted(self._relays)
+
+    # -- the upward path: audit ingestion ---------------------------------------
+
+    def submit(self, batch: AuditBatch) -> bool:
+        """Verify one batch against its stream cursor; ingest or reject.
+
+        Acceptance demands both continuity (``batch.previous`` equals
+        the digest this stream's last accepted batch ended on) and chain
+        integrity (every entry's digest re-derives). Anything else —
+        tampered fields, reordering, a gap where the edge's bounded ring
+        dropped entries before they were relayed — is rejected whole.
+        """
+        with self._lock:
+            cursor_key = (batch.edge_id, batch.stream)
+            expected = self._cursors.get(cursor_key)
+            if batch.previous != expected or not batch.entries:
+                self.batches_rejected += 1
+                return False
+            if not verify_chain(batch.entries, previous=batch.previous):
+                self.batches_rejected += 1
+                return False
+            self._cursors[cursor_key] = batch.entries[-1].digest
+            self.batches_accepted += 1
+            self.entries_ingested += len(batch.entries)
+            for entry in batch.entries:
+                if entry.accepted:
+                    self.accepts += 1
+                else:
+                    self.denials += 1
+                    self.denials_by_reason[entry.reason] = \
+                        self.denials_by_reason.get(entry.reason, 0) + 1
+        # The root's own chained record: one digest entry per batch,
+        # binding the edge, stream, and the slice's closing digest.
+        self.audit.record(
+            tee_type=0, accepted=True, reason=BATCH_REASON,
+            policy_fingerprint=batch.entries[-1].digest,
+            detail=f"{batch.edge_id}/{batch.stream}"
+                   f"+{len(batch.entries)}",
+        )
+        return True
+
+    def pump(self) -> int:
+        """Drain every attached edge once; returns entries ingested."""
+        with self._lock:
+            relays = list(self._relays.values())
+        ingested = 0
+        for relay in relays:
+            for batch in relay.collect():
+                if self.submit(batch):
+                    ingested += len(batch)
+        return ingested
+
+    # -- the downward path: fleet-wide revocation --------------------------------
+
+    def _fan_out(self, method: str, value: bytes) -> int:
+        with self._lock:
+            gateways = [relay.gateway for relay in self._relays.values()]
+        pushed = 0
+        for gateway in gateways:
+            getattr(gateway, method)(value)
+            pushed += 1
+        with self._lock:
+            self.revocations_pushed += pushed
+        return pushed
+
+    def revoke_measurement(self, claim: bytes) -> int:
+        """Push a measurement revocation to every edge; returns count."""
+        return self._fan_out("revoke_measurement", claim)
+
+    def revoke_identity(self, identity: bytes) -> int:
+        """Push an identity revocation to every edge; returns count."""
+        return self._fan_out("revoke_identity", identity)
+
+    # -- introspection ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "edges": sorted(self._relays),
+                "batches_accepted": self.batches_accepted,
+                "batches_rejected": self.batches_rejected,
+                "entries_ingested": self.entries_ingested,
+                "accepts": self.accepts,
+                "denials": self.denials,
+                "denials_by_reason": dict(self.denials_by_reason),
+                "revocations_pushed": self.revocations_pushed,
+                "root_log": len(self.audit),
+            }

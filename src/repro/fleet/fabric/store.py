@@ -1,0 +1,459 @@
+"""The replicated resumption-ticket store and its wire codecs.
+
+Authority lives with the router: every ticket a shard mints (a full
+msg2 verify followed by :meth:`AppraisalCache.store`) is reported back
+on the reply frame, recorded here, and replicated out — eagerly to the
+key's consistent-hash owner, lazily to whichever shard is about to
+serve a msg2 for that key. Replication is *versioned*: the store stamps
+each accepted mint with its scope epoch (bumped whenever the combined
+policy fingerprint moves, i.e. on every revocation) and a globally
+monotonic sequence number, and evictions leave sequence-stamped
+tombstones. A shard-side :class:`ReplicaState` admits a ``TICKET_PUT``
+only if it is newer than everything it has seen for that key, so late,
+reordered or replayed replication frames can never resurrect a revoked
+or superseded ticket.
+
+Clock discipline: entries carry the *router's* monotonic store time and
+travel as relative ages (``age_ns``), because shard processes have
+unrelated monotonic clocks. A seeded replica therefore inherits the
+authority's residual TTL rather than restarting it.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import RESUMPTION_KEY_SIZE
+from repro.crypto.hashing import SHA256_SIZE
+from repro.fleet.cache import AppraisalCache, CacheKey
+from repro.fleet.fabric.ring import DEFAULT_VNODES, HashRing
+
+_KEY_HEAD = struct.Struct(">BI")
+_U32 = struct.Struct(">I")
+_PUT_HEAD = struct.Struct(">QQQ")  # epoch, seq, age_ns
+_MINT_AGE = struct.Struct(">Q")
+
+
+# -- wire codecs ----------------------------------------------------------------
+
+
+def encode_ticket_key(key: CacheKey) -> bytes:
+    """``u8 tee | (u32 len | bytes) x identity, claim, cache_extra``."""
+    tee, identity, claim, extra = key
+    out = [_KEY_HEAD.pack(tee, len(identity)), identity]
+    for part in (claim, extra):
+        out.append(_U32.pack(len(part)))
+        out.append(part)
+    return b"".join(out)
+
+
+def decode_ticket_key(blob: bytes, offset: int = 0
+                      ) -> Tuple[CacheKey, int]:
+    tee, id_len = _KEY_HEAD.unpack_from(blob, offset)
+    offset += _KEY_HEAD.size
+    identity = bytes(blob[offset:offset + id_len])
+    offset += id_len
+    parts = []
+    for _ in range(2):
+        (length,) = _U32.unpack_from(blob, offset)
+        offset += _U32.size
+        parts.append(bytes(blob[offset:offset + length]))
+        offset += length
+    return (tee, identity, parts[0], parts[1]), offset
+
+
+def encode_ticket_put(epoch: int, seq: int, age_ns: int, fingerprint: bytes,
+                      key: CacheKey, resumption_key: bytes) -> bytes:
+    """Body of ``OP_TICKET_PUT`` (and of each ``OP_TICKET_SYNC`` entry)."""
+    return (_PUT_HEAD.pack(epoch, seq, age_ns) + bytes(fingerprint)
+            + bytes(resumption_key) + encode_ticket_key(key))
+
+
+def decode_ticket_put(body: bytes
+                      ) -> Tuple[int, int, int, bytes, CacheKey, bytes]:
+    epoch, seq, age_ns = _PUT_HEAD.unpack_from(body)
+    offset = _PUT_HEAD.size
+    fingerprint = bytes(body[offset:offset + SHA256_SIZE])
+    offset += SHA256_SIZE
+    resumption_key = bytes(body[offset:offset + RESUMPTION_KEY_SIZE])
+    offset += RESUMPTION_KEY_SIZE
+    key, _ = decode_ticket_key(body, offset)
+    return epoch, seq, age_ns, fingerprint, key, resumption_key
+
+
+def encode_ticket_evict(epoch: int, seq: int, key: CacheKey) -> bytes:
+    """Body of ``OP_TICKET_EVICT``: a sequence-stamped tombstone."""
+    return struct.pack(">QQ", epoch, seq) + encode_ticket_key(key)
+
+
+def decode_ticket_evict(body: bytes) -> Tuple[int, int, CacheKey]:
+    epoch, seq = struct.unpack_from(">QQ", body)
+    key, _ = decode_ticket_key(body, 16)
+    return epoch, seq, key
+
+
+def encode_ticket_mint(fingerprint: bytes, age_ns: int, key: CacheKey,
+                       resumption_key: bytes) -> bytes:
+    """One shard-minted ticket, reported on the message reply frame.
+
+    Mints carry no epoch/sequence — the router is the versioning
+    authority and stamps them on acceptance; the fingerprint is the
+    scope the shard stored under, so a mint that raced a revocation is
+    recognisably stale and dropped.
+    """
+    return (bytes(fingerprint) + _MINT_AGE.pack(age_ns)
+            + bytes(resumption_key) + encode_ticket_key(key))
+
+
+def decode_ticket_mint(body: bytes) -> Tuple[bytes, int, CacheKey, bytes]:
+    fingerprint = bytes(body[:SHA256_SIZE])
+    offset = SHA256_SIZE
+    (age_ns,) = _MINT_AGE.unpack_from(body, offset)
+    offset += _MINT_AGE.size
+    resumption_key = bytes(body[offset:offset + RESUMPTION_KEY_SIZE])
+    offset += RESUMPTION_KEY_SIZE
+    key, _ = decode_ticket_key(body, offset)
+    return fingerprint, age_ns, key, resumption_key
+
+
+def ticket_key_from_message(data: bytes) -> Optional[CacheKey]:
+    """Best-effort appraisal-cache key from a msg2's *public* bytes.
+
+    This is what lets the router push a replicated ticket to the serving
+    shard ahead of the message (the lazy half of replication): plain
+    msg2 and the multi-TEE envelope both carry every keyed field in the
+    clear, the same property :func:`prewarm_msg2_tables` exploits.
+    Encrypted msg2 (``MSG2_ENC``) and malformed input yield ``None`` —
+    the shard then simply takes its normal path.
+    """
+    from repro.core import protocol
+
+    if not data:
+        return None
+    try:
+        if data[0] == protocol.MSG2:
+            evidence = protocol.decode_msg2(data).signed_evidence.evidence
+            return AppraisalCache._key(evidence)
+        if data[0] == protocol.MSG2_MULTI:
+            from repro.appraisal.envelope import default_registry
+
+            global _key_registry
+            if _key_registry is None:
+                _key_registry = default_registry()
+            multi = protocol.decode_msg2_multi(data)
+            return AppraisalCache._key(_key_registry.decode(multi.envelope))
+    except Exception:
+        return None
+    return None
+
+
+#: Lazily built registry for decoding multi-TEE envelopes; key
+#: derivation is pure maths over public bytes, so one shared default
+#: registry is fine even when the verifier runs a restricted one.
+_key_registry = None
+
+
+# -- the router-side authority ---------------------------------------------------
+
+
+class FabricTicket:
+    """One replicated ticket: the key material plus replication state."""
+
+    __slots__ = ("resumption_key", "stored_ns", "seq", "origin", "replicas")
+
+    def __init__(self, resumption_key: bytes, stored_ns: int, seq: int,
+                 origin: int) -> None:
+        self.resumption_key = resumption_key
+        self.stored_ns = stored_ns
+        self.seq = seq
+        self.origin = origin
+        #: Members known to hold this (epoch, seq) of the entry.
+        self.replicas = {origin}
+
+
+class FabricStore:
+    """Epoch/sequence-versioned authority over the fleet's tickets.
+
+    The epoch is the scope-fingerprint generation: :meth:`refresh` bumps
+    it (and drops every entry and tombstone) whenever the combined
+    policy fingerprint moves, so a revocation invalidates all
+    outstanding tickets fabric-wide in O(1) — replicas converge because
+    their caches are fingerprint-scoped and their
+    :class:`ReplicaState` rejects anything from an older epoch.
+    """
+
+    def __init__(self, members, capacity: int = 65536,
+                 ttl_s: Optional[float] = None,
+                 vnodes: int = DEFAULT_VNODES,
+                 time_source=time.monotonic_ns) -> None:
+        if capacity < 1:
+            raise ValueError("fabric store capacity must be positive")
+        self._capacity = capacity
+        self._ttl_ns = None if ttl_s is None else int(ttl_s * 1e9)
+        self._now = time_source
+        self._lock = threading.Lock()
+        self._ring = HashRing(members, vnodes=vnodes)
+        self._entries: "OrderedDict[CacheKey, FabricTicket]" = OrderedDict()
+        self._tombstones: Dict[CacheKey, int] = {}
+        self._fingerprint: Optional[bytes] = None
+        self.epoch = 1
+        self._seq = 0
+        self.mints = 0
+        self.stale_mints = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.epoch_bumps = 0
+        self.rebalanced = 0
+
+    # -- scope ------------------------------------------------------------------
+
+    def refresh(self, fingerprint: bytes) -> bool:
+        """Adopt the current combined policy fingerprint.
+
+        A change means every outstanding appraisal (and so every ticket)
+        is void: entries and tombstones clear and the epoch bumps, which
+        is the rule that makes an un-revoke safe — the pre-revocation
+        tickets live in an epoch no replica will accept again.
+        """
+        fingerprint = bytes(fingerprint)
+        with self._lock:
+            if fingerprint == self._fingerprint:
+                return False
+            if self._fingerprint is not None:
+                self.epoch += 1
+                self.epoch_bumps += 1
+            self._fingerprint = fingerprint
+            self._entries.clear()
+            self._tombstones.clear()
+            return True
+
+    @property
+    def fingerprint(self) -> Optional[bytes]:
+        with self._lock:
+            return self._fingerprint
+
+    # -- entries ----------------------------------------------------------------
+
+    def _expired(self, entry: FabricTicket) -> bool:
+        return (self._ttl_ns is not None
+                and entry.stored_ns <= self._now() - self._ttl_ns)
+
+    def record_mint(self, origin: int, fingerprint: bytes, key: CacheKey,
+                    resumption_key: bytes,
+                    age_ns: int = 0) -> Optional[FabricTicket]:
+        """Accept a shard-minted ticket; ``None`` if its scope is stale.
+
+        Call :meth:`refresh` with the *current* fingerprint first; a
+        mint whose fingerprint differs raced a policy change and is
+        dropped (its shard's cache will clear on its own refresh).
+        """
+        with self._lock:
+            if bytes(fingerprint) != self._fingerprint:
+                self.stale_mints += 1
+                return None
+            self._seq += 1
+            entry = FabricTicket(bytes(resumption_key),
+                                 self._now() - age_ns, self._seq, origin)
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            self._tombstones.pop(key, None)  # superseded by a newer seq
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+            self.mints += 1
+            return entry
+
+    def lookup(self, key: CacheKey) -> Optional[FabricTicket]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                return None
+            return entry
+
+    def age_ns(self, entry: FabricTicket) -> int:
+        return max(0, self._now() - entry.stored_ns)
+
+    def evict(self, key: CacheKey
+              ) -> Optional[Tuple[int, int, List[int]]]:
+        """Drop an entry, leaving a tombstone newer than every replica.
+
+        Returns ``(epoch, seq, replicas)`` so the caller can fan the
+        ``OP_TICKET_EVICT`` out to exactly the members holding it.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return None
+            self._seq += 1
+            self._tombstones[key] = self._seq
+            self.evictions += 1
+            return self.epoch, self._seq, sorted(entry.replicas)
+
+    def evict_identity(self, identity: bytes
+                       ) -> List[Tuple[CacheKey, int, int, List[int]]]:
+        """Tombstone every ticket bound to one attestation identity."""
+        with self._lock:
+            keys = [key for key in self._entries if key[1] == identity]
+        evicted = []
+        for key in keys:
+            result = self.evict(key)
+            if result is not None:
+                evicted.append((key,) + result)
+        return evicted
+
+    def mark_replicated(self, key: CacheKey, member: int) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.replicas.add(member)
+
+    def pending_push(self, key: CacheKey, member: int
+                     ) -> Optional[Tuple[int, int, int, bytes]]:
+        """What (if anything) ``member`` is missing for ``key``.
+
+        Returns ``(epoch, seq, age_ns, resumption_key)`` when the store
+        holds a live entry the member has no replica of — the payload of
+        the lazy ``OP_TICKET_PUT`` the router sends ahead of the msg2.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                return None
+            if member in entry.replicas:
+                return None
+            return (self.epoch, entry.seq,
+                    max(0, self._now() - entry.stored_ns),
+                    entry.resumption_key)
+
+    # -- membership -------------------------------------------------------------
+
+    def owner(self, key: CacheKey) -> Optional[int]:
+        return self._ring.owner(encode_ticket_key(key))
+
+    @property
+    def members(self) -> frozenset:
+        return self._ring.members
+
+    def member_down(self, member: int) -> List[Tuple[CacheKey, int]]:
+        """Remove a member; plan the deterministic rebalance.
+
+        The member's replicas are forgotten (its process state is gone)
+        and the ring shrinks, so ownership of its arc moves to the
+        survivors. Returns ``(key, new_owner)`` for every entry whose
+        owner changed and whose new owner holds no replica yet — the
+        eager pushes that keep the owner invariant across the death.
+        """
+        with self._lock:
+            owned_before = {
+                key: self._ring.owner(encode_ticket_key(key))
+                for key in self._entries
+            }
+            self._ring.remove(member)
+            moves = []
+            for key, entry in self._entries.items():
+                entry.replicas.discard(member)
+                if owned_before[key] != member:
+                    continue
+                new_owner = self._ring.owner(encode_ticket_key(key))
+                if new_owner is not None and \
+                        new_owner not in entry.replicas:
+                    moves.append((key, new_owner))
+            self.rebalanced += len(moves)
+            return moves
+
+    def member_up(self, member: int) -> List[CacheKey]:
+        """Re-add a member; return the keys it now owns (to sync)."""
+        with self._lock:
+            self._ring.add(member)
+            return [key for key in self._entries
+                    if self._ring.owner(encode_ticket_key(key)) == member]
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "epoch": self.epoch,
+                "sequence": self._seq,
+                "members": sorted(self._ring.members),
+                "tombstones": len(self._tombstones),
+                "mints": self.mints,
+                "stale_mints": self.stale_mints,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "epoch_bumps": self.epoch_bumps,
+                "rebalanced": self.rebalanced,
+            }
+
+
+# -- the shard-side replica bookkeeping -------------------------------------------
+
+
+class ReplicaState:
+    """Versioned admission control for replication frames in a shard.
+
+    The shard's appraisal cache holds the ticket material; this tracks
+    the highest ``(epoch, seq)`` applied per key plus per-key eviction
+    tombstones, so a replayed or reordered ``OP_TICKET_PUT`` — however
+    it arrives — can never reinstate something newer frames retired.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self._applied: Dict[CacheKey, int] = {}
+        self._tombstones: Dict[CacheKey, int] = {}
+        self.applied = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    def _enter_epoch(self, epoch: int) -> bool:
+        if epoch < self.epoch:
+            return False
+        if epoch > self.epoch:
+            # A new epoch retires all per-key state wholesale: the
+            # fingerprint-scoped cache clears itself on its next access.
+            self.epoch = epoch
+            self._applied.clear()
+            self._tombstones.clear()
+        return True
+
+    def admit_put(self, epoch: int, seq: int, key: CacheKey) -> bool:
+        if not self._enter_epoch(epoch) \
+                or seq <= self._tombstones.get(key, -1) \
+                or seq <= self._applied.get(key, -1):
+            self.rejected += 1
+            return False
+        self._applied[key] = seq
+        self.applied += 1
+        return True
+
+    def admit_evict(self, epoch: int, seq: int, key: CacheKey) -> bool:
+        if not self._enter_epoch(epoch) \
+                or seq <= self._tombstones.get(key, -1):
+            self.rejected += 1
+            return False
+        self._tombstones[key] = seq
+        self.evicted += 1
+        return True
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "epoch": self.epoch,
+            "applied": self.applied,
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+        }

@@ -143,6 +143,21 @@ class FleetConfig:
     #: sharded gateway draw the very bytes the threaded one would.
     shard_base_serial: int = 1
     shard_deterministic_rng: bool = False
+    #: Replicated resumption-ticket fabric (:mod:`repro.fleet.fabric`):
+    #: any shard resumes any device. Off by default — disabled, the
+    #: gateways are byte-identical in transcript and SimClock behaviour
+    #: to the pre-fabric code.
+    fabric: bool = False
+    #: Capacity of the router-side replicated ticket store.
+    fabric_capacity: int = 65_536
+    #: Virtual nodes per member on the fabric's consistent-hash ring.
+    fabric_vnodes: int = 64
+    #: Coalescing window for shard-state evict fan-out: evicts arriving
+    #: within the window ride one batched ``OP_EVICT`` frame per shard
+    #: (O(shards) frames for a mass eviction instead of O(devices)).
+    #: ``0`` flushes inline, one frame per evict — the pre-batching
+    #: cadence.
+    evict_coalesce_s: float = 0.0
 
 
 def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
@@ -196,8 +211,17 @@ def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
                     del self._states[conn_id]
                 return {"reply": reply, "done": done}
             if command == CMD_FLEET_EVICT:
-                self._states.pop(params["conn"], None)
-                return {"evicted": True}
+                # One invoke may carry a whole batch ("conns", the
+                # coalesced fan-out) or a single connection ("conn",
+                # the original form — unchanged on the wire).
+                evicted = 0
+                for conn in params.get("conns", ()):
+                    if self._states.pop(conn, None) is not None:
+                        evicted += 1
+                if "conn" in params and \
+                        self._states.pop(params["conn"], None) is not None:
+                    evicted += 1
+                return {"evicted": evicted}
             raise TeeBadParameters(f"unknown fleet command {command}")
 
         def close_session(self) -> None:
@@ -284,6 +308,20 @@ class AttestationGateway:
             self.cache = AppraisalCache(capacity=config.cache_capacity,
                                         ttl_s=config.cache_ttl_s,
                                         time_source=time_source)
+        #: In-process fabric mirror: the threaded gateway's single cache
+        #: is already fleet-wide, so the fabric here is the *authority
+        #: bookkeeping* (versioned store, hierarchy hooks, metrics) with
+        #: one member — the same observable surface the sharded fabric
+        #: exposes, minus the replication RPCs it does not need.
+        self.fabric = None
+        if config.fabric and self.cache is not None:
+            from repro.fleet.fabric.store import FabricStore
+
+            self.fabric = FabricStore([0], capacity=config.fabric_capacity,
+                                      ttl_s=config.cache_ttl_s,
+                                      vnodes=config.fabric_vnodes,
+                                      time_source=time_source)
+            self.cache.set_store_listener(self._fabric_mint)
         bucket = None
         if config.rate_per_s is not None:
             bucket = TokenBucket(config.rate_per_s, config.rate_burst,
@@ -469,6 +507,22 @@ class AttestationGateway:
         if prewarm_msg2_tables(data):
             self.metrics.increment("crypto_prewarms")
 
+    def _fabric_mint(self, fingerprint: bytes, key, resumption_key: bytes,
+                     stored_at_ns: int) -> None:
+        """Cache store listener: mirror a fresh ticket into the fabric.
+
+        Runs outside the cache lock, in whichever worker thread just
+        completed the full verify. The fingerprint travels with the
+        mint, so a mint racing a policy change is recognisably stale
+        and dropped by the store's refresh-then-record discipline.
+        """
+        self.fabric.refresh(fingerprint)
+        if self.fabric.record_mint(0, fingerprint, key,
+                                   resumption_key) is not None:
+            self.metrics.increment("fabric_mints")
+            if self.tracer is not None:
+                self.tracer.instant("fleet.fabric.mint", member=0)
+
     @staticmethod
     def _kind(data: bytes) -> str:
         if not data:
@@ -521,6 +575,8 @@ class AttestationGateway:
                              if self.cache is not None else None)
         snapshot["audit"] = (self.engine.audit.counts_by_reason()
                              if self.engine is not None else None)
+        if self.fabric is not None:
+            snapshot["fabric"] = self.fabric.snapshot()
         return snapshot
 
 

@@ -66,6 +66,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.appraisal.audit import AuditEntry, entry_from_dict
 from repro.core.server import SecretProvider
 from repro.core.transport import Network
 from repro.core.verifier import VerifierPolicy
@@ -76,7 +77,18 @@ from repro.errors import (
     TeeBadParameters,
 )
 from repro.fleet.backpressure import AdmissionController, TokenBucket
-from repro.fleet.cache import AppraisalCache, policy_fingerprint
+from repro.fleet.cache import AppraisalCache, CacheKey, policy_fingerprint
+from repro.fleet.fabric.store import (
+    FabricStore,
+    ReplicaState,
+    decode_ticket_evict,
+    decode_ticket_mint,
+    decode_ticket_put,
+    encode_ticket_evict,
+    encode_ticket_mint,
+    encode_ticket_put,
+    ticket_key_from_message,
+)
 from repro.fleet.gateway import (
     CMD_FLEET_EVICT,
     CMD_FLEET_MESSAGE,
@@ -115,6 +127,13 @@ OP_POLICY = 0x03
 OP_PING = 0x04
 OP_SNAPSHOT = 0x05
 OP_SHUTDOWN = 0x06
+#: Fabric opcodes (data channel): replicate a versioned ticket into a
+#: shard, land a sequence-stamped tombstone, bulk-seed a fresh member.
+OP_TICKET_PUT = 0x07
+OP_TICKET_EVICT = 0x08
+OP_TICKET_SYNC = 0x09
+#: Hierarchy opcode (control channel): incremental audit-log export.
+OP_AUDIT = 0x0A
 OP_OK = 0x40
 OP_ERR = 0x41
 
@@ -255,6 +274,61 @@ def _decode_message_response(body: bytes
     return bool(done), bool(cache_hit), sim_ns, service_s, reply
 
 
+def _encode_message_response_fabric(done: bool, cache_hit: bool,
+                                    sim_ns: int, service_s: float,
+                                    reply: Optional[bytes],
+                                    mints: List[bytes]) -> bytes:
+    """Fabric-mode message response: the reply gains a length prefix so
+    freshly minted tickets can piggyback after it. Both ends key the
+    format off ``config.fabric`` — the legacy encoding stays
+    byte-identical when the fabric is off."""
+    head = _MESSAGE_RESP.pack(1 if done else 0, 1 if cache_hit else 0,
+                              sim_ns, service_s)
+    if reply is None:
+        head += b"\x00" + struct.pack(">I", 0)
+    else:
+        head += b"\x01" + struct.pack(">I", len(reply)) + reply
+    parts = [head, struct.pack(">H", len(mints))]
+    for mint in mints:
+        parts.append(struct.pack(">I", len(mint)))
+        parts.append(mint)
+    return b"".join(parts)
+
+
+def _decode_message_response_fabric(body: bytes
+                                    ) -> Tuple[bool, bool, int, float,
+                                               Optional[bytes],
+                                               List[bytes]]:
+    done, cache_hit, sim_ns, service_s = _MESSAGE_RESP.unpack_from(body)
+    offset = _MESSAGE_RESP.size
+    has_reply = body[offset:offset + 1] == b"\x01"
+    offset += 1
+    (reply_len,) = struct.unpack_from(">I", body, offset)
+    offset += 4
+    reply = bytes(body[offset:offset + reply_len]) if has_reply else None
+    offset += reply_len
+    (count,) = struct.unpack_from(">H", body, offset)
+    offset += 2
+    mints = []
+    for _ in range(count):
+        (length,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        mints.append(bytes(body[offset:offset + length]))
+        offset += length
+    return bool(done), bool(cache_hit), sim_ns, service_s, reply, mints
+
+
+def encode_evict_batch(conn_ids: List[int]) -> bytes:
+    """``OP_EVICT`` body: ``u32 count | u64 conn_id * count``."""
+    return struct.pack(">I", len(conn_ids)) + b"".join(
+        _CONN_ID.pack(conn_id) for conn_id in conn_ids)
+
+
+def decode_evict_batch(body: bytes) -> Tuple[int, ...]:
+    (count,) = struct.unpack_from(">I", body)
+    return struct.unpack_from(f">{count}Q", body, 4) if count else ()
+
+
 # -- the shard worker (child process) ------------------------------------------
 
 
@@ -344,6 +418,24 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
     #: can tell "busy but alive" from "stuck on one frame".
     progress = {"frames": 0}
 
+    # Fabric wiring: the cache reports every ticket it mints (a real
+    # full-verify store, never a seed) into ``minted``; the data loop is
+    # strictly sequential, so draining it after the TA invoke is safe.
+    replica: Optional[ReplicaState] = None
+    minted: List[Tuple[bytes, tuple, bytes, int]] = []
+    if config.fabric and cache is not None:
+        replica = ReplicaState()
+        cache.set_store_listener(
+            lambda fingerprint, key, resumption_key, stored_at:
+            minted.append((fingerprint, key, resumption_key, stored_at)))
+
+    def apply_ticket_put(put: bytes) -> bool:
+        epoch, seq, age_ns, fingerprint, key, resumption_key = \
+            decode_ticket_put(put)
+        if replica is None or not replica.admit_put(epoch, seq, key):
+            return False
+        return cache.seed(fingerprint, key, resumption_key, age_ns=age_ns)
+
     def control_loop() -> None:
         while True:
             frame = _recv_frame(ctrl_sock)
@@ -362,9 +454,18 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                         "live_states": session.ta.live_states,
                         "audit": (engine.audit.counts_by_reason()
                                   if engine is not None else None),
+                        "fabric": (replica.snapshot()
+                                   if replica is not None else None),
                     }
                     _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
                                 json.dumps(state).encode())
+                elif opcode == OP_AUDIT:
+                    (since,) = _CONN_ID.unpack_from(_body)
+                    entries = (engine.audit.entries_since(since)
+                               if engine is not None else [])
+                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
+                                json.dumps([entry.to_dict()
+                                            for entry in entries]).encode())
                 else:
                     raise TeeBadParameters(
                         f"unknown control opcode {opcode:#x}")
@@ -397,9 +498,24 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
             suffix = "hit" if cache_hit else "miss"
             metrics.observe(f"service.msg2_{suffix}", service_s)
         metrics.increment("messages")
-        return _encode_message_response(bool(result.get("done")), cache_hit,
-                                        sim_delta, service_s,
-                                        result.get("reply"))
+        if replica is None:
+            return _encode_message_response(bool(result.get("done")),
+                                            cache_hit, sim_delta, service_s,
+                                            result.get("reply"))
+        # Fabric mode: piggyback every ticket this invoke minted onto the
+        # reply frame as relative ages — shard clocks never cross the IPC.
+        shard_now = time.monotonic_ns()
+        mints = [encode_ticket_mint(fingerprint,
+                                    max(0, shard_now - stored_at),
+                                    key, resumption_key)
+                 for fingerprint, key, resumption_key, stored_at in minted]
+        minted.clear()
+        if mints:
+            metrics.increment("fabric_minted", len(mints))
+        return _encode_message_response_fabric(bool(result.get("done")),
+                                               cache_hit, sim_delta,
+                                               service_s,
+                                               result.get("reply"), mints)
 
     running = True
     while running:
@@ -413,9 +529,42 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                 _send_frame(data_sock, data_lock, OP_OK, req_id,
                             serve_message(body))
             elif opcode == OP_EVICT:
-                (conn_id,) = _CONN_ID.unpack_from(body)
-                session.invoke(CMD_FLEET_EVICT, {"conn": conn_id})
+                if len(body) == _CONN_ID.size:
+                    # Legacy single-conn frame: the exact TA invoke the
+                    # pre-fabric gateway issued (SimClock invariance).
+                    (conn_id,) = _CONN_ID.unpack_from(body)
+                    session.invoke(CMD_FLEET_EVICT, {"conn": conn_id})
+                else:
+                    conns = decode_evict_batch(body)
+                    if len(conns) == 1:
+                        session.invoke(CMD_FLEET_EVICT, {"conn": conns[0]})
+                    elif conns:
+                        session.invoke(CMD_FLEET_EVICT,
+                                       {"conns": list(conns)})
                 _send_frame(data_sock, data_lock, OP_OK, req_id)
+            elif opcode == OP_TICKET_PUT:
+                ok = apply_ticket_put(body)
+                _send_frame(data_sock, data_lock, OP_OK, req_id,
+                            b"\x01" if ok else b"\x00")
+            elif opcode == OP_TICKET_EVICT:
+                epoch, seq, key = decode_ticket_evict(body)
+                ok = replica is not None and \
+                    replica.admit_evict(epoch, seq, key)
+                if ok:
+                    cache.evict_key(key)
+                _send_frame(data_sock, data_lock, OP_OK, req_id,
+                            b"\x01" if ok else b"\x00")
+            elif opcode == OP_TICKET_SYNC:
+                (count,) = struct.unpack_from(">I", body)
+                offset, applied = 4, 0
+                for _ in range(count):
+                    (length,) = struct.unpack_from(">I", body, offset)
+                    offset += 4
+                    if apply_ticket_put(body[offset:offset + length]):
+                        applied += 1
+                    offset += length
+                _send_frame(data_sock, data_lock, OP_OK, req_id,
+                            struct.pack(">I", applied))
             elif opcode == OP_POLICY:
                 vp_blob, ap_blob = decode_policy_bundle(body)
                 decode_policy_into(policy, vp_blob)
@@ -595,6 +744,67 @@ class _ShardHandle:
         self._queue.release()
 
 
+class _EvictCoalescer:
+    """Batches session-evict fan-out into one ``OP_EVICT`` per shard.
+
+    With a zero window (the default) every eviction ships inline as the
+    legacy single-conn frame — byte-identical cadence to the pre-fabric
+    gateway. A positive window queues victims per shard and a background
+    flusher sends one batched frame per shard per window, so a
+    1000-device revocation storm costs O(shards) frames, not O(devices).
+    """
+
+    def __init__(self, gateway: "ShardedGateway", window_s: float) -> None:
+        self._gateway = gateway
+        self._window_s = window_s
+        self._lock = threading.Lock()
+        self._pending: Dict[int, List[int]] = {}
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if window_s > 0:
+            self._thread = threading.Thread(target=self._run, daemon=True,
+                                            name="fleet-evict-coalescer")
+            self._thread.start()
+
+    @property
+    def batching(self) -> bool:
+        return self._window_s > 0
+
+    def enqueue(self, lane: int, conn_id: int) -> None:
+        if not self.batching:
+            self._gateway._send_evict(lane, [conn_id])
+            return
+        with self._lock:
+            self._pending.setdefault(lane, []).append(conn_id)
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait()
+            if self._stop.is_set():
+                return
+            self._wake.clear()
+            # The coalescing window: everything evicted while we sleep
+            # joins the flush that follows.
+            time.sleep(self._window_s)
+            self.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for lane, conns in sorted(pending.items()):
+            self._gateway._send_evict(lane, conns)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.flush()
+
+
 class ShardedGateway:
     """Session-affinity router in front of a pool of verifier shards.
 
@@ -650,6 +860,11 @@ class ShardedGateway:
         self._records_lock = threading.Lock()
         self._conn_counter = 0
         self._conn_lock = threading.Lock()
+        self._time_source = time_source
+        #: The replicated resumption-ticket authority; armed by
+        #: :meth:`start` when ``config.fabric`` and the cache are on.
+        self.fabric: Optional[FabricStore] = None
+        self._coalescer: Optional[_EvictCoalescer] = None
         self._shards: List[_ShardHandle] = []
         self._respawn_lock = threading.Lock()
         self._stop_event = threading.Event()
@@ -663,6 +878,14 @@ class ShardedGateway:
         if self._running:
             raise RuntimeError("gateway already started")
         depth = self.config.shard_queue_depth or self.config.max_in_flight
+        if self.config.fabric and self.config.enable_cache:
+            self.fabric = FabricStore(
+                range(self.config.shards),
+                capacity=self.config.fabric_capacity,
+                ttl_s=self.config.cache_ttl_s,
+                vnodes=self.config.fabric_vnodes,
+                time_source=self._time_source)
+        self._coalescer = _EvictCoalescer(self, self.config.evict_coalesce_s)
         self._shards = [_ShardHandle(index, depth)
                         for index in range(self.config.shards)]
         for handle in self._shards:
@@ -686,6 +909,8 @@ class ShardedGateway:
         if self._supervisor is not None:
             self._supervisor.join(timeout=10.0)
             self._supervisor = None
+        if self._coalescer is not None:
+            self._coalescer.stop()
         for handle in self._shards:
             channel = handle.channel
             if channel is None:
@@ -759,7 +984,12 @@ class ShardedGateway:
                 OP_PING, b"", timeout=self.config.heartbeat_timeout_s,
                 control=True)
         except FleetShardCrashed:
-            return "wedged" if channel.process.is_alive() else "death"
+            # A closed channel is death even while the corpse awaits
+            # reaping (is_alive can lag a SIGKILL); a ping *timeout*
+            # leaves the channel up, which is the wedged signature.
+            if channel.down.is_set() or not channel.process.is_alive():
+                return "death"
+            return "wedged"
         (frames,) = _PONG.unpack_from(body)
         if channel.busy() and frames == channel.progress_frames:
             # Requests outstanding, yet the data loop read nothing new
@@ -787,10 +1017,27 @@ class ShardedGateway:
             # owned is evicted (distinct reason), and the attesters'
             # retries start from msg0 on the fresh worker.
             self.sessions.evict_lane(handle.index, CRASH_EVICT_REASON)
+            if self.fabric is not None:
+                # Replay the death into fabric membership: the ring
+                # shrinks, and every ticket the dead member owned is
+                # eagerly pushed to its deterministic new owner.
+                moves = self.fabric.member_down(handle.index)
+                self.metrics.increment("fabric_member_down")
+                self.metrics.increment(f"fabric_member_down_{reason}")
+                for key, new_owner in moves:
+                    self._replicate_to(new_owner, key,
+                                       "fabric_rebalance_pushes")
             self._spawn(handle)
             handle.respawns += 1
             self.metrics.increment("shard_respawns")
             self.metrics.increment(f"shard_respawns_{reason}")
+            if self.fabric is not None:
+                # The respawned member rejoins the ring and is bulk-seeded
+                # with the slice it now owns, so devices resuming against
+                # it hit without waiting for lazy pushes.
+                keys = self.fabric.member_up(handle.index)
+                self.metrics.increment("fabric_member_up")
+                self._sync_member(handle, keys)
 
     # -- connection plumbing -----------------------------------------------------
 
@@ -820,10 +1067,27 @@ class ShardedGateway:
     def _evict_shard_state(self, entry: SessionEntry) -> None:
         if not self._running or entry.lane >= len(self._shards):
             return
-        handle = self._shards[entry.lane]
+        coalescer = self._coalescer
+        if coalescer is None:
+            self._send_evict(entry.lane, [entry.conn_id])
+        else:
+            coalescer.enqueue(entry.lane, entry.conn_id)
+
+    def _send_evict(self, lane: int, conn_ids: List[int]) -> None:
+        if not self._running or lane >= len(self._shards) or not conn_ids:
+            return
+        handle = self._shards[lane]
+        coalescer = self._coalescer
+        if len(conn_ids) == 1 and (coalescer is None
+                                   or not coalescer.batching):
+            # Inline mode: the exact legacy frame and TA invoke cadence.
+            body = _CONN_ID.pack(conn_ids[0])
+        else:
+            body = encode_evict_batch(sorted(conn_ids))
+            self.metrics.increment("evict_batched")
+            self.metrics.increment("evict_coalesced", len(conn_ids))
         try:
-            self._request(handle, OP_EVICT, _CONN_ID.pack(entry.conn_id),
-                          timeout=5.0)
+            self._request(handle, OP_EVICT, body, timeout=5.0)
         except FleetShardCrashed:
             pass  # the supervisor owns the respawn; state died anyway
 
@@ -837,20 +1101,21 @@ class ShardedGateway:
                 f"verifier shard {handle.index} is down")
         return channel.request(opcode, body, timeout, control=control)
 
-    def _sync_policy(self, handle: _ShardHandle) -> None:
+    def _sync_policy(self, handle: _ShardHandle) -> bytes:
         """Lazily mirror parent-side policy mutations into the shard.
 
         The policy fingerprint (the same one that scopes the appraisal
         cache) is compared per message; only a change ships the policy
         over the channel, ordered on the data stream ahead of the
-        message that needed it.
+        message that needed it. Returns the combined fingerprint so the
+        fabric can adopt the same scope without recomputing it.
         """
         fingerprint = self._combined_fingerprint()
         if handle.policy_fp == fingerprint:
-            return
+            return fingerprint
         with handle.policy_lock:
             if handle.policy_fp == fingerprint:
-                return
+                return fingerprint
             appraisal_blob = (self.engine.policy.encode()
                               if self.engine is not None else b"")
             self._request(handle, OP_POLICY,
@@ -858,6 +1123,7 @@ class ShardedGateway:
                           timeout=self.config.shard_request_timeout_s)
             handle.policy_fp = fingerprint
             self.metrics.increment("shard_policy_syncs")
+        return fingerprint
 
     def _dispatch(self, conn_id: int, data: bytes) -> Optional[bytes]:
         try:
@@ -881,8 +1147,19 @@ class ShardedGateway:
             self.metrics.increment("rejected_queue")
             self.metrics.increment("rejected_shard_queue")
             raise FleetOverloaded(reason="queue")
+        fabric_key: Optional[CacheKey] = None
         try:
-            self._sync_policy(handle)
+            fingerprint = self._sync_policy(handle)
+            if self.fabric is not None and kind == "msg2":
+                # Scope the store to the fingerprint the shard serves
+                # under (a change bumps the epoch, voiding every ticket),
+                # then lazily push the replicated ticket — if any — ahead
+                # of the message on the same ordered data stream.
+                self.fabric.refresh(fingerprint)
+                fabric_key = ticket_key_from_message(data)
+                if fabric_key is not None:
+                    self._replicate_to(handle.index, fabric_key,
+                                       "fabric_lazy_pushes")
             opcode, body = self._request(
                 handle, OP_MESSAGE, _CONN_ID.pack(conn_id) + data,
                 timeout=self.config.shard_request_timeout_s)
@@ -897,8 +1174,18 @@ class ShardedGateway:
             self.metrics.increment("failed_messages")
             self.sessions.discard(conn_id)
             raise _resolve_error(name, message)
-        done, cache_hit, sim_ns, service_s, reply = \
-            _decode_message_response(body)
+        if self.fabric is not None:
+            done, cache_hit, sim_ns, service_s, reply, mints = \
+                _decode_message_response_fabric(body)
+            if mints:
+                self._ingest_mints(entry.lane, mints)
+            if cache_hit and fabric_key is not None:
+                ticket = self.fabric.lookup(fabric_key)
+                if ticket is not None and ticket.origin != entry.lane:
+                    self.metrics.increment("fabric_cross_shard_hits")
+        else:
+            done, cache_hit, sim_ns, service_s, reply = \
+                _decode_message_response(body)
         if done:
             self.metrics.increment("handshakes_completed")
             self.sessions.discard(conn_id)
@@ -908,6 +1195,138 @@ class ShardedGateway:
                 sim_transition_ns=sim_ns, cache_hit=cache_hit,
             ))
         return reply
+
+    # -- the replication bus -----------------------------------------------------
+
+    def _replicate_to(self, member: int, key: CacheKey,
+                      metric: str) -> bool:
+        """Push the store's live ticket for ``key`` into one member.
+
+        A no-op when the member already holds the current version (the
+        common case on the lazy path). The shard's :class:`ReplicaState`
+        re-checks the version on arrival, so even a racing duplicate
+        push is harmless.
+        """
+        fabric = self.fabric
+        if fabric is None or member >= len(self._shards):
+            return False
+        push = fabric.pending_push(key, member)
+        if push is None:
+            return False
+        epoch, seq, age_ns, resumption_key = push
+        body = encode_ticket_put(epoch, seq, age_ns, fabric.fingerprint,
+                                 key, resumption_key)
+        try:
+            opcode, resp = self._request(
+                self._shards[member], OP_TICKET_PUT, body,
+                timeout=self.config.shard_request_timeout_s)
+        except FleetShardCrashed:
+            return False
+        if opcode == OP_OK and resp == b"\x01":
+            fabric.mark_replicated(key, member)
+            self.metrics.increment(metric)
+            return True
+        return False
+
+    def _ingest_mints(self, lane: int, mints: List[bytes]) -> None:
+        """Record tickets a shard minted; eagerly push to ring owners."""
+        fabric = self.fabric
+        for blob in mints:
+            fingerprint, age_ns, key, resumption_key = \
+                decode_ticket_mint(blob)
+            # Re-adopt the current scope first: a mint that raced a
+            # revocation carries the old fingerprint and must drop.
+            fabric.refresh(self._combined_fingerprint())
+            ticket = fabric.record_mint(lane, fingerprint, key,
+                                        resumption_key, age_ns=age_ns)
+            if ticket is None:
+                self.metrics.increment("fabric_stale_mints")
+                continue
+            self.metrics.increment("fabric_mints")
+            owner = fabric.owner(key)
+            if owner is not None and owner != lane:
+                self._replicate_to(owner, key, "fabric_eager_pushes")
+
+    def _sync_member(self, handle: _ShardHandle,
+                     keys: List[CacheKey]) -> int:
+        """Bulk-seed one member with every listed key it lacks."""
+        fabric = self.fabric
+        puts: List[Tuple[CacheKey, bytes]] = []
+        for key in keys:
+            push = fabric.pending_push(key, handle.index)
+            if push is None:
+                continue
+            epoch, seq, age_ns, resumption_key = push
+            puts.append((key, encode_ticket_put(
+                epoch, seq, age_ns, fabric.fingerprint, key,
+                resumption_key)))
+        if not puts:
+            return 0
+        body = struct.pack(">I", len(puts)) + b"".join(
+            struct.pack(">I", len(put)) + put for _, put in puts)
+        try:
+            opcode, _resp = self._request(
+                handle, OP_TICKET_SYNC, body,
+                timeout=self.config.shard_request_timeout_s)
+        except FleetShardCrashed:
+            return 0
+        if opcode != OP_OK:
+            return 0
+        for key, _ in puts:
+            fabric.mark_replicated(key, handle.index)
+        self.metrics.increment("fabric_syncs")
+        return len(puts)
+
+    def fabric_evict_identity(self, identity: bytes) -> int:
+        """Purge every replicated ticket of one device, fabric-wide.
+
+        Tombstones land on every member holding a replica with a
+        sequence newer than any outstanding ``TICKET_PUT``, so a late or
+        replayed replication frame can never resurrect the ticket.
+        Returns the number of tickets purged from the authority.
+        """
+        fabric = self.fabric
+        if fabric is None:
+            raise ValueError("the fabric is not enabled")
+        purged = 0
+        for key, epoch, seq, replicas in fabric.evict_identity(identity):
+            body = encode_ticket_evict(epoch, seq, key)
+            for member in replicas:
+                if member >= len(self._shards):
+                    continue
+                try:
+                    self._request(self._shards[member], OP_TICKET_EVICT,
+                                  body,
+                                  timeout=self.config.shard_request_timeout_s)
+                except FleetShardCrashed:
+                    continue
+            purged += 1
+            self.metrics.increment("fabric_ticket_evictions")
+        return purged
+
+    # -- the hierarchy surface ---------------------------------------------------
+
+    def shard_audit(self, index: int, since: int = 0) -> List[AuditEntry]:
+        """One shard's retained audit entries from ``since`` onwards."""
+        handle = self._shards[index]
+        channel = handle.channel
+        if channel is None or channel.down.is_set():
+            return []
+        try:
+            opcode, body = channel.request(OP_AUDIT, _CONN_ID.pack(since),
+                                           timeout=5.0, control=True)
+        except FleetShardCrashed:
+            return []
+        if opcode != OP_OK:
+            return []
+        return [entry_from_dict(item)
+                for item in json.loads(body.decode())]
+
+    def shard_generations(self) -> List[Tuple[int, int]]:
+        """``(index, generation)`` per shard; a respawn bumps the
+        generation, telling the audit relay the shard's log restarted."""
+        return [(handle.index, handle.respawns)
+                for handle in self._shards]
 
     # -- introspection -----------------------------------------------------------
 
@@ -968,6 +1387,12 @@ class ShardedGateway:
         }
         snapshot["audit"] = self._merge_audit(
             [state.get("audit") for state in shard_states if state])
+        if self.fabric is not None:
+            snapshot["fabric"] = {
+                "store": self.fabric.snapshot(),
+                "replicas": [state.get("fabric") if state else None
+                             for state in shard_states],
+            }
         return snapshot
 
     @staticmethod
@@ -1011,9 +1436,9 @@ class ShardedGateway:
         states = [state for state in states if state]
         if not states:
             return None
-        merged = {key: sum(state[key] for state in states)
+        merged = {key: sum(state.get(key, 0) for state in states)
                   for key in ("entries", "hits", "misses", "bad_tickets",
-                              "invalidations", "expirations")}
+                              "invalidations", "expirations", "seeds")}
         total = merged["hits"] + merged["misses"]
         merged["hit_rate"] = merged["hits"] / total if total else 0.0
         return merged

@@ -1,0 +1,472 @@
+"""The replicated appraisal fabric, unit-level and live on the testbed.
+
+Covers the tentpole's acceptance criteria: the consistent-hash ring is
+deterministic and rebalances locally, the versioned store/replica pair
+rejects everything stale, a device bouncing between live shard processes
+resumes via the replicated ticket (cross-shard hits recover the
+single-shard hit-rate), resumption survives a shard respawn, a crash
+mid-message never leaks a cached verdict, the evict fan-out batches to
+O(shards) frames, the hierarchy verifies edge audit chains at the root,
+and the churn model reproduces the partitioned pathology the fabric
+exists to fix. ``fabric=False`` behaviour is pinned byte-identical by
+``test_shards.py``'s invariance suite, which runs untouched.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.appraisal import AppraisalEngine, AppraisalPolicy
+from repro.appraisal.audit import AuditLog
+from repro.appraisal.envelope import TEE_SGX, TEE_TRUSTZONE
+from repro.core.verifier import VerifierPolicy
+from repro.crypto import ecdsa
+from repro.errors import FleetShardCrashed
+from repro.fleet import (
+    AppraisalCache,
+    ChurnProfile,
+    FabricStore,
+    FleetConfig,
+    HashRing,
+    ReplicaState,
+    RootAuditor,
+    build_attester_stacks,
+    build_mixed_stacks,
+    model_churn,
+    model_revocation_storm,
+    run_one_handshake,
+    run_one_handshake_multi,
+    start_fleet_gateway,
+    zipf_sequence,
+)
+from repro.fleet.fabric.hierarchy import AuditBatch
+from repro.testbed import Testbed
+
+HOST = "fleet.verifier"
+SECRET = b"fabric fleet secret blob" * 4
+IDENTITY = ecdsa.keypair_from_private(0xB00B1E5 + 777)
+
+KEY_A = (1, b"id-a" * 8, b"claim-a" * 4, b"")
+KEY_B = (1, b"id-b" * 8, b"claim-b" * 4, b"")
+FP_1 = b"\x11" * 32
+FP_2 = b"\x22" * 32
+RK = b"\x07" * 16
+
+
+def _start(testbed, policy, port, engine=None, **overrides):
+    defaults = dict(shards=2, heartbeat_interval_s=0.05,
+                    heartbeat_timeout_s=1.0, fabric=True)
+    defaults.update(overrides)
+    return start_fleet_gateway(
+        testbed.network, HOST, port, None, testbed.vendor_key,
+        IDENTITY, policy, lambda: SECRET, FleetConfig(**defaults),
+        engine=engine,
+    )
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+# -- the ring ------------------------------------------------------------------
+
+
+def test_hash_ring_is_deterministic_and_rebalances_locally():
+    keys = [f"device-{i}".encode() for i in range(500)]
+    ring_a = HashRing(range(4))
+    ring_b = HashRing(range(4))
+    owners = {key: ring_a.owner(key) for key in keys}
+    # Same members, fresh instance: identical placement (pure sha256).
+    assert owners == {key: ring_b.owner(key) for key in keys}
+    # All members carry a share of a 500-key population.
+    assert {owners[key] for key in keys} == {0, 1, 2, 3}
+    # Removing one member moves only its keys; survivors keep theirs.
+    ring_a.remove(2)
+    for key in keys:
+        if owners[key] != 2:
+            assert ring_a.owner(key) == owners[key]
+        else:
+            assert ring_a.owner(key) != 2
+    # Re-adding restores the original placement exactly.
+    ring_a.add(2)
+    assert owners == {key: ring_a.owner(key) for key in keys}
+
+
+# -- the versioned store -------------------------------------------------------
+
+
+def test_store_versions_mints_and_tombstones():
+    store = FabricStore([0, 1], capacity=16)
+    store.refresh(FP_1)
+    assert store.record_mint(0, FP_1, KEY_A, RK) is not None
+    entry = store.lookup(KEY_A)
+    assert entry.origin == 0 and entry.seq == 1
+    # A mint under a stale fingerprint raced a policy change: dropped.
+    assert store.record_mint(1, FP_2, KEY_B, RK) is None
+    assert store.stale_mints == 1
+    # Eviction leaves a tombstone with a newer sequence than the entry.
+    epoch, seq, replicas = store.evict(KEY_A)
+    assert (epoch, seq, replicas) == (1, 2, [0])
+    assert store.lookup(KEY_A) is None
+    # A fingerprint change bumps the epoch and clears everything.
+    assert store.refresh(FP_2)
+    assert store.epoch == 2 and len(store) == 0
+    assert not store.refresh(FP_2)  # idempotent
+
+
+def test_store_membership_replay_plans_moves_and_syncs():
+    store = FabricStore([0, 1], capacity=64)
+    store.refresh(FP_1)
+    keys = [(1, f"dev-{i}".encode() * 4, b"claim", b"") for i in range(32)]
+    # Mint each ticket at its ring owner, so the owner is its only replica.
+    for key in keys:
+        store.record_mint(store.owner(key), FP_1, key, RK)
+    dead_keys = [key for key in keys if store.owner(key) == 1]
+    assert dead_keys  # 64 vnodes over 32 keys: both members own some
+    moves = store.member_down(1)
+    # Every key the dead member owned moves to the sole survivor.
+    assert sorted(key for key, _ in moves) == sorted(dead_keys)
+    assert all(owner == 0 for _, owner in moves)
+    # The respawned member is re-seeded with exactly its owned slice.
+    sync = store.member_up(1)
+    assert sorted(sync) == sorted(dead_keys)
+
+
+def test_replica_state_rejects_stale_and_replayed_frames():
+    replica = ReplicaState()
+    assert replica.admit_put(1, 5, KEY_A)
+    assert not replica.admit_put(1, 5, KEY_A)   # replay
+    assert not replica.admit_put(1, 3, KEY_A)   # reordered older put
+    assert replica.admit_evict(1, 7, KEY_A)     # tombstone at seq 7
+    assert not replica.admit_put(1, 6, KEY_A)   # put older than tombstone
+    assert replica.admit_put(1, 8, KEY_A)       # genuinely newer
+    assert not replica.admit_put(0, 99, KEY_A)  # old epoch, any seq
+    assert replica.admit_put(2, 1, KEY_B)       # new epoch resets per-key
+    assert replica.epoch == 2
+    assert replica.snapshot()["rejected"] == 4
+
+
+def test_cache_seed_respects_scope_and_never_echoes():
+    cache = AppraisalCache(capacity=8, ttl_s=60.0)
+    echoes = []
+    cache.set_store_listener(lambda *args: echoes.append(args))
+    # A fresh cache adopts the pushed scope; a mismatch is refused.
+    assert cache.seed(FP_1, KEY_A, RK)
+    assert not cache.seed(FP_2, KEY_B, RK)
+    assert len(cache) == 1 and cache.seeds == 1
+    # Seeds never invoke the mint listener (no replication echo).
+    assert echoes == []
+    assert cache.evict_key(KEY_A)
+    assert not cache.evict_key(KEY_A)
+    assert len(cache) == 0
+
+
+# -- live: cross-shard resumption ----------------------------------------------
+
+
+def test_cross_shard_resumption_hits_replicated_ticket():
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7840)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        # Affinity is conn % 2, conns count up from 1: the device
+        # alternates shards every handshake. Only the first is a miss —
+        # the fabric replicates the minted ticket to the other shard.
+        for attempt in range(4):
+            result = run_one_handshake(testbed.network, HOST, 7840,
+                                       IDENTITY.public_bytes(), stack,
+                                       attempt)
+            assert result.ok, result.error
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, True, True, True]
+        counters = gateway.snapshot()["counters"]
+        assert counters["fabric_mints"] == 1
+        assert counters["fabric_cross_shard_hits"] >= 1
+        snapshot = gateway.snapshot()
+        assert snapshot["fabric"]["store"]["entries"] == 1
+        # The replica landed through the bus, not a local verify.
+        assert snapshot["cache"]["seeds"] >= 1
+    finally:
+        gateway.stop()
+
+
+def test_fabric_off_keeps_caches_partitioned():
+    # The control: same alternating workload, fabric disabled — every
+    # shard bounce is a full verify (the partitioned pathology).
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7841, fabric=False)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        for attempt in range(4):
+            result = run_one_handshake(testbed.network, HOST, 7841,
+                                       IDENTITY.public_bytes(), stack,
+                                       attempt)
+            assert result.ok, result.error
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, False, False, False]
+        snapshot = gateway.snapshot()
+        assert "fabric" not in snapshot
+        assert snapshot["counters"].get("fabric_mints", 0) == 0
+        assert gateway.fabric is None
+    finally:
+        gateway.stop()
+
+
+def test_fabric_hit_rate_matches_single_shard_baseline():
+    # Acceptance: fabric on 2 shards within 10% of the 1-shard hit-rate
+    # for the same reconnect schedule (3 devices x 4 handshakes).
+    def run(port, **overrides):
+        testbed = Testbed(first_serial=10)
+        policy = VerifierPolicy()
+        gateway = _start(testbed, policy, port, **overrides)
+        try:
+            stacks = build_attester_stacks(testbed, policy, 3)
+            for attempt in range(4):
+                for stack in stacks:
+                    result = run_one_handshake(
+                        testbed.network, HOST, port,
+                        IDENTITY.public_bytes(), stack, attempt)
+                    assert result.ok, result.error
+            return gateway.snapshot()["cache"]["hit_rate"]
+        finally:
+            gateway.stop()
+
+    baseline = run(7842, shards=1, fabric=False)
+    fabricated = run(7843, shards=2, fabric=True)
+    assert baseline == pytest.approx(0.75)  # 3 misses of 12 msg2s
+    assert fabricated >= baseline * 0.9
+
+
+# -- live: respawn and crash ---------------------------------------------------
+
+
+def test_resumption_survives_shard_respawn():
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7844)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        result = run_one_handshake(testbed.network, HOST, 7844,
+                                   IDENTITY.public_bytes(), stack, 0)
+        assert result.ok, result.error
+        # conn 1 landed on shard 1: kill it and let supervision respawn.
+        gateway._shards[1].channel.process.kill()
+        assert _wait_for(
+            lambda: gateway.metrics.counter("shard_respawns") >= 1)
+        assert gateway.metrics.counter("fabric_member_down") == 1
+        assert gateway.metrics.counter("fabric_member_down_death") == 1
+        # Force the next handshake onto the respawned shard.
+        while (gateway._conn_counter + 1) % 2 != 1:
+            testbed.network.connect(HOST, 7844).close()
+        result = run_one_handshake(testbed.network, HOST, 7844,
+                                   IDENTITY.public_bytes(), stack, 1)
+        assert result.ok, result.error
+        # The fresh worker resumed the device from the replicated ticket:
+        # no second full verify anywhere in the fleet.
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, True]
+        assert gateway.snapshot()["counters"]["fabric_mints"] == 1
+    finally:
+        gateway.stop()
+
+
+def test_inflight_crash_never_leaks_a_cached_verdict():
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7845, shards=1,
+                     heartbeat_interval_s=60.0)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        gateway._shards[0].channel.process.kill()
+        assert _wait_for(lambda: gateway._shards[0].channel.down.is_set())
+        connection = testbed.network.connect(HOST, 7845)
+        session = stack.attester.start_session(IDENTITY.public_bytes())
+        connection.send(stack.attester.make_msg0(session))
+        with pytest.raises(FleetShardCrashed):
+            connection.receive()
+        # The failed in-flight message produced no record, no mint, and
+        # no ticket in the authority — nothing to leak to a later conn.
+        assert gateway.drain_records() == []
+        assert gateway.snapshot()["fabric"]["store"]["entries"] == 0
+        assert gateway.metrics.counter("fabric_mints") == 0
+        assert gateway.metrics.counter("failed_messages") == 1
+    finally:
+        gateway.stop()
+
+
+# -- live: batched evict fan-out -----------------------------------------------
+
+
+def test_revocation_storm_coalesces_to_per_shard_frames():
+    # 1000 synthetic sessions evicted in one storm must reach the shards
+    # as O(shards) batched OP_EVICT frames, not O(devices) round-trips.
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7846, fabric=False,
+                     evict_coalesce_s=0.05, max_sessions=2048)
+    try:
+        for conn in range(1, 1001):
+            gateway.sessions.open(conn, conn % 2)
+        for lane in (0, 1):
+            gateway.sessions.evict_lane(lane, "storm")
+        assert _wait_for(
+            lambda: gateway.metrics.counter("evict_coalesced") >= 1000)
+        frames = gateway.metrics.counter("evict_batched")
+        assert 2 <= frames <= 8  # a few windows x 2 shards, never 1000
+        assert gateway.metrics.counter("evict_coalesced") == 1000
+        assert gateway.metrics.counter("sessions_evicted_storm") == 1000
+    finally:
+        gateway.stop()
+
+
+# -- the threaded mirror -------------------------------------------------------
+
+
+def test_threaded_gateway_mirrors_mints_into_the_fabric():
+    testbed = Testbed()
+    device = testbed.create_device()
+    policy = VerifierPolicy()
+    gateway = start_fleet_gateway(
+        testbed.network, HOST, 7847, device.client, testbed.vendor_key,
+        IDENTITY, policy, lambda: SECRET,
+        FleetConfig(workers=2, fabric=True))
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        for attempt in range(2):
+            result = run_one_handshake(testbed.network, HOST, 7847,
+                                       IDENTITY.public_bytes(), stack,
+                                       attempt)
+            assert result.ok, result.error
+        snapshot = gateway.snapshot()
+        # One full verify, one resumption: the single mint is mirrored
+        # into the authority (member 0 — the cache is already fleet-wide).
+        assert snapshot["fabric"]["mints"] == 1
+        assert snapshot["fabric"]["members"] == [0]
+        assert snapshot["counters"]["fabric_mints"] == 1
+        assert snapshot["cache"]["hits"] == 1
+    finally:
+        gateway.stop()
+
+
+# -- the hierarchy -------------------------------------------------------------
+
+
+def test_root_auditor_ingests_edge_chains_and_pushes_revocation():
+    testbed = Testbed(first_serial=10)
+    appraisal = AppraisalPolicy()
+    engine = AppraisalEngine(appraisal)
+    gateway = _start(testbed, VerifierPolicy(), 7848, engine=engine)
+    root = RootAuditor()
+    try:
+        relay = root.attach("edge-0", gateway)
+        stacks = build_mixed_stacks(testbed, appraisal,
+                                    [TEE_TRUSTZONE, TEE_SGX])
+        for stack in stacks:
+            result = run_one_handshake_multi(testbed.network, HOST, 7848,
+                                             IDENTITY.public_bytes(),
+                                             stack)
+            assert result.ok, result.error
+        ingested = root.pump()
+        assert ingested >= 2  # one "ok" verdict per handshake
+        first = root.snapshot()
+        assert first["accepts"] >= 2 and first["denials"] == 0
+        assert first["batches_accepted"] >= 1
+        assert first["batches_rejected"] == 0
+        # The relay drained per-shard-generation streams, not one blob.
+        assert any(stream.startswith("shard-")
+                   for stream in relay._cursors)
+        # Idempotent: nothing new, nothing re-ingested.
+        assert root.pump() == 0
+
+        # The root pushes a revocation down to every attached edge; the
+        # next handshake with the revoked measurement is denied at the
+        # edge, and the denial flows back up on the next pump.
+        assert root.revoke_measurement(stacks[0].claim) == 1
+        denied = run_one_handshake_multi(testbed.network, HOST, 7848,
+                                         IDENTITY.public_bytes(),
+                                         stacks[0], 1)
+        assert not denied.ok and denied.error == "PolicyDenied"
+        assert root.pump() >= 1
+        second = root.snapshot()
+        assert second["denials"] >= 1
+        assert "measurement-revoked" in second["denials_by_reason"]
+        assert second["revocations_pushed"] == 1
+    finally:
+        gateway.stop()
+
+
+def test_root_auditor_rejects_tampered_and_gapped_batches():
+    root = RootAuditor()
+    log = AuditLog()
+    for i in range(6):
+        log.record(tee_type=1, accepted=True, reason="ok",
+                   policy_fingerprint=FP_1, detail=f"d{i}")
+    entries = log.entries()
+    # A valid genesis-anchored batch is accepted...
+    assert root.submit(AuditBatch("edge", "s", None, entries[:3]))
+    # ...a continuation that skips an entry breaks continuity...
+    assert not root.submit(AuditBatch("edge", "s", entries[2].digest,
+                                      entries[4:]))
+    # ...a tampered field breaks the chain even with continuity...
+    forged = dataclasses.replace(entries[3], reason="forged")
+    assert not root.submit(AuditBatch("edge", "s", entries[2].digest,
+                                      [forged] + entries[4:]))
+    # ...and the honest continuation still lands afterwards.
+    assert root.submit(AuditBatch("edge", "s", entries[2].digest,
+                                  entries[3:]))
+    snap = root.snapshot()
+    assert snap["batches_accepted"] == 2
+    assert snap["batches_rejected"] == 2
+    assert snap["entries_ingested"] == 6
+    assert snap["root_log"] == 2  # one chained digest entry per batch
+
+
+# -- the churn model -----------------------------------------------------------
+
+
+def test_zipf_sequence_is_deterministic_and_skewed():
+    seq_a = zipf_sequence(100_000, 5_000, s=1.1, seed=7)
+    seq_b = zipf_sequence(100_000, 5_000, s=1.1, seed=7)
+    assert seq_a == seq_b
+    assert zipf_sequence(100_000, 5_000, s=1.1, seed=8) != seq_a
+    # Zipf head: rank 0 dominates any individual tail rank.
+    assert seq_a.count(0) > 50 * max(1, seq_a.count(90_000))
+    with pytest.raises(ValueError):
+        zipf_sequence(0, 10)
+
+
+def test_churn_model_shows_fabric_recovering_hit_rate():
+    profile = ChurnProfile(identities=20_000, reconnects=40_000,
+                           shards=4, cache_capacity=8_192)
+    sequence = profile.sequence()
+    fabric = model_churn(profile, fabric=True, sequence=sequence)
+    split = model_churn(profile, fabric=False, sequence=sequence)
+    single = model_churn(ChurnProfile(identities=20_000, reconnects=40_000,
+                                      shards=1, cache_capacity=8_192),
+                         fabric=False, sequence=sequence)
+    # The partitioned pathology: every shard bounce after a re-mint is a
+    # miss, so 4-way splitting loses most of the single-shard hit-rate.
+    assert split.hit_rate < 0.55 * single.hit_rate
+    # The fabric recovers it (>= because the store is shards x larger).
+    assert fabric.hit_rate >= single.hit_rate * 0.9
+    assert fabric.cross_shard_hits > 0
+    assert fabric.distinct_devices == split.distinct_devices
+
+
+def test_storm_model_frames_scale_with_shards_not_devices():
+    batched = model_revocation_storm(10_000, shards=4, batched=True)
+    naive = model_revocation_storm(10_000, shards=4, batched=False)
+    assert batched.frames == 4
+    assert naive.frames == 10_000
+    assert batched.drain_s < naive.drain_s
+    assert model_revocation_storm(0, shards=4, batched=True).frames == 0
+    with pytest.raises(ValueError):
+        model_revocation_storm(-1, shards=1, batched=True)

@@ -1,0 +1,250 @@
+"""Adversarial replication: frames that must never resurrect a ticket.
+
+The replication bus is an attack surface: a frame captured on the IPC
+channel (or a buggy router re-sending one) must never reinstate ticket
+state that revocation or supersession already retired. These tests
+inject crafted ``OP_TICKET_PUT`` / ``OP_TICKET_EVICT`` frames straight
+into live shard processes and pin the rejection at both defensive
+layers — the shard's versioned :class:`ReplicaState` admission and the
+appraisal cache's fingerprint-scoped :meth:`seed` — plus the cross-TEE
+key separation that replication must preserve.
+"""
+
+import copy
+
+from repro.appraisal import AppraisalEngine, AppraisalPolicy
+from repro.appraisal.envelope import TEE_SGX, TEE_TRUSTZONE
+from repro.core.verifier import VerifierPolicy
+from repro.crypto import ecdsa
+from repro.fleet import FleetConfig, start_fleet_gateway
+from repro.fleet.fabric.store import (
+    decode_ticket_put,
+    encode_ticket_evict,
+    encode_ticket_put,
+)
+from repro.fleet.loadgen import (
+    build_attester_stacks,
+    build_mixed_stacks,
+    run_one_handshake,
+    run_one_handshake_multi,
+)
+from repro.fleet.shards import OP_OK, OP_TICKET_EVICT, OP_TICKET_PUT
+from repro.testbed import Testbed
+
+HOST = "fleet.verifier"
+SECRET = b"adversarial fabric secret bytes!" * 2
+IDENTITY = ecdsa.keypair_from_private(0xB00B1E5 + 778)
+
+
+def _start(testbed, policy, port, engine=None, **overrides):
+    defaults = dict(shards=2, heartbeat_interval_s=0.05,
+                    heartbeat_timeout_s=1.0, fabric=True)
+    defaults.update(overrides)
+    return start_fleet_gateway(
+        testbed.network, HOST, port, None, testbed.vendor_key,
+        IDENTITY, policy, lambda: SECRET, FleetConfig(**defaults),
+        engine=engine,
+    )
+
+
+def _inject(gateway, shard, opcode, body):
+    """Send one crafted replication frame to a live shard process."""
+    status, resp = gateway._request(gateway._shards[shard], opcode, body,
+                                    timeout=5.0)
+    assert status == OP_OK
+    return resp
+
+
+def _replica_counts(gateway, shard):
+    return gateway.shard_snapshots()[shard]["fabric"]
+
+
+def test_replayed_and_stale_puts_are_rejected_on_the_shard():
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7860)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        # conn 1 -> shard 1 mints; replicate the ticket into shard 0.
+        assert run_one_handshake(testbed.network, HOST, 7860,
+                                 IDENTITY.public_bytes(), stack, 0).ok
+        store = gateway.fabric
+        key = next(iter(store._entries))
+        entry = store._entries[key]
+        if not gateway._replicate_to(0, key, "fabric_lazy_pushes"):
+            pass  # the eager owner push already landed it
+        genuine = encode_ticket_put(store.epoch, entry.seq, 0,
+                                    store.fingerprint, key,
+                                    entry.resumption_key)
+        before = _replica_counts(gateway, 0)
+
+        # 1. Byte-exact replay of the genuine frame: seq not newer.
+        assert _inject(gateway, 0, OP_TICKET_PUT, genuine) == b"\x00"
+        # 2. Old epoch, arbitrarily high sequence: epoch gates first.
+        assert _inject(gateway, 0, OP_TICKET_PUT, encode_ticket_put(
+            store.epoch - 1, entry.seq + 10_000, 0, store.fingerprint,
+            key, b"\xaa" * 16)) == b"\x00"
+        # 3. Newer sequence but a stale scope fingerprint: the replica
+        #    admits the version, the fingerprint-scoped cache refuses.
+        assert _inject(gateway, 0, OP_TICKET_PUT, encode_ticket_put(
+            store.epoch, entry.seq + 10_000, 0, b"\x99" * 32,
+            key, b"\xbb" * 16)) == b"\x00"
+        after = _replica_counts(gateway, 0)
+        assert after["rejected"] >= before["rejected"] + 2
+
+        # The genuine ticket still resumes: the forged keys never
+        # displaced the replicated one (conn 2 -> shard 0).
+        assert run_one_handshake(testbed.network, HOST, 7860,
+                                 IDENTITY.public_bytes(), stack, 1).ok
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, True]
+    finally:
+        gateway.stop()
+
+
+def test_evict_tombstone_blocks_straggler_put():
+    # A tombstoned ticket must stay dead even when an older PUT for the
+    # same key arrives afterwards (reordered replication).
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7861)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        assert run_one_handshake(testbed.network, HOST, 7861,
+                                 IDENTITY.public_bytes(), stack, 0).ok
+        store = gateway.fabric
+        key = next(iter(store._entries))
+        entry = store._entries[key]
+        gateway._replicate_to(0, key, "fabric_lazy_pushes")
+        straggler = encode_ticket_put(store.epoch, entry.seq, 0,
+                                      store.fingerprint, key,
+                                      entry.resumption_key)
+        epoch, seq, _replicas = store.evict(key)
+        assert _inject(gateway, 0, OP_TICKET_EVICT,
+                       encode_ticket_evict(epoch, seq, key)) == b"\x01"
+        # The straggler PUT is older than the tombstone: rejected, and
+        # the device's next resumption on that shard is a full verify.
+        assert _inject(gateway, 0, OP_TICKET_PUT, straggler) == b"\x00"
+        assert run_one_handshake(testbed.network, HOST, 7861,
+                                 IDENTITY.public_bytes(), stack, 1).ok
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, False]
+    finally:
+        gateway.stop()
+
+
+def test_unrevoke_never_resurrects_pre_revocation_tickets():
+    testbed = Testbed(first_serial=10)
+    appraisal = AppraisalPolicy()
+    engine = AppraisalEngine(appraisal)
+    gateway = _start(testbed, VerifierPolicy(), 7862, engine=engine)
+    try:
+        stack = build_mixed_stacks(testbed, appraisal, [TEE_TRUSTZONE])[0]
+        pristine = copy.deepcopy(appraisal)
+        for attempt in range(2):
+            result = run_one_handshake_multi(testbed.network, HOST, 7862,
+                                             IDENTITY.public_bytes(),
+                                             stack, attempt)
+            assert result.ok, result.error
+        store = gateway.fabric
+        key = next(iter(store._entries))
+        entry = store._entries[key]
+        captured = encode_ticket_put(store.epoch, entry.seq, 0,
+                                     store.fingerprint, key,
+                                     entry.resumption_key)
+        old_epoch = store.epoch
+
+        gateway.revoke_measurement(stack.claim)
+        denied = run_one_handshake_multi(testbed.network, HOST, 7862,
+                                         IDENTITY.public_bytes(), stack, 2)
+        assert not denied.ok and denied.error == "PolicyDenied"
+        # The epoch bumped and the authority purged every ticket.
+        assert store.epoch > old_epoch and len(store) == 0
+
+        # Un-revoke: restore the accept sets but keep the epoch counter
+        # monotonic (the AppraisalPolicy discipline — an epoch never
+        # repeats, so pre-revocation scopes are permanently retired).
+        restored = copy.deepcopy(pristine)
+        restored.epoch = engine.policy.epoch + 1
+        engine.replace_policy(restored)
+
+        # The captured pre-revocation PUT replayed into both shards is
+        # rejected everywhere: its epoch and fingerprint are both stale.
+        assert _inject(gateway, 0, OP_TICKET_PUT, captured) == b"\x00"
+        assert _inject(gateway, 1, OP_TICKET_PUT, captured) == b"\x00"
+        # The device re-attests fine — with a full verify, not the dead
+        # ticket: nothing resurrected anywhere in the fleet. (The denied
+        # msg2 raised before recording, so only three records exist.)
+        fresh = run_one_handshake_multi(testbed.network, HOST, 7862,
+                                        IDENTITY.public_bytes(), stack, 3)
+        assert fresh.ok, fresh.error
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, True, False]
+    finally:
+        gateway.stop()
+
+
+def test_fabric_evict_identity_purges_every_replica():
+    testbed = Testbed(first_serial=10)
+    policy = VerifierPolicy()
+    gateway = _start(testbed, policy, 7863)
+    try:
+        stack = build_attester_stacks(testbed, policy, 1)[0]
+        # Two handshakes: the ticket is minted on shard 1 and replicated
+        # to shard 0 (which resumes from it).
+        for attempt in range(2):
+            assert run_one_handshake(testbed.network, HOST, 7863,
+                                     IDENTITY.public_bytes(), stack,
+                                     attempt).ok
+        key = next(iter(gateway.fabric._entries))
+        assert gateway.fabric_evict_identity(key[1]) == 1
+        assert len(gateway.fabric) == 0
+        assert gateway.metrics.counter("fabric_ticket_evictions") == 1
+        # No replica serves the dead ticket: both affinities full-verify.
+        for attempt in range(2, 4):
+            assert run_one_handshake(testbed.network, HOST, 7863,
+                                     IDENTITY.public_bytes(), stack,
+                                     attempt).ok
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert msg2[0].cache_hit is False and msg2[1].cache_hit is True
+        assert [r.cache_hit for r in msg2[2:]] == [False, True]
+    finally:
+        gateway.stop()
+
+
+def test_cross_tee_tickets_never_collide_after_replication():
+    # One logical module attested from TrustZone and SGX: the replicated
+    # tickets stay distinct (tee_type + cache_extra live in the key), so
+    # neither backend can redeem the other's ticket on any shard.
+    testbed = Testbed(first_serial=10)
+    appraisal = AppraisalPolicy()
+    engine = AppraisalEngine(appraisal)
+    gateway = _start(testbed, VerifierPolicy(), 7864, engine=engine)
+    try:
+        tz, sgx = build_mixed_stacks(testbed, appraisal,
+                                     [TEE_TRUSTZONE, TEE_SGX])
+        for attempt in range(2):
+            for stack in (tz, sgx):
+                result = run_one_handshake_multi(
+                    testbed.network, HOST, 7864, IDENTITY.public_bytes(),
+                    stack, attempt)
+                assert result.ok, result.error
+        store = gateway.fabric
+        assert len(store) == 2
+        keys = list(store._entries)
+        assert {key[0] for key in keys} == {TEE_TRUSTZONE, TEE_SGX}
+        # Distinct resumption keys per backend, and the wire codec
+        # round-trips both keys without aliasing.
+        entries = [store._entries[key] for key in keys]
+        assert entries[0].resumption_key != entries[1].resumption_key
+        for key, entry in zip(keys, entries):
+            blob = encode_ticket_put(store.epoch, entry.seq, 0,
+                                     store.fingerprint, key,
+                                     entry.resumption_key)
+            _epoch, _seq, _age, _fp, decoded, rk = decode_ticket_put(blob)
+            assert decoded == key and rk == entry.resumption_key
+        # Every second-round msg2 resumed from its own backend's ticket.
+        msg2 = [r for r in gateway.drain_records() if r.kind == "msg2"]
+        assert [r.cache_hit for r in msg2] == [False, False, True, True]
+    finally:
+        gateway.stop()
