@@ -8,6 +8,7 @@ seedable PRNG used to derive attestation keys from the root of trust.
 
 from repro.crypto import ec
 from repro.crypto.aes import Aes128
+from repro.crypto.batch import BATCH_MAX, verify_batch
 from repro.crypto.cmac import MAC_SIZE, AesCmac, aes_cmac
 from repro.crypto.ecdh import SessionKeyPair, generate as generate_session_keypair, shared_secret
 from repro.crypto.ecdsa import (
@@ -34,6 +35,8 @@ from repro.crypto.kdf import SessionKeys, derive_kdk, derive_key, derive_session
 __all__ = [
     "ec",
     "Aes128",
+    "BATCH_MAX",
+    "verify_batch",
     "AesCmac",
     "aes_cmac",
     "MAC_SIZE",

@@ -45,7 +45,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CryptoError
 
@@ -122,6 +122,23 @@ def is_on_curve(point: Point) -> bool:
     if not (0 <= point.x < P and 0 <= point.y < P):
         return False
     return (point.y * point.y - (point.x**3 + A * point.x + B)) % P == 0
+
+
+def lift_x(x: int) -> Optional[Point]:
+    """Recover a curve point from an x-coordinate, or None off the curve.
+
+    ``P == 3 (mod 4)``, so the square root (when it exists) is a single
+    exponentiation; the returned point carries the root the exponent
+    produces — callers that need the conjugate negate ``y`` themselves.
+    Batch ECDSA verification uses this to rebuild the ``R`` point that
+    plain (x-only) signatures discard."""
+    if not 0 <= x < P:
+        return None
+    rhs = (x * x % P * x + A * x + B) % P
+    y = pow(rhs, (P + 1) // 4, P)
+    if y * y % P != rhs:
+        return None
+    return Point(x, y)
 
 
 # Jacobian coordinates: (X, Y, Z) represents the affine point (X/Z^2, Y/Z^3).
@@ -356,23 +373,50 @@ def _odd_multiples_affine(point: Point, width: int) -> List[Tuple[int, int]]:
                                                     width))
 
 
-def _build_split_table(point: Point, width: int
-                       ) -> List[List[Tuple[int, int]]]:
-    """table[c] == odd multiples of ``2**(32c) * point``, all affine.
+def _odd_multiples_affine_many(points: Sequence[Point], width: int
+                               ) -> List[List[Tuple[int, int]]]:
+    """One-shot odd-multiple tables for many points, ONE batch inversion.
 
-    One doubling ladder walks the eight chunk bases; all the resulting
-    Jacobian points are normalised with a single batch inversion."""
+    The batch-verification helper: ``n`` recovered ``R`` points need
+    their little wNAF tables, and sharing the inversion keeps the
+    amortised setup cost flat in ``n``."""
+    flats = [_odd_multiples_jacobian(_to_jacobian(point), width)
+             for point in points]
+    stride = 1 << (width - 2)
+    affine = _batch_normalize([entry for flat in flats for entry in flat])
+    return [affine[index * stride: (index + 1) * stride]
+            for index in range(len(points))]
+
+
+def _split_table_jacobian(point: Point, width: int) -> List[_Jacobian]:
+    """The flat Jacobian split table of one point (normalisation deferred).
+
+    One doubling ladder walks the eight chunk bases; the caller decides
+    how many points share the single batch inversion — one key's worth
+    (:func:`_build_split_table`) or a whole batch of keys' worth
+    (:func:`precompute_public_keys`)."""
     base = _to_jacobian(point)
-    chunks: List[List[_Jacobian]] = []
+    flat: List[_Jacobian] = []
     for chunk in range(_SPLIT_CHUNKS):
-        chunks.append(_odd_multiples_jacobian(base, width))
+        flat.extend(_odd_multiples_jacobian(base, width))
         if chunk + 1 < _SPLIT_CHUNKS:
             for _ in range(_SPLIT_BITS):
                 base = _jacobian_double(base)
-    flat = [entry for chunk_table in chunks for entry in chunk_table]
-    affine = _batch_normalize(flat)
+    return flat
+
+
+def _chunk_split_table(affine: List[Tuple[int, int]], width: int
+                       ) -> List[List[Tuple[int, int]]]:
     size = 1 << (width - 2)
     return [affine[c * size: (c + 1) * size] for c in range(_SPLIT_CHUNKS)]
+
+
+def _build_split_table(point: Point, width: int
+                       ) -> List[List[Tuple[int, int]]]:
+    """table[c] == odd multiples of ``2**(32c) * point``, all affine,
+    normalised with a single batch inversion."""
+    return _chunk_split_table(_batch_normalize(_split_table_jacobian(
+        point, width)), width)
 
 
 def _generator_comb() -> List[List[Tuple[int, int]]]:
@@ -427,6 +471,47 @@ def precompute_public_key(point: Point) -> List[List[Tuple[int, int]]]:
         while len(_key_tables) > _KEY_TABLE_CAPACITY:
             _key_tables.popitem(last=False)
     return table
+
+
+def precompute_public_keys(points: Iterable[Point]) -> int:
+    """Build split tables for many public keys at once; returns how many.
+
+    The pipelined form of :func:`precompute_public_key`: the Jacobian
+    ladders of every *missing* key are built back to back and then
+    normalised with ONE batch inversion across all of them, instead of
+    one inversion per key. The gateway's batch tick uses this to overlap
+    one lane's table construction with another's — a whole drain of
+    first-sight attesters costs a single field inversion."""
+    fresh: List[Point] = []
+    seen: set = set()
+    for point in points:
+        if point.is_infinity:
+            raise CryptoError("cannot precompute the point at infinity")
+        key = (point.x, point.y)
+        if key in seen:
+            continue
+        seen.add(key)
+        fresh.append(point)
+    with _tables_lock:
+        missing = [point for point in fresh
+                   if (point.x, point.y) not in _key_tables]
+        for point in fresh:
+            if (point.x, point.y) in _key_tables:
+                _key_tables.move_to_end((point.x, point.y))
+    if not missing:
+        return 0
+    flats = [_split_table_jacobian(point, _WNAF_WIDTH) for point in missing]
+    stride = len(flats[0])
+    affine = _batch_normalize([entry for flat in flats for entry in flat])
+    with _tables_lock:
+        for index, point in enumerate(missing):
+            table = _chunk_split_table(
+                affine[index * stride: (index + 1) * stride], _WNAF_WIDTH)
+            _key_tables[(point.x, point.y)] = table
+            _key_tables.move_to_end((point.x, point.y))
+        while len(_key_tables) > _KEY_TABLE_CAPACITY:
+            _key_tables.popitem(last=False)
+    return len(missing)
 
 
 def _cached_key_table(point: Point
@@ -575,33 +660,69 @@ def scalar_base_mult(k: int) -> Point:
     return _scalar_base_mult_comb(k)
 
 
+#: A multi-scalar term: ``(scalar, point)``; ``None`` stands for the
+#: generator (wide global split table), an explicit point rides its
+#: cached per-key table or a one-shot odd-multiples table.
+MultiScalarTerm = Tuple[int, Optional[Point]]
+
+
+def multi_scalar_mult(terms: Sequence[MultiScalarTerm],
+                      tables: Optional[Sequence[Optional[
+                          List[Tuple[int, int]]]]] = None) -> Point:
+    """Compute ``sum(k_i * P_i)`` on ONE shared doubling chain (Strauss).
+
+    The n-term generalisation of Shamir's trick: every term's wNAF
+    expansion interleaves onto a single inlined doubling chain, so the
+    dominant cost — the doublings — is paid once for the whole sum
+    instead of once per term. This is the engine of randomised-linear-
+    combination batch ECDSA verification (:mod:`repro.crypto.batch`).
+
+    ``tables`` optionally supplies a prebuilt odd-multiples table per
+    term (``None`` entries fall through to the cache / one-shot logic),
+    letting a batch caller build all one-shot tables with a single
+    shared inversion first."""
+    if not _fast_paths:
+        acc = INFINITY
+        for k, point in terms:
+            acc = add(acc, scalar_mult_naive(
+                k, GENERATOR if point is None else point))
+        return acc
+    pairs: List[Tuple[List[int], List[Tuple[int, int]]]] = []
+    for index, (k, point) in enumerate(terms):
+        k %= N
+        if not k:
+            continue
+        if point is None:
+            pairs.extend(_split_pairs(k, _generator_split(),
+                                      _GEN_WNAF_WIDTH))
+            continue
+        if point.is_infinity:
+            continue
+        prebuilt = tables[index] if tables is not None else None
+        if prebuilt is not None:
+            pairs.append((_wnaf_digits(k, _WNAF_WIDTH), prebuilt))
+            continue
+        split = _cached_key_table(point)
+        if split is not None:
+            pairs.extend(_split_pairs(k, split, _WNAF_WIDTH))
+        else:
+            # Unknown key: a one-shot odd-multiples table on the full
+            # chain; the other terms interleave onto the same chain.
+            table = _odd_multiples_affine(point, _WNAF_WIDTH)
+            pairs.append((_wnaf_digits(k, _WNAF_WIDTH), table))
+    if not pairs:
+        return INFINITY
+    return _from_jacobian(_wnaf_chain(pairs))
+
+
 def double_scalar_base_mult(u1: int, u2: int, point: Point) -> Point:
     """Compute ``u1*G + u2*point`` jointly (Shamir's trick).
 
     The single hottest verifier-side operation: ECDSA verification is one
     call of this instead of two full multiplications plus an addition.
-    Both wNAF expansions share one doubling chain; G uses the wide global
-    table, ``point`` its (possibly cached) per-key table."""
-    u1 %= N
-    u2 %= N
-    if not _fast_paths:
-        return add(scalar_mult_naive(u1, GENERATOR),
-                   scalar_mult_naive(u2, point))
-    pairs: List[Tuple[List[int], List[Tuple[int, int]]]] = []
-    if u1:
-        pairs.extend(_split_pairs(u1, _generator_split(), _GEN_WNAF_WIDTH))
-    if u2 and not point.is_infinity:
-        split = _cached_key_table(point)
-        if split is not None:
-            pairs.extend(_split_pairs(u2, split, _WNAF_WIDTH))
-        else:
-            # Unknown key: a one-shot odd-multiples table on the full
-            # chain; G's split chunks interleave onto the same chain.
-            table = _odd_multiples_affine(point, _WNAF_WIDTH)
-            pairs.append((_wnaf_digits(u2, _WNAF_WIDTH), table))
-    if not pairs:
-        return INFINITY
-    return _from_jacobian(_wnaf_chain(pairs))
+    The two-term special case of :func:`multi_scalar_mult`; G uses the
+    wide global table, ``point`` its (possibly cached) per-key table."""
+    return multi_scalar_mult(((u1, None), (u2, point)))
 
 
 # --- key validation -------------------------------------------------------------

@@ -7,6 +7,15 @@ management, an appraisal cache for the hot path, explicit backpressure,
 and observable metrics. See DESIGN.md, "Fleet gateway".
 """
 
+from repro.fleet.asynccore import (
+    LOOP_BACKEND,
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    FrameWriter,
+    Reactor,
+    encode_frame,
+)
 from repro.fleet.backpressure import AdmissionController, TokenBucket
 from repro.fleet.cache import AppraisalCache
 from repro.fleet.fabric import (
@@ -55,6 +64,13 @@ from repro.fleet.shards import (
 )
 
 __all__ = [
+    "LOOP_BACKEND",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameReader",
+    "FrameWriter",
+    "Reactor",
+    "encode_frame",
     "AdmissionController",
     "TokenBucket",
     "AppraisalCache",

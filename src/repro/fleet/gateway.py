@@ -31,7 +31,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import protocol
 from repro.core.server import SecretProvider, VerifierProtocolState
@@ -89,6 +89,113 @@ def prewarm_msg2_tables(data: bytes) -> bool:
     except Exception:
         return False
     return True
+
+
+#: One batchable verification: (public key point, message, signature) —
+#: exactly the triple :meth:`SignedEvidence.verify_signature` checks.
+BatchCandidate = Tuple[ec.Point, bytes, bytes]
+
+
+def batch_candidate_from_message(data: bytes) -> Optional[BatchCandidate]:
+    """Extract the ECDSA triple a *plain, ticketless* msg2 will verify.
+
+    Only those messages are admitted to a batch: a resumption ticket may
+    satisfy the appraisal cache instead of the signature check, and the
+    encrypted/multi-TEE variants verify through backend codecs. Like
+    :func:`prewarm_msg2_tables` this is advisory math over public bytes:
+    malformed input yields ``None`` and takes the normal path, where the
+    protocol reports the real error.
+    """
+    if not data or data[0] != protocol.MSG2:
+        return None
+    try:
+        message = protocol.decode_msg2(data)
+    except Exception:
+        return None
+    if message.ticket:
+        return None
+    signed = message.signed_evidence
+    try:
+        public = ec.decode_point(signed.evidence.attestation_public_key)
+    except Exception:
+        return None
+    return public, signed.evidence.encode(), signed.signature
+
+
+class _Msg2Batcher:
+    """Stage concurrently in-flight msg2 verifies and check them jointly.
+
+    Worker threads stage their message's ECDSA triple on entry and call
+    :meth:`drain` right after acquiring the device lock. The first
+    drainer to find two or more staged items runs ONE randomised batch
+    verification (:func:`repro.crypto.batch.verify_batch`) and seeds the
+    consume-once memo, so every covered lane's in-lock TA invoke settles
+    its signature check with a dict lookup. Because drains serialise on
+    the device lock, a thread reaching its own drain either still holds
+    its item (batch or solo) or finds the share an earlier drainer left
+    for it — there is no window where a message's verify work can be
+    double-counted or lost.
+
+    Accounting is honest: the batch's elapsed wall time is split evenly
+    across the covered messages and added to each one's ``service_s``,
+    so the capacity model sees the amortised cost, not a fictitious
+    zero-cost verify.
+    """
+
+    def __init__(self, metrics: FleetMetrics) -> None:
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._staged: Dict[int, BatchCandidate] = {}
+        self._shares: Dict[int, float] = {}
+        self._next_token = 0
+
+    def stage(self, data: bytes) -> Optional[int]:
+        item = batch_candidate_from_message(data)
+        if item is None:
+            return None
+        with self._lock:
+            self._next_token += 1
+            token = self._next_token
+            self._staged[token] = item
+        return token
+
+    def should_prewarm(self, token: int) -> bool:
+        """Solo so far: keep the legacy prewarm-outside-the-lock path.
+
+        A second stager arriving later still batches this item — with
+        warm tables then, which is a wash — while a message that stays
+        alone behaves byte-for-byte like the unbatched gateway.
+        """
+        with self._lock:
+            return token in self._staged and len(self._staged) == 1
+
+    def drain(self, token: int) -> float:
+        """Settle ``token`` under the device lock; returns its share.
+
+        Exactly one of three things happens: an earlier drainer already
+        covered us (collect the share), we are alone (withdraw — the TA
+        verifies as usual), or we batch-verify everything staged.
+        """
+        from repro.crypto.batch import verify_batch
+
+        with self._lock:
+            if token not in self._staged:
+                return self._shares.pop(token, 0.0)
+            if len(self._staged) < 2:
+                del self._staged[token]
+                return 0.0
+            staged, self._staged = self._staged, {}
+        started = time.perf_counter()
+        verify_batch(list(staged.values()), seed_memo=True)
+        share = (time.perf_counter() - started) / len(staged)
+        with self._lock:
+            for other in staged:
+                if other != token:
+                    self._shares[other] = share
+        self._metrics.increment("batch_drains")
+        self._metrics.increment("batch_verified", len(staged))
+        self._metrics.observe("batch.drain", share * len(staged))
+        return share
 
 
 @dataclass(frozen=True)
@@ -158,6 +265,21 @@ class FleetConfig:
     #: ``0`` flushes inline, one frame per evict — the pre-batching
     #: cadence.
     evict_coalesce_s: float = 0.0
+    #: Batched ECDSA verification (:mod:`repro.crypto.batch`): when a
+    #: loop tick (sharded) or a device-lock convoy (threaded) holds two
+    #: or more independent plain msg2s, their signature checks ride one
+    #: randomised multi-scalar chain and seed the consume-once memo the
+    #: verifier TA then hits. Accept/reject behaviour, transcripts and
+    #: SimClock ns are identical either way — the knob exists for A/B
+    #: measurement, and the batch disarms itself automatically wherever
+    #: it could perturb observation (cost recorder or tracer attached).
+    batch_verify: bool = True
+    #: Arm a per-shard :class:`repro.obs.Tracer` inside each worker
+    #: process and export folded flame stacks over the control channel
+    #: (:meth:`ShardedGateway.shard_flame`). In-process tracing stays a
+    #: threaded-gateway facility; this is its cross-process counterpart
+    #: for proving where the async core's time goes.
+    shard_trace: bool = False
 
 
 def make_fleet_verifier_ta(identity: ecdsa.KeyPair, policy: VerifierPolicy,
@@ -336,6 +458,13 @@ class AttestationGateway:
         # One secure monitor: TA invocations across all lanes serialise on
         # the board's single world-transition path.
         self._device_lock = threading.Lock()
+        #: Joint msg2 verification across lanes convoyed on that lock.
+        #: Disarmed whenever observation hooks are live: a cost recorder
+        #: pins per-phase costs and a tracer pins span shapes, and the
+        #: memo fast path would shift both.
+        self._batcher: Optional[_Msg2Batcher] = None
+        if config.batch_verify and recorder is None and tracer is None:
+            self._batcher = _Msg2Batcher(self.metrics)
         self._conn_counter = 0
         self._conn_lock = threading.Lock()
         self._lanes: List[_Lane] = []
@@ -442,15 +571,29 @@ class AttestationGateway:
         lane = self._lanes[entry.lane]
         clock = self.client.kernel.soc.clock
         service_s = 0.0
-        if self.config.prewarm_crypto and kind == "msg2":
+        batch_token = None
+        if kind == "msg2" and self._batcher is not None:
+            batch_token = self._batcher.stage(data)
+        if self.config.prewarm_crypto and kind == "msg2" and \
+                (batch_token is None
+                 or self._batcher.should_prewarm(batch_token)):
             # Critical-section shrink: the appraisal's expensive EC table
             # construction happens here, in the worker thread, before the
             # single secure-monitor lock serialises us. It is pure,
             # idempotent math over *public* bytes, so the simulation
             # contract (every world transition under the lock) is intact.
+            # A message already convoyed into a batch skips it — its
+            # verify settles from the memo, never touching the tables.
             self._prewarm_crypto(data)
         try:
             with self._device_lock:
+                # Batched verification first: if other lanes staged msg2s
+                # while we waited for the lock, ONE multi-scalar chain
+                # settles all of them and seeds the memo the invokes
+                # below consume. Our share of its wall time joins this
+                # message's service_s — honest amortised accounting.
+                batch_share = (self._batcher.drain(batch_token)
+                               if batch_token is not None else 0.0)
                 # Read inside the lock: invokes serialise here, so the
                 # hits delta is unambiguously this message's.
                 hits_before = (self.cache.hits
@@ -471,7 +614,7 @@ class AttestationGateway:
                                 {"conn": conn_id, "data": data})
                             span.attrs["done"] = bool(result.get("done"))
                 finally:
-                    service_s = time.perf_counter() - started
+                    service_s = time.perf_counter() - started + batch_share
                     sim_delta = clock.now_ns() - sim_before
                 cache_hit = (self.cache is not None
                              and self.cache.hits > hits_before)

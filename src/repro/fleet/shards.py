@@ -59,12 +59,14 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import selectors
 import socket
 import struct
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.appraisal.audit import AuditEntry, entry_from_dict
 from repro.core.server import SecretProvider
@@ -75,6 +77,14 @@ from repro.errors import (
     FleetOverloaded,
     FleetShardCrashed,
     TeeBadParameters,
+)
+from repro.fleet.asynccore import (
+    LOOP_BACKEND,
+    FrameError,
+    FrameReader,
+    FrameWriter,
+    Reactor,
+    encode_frame,
 )
 from repro.fleet.backpressure import AdmissionController, TokenBucket
 from repro.fleet.cache import AppraisalCache, CacheKey, policy_fingerprint
@@ -97,6 +107,7 @@ from repro.fleet.gateway import (
     FleetConfig,
     MessageRecord,
     _GatewayConnection,
+    batch_candidate_from_message,
     make_fleet_verifier_ta,
     prewarm_msg2_tables,
 )
@@ -134,42 +145,18 @@ OP_TICKET_EVICT = 0x08
 OP_TICKET_SYNC = 0x09
 #: Hierarchy opcode (control channel): incremental audit-log export.
 OP_AUDIT = 0x0A
+#: Flame export (control channel): drain the shard-local tracer's spans
+#: as folded stacks + a per-name summary (``FleetConfig.shard_trace``).
+OP_FLAME = 0x0B
 OP_OK = 0x40
 OP_ERR = 0x41
 
 
 def _send_frame(sock: socket.socket, lock: threading.Lock, opcode: int,
                 req_id: int, body: bytes = b"") -> None:
-    frame = (_FRAME_HEADER.pack(_FRAME_PREFIX.size + len(body))
-             + _FRAME_PREFIX.pack(opcode, req_id) + body)
+    frame = encode_frame(opcode, req_id, body)
     with lock:
         sock.sendall(frame)
-
-
-def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
-    chunks = []
-    while size:
-        try:
-            chunk = sock.recv(size)
-        except OSError:
-            return None
-        if not chunk:
-            return None
-        chunks.append(chunk)
-        size -= len(chunk)
-    return b"".join(chunks)
-
-
-def _recv_frame(sock: socket.socket) -> Optional[Tuple[int, int, bytes]]:
-    header = _recv_exact(sock, _FRAME_HEADER.size)
-    if header is None:
-        return None
-    (length,) = _FRAME_HEADER.unpack(header)
-    payload = _recv_exact(sock, length)
-    if payload is None or len(payload) < _FRAME_PREFIX.size:
-        return None
-    opcode, req_id = _FRAME_PREFIX.unpack_from(payload)
-    return opcode, req_id, payload[_FRAME_PREFIX.size:]
 
 
 def encode_policy(policy: VerifierPolicy) -> bytes:
@@ -360,11 +347,18 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                inherited: Tuple[socket.socket, ...] = ()) -> None:
     """Entry point of one verifier shard process.
 
-    Boots a fresh board, installs the fleet verifier TA, then serves the
-    data channel sequentially (one frame at a time — parallelism lives
-    *across* shards). A tiny control thread answers heartbeats and
-    metric-snapshot requests so supervision never queues behind verifier
-    work.
+    Boots a fresh board, installs the fleet verifier TA, then runs ONE
+    selector loop over both channels — no reader/control threads, no
+    per-message thread wakeups, no locks. Control frames (heartbeats,
+    snapshots) are answered the moment they arrive and re-checked
+    between data frames, so supervision waits at most one verifier
+    serve. Data frames queue in arrival order (fabric replication
+    ordering — a ticket push sent before a msg2 is applied before it)
+    and are served strictly sequentially, exactly like the threaded
+    loop; what changed is *around* the serves: zero-copy incremental
+    frame parsing, and a batch tick that joins the ECDSA checks of
+    every independent plain msg2 waiting in the queue into one
+    randomised multi-scalar chain whose time is split across them.
     """
     # Forked children inherit every parent fd: drop the other shards'
     # channel ends so their EOFs stay meaningful to the router.
@@ -412,8 +406,17 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
         ec.scalar_base_mult(2)
         ec.precompute_public_key(identity.public)
 
-    data_lock = threading.Lock()
-    ctrl_lock = threading.Lock()
+    tracer = None
+    if config.shard_trace:
+        from repro.obs import Tracer
+
+        # Shard-local dual-clock tracer: world transitions from this
+        # shard's board plus the loop's own phases. Spans stay in the
+        # worker and export on demand over OP_FLAME — in-process tracing
+        # (the constructor-rejected kind) remains a threaded facility.
+        tracer = Tracer(sim_now=clock.now_ns)
+        device.soc.attach_tracer(tracer)
+
     #: Data-loop progress counter, reported in pongs so the supervisor
     #: can tell "busy but alive" from "stuck on one frame".
     progress = {"frames": 0}
@@ -436,61 +439,78 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
             return False
         return cache.seed(fingerprint, key, resumption_key, age_ns=age_ns)
 
-    def control_loop() -> None:
-        while True:
-            frame = _recv_frame(ctrl_sock)
-            if frame is None:
-                return
-            opcode, req_id, _body = frame
-            try:
-                if opcode == OP_PING:
-                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
-                                _PONG.pack(progress["frames"]))
-                elif opcode == OP_SNAPSHOT:
-                    state = {
-                        "metrics": metrics.state(),
-                        "cache": (cache.snapshot()
-                                  if cache is not None else None),
-                        "live_states": session.ta.live_states,
-                        "audit": (engine.audit.counts_by_reason()
-                                  if engine is not None else None),
-                        "fabric": (replica.snapshot()
-                                   if replica is not None else None),
-                    }
-                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
-                                json.dumps(state).encode())
-                elif opcode == OP_AUDIT:
-                    (since,) = _CONN_ID.unpack_from(_body)
-                    entries = (engine.audit.entries_since(since)
-                               if engine is not None else [])
-                    _send_frame(ctrl_sock, ctrl_lock, OP_OK, req_id,
-                                json.dumps([entry.to_dict()
-                                            for entry in entries]).encode())
-                else:
-                    raise TeeBadParameters(
-                        f"unknown control opcode {opcode:#x}")
-            except Exception as exc:
-                _send_frame(ctrl_sock, ctrl_lock, OP_ERR, req_id,
-                            _encode_error(exc))
+    ctrl_writer = FrameWriter(ctrl_sock)
 
-    threading.Thread(target=control_loop, daemon=True,
-                     name=f"shard-{spec.index}-control").start()
+    def serve_control(opcode: int, req_id: int, body: bytes) -> None:
+        try:
+            if opcode == OP_PING:
+                ctrl_writer.send(OP_OK, req_id,
+                                 _PONG.pack(progress["frames"]))
+            elif opcode == OP_SNAPSHOT:
+                state = {
+                    "metrics": metrics.state(),
+                    "cache": (cache.snapshot()
+                              if cache is not None else None),
+                    "live_states": session.ta.live_states,
+                    "audit": (engine.audit.counts_by_reason()
+                              if engine is not None else None),
+                    "fabric": (replica.snapshot()
+                               if replica is not None else None),
+                }
+                ctrl_writer.send(OP_OK, req_id, json.dumps(state).encode())
+            elif opcode == OP_AUDIT:
+                (since,) = _CONN_ID.unpack_from(body)
+                entries = (engine.audit.entries_since(since)
+                           if engine is not None else [])
+                ctrl_writer.send(OP_OK, req_id,
+                                 json.dumps([entry.to_dict()
+                                             for entry in entries]).encode())
+            elif opcode == OP_FLAME:
+                from repro.obs.export import flame_summary, folded_stacks
 
-    def serve_message(body: bytes) -> bytes:
+                spans = tracer.drain() if tracer is not None else []
+                payload = {
+                    "folded_wall": folded_stacks(spans, clock="wall"),
+                    "folded_sim": folded_stacks(spans, clock="sim"),
+                    "summary": flame_summary(spans),
+                    "spans": len(spans),
+                }
+                ctrl_writer.send(OP_OK, req_id,
+                                 json.dumps(payload).encode())
+            else:
+                raise TeeBadParameters(
+                    f"unknown control opcode {opcode:#x}")
+        except Exception as exc:
+            ctrl_writer.send(OP_ERR, req_id, _encode_error(exc))
+
+    def serve_message(body: bytes, extra_s: float = 0.0,
+                      batched: bool = False) -> bytes:
         (conn_id,) = _CONN_ID.unpack_from(body)
         data = body[_CONN_ID.size:]
         kind = AttestationGateway._kind(data)
-        if config.prewarm_crypto and kind == "msg2" and \
+        if config.prewarm_crypto and kind == "msg2" and not batched and \
                 prewarm_msg2_tables(data):
+            # A batch-covered msg2 skips the table build outright: its
+            # verify settles from the memo, never touching the tables.
             metrics.increment("crypto_prewarms")
         hits_before = cache.hits if cache is not None else 0
         sim_before = clock.now_ns()
         started = time.perf_counter()
         try:
-            result = session.invoke(CMD_FLEET_MESSAGE,
-                                    {"conn": conn_id, "data": data})
+            if tracer is None:
+                result = session.invoke(CMD_FLEET_MESSAGE,
+                                        {"conn": conn_id, "data": data})
+            else:
+                with tracer.span("fleet.request", lane=spec.index,
+                                 conn=conn_id, kind=kind):
+                    result = session.invoke(CMD_FLEET_MESSAGE,
+                                            {"conn": conn_id, "data": data})
         finally:
-            service_s = time.perf_counter() - started
+            # ``extra_s`` is this message's share of the batch tick that
+            # verified its signature ahead of the invoke — the amortised
+            # cost travels with the message, so the capacity model sees
+            # the true service time, not a subsidised one.
+            service_s = time.perf_counter() - started + extra_s
             metrics.observe(f"service.{kind}", service_s)
         sim_delta = clock.now_ns() - sim_before
         cache_hit = cache is not None and cache.hits > hits_before
@@ -517,17 +537,60 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                                                service_s,
                                                result.get("reply"), mints)
 
-    running = True
-    while running:
-        frame = _recv_frame(data_sock)
-        if frame is None:
-            break
-        opcode, req_id, body = frame
+    data_writer = FrameWriter(data_sock)
+    #: Data frames parsed but not yet served, in arrival order — the
+    #: order the fabric's lazy-push-before-msg2 discipline relies on.
+    queue: Deque[Tuple[int, int, bytes]] = deque()
+    #: req-id -> this message's share of a batch tick's elapsed time.
+    #: Membership doubles as "signature already settled, skip prewarm".
+    batch_shares: Dict[int, float] = {}
+    state = {"running": True, "ctrl_open": True}
+
+    def batch_tick() -> None:
+        """Jointly verify every independent plain msg2 waiting in line.
+
+        Runs when the frame about to be served is a batchable msg2 and
+        at least one more is queued behind it: ONE randomised
+        multi-scalar chain (:func:`repro.crypto.batch.verify_batch`)
+        settles them all and seeds the consume-once memo, so each later
+        TA invoke's signature check is a dict hit. The elapsed time is
+        split evenly across the covered messages (`batch_shares`). This
+        is the handshake pipelining of the perf tentpole: while one
+        lane's msg0 ECDH waits its turn, the hash+verify work of every
+        queued msg2 has already been amortised.
+        """
+        from repro.crypto.batch import verify_batch
+
+        staged: List[Tuple[int, tuple]] = []
+        for opcode, req_id, body in queue:
+            if opcode != OP_MESSAGE or req_id in batch_shares:
+                continue
+            item = batch_candidate_from_message(body[_CONN_ID.size:])
+            if item is not None:
+                staged.append((req_id, item))
+        if len(staged) < 2:
+            return
+        started = time.perf_counter()
+        if tracer is None:
+            verify_batch([item for _, item in staged], seed_memo=True)
+        else:
+            with tracer.span("fleet.batch_verify", n=len(staged)):
+                verify_batch([item for _, item in staged], seed_memo=True)
+        share = (time.perf_counter() - started) / len(staged)
+        for req_id, _ in staged:
+            batch_shares[req_id] = share
+        metrics.increment("batch_drains")
+        metrics.increment("batch_verified", len(staged))
+        metrics.observe("batch.drain", share * len(staged))
+
+    def serve_data(opcode: int, req_id: int, body: bytes) -> None:
         progress["frames"] += 1
         try:
             if opcode == OP_MESSAGE:
-                _send_frame(data_sock, data_lock, OP_OK, req_id,
-                            serve_message(body))
+                extra_s = batch_shares.pop(req_id, None)
+                data_writer.send(OP_OK, req_id,
+                                 serve_message(body, extra_s or 0.0,
+                                               batched=extra_s is not None))
             elif opcode == OP_EVICT:
                 if len(body) == _CONN_ID.size:
                     # Legacy single-conn frame: the exact TA invoke the
@@ -541,19 +604,17 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                     elif conns:
                         session.invoke(CMD_FLEET_EVICT,
                                        {"conns": list(conns)})
-                _send_frame(data_sock, data_lock, OP_OK, req_id)
+                data_writer.send(OP_OK, req_id)
             elif opcode == OP_TICKET_PUT:
                 ok = apply_ticket_put(body)
-                _send_frame(data_sock, data_lock, OP_OK, req_id,
-                            b"\x01" if ok else b"\x00")
+                data_writer.send(OP_OK, req_id, b"\x01" if ok else b"\x00")
             elif opcode == OP_TICKET_EVICT:
                 epoch, seq, key = decode_ticket_evict(body)
                 ok = replica is not None and \
                     replica.admit_evict(epoch, seq, key)
                 if ok:
                     cache.evict_key(key)
-                _send_frame(data_sock, data_lock, OP_OK, req_id,
-                            b"\x01" if ok else b"\x00")
+                data_writer.send(OP_OK, req_id, b"\x01" if ok else b"\x00")
             elif opcode == OP_TICKET_SYNC:
                 (count,) = struct.unpack_from(">I", body)
                 offset, applied = 4, 0
@@ -563,8 +624,7 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
                     if apply_ticket_put(body[offset:offset + length]):
                         applied += 1
                     offset += length
-                _send_frame(data_sock, data_lock, OP_OK, req_id,
-                            struct.pack(">I", applied))
+                data_writer.send(OP_OK, req_id, struct.pack(">I", applied))
             elif opcode == OP_POLICY:
                 vp_blob, ap_blob = decode_policy_bundle(body)
                 decode_policy_into(policy, vp_blob)
@@ -573,19 +633,85 @@ def shard_main(spec: ShardSpec, data_sock: socket.socket,
 
                     engine.replace_policy(AppraisalPolicy.decode(ap_blob))
                 metrics.increment("policy_syncs")
-                _send_frame(data_sock, data_lock, OP_OK, req_id)
+                data_writer.send(OP_OK, req_id)
             elif opcode == OP_SHUTDOWN:
-                _send_frame(data_sock, data_lock, OP_OK, req_id)
-                running = False
+                data_writer.send(OP_OK, req_id)
+                state["running"] = False
             else:
                 raise TeeBadParameters(f"unknown data opcode {opcode:#x}")
+        except OSError:
+            # The router side of the channel is gone mid-reply; the
+            # supervisor will reap us — stop serving.
+            state["running"] = False
         except Exception as exc:
-            _send_frame(data_sock, data_lock, OP_ERR, req_id,
-                        _encode_error(exc))
+            data_writer.send(OP_ERR, req_id, _encode_error(exc))
+
+    selector = selectors.DefaultSelector()
+    data_reader = FrameReader()
+    ctrl_reader = FrameReader()
+    selector.register(data_sock, selectors.EVENT_READ,
+                      (data_reader, False))
+    selector.register(ctrl_sock, selectors.EVENT_READ,
+                      (ctrl_reader, True))
+
+    def pump(timeout: Optional[float]) -> None:
+        """One selector pass: answer control, queue data, in that order.
+
+        Called blocking (``None``) when idle and non-blocking (``0``)
+        between data serves, which is what keeps heartbeat latency
+        bounded by one verifier serve instead of one queue drain.
+        """
+        for key, _mask in selector.select(timeout):
+            reader, is_ctrl = key.data
+            status = reader.fill(key.fileobj)
+            if status is False:
+                selector.unregister(key.fileobj)
+                if is_ctrl:
+                    state["ctrl_open"] = False
+                else:
+                    # Router hung up: protocol state is worthless without
+                    # a peer — drop anything unserved and wind down.
+                    state["running"] = False
+                    queue.clear()
+                continue
+            if status is None:
+                continue
+            try:
+                frames = list(reader.frames())
+            except FrameError:
+                selector.unregister(key.fileobj)
+                if is_ctrl:
+                    state["ctrl_open"] = False
+                else:
+                    state["running"] = False
+                    queue.clear()
+                continue
+            for opcode, req_id, body in frames:
+                if is_ctrl:
+                    serve_control(opcode, req_id, bytes(body))
+                else:
+                    queue.append((opcode, req_id, bytes(body)))
+
+    try:
+        while state["running"]:
+            if not queue:
+                pump(None)
+                continue
+            if config.batch_verify and len(queue) > 1 and \
+                    queue[0][0] == OP_MESSAGE and \
+                    queue[0][1] not in batch_shares:
+                batch_tick()
+            serve_data(*queue.popleft())
+            # Control priority between serves: a ping that arrived while
+            # we verified never waits behind the rest of the queue.
+            pump(0)
+    except OSError:
+        pass
     try:
         session.close()
     except Exception:
         pass
+    selector.close()
     for sock in (data_sock, ctrl_sock):
         try:
             sock.close()
@@ -609,11 +735,17 @@ class _Pending:
 
 
 class _ShardChannel:
-    """One generation of a shard worker: process, sockets, reader threads."""
+    """One generation of a shard worker: process, sockets, reactor slots.
+
+    Response frames are demultiplexed by the gateway's single
+    :class:`~repro.fleet.asynccore.Reactor` — no per-channel reader
+    threads; the only wakeup a response costs is the waiter's own event.
+    """
 
     def __init__(self, spec: ShardSpec, context,
-                 siblings: List[socket.socket]) -> None:
+                 siblings: List[socket.socket], reactor: Reactor) -> None:
         self.spec = spec
+        self.reactor = reactor
         data_parent, data_child = socket.socketpair()
         ctrl_parent, ctrl_child = socket.socketpair()
         self.data_sock = data_parent
@@ -636,10 +768,23 @@ class _ShardChannel:
         self.process.start()
         data_child.close()
         ctrl_child.close()
+        # Request ids are unique across both sockets (one counter), so
+        # one frame callback serves them both.
         for sock in (data_parent, ctrl_parent):
-            threading.Thread(target=self._read_loop, args=(sock,),
-                             daemon=True,
-                             name=f"fleet-shard-{spec.index}-reader").start()
+            reactor.register(sock, self._on_frame, self._on_eof)
+
+    def _on_frame(self, opcode: int, req_id: int,
+                  body: memoryview) -> None:
+        with self.pending_lock:
+            pending = self.pending.pop(req_id, None)
+        if pending is not None:
+            # The memoryview dies with the reactor's next fill; the
+            # response outlives it, so this is the one copy a reply pays.
+            pending.response = (opcode, bytes(body))
+            pending.event.set()
+
+    def _on_eof(self, _sock: socket.socket) -> None:
+        self.mark_down()
 
     def request(self, opcode: int, body: bytes, timeout: float,
                 control: bool = False) -> Tuple[int, bytes]:
@@ -671,19 +816,6 @@ class _ShardChannel:
             raise pending.failure
         return pending.response
 
-    def _read_loop(self, sock: socket.socket) -> None:
-        while True:
-            frame = _recv_frame(sock)
-            if frame is None:
-                break
-            opcode, req_id, body = frame
-            with self.pending_lock:
-                pending = self.pending.pop(req_id, None)
-            if pending is not None:
-                pending.response = (opcode, body)
-                pending.event.set()
-        self.mark_down()
-
     def mark_down(self) -> None:
         """Fail every outstanding request; idempotent."""
         with self.pending_lock:
@@ -703,12 +835,16 @@ class _ShardChannel:
             return bool(self.pending)
 
     def kill(self) -> None:
-        """Tear this generation down: wake readers, reap the process."""
+        """Tear this generation down: detach from the reactor, reap."""
         for sock in (self.data_sock, self.ctrl_sock):
             try:
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
+        # Blocking unregister: once it returns the reactor no longer
+        # touches these fds, so closing them below cannot race the loop.
+        for sock in (self.data_sock, self.ctrl_sock):
+            self.reactor.unregister(sock)
         self.mark_down()
         process = self.process
         if process.is_alive():
@@ -815,6 +951,10 @@ class ShardedGateway:
     pinning on the GIL.
     """
 
+    #: Event-loop backend of the shard cores and the router's reactor,
+    #: recorded in benchmark artifacts next to the host metadata.
+    loop_backend = LOOP_BACKEND
+
     def __init__(self, network: Network, host: str, port: int,
                  vendor_key: ecdsa.KeyPair, identity: ecdsa.KeyPair,
                  policy: VerifierPolicy, secret_provider: SecretProvider,
@@ -866,6 +1006,9 @@ class ShardedGateway:
         self.fabric: Optional[FabricStore] = None
         self._coalescer: Optional[_EvictCoalescer] = None
         self._shards: List[_ShardHandle] = []
+        #: The single selector thread demultiplexing every shard
+        #: channel's responses (see :mod:`repro.fleet.asynccore`).
+        self._reactor: Optional[Reactor] = None
         self._respawn_lock = threading.Lock()
         self._stop_event = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
@@ -886,6 +1029,7 @@ class ShardedGateway:
                 vnodes=self.config.fabric_vnodes,
                 time_source=self._time_source)
         self._coalescer = _EvictCoalescer(self, self.config.evict_coalesce_s)
+        self._reactor = Reactor()
         self._shards = [_ShardHandle(index, depth)
                         for index in range(self.config.shards)]
         for handle in self._shards:
@@ -921,6 +1065,9 @@ class ShardedGateway:
                 pass
             channel.kill()
             handle.channel = None
+        if self._reactor is not None:
+            self._reactor.stop()
+            self._reactor = None
 
     def _combined_fingerprint(self) -> bytes:
         """What shard policy replicas are versioned by.
@@ -958,7 +1105,8 @@ class ShardedGateway:
                     if other.channel is not None
                     for sock in (other.channel.data_sock,
                                  other.channel.ctrl_sock)]
-        handle.channel = _ShardChannel(spec, self._context, siblings)
+        handle.channel = _ShardChannel(spec, self._context, siblings,
+                                       self._reactor)
         handle.policy_fp = fingerprint
 
     # -- supervision ------------------------------------------------------------
@@ -1321,6 +1469,39 @@ class ShardedGateway:
             return []
         return [entry_from_dict(item)
                 for item in json.loads(body.decode())]
+
+    def shard_flame(self, index: int) -> Optional[dict]:
+        """Drain one shard's tracer (``FleetConfig.shard_trace``).
+
+        Returns ``{"folded_wall": [...], "folded_sim": [...],
+        "summary": str, "spans": int}`` — folded flamegraph lines on
+        both clocks plus the per-name aggregate — or ``None`` when the
+        shard is unreachable. With tracing off the lists are empty.
+        """
+        handle = self._shards[index]
+        channel = handle.channel
+        if channel is None or channel.down.is_set():
+            return None
+        try:
+            opcode, body = channel.request(OP_FLAME, b"", timeout=5.0,
+                                           control=True)
+        except FleetShardCrashed:
+            return None
+        if opcode != OP_OK:
+            return None
+        return json.loads(body.decode())
+
+    def flame_report(self) -> str:
+        """Every live shard's flame summary, concatenated for artifacts."""
+        sections = []
+        for handle in self._shards:
+            flame = self.shard_flame(handle.index)
+            if flame is None:
+                continue
+            sections.append(f"-- shard {handle.index} "
+                            f"({flame['spans']} spans) --\n"
+                            f"{flame['summary']}")
+        return "\n\n".join(sections)
 
     def shard_generations(self) -> List[Tuple[int, int]]:
         """``(index, generation)`` per shard; a respawn bumps the
