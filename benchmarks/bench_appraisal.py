@@ -17,7 +17,6 @@ Machine-readable series land in ``bench_results/BENCH_appraisal.json``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from statistics import median
@@ -30,7 +29,7 @@ from repro.appraisal import (
 )
 from repro.appraisal.codecs.trustzone import TrustZoneView
 from repro.appraisal.envelope import TEE_SGX, TEE_TRUSTZONE
-from repro.bench import format_table, save_report
+from repro.bench import format_table, save_json, save_report
 from repro.core.attester import Attester
 from repro.core.measurement import measure_bytes
 from repro.core.verifier import Verifier, VerifierPolicy
@@ -145,13 +144,7 @@ def _component_times(view, evaluator, repeats=200):
 
 
 def _save_bench_json(payload: dict) -> str:
-    directory = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, "BENCH_appraisal.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return save_json("BENCH_appraisal", payload)
 
 
 def test_appraisal_latency_and_overhead():

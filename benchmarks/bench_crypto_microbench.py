@@ -17,11 +17,9 @@ acceptance floor; measured speedups are typically 4-5x.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
 import time
 
-from repro.bench import format_duration, format_table, save_report
+from repro.bench import format_duration, format_table, save_json, save_report
 from repro.core import VerifierPolicy
 from repro.core.attester import Attester
 from repro.core.measurement import measure_bytes
@@ -119,18 +117,12 @@ def test_crypto_microbench():
         ["operation", "naive", "fast", "speedup"], rows,
     ))
 
-    directory = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
-    os.makedirs(directory, exist_ok=True)
-    payload = {
+    save_json("BENCH_crypto", {
         "rounds": _ROUNDS,
         "naive_s": naive,
         "fast_s": fast,
         "speedup": speedups,
-    }
-    with open(os.path.join(directory, "BENCH_crypto.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    })
 
     # Acceptance floor: the handshake-dominating verify and ECDH must be
     # at least 3x over the naive reference.

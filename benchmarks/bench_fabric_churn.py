@@ -24,10 +24,7 @@ all landing in ``bench_results/BENCH_fabric.json``:
 
 from __future__ import annotations
 
-import json
-import os
-
-from repro.bench import format_table, save_report
+from repro.bench import format_table, save_json, save_report
 from repro.core.verifier import VerifierPolicy
 from repro.fleet import (ChurnProfile, FleetConfig, build_attester_stacks,
                          model_churn, model_revocation_storm, run_churn,
@@ -53,13 +50,7 @@ MILLION = ChurnProfile(identities=1_000_000, reconnects=100_000,
 
 
 def _save_bench_json(payload: dict) -> str:
-    directory = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, "BENCH_fabric.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return save_json("BENCH_fabric", payload)
 
 
 def _live_churn(testbed, identity, port, shards, fabric, sequence):

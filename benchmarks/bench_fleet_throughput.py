@@ -29,7 +29,7 @@ import json
 import os
 from statistics import median
 
-from repro.bench import format_table, save_report, save_trace
+from repro.bench import format_table, host_metadata, save_report, save_trace
 from repro.core.verifier import VerifierPolicy
 from repro.fleet import (LOOP_BACKEND, FleetConfig, FleetModel, LoadProfile,
                          build_attester_stacks, model_fleet, run_load,
@@ -60,13 +60,12 @@ SHARD_SCALING_MIN_CPUS = 4
 def _host_meta() -> dict:
     """Host-load context recorded next to every series: throughput and
     live/model ratios are only comparable under like conditions, and the
-    scaling assertions gate on these fields."""
-    return {
-        "host_cpus": os.cpu_count() or 1,
-        "xdist_workers": int(
-            os.environ.get("PYTEST_XDIST_WORKER_COUNT", "0") or 0),
-        "loop_backend": LOOP_BACKEND,
-    }
+    scaling assertions gate on these fields. Builds on the shared
+    :func:`repro.bench.host_metadata` so every BENCH series agrees on
+    the field names."""
+    meta = host_metadata()
+    meta["loop_backend"] = LOOP_BACKEND
+    return meta
 
 
 def _run_live(testbed, identity, port, concurrency, enable_cache=True,

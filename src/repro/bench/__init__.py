@@ -11,6 +11,7 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     format_duration,
     format_table,
+    host_metadata,
     paper_comparison,
     print_block,
     save_json,
@@ -29,6 +30,7 @@ __all__ = [
     "format_duration",
     "paper_comparison",
     "print_block",
+    "host_metadata",
     "save_json",
     "save_report",
     "save_trace",

@@ -48,16 +48,20 @@ _ENGINES = {
 }
 
 
-def _make_engine(engine_name: str, opt_level=None, tracer=None):
+def _make_engine(engine_name: str, opt_level=None, tracer=None,
+                 profile=None):
     """Construct an execution engine, forwarding AOT-only options.
 
     ``opt_level`` selects the AOT optimisation tier (``None`` keeps the
-    process default, see :func:`repro.wasm.default_opt_level`); the
-    interpreter has no tiers and ignores both knobs.
+    process default, see :func:`repro.wasm.default_opt_level`);
+    ``profile`` feeds tier 3 (anything
+    :meth:`repro.wasm.pgo.Profile.coerce` accepts — a Profile, a dict, or
+    canonical JSON text); the interpreter has no tiers and ignores all
+    three knobs.
     """
     factory = _ENGINES[engine_name]
     if factory is AotCompiler:
-        return factory(opt_level=opt_level, tracer=tracer)
+        return factory(opt_level=opt_level, tracer=tracer, profile=profile)
     return factory()
 
 
@@ -172,7 +176,8 @@ class WatzRuntime(TrustedApplication):
         # symbol registration (the WASI and WASI-RA bindings).
         started = time.perf_counter()
         engine = _make_engine(engine_name, opt_level=params.get("opt_level"),
-                              tracer=api.tracer)
+                              tracer=api.tracer,
+                              profile=params.get("profile"))
         filesystem = None
         if params.get("filesystem"):
             # The WASI-FS extension (paper future work): files live in the
@@ -324,10 +329,11 @@ class NormalWorldRuntime:
     """WAMR running in the normal world (the unshielded baseline)."""
 
     def __init__(self, soc=None, engine_name: str = "aot",
-                 opt_level: Optional[int] = None) -> None:
+                 opt_level: Optional[int] = None, profile=None) -> None:
         self._soc = soc
         self.engine_name = engine_name
         self.opt_level = opt_level
+        self.profile = profile
 
     def load(self, bytecode: bytes,
              args: Optional[List[str]] = None,
@@ -343,7 +349,8 @@ class NormalWorldRuntime:
                                    random_bytes=os.urandom,
                                    filesystem=filesystem)
         imports = build_wasi_imports(wasi_env)
-        engine = _make_engine(self.engine_name, opt_level=self.opt_level)
+        engine = _make_engine(self.engine_name, opt_level=self.opt_level,
+                              profile=self.profile)
         started = time.perf_counter()
         instance = engine.instantiate(bytecode, imports,
                                       code_cache=code_cache)

@@ -1,0 +1,70 @@
+"""Recover AOT profiles from trace span streams.
+
+:func:`repro.wasm.pgo.profile_module` publishes every finished profile as
+a ``wasm.profile`` instant span whose attrs carry the module's content
+key and the profile's canonical JSON. That makes the trace itself the
+transport: a production run traced with :class:`repro.obs.Tracer` leaves
+behind everything the profile-guided tier needs, and this module turns
+the span soup back into :class:`~repro.wasm.pgo.Profile` objects —
+merging multiple observation windows of the same module into one profile
+(counters add; observed-constant globals survive only when every window
+agrees, exactly :func:`~repro.wasm.pgo.merge_profiles` semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.wasm.pgo import Profile, ProfileError, merge_profiles
+
+#: Span name under which profiles travel inside a trace.
+PROFILE_SPAN = "wasm.profile"
+
+__all__ = ["PROFILE_SPAN", "extract_profile", "profiles_from_spans"]
+
+
+def profiles_from_spans(spans: Iterable) -> Dict[str, Profile]:
+    """All profiles recoverable from ``spans``, keyed by module content
+    key, with repeated observations of one module merged in span order.
+
+    Spans that are not ``wasm.profile`` instants are skipped; a
+    ``wasm.profile`` span with a malformed payload raises
+    :class:`~repro.wasm.pgo.ProfileError` (a trace that *claims* to carry
+    a profile but doesn't is corrupt, not ignorable).
+    """
+    buckets: Dict[str, list] = {}
+    for span in spans:
+        if getattr(span, "name", None) != PROFILE_SPAN:
+            continue
+        attrs = getattr(span, "attrs", None) or {}
+        payload = attrs.get("profile")
+        if payload is None:
+            raise ProfileError("wasm.profile span carries no profile attr")
+        profile = Profile.coerce(payload)
+        key = attrs.get("module_key") or profile.module_key
+        buckets.setdefault(key, []).append(profile)
+    return {
+        key: bucket[0] if len(bucket) == 1 else merge_profiles(bucket)
+        for key, bucket in buckets.items()
+    }
+
+
+def extract_profile(spans: Iterable,
+                    module_key: Optional[str] = None) -> Optional[Profile]:
+    """The (merged) profile for one module from a span stream.
+
+    With ``module_key=None`` the stream must contain profiles for at most
+    one module — the common single-workload trace — and that profile is
+    returned; ambiguity raises :class:`~repro.wasm.pgo.ProfileError`.
+    Returns None when the stream holds no profile for the module.
+    """
+    profiles = profiles_from_spans(spans)
+    if module_key is not None:
+        return profiles.get(module_key)
+    if not profiles:
+        return None
+    if len(profiles) > 1:
+        raise ProfileError(
+            f"trace carries profiles for {len(profiles)} modules; "
+            "pass module_key to choose one")
+    return next(iter(profiles.values()))

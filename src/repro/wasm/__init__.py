@@ -13,9 +13,18 @@ from repro.wasm.aot import (
 )
 from repro.wasm.builder import FunctionBuilder, ModuleBuilder
 from repro.wasm.codecache import DEFAULT_CACHE, CodeCache
+from repro.wasm.compilesvc import artifact_fingerprint, precompile
 from repro.wasm.decoder import decode_module
 from repro.wasm.interpreter import Interpreter
 from repro.wasm.module import Module
+from repro.wasm.pgo import (
+    Profile,
+    ProfileCollector,
+    ProfileError,
+    ProfileWarning,
+    merge_profiles,
+    profile_module,
+)
 from repro.wasm.runtime import (
     Engine,
     HostFunction,
@@ -31,6 +40,14 @@ __all__ = [
     "default_opt_level",
     "set_default_opt_level",
     "reference_codegen",
+    "Profile",
+    "ProfileCollector",
+    "ProfileError",
+    "ProfileWarning",
+    "profile_module",
+    "merge_profiles",
+    "precompile",
+    "artifact_fingerprint",
     "Interpreter",
     "Engine",
     "CodeCache",

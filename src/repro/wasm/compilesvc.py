@@ -1,0 +1,214 @@
+"""Parallel AOT compilation service.
+
+The profile-guided tier makes load-time compilation noticeably more
+expensive (inlining, specialisation and loop versioning all re-lower
+function bodies several times), which works against the paper's startup
+story (Fig. 4: load time dominates). Function lowering is embarrassingly
+parallel — each function compiles independently of every other — so this
+module farms the per-function work out to worker *processes* and
+publishes the resulting artifacts into the content-addressed
+:mod:`~repro.wasm.codecache`, under the engine's
+:attr:`~repro.wasm.runtime.Engine.cache_identity` (``aot@o3+<hash>`` for
+a profiled build). A subsequent ``instantiate`` of the same binary with
+the same engine configuration is then a pure cache hit: it re-links the
+precompiled code objects and never invokes the compiler.
+
+Determinism is load-bearing: the artifacts a worker pool publishes must
+be bit-identical to what a single in-process compilation produces, or
+the cache would serve different code depending on how it was warmed.
+Artifacts therefore cross the process boundary in a canonical encoded
+form (``marshal`` for code objects, ``pickle`` for the cold fused
+bodies) and :func:`artifact_fingerprint` hashes exactly that encoding so
+tests can compare arbitrary artifact sets.
+
+Workers are plain ``multiprocessing`` pool members using the ``fork``
+start method where available (the binary and profile ship once, via the
+pool initializer); on platforms without ``fork`` the service silently
+degrades to in-process compilation — behaviour, artifacts and cache
+contents are identical either way, only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import multiprocessing
+import os
+import pickle
+import warnings
+from typing import Optional, Tuple
+
+from repro.wasm import codecache
+from repro.wasm.decoder import decode_module
+from repro.wasm.pgo import ProfileWarning
+from repro.wasm.validation import validate_module
+
+__all__ = ["precompile", "artifact_fingerprint", "encode_artifact",
+           "decode_artifact"]
+
+
+def _make_engine(opt_level, profile_json):
+    """Build the AOT engine a service run (or one worker) compiles with.
+
+    Profile degradation warnings already fired in the coordinating
+    process; workers rebuild the same engine from the same inputs, so
+    their copies of those warnings are noise and are suppressed.
+    """
+    from repro.wasm.aot import AotCompiler  # deferred: aot imports are heavy
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return AotCompiler(opt_level=opt_level, profile=profile_json)
+
+
+def encode_artifact(artifact: tuple) -> bytes:
+    """Canonical byte encoding of one per-function artifact.
+
+    ``(code, source)`` artifacts become ``b"code:" + marshal + source``;
+    ``("cold", fused_body)`` artifacts become ``b"cold:" + pickle``.
+    The encoding is the wire format between workers and the coordinator
+    *and* the input to :func:`artifact_fingerprint`, so both paths hash
+    the same bytes.
+    """
+    kind = artifact[0]
+    if kind == "cold":
+        return b"cold:" + pickle.dumps(artifact[1], protocol=4)
+    code, source = artifact
+    blob = marshal.dumps(code)
+    return (b"code:" + len(blob).to_bytes(8, "little") + blob
+            + source.encode("utf-8"))
+
+
+def decode_artifact(payload: bytes) -> tuple:
+    """Inverse of :func:`encode_artifact`."""
+    if payload.startswith(b"cold:"):
+        return ("cold", pickle.loads(payload[5:]))
+    if not payload.startswith(b"code:"):
+        raise ValueError("unrecognised artifact encoding")
+    size = int.from_bytes(payload[5:13], "little")
+    blob = payload[13:13 + size]
+    source = payload[13 + size:].decode("utf-8")
+    return (marshal.loads(blob), source)
+
+
+def artifact_fingerprint(artifact) -> str:
+    """Stable content hash of one artifact (encoded or in-memory)."""
+    if not isinstance(artifact, (bytes, bytearray)):
+        artifact = encode_artifact(artifact)
+    return hashlib.sha256(bytes(artifact)).hexdigest()
+
+
+# -- worker side --------------------------------------------------------------
+
+_worker_state: Optional[tuple] = None
+
+
+def _init_worker(binary: bytes, opt_level, profile_json) -> None:
+    global _worker_state
+    engine = _make_engine(opt_level, profile_json)
+    module = decode_module(binary)
+    validate_module(module)
+    _worker_state = (engine, module)
+
+
+def _compile_remote(func_index: int) -> Tuple[int, bytes]:
+    engine, module = _worker_state
+    artifact = engine.compile_artifact(module, func_index)
+    return func_index, encode_artifact(artifact)
+
+
+# -- coordinator --------------------------------------------------------------
+
+def _fork_pool(workers: int, binary: bytes, opt_level, profile_json):
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    return context.Pool(workers, initializer=_init_worker,
+                        initargs=(binary, opt_level, profile_json))
+
+
+def precompile(binary: bytes, *, opt_level: Optional[int] = None,
+               profile=None, workers: Optional[int] = None,
+               code_cache=codecache.DEFAULT, tracer=None) -> dict:
+    """Compile every function of ``binary`` and publish into the cache.
+
+    ``opt_level``/``profile`` configure the engine exactly as
+    :class:`~repro.wasm.aot.AotCompiler` does (including the typed
+    degradation warnings for missing/invalid/mismatched profiles).
+    ``workers`` defaults to the host CPU count, capped at 8; values <= 1
+    (and hosts without ``fork``) compile in-process. Returns a summary::
+
+        {"module_key": ..., "identity": ..., "functions": N,
+         "workers": W, "fingerprints": {func_index: sha256}}
+
+    The fingerprints cover the canonical artifact encoding, so two runs
+    of the service — any worker counts — over the same binary, opt level
+    and profile yield byte-for-byte the same mapping.
+    """
+    binary = bytes(binary)
+    engine = _make_engine(opt_level, profile)
+    if engine.profile is not None and engine.profile.module_key:
+        key = codecache.CodeCache.module_key(binary)
+        if key != engine.profile.module_key:
+            warnings.warn(ProfileWarning(
+                "profile was recorded on a different module; "
+                "precompiling at opt level 2"))
+            engine = _make_engine(2, None)
+            profile = None
+            opt_level = 2
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+
+    module_key = codecache.CodeCache.module_key(binary)
+    module = decode_module(binary)
+    validate_module(module)
+
+    local_base = len(module.imported_funcs)
+    indices = [local_base + i for i in range(len(module.functions))]
+
+    span = tracer.span("wasm.precompile", module_key=module_key,
+                       identity=engine.cache_identity, workers=workers,
+                       functions=len(indices)) if tracer is not None else None
+    if span is not None:
+        span.__enter__()
+    try:
+        encoded: dict = {}
+        pool = _fork_pool(workers, binary, opt_level, profile) \
+            if workers > 1 and indices else None
+        if pool is not None:
+            try:
+                for func_index, payload in pool.imap_unordered(
+                        _compile_remote, indices):
+                    encoded[func_index] = payload
+            finally:
+                pool.close()
+                pool.join()
+        else:
+            _init_worker(binary, opt_level, profile)
+            try:
+                for func_index in indices:
+                    encoded[func_index] = _compile_remote(func_index)[1]
+            finally:
+                globals()["_worker_state"] = None
+
+        cache = codecache.resolve(code_cache)
+        if cache is not None:
+            entry = cache.store(module_key, engine.cache_identity, module)
+            for func_index in indices:
+                cache.store_artifact(entry, func_index,
+                                     decode_artifact(encoded[func_index]))
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+
+    return {
+        "module_key": module_key,
+        "identity": engine.cache_identity,
+        "functions": len(indices),
+        "workers": workers if pool is not None else 1,
+        "fingerprints": {
+            index: hashlib.sha256(encoded[index]).hexdigest()
+            for index in sorted(encoded)
+        },
+    }

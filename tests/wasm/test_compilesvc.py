@@ -1,0 +1,174 @@
+"""The parallel compilation service: determinism and warm-load reuse.
+
+The service's whole value is that it warms the cache *correctly*: the
+artifacts a worker pool publishes must be bit-identical to a single
+in-process compilation (any worker count, any scheduling), and a
+subsequent instantiate of the same (binary, opt level, profile) triple
+must be a pure cache hit — zero compiles. Degradation mirrors the
+engine: a mismatched profile precompiles at o2 with a typed warning.
+"""
+
+import pytest
+
+from repro.wasm import AotCompiler
+from repro.wasm import opcodes as op
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.codecache import CodeCache
+from repro.wasm.compilesvc import (
+    artifact_fingerprint,
+    decode_artifact,
+    encode_artifact,
+    precompile,
+)
+from repro.wasm.pgo import ProfileWarning, profile_module
+from repro.wasm.types import I32
+
+
+def _multi_function_module() -> bytes:
+    """Three functions: a hot loop, a helper, and one never called."""
+    builder = ModuleBuilder()
+    builder.add_memory(1, 1)
+    type_index = builder.add_type([], [I32])
+
+    looper = builder.add_function(type_index)
+    acc = looper.add_local(I32)
+    i = looper.add_local(I32)
+    looper.block()
+    looper.loop()
+    looper.local_get(i)
+    looper.i32_const(50)
+    looper.emit(op.I32_GE_S)
+    looper.br_if(1)
+    looper.local_get(acc)
+    looper.local_get(i)
+    looper.emit(op.I32_ADD)
+    looper.local_set(acc)
+    looper.local_get(i)
+    looper.i32_const(1)
+    looper.emit(op.I32_ADD)
+    looper.local_set(i)
+    looper.br(0)
+    looper.end()
+    looper.end()
+    looper.local_get(acc)
+
+    helper = builder.add_function(type_index)
+    helper.i32_const(7)
+
+    unused = builder.add_function(type_index)
+    unused.i32_const(99)
+
+    builder.export_function("run", looper.index)
+    builder.export_function("helper", helper.index)
+    builder.export_function("unused", unused.index)
+    return builder.build()
+
+
+_EXPECTED = sum(range(50))
+
+
+def test_artifact_encoding_roundtrips():
+    binary = _multi_function_module()
+    engine = AotCompiler(opt_level=2)
+    from repro.wasm.decoder import decode_module
+
+    module = decode_module(binary)
+    for func_index in range(3):
+        artifact = engine.compile_artifact(module, func_index)
+        payload = encode_artifact(artifact)
+        code, source = decode_artifact(payload)
+        assert source == artifact[1]
+        assert code.co_code == artifact[0].co_code
+        assert artifact_fingerprint(artifact) == artifact_fingerprint(payload)
+    with pytest.raises(ValueError):
+        decode_artifact(b"garbage")
+
+
+def test_parallel_artifacts_bit_identical_to_single_worker():
+    binary = _multi_function_module()
+    profile = profile_module(binary, [("run", ()), ("helper", ())])
+    summaries = [
+        precompile(binary, opt_level=3, profile=profile,
+                   workers=workers, code_cache=CodeCache())
+        for workers in (1, 2, 4)
+    ]
+    assert summaries[0]["workers"] == 1
+    assert all(s["functions"] == 3 for s in summaries)
+    assert all(s["identity"].startswith("aot@o3+") for s in summaries)
+    # The determinism contract: every worker count, same fingerprints.
+    assert summaries[0]["fingerprints"] == summaries[1]["fingerprints"] \
+        == summaries[2]["fingerprints"]
+
+
+def test_warm_o3_load_after_precompile_never_recompiles():
+    binary = _multi_function_module()
+    profile = profile_module(binary, [("run", ()), ("helper", ())])
+    cache = CodeCache()
+    summary = precompile(binary, opt_level=3, profile=profile,
+                         workers=2, code_cache=cache)
+    entry = cache.peek(summary["module_key"], summary["identity"])
+    assert entry is not None and len(entry.artifacts) == 3
+
+    engine = AotCompiler(opt_level=3, profile=profile)
+    assert engine.cache_identity == summary["identity"]
+    compiles = []
+    original = engine.compile_function
+
+    def counting(module, instance, func_index):
+        compiles.append(func_index)
+        return original(module, instance, func_index)
+
+    engine.compile_function = counting
+    instance = engine.instantiate(binary, code_cache=cache)
+    assert compiles == [], "warm o3 load must re-link, not recompile"
+    assert cache.stats()["hits"] == 1
+    assert instance.invoke("run") == _EXPECTED
+    assert instance.invoke("helper") == 7
+    assert instance.invoke("unused") == 99
+
+
+def test_precompile_matches_direct_instantiate_results():
+    binary = _multi_function_module()
+    profile = profile_module(binary, [("run", ())])
+    cache = CodeCache()
+    precompile(binary, opt_level=3, profile=profile, workers=2,
+               code_cache=cache)
+    warmed = AotCompiler(opt_level=3, profile=profile) \
+        .instantiate(binary, code_cache=cache)
+    direct = AotCompiler(opt_level=3, profile=profile) \
+        .instantiate(binary, code_cache=None)
+    for name in ("run", "helper", "unused"):
+        assert warmed.invoke(name) == direct.invoke(name), name
+
+
+def test_precompile_mismatched_profile_degrades_to_o2():
+    binary = _multi_function_module()
+    other_builder = ModuleBuilder()
+    other_fn = other_builder.add_function(other_builder.add_type([], [I32]))
+    other_fn.i32_const(1)
+    other_builder.export_function("f", other_fn.index)
+    other = profile_module(other_builder.build(), [("f", ())])
+    cache = CodeCache()
+    with pytest.warns(ProfileWarning, match="different module"):
+        summary = precompile(binary, opt_level=3, profile=other,
+                             workers=2, code_cache=cache)
+    assert summary["identity"] == "aot@o2"
+    entry = cache.peek(summary["module_key"], "aot@o2")
+    assert entry is not None and len(entry.artifacts) == 3
+    # And the o2 warm load links against exactly what was published.
+    instance = AotCompiler(opt_level=2).instantiate(binary, code_cache=cache)
+    assert instance.invoke("run") == _EXPECTED
+
+
+def test_precompile_emits_tracer_span():
+    from repro.obs import Tracer
+
+    binary = _multi_function_module()
+    tracer = Tracer()
+    summary = precompile(binary, opt_level=2, workers=1,
+                         code_cache=CodeCache(), tracer=tracer)
+    spans = [s for s in tracer.spans() if s.name == "wasm.precompile"]
+    assert len(spans) == 1
+    assert spans[0].attrs["module_key"] == summary["module_key"]
+    assert spans[0].attrs["identity"] == "aot@o2"
+    assert spans[0].attrs["functions"] == 3

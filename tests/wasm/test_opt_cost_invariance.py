@@ -5,8 +5,10 @@ typed planes / hoisted bounds checks / mask elimination change *wall
 clock* only. A full on-device attestation — Wasm module measured, loaded,
 executed, evidence exchanged over the simulated network — must produce
 byte-identical RA transcripts and identical SimClock totals whether the
-AOT tier runs the optimising codegen (``opt_level=2``, the default) or
-the reference codegen (``opt_level=0``).
+AOT tier runs the optimising codegen (``opt_level=2``, the default), the
+reference codegen (``opt_level=0``), or the profile-guided tier
+(``opt_level=3`` — including when the profile leaves most of the module
+cold and execution goes through the interpreter-fed cold entries).
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ _VERIFIER_PRIVATE = 0x5EC2E7 + 7
 _HOST, _PORT = "opt-invariance.local", 7190
 
 
-def _attested_run():
+def _attested_run(**load_params):
     """Full on-device attestation; returns (SimClock ns, RA transcript)."""
     DEFAULT_CACHE.clear()  # identical cold-cache conditions for both runs
     testbed = Testbed(deterministic_rng=True)
@@ -59,7 +61,7 @@ def _attested_run():
     start_verifier(testbed.network, _HOST, _PORT, device.client,
                    testbed.vendor_key, identity, policy, lambda: _SECRET)
     session = device.open_watz(heap_size=17 * 1024 * 1024)
-    loaded = device.load_wasm(session, app)
+    loaded = device.load_wasm(session, app, **load_params)
     assert device.run_wasm(session, loaded["app"], "attest") == len(_SECRET)
     return device.soc.clock.now_ns(), transcript
 
@@ -77,3 +79,30 @@ def test_simclock_and_ra_transcript_identical_at_both_opt_levels():
     # crypto phases, WASI dispatches) is identical: the optimiser changed
     # no observable cost.
     assert optimised_ns == reference_ns
+
+
+def test_simclock_and_ra_transcript_identical_at_profile_guided_tier():
+    """opt_level=3 joins the invariance contract: an all-hot profile
+    (inlining + specialisation everywhere) and a sparse profile (one hot
+    function, the rest compiled as cold interpreter-fed entries) both
+    produce the exact o2 transcript and SimClock total."""
+    from repro.wasm.codecache import CodeCache
+    from repro.wasm.decoder import decode_module
+    from repro.wasm.pgo import Profile
+
+    identity = ecdsa.keypair_from_private(_VERIFIER_PRIVATE)
+    app = build_attested_app(identity.public_bytes(), _HOST, _PORT,
+                             secret_capacity=1 << 12)
+    module = decode_module(app)
+    imported = len(module.imported_funcs)
+    key = CodeCache.module_key(app)
+    all_hot = Profile(module_key=key, func_calls={
+        imported + i: 10 for i in range(len(module.functions))})
+    sparse = Profile(module_key=key, func_calls={imported: 10})
+
+    baseline_ns, baseline_transcript = _attested_run()
+    for profile in (all_hot, sparse):
+        pgo_ns, pgo_transcript = _attested_run(
+            opt_level=3, profile=profile.canonical_json())
+        assert pgo_transcript == baseline_transcript
+        assert pgo_ns == baseline_ns

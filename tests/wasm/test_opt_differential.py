@@ -9,6 +9,12 @@ division by zero). Every program runs on the interpreter (the reference
 oracle), on AOT at ``opt_level=0`` (the reference codegen) and at
 ``opt_level=2`` (the optimising tier); all three must agree on the result
 value *and* on trap type and message.
+
+The profile-guided tier joins the same oracle twice over: once under an
+honestly collected profile, and once under a *lying* profile (inflated
+hotness, every access site claimed aligned) that forces the guarded
+specialisations down their deopt arms — a mispredicting profile may only
+cost speed, never correctness.
 """
 
 from __future__ import annotations
@@ -101,6 +107,38 @@ def loop_programs(draw):
     return builder.build()
 
 
+def _profiled_engine(binary, args=(1,), lie=False):
+    """An ``opt_level=3`` engine for ``binary``.
+
+    The honest variant profiles a real (possibly trapping) run under the
+    instrumented build. The lying variant then inflates every counter
+    and claims every access site was always aligned, so the specialised
+    paths are emitted aggressively and their runtime guards must save
+    correctness on their own.
+    """
+    from repro.wasm.codecache import CodeCache
+    from repro.wasm.pgo import Profile, ProfileCollector
+
+    collector = ProfileCollector()
+    probe = AotCompiler(profile_collector=collector)
+    instance = probe.instantiate(binary, code_cache=None)
+    try:
+        instance.invoke("f", *args)
+    except TrapError:
+        pass  # a partial profile is still a valid profile
+    profile = collector.finish(CodeCache.module_key(binary), instance)
+    if lie:
+        profile = Profile(
+            module_key=profile.module_key,
+            func_calls={k: 1000 for k in profile.func_calls} or {0: 1000},
+            loop_backedges={k: 1_000_000
+                            for k in profile.loop_backedges},
+            access_masks={k: 0 for k in profile.access_masks},
+            const_globals=dict(profile.const_globals),
+        )
+    return AotCompiler(opt_level=3, profile=profile)
+
+
 def _outcome(instance, argument):
     try:
         return ("value", instance.invoke("f", argument))
@@ -141,6 +179,24 @@ def test_opt_levels_agree_on_final_memory(binary, argument):
     assert reference.memory.data == optimised.memory.data
 
 
+@settings(max_examples=80, deadline=None)
+@given(binary=loop_programs(), argument=_ARGUMENTS)
+def test_profile_guided_tier_agrees_with_interpreter(binary, argument):
+    """opt_level=3 under an honest profile and under a lying (forced
+    deopt) profile: result, trap identity and final memory all pinned
+    against the interpreter and the reference codegen."""
+    interp = Interpreter().instantiate(binary)
+    expected = _outcome(interp, argument)
+    reference = AotCompiler(opt_level=0).instantiate(binary)
+    honest = _profiled_engine(binary).instantiate(binary)
+    lying = _profiled_engine(binary, lie=True).instantiate(binary)
+    assert _outcome(reference, argument) == expected
+    assert _outcome(honest, argument) == expected
+    assert _outcome(lying, argument) == expected
+    assert honest.memory.data == reference.memory.data
+    assert lying.memory.data == reference.memory.data
+
+
 def _engines():
     return (Interpreter(), AotCompiler(opt_level=0),
             AotCompiler(opt_level=2))
@@ -154,7 +210,9 @@ def test_oob_trap_message_identical_across_engines():
     builder.export_function("f", f.index)
     binary = builder.build()
     outcomes = set()
-    for engine in _engines():
+    engines = _engines() + (_profiled_engine(binary, args=(0,)),
+                            _profiled_engine(binary, args=(0,), lie=True))
+    for engine in engines:
         instance = engine.instantiate(binary)
         with pytest.raises(TrapError) as info:
             instance.invoke("f", 65_536)
@@ -169,7 +227,9 @@ def test_div_by_zero_trap_message_identical_across_engines():
     builder.export_function("f", f.index)
     binary = builder.build()
     outcomes = set()
-    for engine in _engines():
+    engines = _engines() + (_profiled_engine(binary, args=(7, 1)),
+                            _profiled_engine(binary, args=(7, 1), lie=True))
+    for engine in engines:
         instance = engine.instantiate(binary)
         with pytest.raises(TrapError) as info:
             instance.invoke("f", 7, 0)
@@ -201,10 +261,12 @@ def test_partial_loop_trap_leaves_identical_memory():
     binary = builder.build()
 
     snapshots = []
-    for engine in _engines():
+    engines = _engines() + (_profiled_engine(binary, args=(0,)),
+                            _profiled_engine(binary, args=(0,), lie=True))
+    for engine in engines:
         instance = engine.instantiate(binary)
         with pytest.raises(TrapError) as info:
             instance.invoke("f", 0)
         assert str(info.value) == "out-of-bounds memory access"
         snapshots.append(bytes(instance.memory.data))
-    assert snapshots[0] == snapshots[1] == snapshots[2]
+    assert len(set(snapshots)) == 1

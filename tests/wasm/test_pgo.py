@@ -1,0 +1,318 @@
+"""The profile-guided tier: format, collection, and graceful degradation.
+
+Three contracts pinned here:
+
+* the profile format — a stable content hash (equal profiles hash equal),
+  JSON round-trips, typed rejection of malformed payloads, and merge
+  semantics (counts add, masks OR, const-globals must agree);
+* collection — ``profile_module`` runs the instrumented build, records
+  what actually executed, and (via a tracer) publishes the profile as a
+  ``wasm.profile`` span the obs layer can recover;
+* robustness — an empty profile, a profile recorded on a different
+  module, and a truncated/corrupt profile file all degrade cleanly to
+  opt level 2 with a :class:`ProfileWarning`, and a *lying* profile
+  (wrong constant, wrong alignment) only ever costs the specialised
+  path: the guarded deopt arms keep results exact.
+"""
+
+import warnings
+
+import pytest
+
+from repro.wasm import AotCompiler, Interpreter
+from repro.wasm import opcodes as op
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.codecache import CodeCache
+from repro.wasm.decoder import decode_module
+from repro.wasm.pgo import (
+    Profile,
+    ProfileError,
+    ProfileWarning,
+    merge_profiles,
+    profile_module,
+)
+from repro.wasm.types import I32
+from tests.wasm.helpers import build_single
+
+
+def _loop_module() -> bytes:
+    """sum(0..9) via a counted loop — exercises call + backedge counters."""
+
+    def emit(f):
+        acc = f.add_local(I32)
+        i = f.add_local(I32)
+        f.block()
+        f.loop()
+        f.local_get(i)
+        f.i32_const(10)
+        f.emit(op.I32_GE_S)
+        f.br_if(1)
+        f.local_get(acc)
+        f.local_get(i)
+        f.emit(op.I32_ADD)
+        f.local_set(acc)
+        f.local_get(i)
+        f.i32_const(1)
+        f.emit(op.I32_ADD)
+        f.local_set(i)
+        f.br(0)
+        f.end()
+        f.end()
+        f.local_get(acc)
+
+    return build_single([], [I32], emit, locals=[I32, I32], export="run")
+
+
+def _global_reader(init: int) -> bytes:
+    """return g0 + 1 — the global-specialisation shape (read, no write)."""
+    builder = ModuleBuilder()
+    builder.add_global(I32, True, init)
+    type_index = builder.add_type([], [I32])
+    function = builder.add_function(type_index)
+    function.global_get(0)
+    function.i32_const(1)
+    function.emit(op.I32_ADD)
+    builder.export_function("run", function.index)
+    return builder.build()
+
+
+def _key(binary: bytes) -> str:
+    return CodeCache.module_key(binary)
+
+
+# -- the profile format -------------------------------------------------------
+
+
+def test_profile_hash_is_content_stable():
+    a = Profile(module_key="m", func_calls={0: 1, 1: 2},
+                loop_backedges={"f0:3": 9})
+    b = Profile(module_key="m", func_calls={1: 2, 0: 1},
+                loop_backedges={"f0:3": 9})
+    assert a.profile_hash == b.profile_hash  # insertion order is irrelevant
+    c = Profile(module_key="m", func_calls={0: 1, 1: 3})
+    assert a.profile_hash != c.profile_hash
+
+
+def test_profile_roundtrips_through_json_and_disk(tmp_path):
+    profile = Profile(module_key="m", func_calls={3: 7},
+                      loop_backedges={"f3:1": 100},
+                      access_masks={"f3:5": 0}, const_globals={0: 2.5},
+                      mem_grows=1)
+    assert Profile.coerce(profile.canonical_json()) == profile
+    assert Profile.coerce(profile.to_json()) == profile
+    assert Profile.coerce(profile) is profile
+    path = tmp_path / "p.json"
+    profile.save(path)
+    assert Profile.load(path) == profile
+    assert Profile.load(path).profile_hash == profile.profile_hash
+
+
+@pytest.mark.parametrize("payload", [
+    "{not json",
+    "[1, 2, 3]",
+    '{"format": "watz-pgo/9"}',
+    '{"format": "watz-pgo/1", "func_calls": {"0": -1}}',
+    '{"format": "watz-pgo/1", "func_calls": {"x": 1}}',
+    '{"format": "watz-pgo/1", "const_globals": {"0": true}}',
+    42,
+])
+def test_malformed_profiles_raise_typed_errors(payload):
+    with pytest.raises(ProfileError):
+        Profile.coerce(payload)
+
+
+def test_merge_adds_counts_ors_masks_and_intersects_globals():
+    a = Profile(module_key="m", func_calls={0: 2}, access_masks={"s": 0},
+                const_globals={0: 5, 1: 9}, mem_grows=1)
+    b = Profile(module_key="m", func_calls={0: 3, 1: 1},
+                access_masks={"s": 2}, const_globals={0: 5, 1: 8})
+    merged = merge_profiles([a, b])
+    assert merged.func_calls == {0: 5, 1: 1}
+    assert merged.access_masks == {"s": 2}
+    assert merged.const_globals == {0: 5}  # g1 disagreed: dropped
+    assert merged.mem_grows == 1
+    with pytest.raises(ProfileError):
+        merge_profiles([])
+    with pytest.raises(ProfileError):
+        merge_profiles([a, Profile(module_key="other")])
+
+
+# -- collection ---------------------------------------------------------------
+
+
+def test_profile_module_records_what_ran():
+    binary = _loop_module()
+    profile = profile_module(binary, [("run", ()), ("run", ())])
+    assert profile.module_key == _key(binary)
+    assert profile.func_calls.get(0) == 2
+    # The counter ticks per loop-header execution: 10 iterations plus
+    # the exiting check, twice.
+    assert sum(profile.loop_backedges.values()) == 22
+    assert not profile.is_empty
+
+
+def test_profile_module_publishes_span_the_obs_layer_recovers():
+    from repro.obs import Tracer, extract_profile
+
+    binary = _loop_module()
+    tracer = Tracer()
+    direct = profile_module(binary, [("run", ())], tracer=tracer)
+    recovered = extract_profile(tracer.spans())
+    assert recovered == direct
+    assert recovered.profile_hash == direct.profile_hash
+    # Asking for a module the trace never profiled yields nothing.
+    assert extract_profile(tracer.spans(), module_key="absent") is None
+
+
+def test_instrumented_artifacts_never_enter_the_shared_cache():
+    from repro.wasm.pgo import ProfileCollector
+
+    cache = CodeCache()
+    engine = AotCompiler(profile_collector=ProfileCollector())
+    assert engine.cache_identity == "aot@profile"
+    assert engine.supports_code_artifacts is False
+    engine.instantiate(_loop_module(), code_cache=cache)
+    entry = cache.peek(_key(_loop_module()), "aot@profile")
+    assert entry is None or not entry.artifacts
+
+
+# -- robustness: every bad profile degrades to o2, never crashes --------------
+
+
+def _assert_degraded_to_o2(engine):
+    assert engine.profile is None
+    assert engine.opt_level == 2
+    assert engine.cache_identity == "aot@o2"
+
+
+def test_level3_without_profile_degrades_with_warning():
+    with pytest.warns(ProfileWarning, match="requires a profile"):
+        engine = AotCompiler(opt_level=3)
+    _assert_degraded_to_o2(engine)
+    assert engine.instantiate(_loop_module()).invoke("run") == 45
+
+
+def test_empty_profile_degrades_with_warning():
+    empty = Profile(module_key=_key(_loop_module()))
+    with pytest.warns(ProfileWarning, match="empty profile"):
+        engine = AotCompiler(opt_level=3, profile=empty)
+    _assert_degraded_to_o2(engine)
+    assert engine.instantiate(_loop_module()).invoke("run") == 45
+
+
+def test_corrupt_profile_payload_degrades_with_warning():
+    with pytest.warns(ProfileWarning, match="invalid profile"):
+        engine = AotCompiler(opt_level=3, profile="{truncated")
+    _assert_degraded_to_o2(engine)
+    assert engine.instantiate(_loop_module()).invoke("run") == 45
+
+
+def test_truncated_profile_file_fails_load_then_degrades(tmp_path):
+    binary = _loop_module()
+    path = tmp_path / "p.json"
+    profile_module(binary, [("run", ())]).save(path)
+    text = path.read_text()
+    path.write_text(text[:len(text) // 2])  # simulate a torn write
+    with pytest.raises(ProfileError, match="not valid JSON"):
+        Profile.load(path)
+    # The operational path — feed whatever the file held to the engine —
+    # degrades instead of crashing, and still computes the right answer.
+    with pytest.warns(ProfileWarning, match="invalid profile"):
+        engine = AotCompiler(opt_level=3, profile=path.read_text())
+    _assert_degraded_to_o2(engine)
+    assert engine.instantiate(binary).invoke("run") == 45
+
+
+def test_wrong_module_profile_degrades_at_instantiate():
+    """A profile recorded on module A applied to module B: the engine
+    keeps its o3 identity but the load itself falls back to a plain o2
+    instantiation — warned, cached under o2, and exact."""
+    cache = CodeCache()
+    binary_a = _loop_module()
+    binary_b = _global_reader(41)
+    profile = profile_module(binary_a, [("run", ())])
+    engine = AotCompiler(opt_level=3, profile=profile)
+    with pytest.warns(ProfileWarning, match="different module"):
+        instance = engine.instantiate(binary_b, code_cache=cache)
+    assert instance.invoke("run") == 42
+    assert cache.peek(_key(binary_b), "aot@o2") is not None
+    assert cache.peek(_key(binary_b), engine.cache_identity) is None
+    # The matching module still loads at full o3 with no warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ProfileWarning)
+        assert engine.instantiate(binary_a,
+                                  code_cache=cache).invoke("run") == 45
+
+
+# -- forced deopt: a lying profile costs speed, never correctness -------------
+
+
+def test_mispredicted_const_global_takes_deopt_arm():
+    binary = _global_reader(41)
+    lying = Profile(module_key=_key(binary), func_calls={0: 50},
+                    const_globals={0: 7})  # the global is actually 41
+    engine = AotCompiler(opt_level=3, profile=lying)
+    module = decode_module(binary)
+    _, source = engine.compile_artifact(module, 0)
+    assert "_g[0].value == 7" in source  # the guard was emitted...
+    instance = engine.instantiate(binary)
+    assert instance.invoke("run") == 42  # ...and the deopt arm ran
+    assert instance.invoke("run") == Interpreter() \
+        .instantiate(binary).invoke("run")
+
+
+def test_truthful_const_global_still_exact():
+    binary = _global_reader(41)
+    honest = Profile(module_key=_key(binary), func_calls={0: 50},
+                     const_globals={0: 41})
+    instance = AotCompiler(opt_level=3, profile=honest).instantiate(binary)
+    assert instance.invoke("run") == 42
+
+
+def test_mispredicted_alignment_takes_struct_path():
+    """Profile claims the load site is always aligned; the run feeds it
+    an unaligned address. The per-access guard must fall back to the
+    byte-accurate path and agree with the interpreter."""
+
+    def emit(f):
+        # mem[0:4] = 0x01020304, then i32.load at the address parameter.
+        f.i32_const(0)
+        f.i32_const(0x01020304)
+        f.emit(op.I32_STORE, 0)
+        f.local_get(0)
+        f.emit(op.I32_LOAD, 0)
+
+    binary = build_single([I32], [I32], emit, memory=(1, 1), export="run")
+    site = "f0:3"  # the I32_LOAD is the fourth body instruction
+    lying = Profile(module_key=_key(binary), func_calls={0: 50},
+                    access_masks={site: 0})
+    engine = AotCompiler(opt_level=3, profile=lying)
+    reference = Interpreter().instantiate(binary)
+    for address in (0, 1, 2, 3):
+        got = engine.instantiate(binary).invoke("run", address)
+        assert got == reference.invoke("run", address), address
+
+
+def test_cold_functions_compile_to_fused_artifacts_and_still_run():
+    """A function the profile never saw called gets the interpreter-fed
+    ("cold", fused-body) artifact — and invoking it anyway is exact."""
+    builder = ModuleBuilder()
+    type_index = builder.add_type([], [I32])
+    hot = builder.add_function(type_index)
+    hot.i32_const(1)
+    cold = builder.add_function(type_index)
+    cold.i32_const(2)
+    cold.i32_const(3)
+    cold.emit(op.I32_ADD)
+    builder.export_function("hot", hot.index)
+    builder.export_function("cold", cold.index)
+    binary = builder.build()
+
+    profile = Profile(module_key=_key(binary), func_calls={0: 100})
+    engine = AotCompiler(opt_level=3, profile=profile)
+    module = decode_module(binary)
+    artifact = engine.compile_artifact(module, 1)
+    assert artifact[0] == "cold"
+    instance = engine.instantiate(binary)
+    assert instance.invoke("hot") == 1
+    assert instance.invoke("cold") == 5
