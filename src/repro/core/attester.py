@@ -250,9 +250,8 @@ class Attester:
         """
         if session.keys is None:
             raise ProtocolError("session keys are not established")
-        iv, sealed = protocol.decode_msg3(data)
         with self.recorder.phase("msg3", protocol.SYMMETRIC):
-            plaintext = AesGcm(session.keys.enc_key).open(iv, sealed)
+            plaintext = protocol.open_msg3(AesGcm(session.keys.enc_key), data)
         if data[0] == protocol.MSG3_RESUME:
             if len(plaintext) < protocol.RESUMPTION_KEY_SIZE:
                 raise ProtocolError("resume msg3 too short for a key")

@@ -24,11 +24,11 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.crypto import ecdsa
 from repro.crypto.cmac import MAC_SIZE
-from repro.crypto.gcm import IV_SIZE
+from repro.crypto.gcm import IV_SIZE, TAG_SIZE, AesGcm
 from repro.crypto.hashing import sha256
 from repro.core.evidence import EVIDENCE_SIZE, SignedEvidence
 from repro.errors import ProtocolError
@@ -311,6 +311,53 @@ def decode_msg3(data: bytes) -> Tuple[bytes, bytes]:
     if len(data) < 1 + IV_SIZE or data[0] not in (MSG3, MSG3_RESUME):
         raise ProtocolError("malformed msg3")
     return data[1 : 1 + IV_SIZE], data[1 + IV_SIZE :]
+
+
+#: Chunk size of the streaming msg3 pipeline. 128 KiB keeps every
+#: intermediate buffer cache-sized while amortising per-chunk dispatch
+#: overhead to noise; the optee shared-memory charge uses the same
+#: granularity (``repro.optee.gp_api.SHARED_COPY_CHUNK``).
+MSG3_CHUNK_SIZE = 128 * 1024
+
+
+def seal_msg3(gcm: AesGcm, iv: bytes, chunks: Sequence[bytes],
+              resume: bool = False) -> bytes:
+    """Streamed counterpart of :func:`encode_msg3` + ``AesGcm.seal``.
+
+    Every payload chunk is encrypted directly into the wire buffer — tag
+    byte, IV, ciphertext, and tag are produced in one pass with no
+    full-payload intermediate (the resume variant previously concatenated
+    key and secret before sealing a copy).
+    """
+    stream = gcm.stream_seal(iv)
+    total = sum(len(chunk) for chunk in chunks)
+    message = bytearray(1 + IV_SIZE + total + TAG_SIZE)
+    message[0] = MSG3_RESUME if resume else MSG3
+    message[1 : 1 + IV_SIZE] = iv
+    view = memoryview(message)
+    offset = 1 + IV_SIZE
+    for chunk in chunks:
+        offset += stream.update_into(chunk, view[offset:])
+    view[offset:] = stream.final()
+    return bytes(message)
+
+
+def open_msg3(gcm: AesGcm, data: bytes,
+              chunk_size: int = MSG3_CHUNK_SIZE) -> bytes:
+    """Streamed counterpart of :func:`decode_msg3` + ``AesGcm.open``.
+
+    The sealed payload reaches the cipher as memoryview chunks (no
+    ciphertext copy); plaintext is only materialised — once — after the
+    tag verifies.
+    """
+    if len(data) < 1 + IV_SIZE or data[0] not in (MSG3, MSG3_RESUME):
+        raise ProtocolError("malformed msg3")
+    view = memoryview(data)
+    iv = bytes(view[1 : 1 + IV_SIZE])
+    stream = gcm.stream_open(iv)
+    for offset in range(1 + IV_SIZE, len(data), chunk_size):
+        stream.update(view[offset : offset + chunk_size])
+    return stream.final()
 
 
 # --- instrumentation -------------------------------------------------------------

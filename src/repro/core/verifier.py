@@ -258,11 +258,12 @@ class Verifier:
         with self.recorder.phase("msg3", protocol.MEMORY):
             iv = self._random(12)
         with self.recorder.phase("msg3", protocol.SYMMETRIC):
-            payload = secret_blob if resumption_key is None \
-                else resumption_key + secret_blob
-            sealed = AesGcm(session.keys.enc_key).seal(iv, payload)
-        return protocol.encode_msg3(iv, sealed,
-                                    resume=resumption_key is not None)
+            chunks = (secret_blob,) if resumption_key is None \
+                else (resumption_key, secret_blob)
+            message = protocol.seal_msg3(AesGcm(session.keys.enc_key), iv,
+                                         chunks,
+                                         resume=resumption_key is not None)
+        return message
 
     # -- multi-TEE envelope handshake (repro.appraisal) ----------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core import protocol
 from repro.core.attester import Attester, AttesterSession
 from repro.core.evidence import SignedEvidence
 from repro.errors import ReproError
@@ -140,10 +141,18 @@ class WasiRa:
             except ReproError:
                 return -errno.EPROTO
             self.last_secret = context.received
-        if len(context.received) > buf_cap:
+        received = context.received
+        if len(received) > buf_cap:
             return -errno.E2BIG
-        instance.memory.write(buf_ptr, context.received)
-        return len(context.received)
+        # Place the blob into linear memory in pipeline-sized pieces: the
+        # plaintext crosses into sandbox memory exactly once, without a
+        # full-size intermediate slice.
+        view = memoryview(received)
+        for offset in range(0, len(view), protocol.MSG3_CHUNK_SIZE):
+            instance.memory.write(
+                buf_ptr + offset,
+                view[offset : offset + protocol.MSG3_CHUNK_SIZE])
+        return len(received)
 
     def net_dispose(self, instance, context_handle):
         self._api.charge_ns(self._api.costs.wasi_dispatch_ns)

@@ -6,7 +6,7 @@ CMAC modes, the SGX-style session key derivation, and a Fortuna-style
 seedable PRNG used to derive attestation keys from the root of trust.
 """
 
-from repro.crypto import ec
+from repro.crypto import ec, gcm
 from repro.crypto.aes import Aes128
 from repro.crypto.batch import BATCH_MAX, verify_batch
 from repro.crypto.cmac import MAC_SIZE, AesCmac, aes_cmac
@@ -21,7 +21,13 @@ from repro.crypto.ecdsa import (
     verify,
 )
 from repro.crypto.fortuna import Fortuna, seeded_fortuna
-from repro.crypto.gcm import IV_SIZE, TAG_SIZE, AesGcm
+from repro.crypto.gcm import (
+    IV_SIZE,
+    TAG_SIZE,
+    AesGcm,
+    GcmOpenStream,
+    GcmSealStream,
+)
 from repro.crypto.hashing import (
     SHA256_SIZE,
     IncrementalHash,
@@ -34,6 +40,7 @@ from repro.crypto.kdf import SessionKeys, derive_kdk, derive_key, derive_session
 
 __all__ = [
     "ec",
+    "gcm",
     "Aes128",
     "BATCH_MAX",
     "verify_batch",
@@ -53,6 +60,8 @@ __all__ = [
     "Fortuna",
     "seeded_fortuna",
     "AesGcm",
+    "GcmSealStream",
+    "GcmOpenStream",
     "IV_SIZE",
     "TAG_SIZE",
     "SHA256_SIZE",

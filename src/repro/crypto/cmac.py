@@ -46,12 +46,15 @@ class AesCmac:
             tail = message[(n - 1) * BLOCK_SIZE :]
             padded = tail + b"\x80" + b"\x00" * (BLOCK_SIZE - len(tail) - 1)
             last = int.from_bytes(padded, "big") ^ self._k2
-        state = b"\x00" * BLOCK_SIZE
+        # CBC chain with the state kept as a 128-bit int: one int XOR per
+        # block instead of a per-byte generator.
+        state = 0
+        encrypt_block = self._cipher.encrypt_block
         for i in range(n - 1):
-            block = message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]
-            state = self._cipher.encrypt_block(bytes(a ^ b for a, b in zip(state, block)))
-        final = last ^ int.from_bytes(state, "big")
-        return self._cipher.encrypt_block(final.to_bytes(BLOCK_SIZE, "big"))
+            block = int.from_bytes(message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE], "big")
+            state = int.from_bytes(
+                encrypt_block((state ^ block).to_bytes(BLOCK_SIZE, "big")), "big")
+        return encrypt_block((last ^ state).to_bytes(BLOCK_SIZE, "big"))
 
     def verify(self, message: bytes, tag: bytes) -> None:
         """Check ``tag`` against ``message``; raise on mismatch."""

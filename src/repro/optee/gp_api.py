@@ -22,6 +22,29 @@ from repro.optee.kernel import ExecutableRegion, OpTeeKernel
 from repro.optee.sharedmem import SharedBuffer
 from repro.optee.ta import TaManifest, TrustedApplication
 
+#: Granularity of the world-shared bounce-buffer copy (matches the msg3
+#: streaming pipeline's ``protocol.MSG3_CHUNK_SIZE``): received payloads
+#: cross into secure memory chunk by chunk, exactly once.
+SHARED_COPY_CHUNK = 128 * 1024
+
+
+def _charge_shared_copy(soc, size: int, chunk: int = SHARED_COPY_CHUNK) -> None:
+    """Advance the SimClock for a chunkwise world-shared copy.
+
+    Charges each chunk as the difference of cumulative ``shared_copy_ns``
+    values, so the telescoping sum is byte-identical to the old one-shot
+    charge despite the cost model's integer division.
+    """
+    previous = 0
+    end = 0
+    while True:
+        end = min(size, end + chunk)
+        cumulative = soc.costs.shared_copy_ns(end)
+        soc.clock.advance(cumulative - previous)
+        previous = cumulative
+        if end >= size:
+            break
+
 
 class GpInternalApi:
     """Per-session service interface handed to a TA."""
@@ -190,11 +213,11 @@ class GpInternalApi:
         data = self._socket_rpc(lambda: supplicant.receive(remote))
         soc = self._kernel.soc
         if soc.tracer is None:
-            soc.clock.advance(soc.costs.shared_copy_ns(len(data)))
+            _charge_shared_copy(soc, len(data))
         else:
             with soc.tracer.span("optee.shared_copy", world="secure",
                                  payload=len(data)):
-                soc.clock.advance(soc.costs.shared_copy_ns(len(data)))
+                _charge_shared_copy(soc, len(data))
         return data
 
     def tcp_close(self, handle: int) -> None:

@@ -1,0 +1,152 @@
+"""Streaming AEAD: NIST KATs at adversarial chunk splits, no-release-before-tag.
+
+The streaming API must be byte-identical to one-shot ``seal``/``open`` for
+*every* way of cutting the data into chunks — including 1-byte drips,
+just-under/just-over block splits (15/17), and splits that straddle the
+trailing tag on the open path — on both the fast and reference paths.
+The open stream must never generate a byte of keystream before the tag
+verifies.
+"""
+
+import binascii
+
+import pytest
+
+from repro.crypto import gcm
+from repro.crypto.gcm import AesGcm, TAG_SIZE
+from repro.errors import AuthenticationError, CryptoError
+
+h = binascii.unhexlify
+
+# NIST SP 800-38D / McGrew–Viega AES-128 test cases 1, 2, and 4.
+_KATS = [
+    (b"\x00" * 16, b"\x00" * 12, b"", b"",
+     h("58e2fccefa7e3061367f1d57a4e7455a")),
+    (b"\x00" * 16, b"\x00" * 12, b"\x00" * 16, b"",
+     h("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")),
+    (h("feffe9928665731c6d6a8f9467308308"),
+     h("cafebabefacedbaddecaf888"),
+     h("d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+       "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"),
+     h("feedfacedeadbeeffeedfacedeadbeefabaddad2"),
+     h("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+       "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+       "5bc94fbc3221a5db94fae95ae7121a47")),
+]
+
+# Adversarial chunk widths: 1-byte drip, one-under/one-over a block, a
+# block, and widths chosen so a boundary lands inside the trailing tag.
+_SPLITS = [1, 15, 16, 17, 5, 23]
+
+
+def _chunks(data, width):
+    return [data[i : i + width] for i in range(0, len(data), width)]
+
+
+def _tag_straddling_chunks(sealed):
+    """Split so one chunk boundary falls strictly inside the final tag."""
+    if len(sealed) < TAG_SIZE + 1:
+        return [sealed[: len(sealed) - 7], sealed[len(sealed) - 7 :]]
+    return [
+        sealed[: len(sealed) - TAG_SIZE - 3],
+        sealed[len(sealed) - TAG_SIZE - 3 : len(sealed) - 7],
+        sealed[len(sealed) - 7 :],
+    ]
+
+
+@pytest.fixture(params=["fast", "reference"])
+def path(request):
+    previous = gcm.use_fast_paths(request.param == "fast")
+    yield request.param
+    gcm.use_fast_paths(previous)
+
+
+@pytest.mark.parametrize("kat", _KATS, ids=["case1", "case2", "case4"])
+@pytest.mark.parametrize("width", _SPLITS)
+def test_stream_seal_matches_kat(path, kat, width):
+    key, iv, plaintext, aad, expected = kat
+    cipher = AesGcm(key)
+    stream = cipher.stream_seal(iv, aad)
+    sealed = b"".join(stream.update(c) for c in _chunks(plaintext, width))
+    sealed += stream.final()
+    assert sealed == expected
+    assert sealed == cipher.seal(iv, plaintext, aad)
+
+
+@pytest.mark.parametrize("kat", _KATS, ids=["case1", "case2", "case4"])
+@pytest.mark.parametrize("width", _SPLITS)
+def test_stream_open_matches_kat(path, kat, width):
+    key, iv, plaintext, aad, expected = kat
+    cipher = AesGcm(key)
+    stream = cipher.stream_open(iv, aad)
+    for chunk in _chunks(expected, width):
+        stream.update(chunk)
+    assert stream.final() == plaintext
+    assert cipher.open(iv, expected, aad) == plaintext
+
+
+@pytest.mark.parametrize("kat", _KATS, ids=["case1", "case2", "case4"])
+def test_stream_open_tag_straddling_split(path, kat):
+    key, iv, plaintext, aad, expected = kat
+    cipher = AesGcm(key)
+    stream = cipher.stream_open(iv, aad)
+    for chunk in _tag_straddling_chunks(expected):
+        stream.update(chunk)
+    assert stream.final() == plaintext
+
+
+def test_stream_update_into_writes_in_place(path):
+    cipher = AesGcm(b"k" * 16)
+    plaintext = bytes(range(256)) * 5
+    out = bytearray(len(plaintext) + TAG_SIZE)
+    view = memoryview(out)
+    stream = cipher.stream_seal(b"i" * 12)
+    offset = 0
+    for chunk in _chunks(plaintext, 100):
+        offset += stream.update_into(chunk, view[offset:])
+    view[offset:] = stream.final()
+    assert bytes(out) == cipher.seal(b"i" * 12, plaintext)
+
+
+def test_tampered_mid_stream_releases_no_plaintext(path, monkeypatch):
+    """A tampered stream raises from final() before any keystream exists."""
+    cipher = AesGcm(b"k" * 16)
+    sealed = bytearray(cipher.seal(b"i" * 12, b"bulk secret material" * 40))
+    sealed[200] ^= 0x10  # flip a ciphertext bit mid-stream
+
+    def forbidden(self, src, out):
+        raise AssertionError("keystream generated before tag verification")
+
+    monkeypatch.setattr(gcm._CtrFast, "xor_into", forbidden)
+    monkeypatch.setattr(gcm._CtrReference, "xor_into", forbidden)
+    stream = cipher.stream_open(b"i" * 12)
+    for offset in range(0, len(sealed), 64):
+        stream.update(bytes(sealed[offset : offset + 64]))
+    with pytest.raises(AuthenticationError):
+        stream.final()
+
+
+def test_stream_open_too_short_rejected(path):
+    stream = AesGcm(b"k" * 16).stream_open(b"i" * 12)
+    stream.update(b"short")
+    with pytest.raises(AuthenticationError):
+        stream.final()
+
+
+def test_stream_reuse_after_final_rejected(path):
+    cipher = AesGcm(b"k" * 16)
+    stream = cipher.stream_seal(b"i" * 12)
+    stream.update(b"data")
+    stream.final()
+    with pytest.raises(CryptoError):
+        stream.update(b"more")
+    with pytest.raises(CryptoError):
+        stream.final()
+
+
+def test_stream_bad_iv_size(path):
+    cipher = AesGcm(b"k" * 16)
+    with pytest.raises(CryptoError):
+        cipher.stream_seal(b"short")
+    with pytest.raises(CryptoError):
+        cipher.stream_open(b"short")
